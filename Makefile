@@ -1,0 +1,25 @@
+# Convenience targets for the WS-Gossip reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples clean coverage
+
+install:
+	pip install -e . || pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script || exit 1; done
+
+record:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

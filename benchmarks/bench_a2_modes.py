@@ -1,0 +1,130 @@
+"""Ablations over deployment modes.
+
+* A4 ordered delivery: per-origin FIFO costs head-of-line latency under
+  loss (held-back messages wait for repair); measure the p95 delivery
+  latency with and without ordering.
+* A5 distributed coordinator: the decentralized mode (WS-Membership +
+  peer-sampling views, no Activation/Registration at all) matches the
+  centralized mode's delivery, at the price of background membership
+  traffic.
+"""
+
+from _tables import emit, mean
+
+from repro.core.api import GossipGroup
+from repro.core.decentralized import DecentralizedGroup
+from repro.core.params import GossipParams
+from repro.core.message import GossipStyle
+
+SEEDS = [1, 2]
+
+
+def ordered_run(ordered, seed, loss_rate=0.15, n=16, publications=8):
+    group = GossipGroup(
+        n_disseminators=n - 1,
+        seed=seed,
+        loss_rate=loss_rate,
+        params={"style": "push-pull", "fanout": 4, "rounds": 6,
+                "period": 0.4, "ordered": ordered, "peer_sample_size": 12},
+        auto_tune=False,
+    )
+    group.setup(settle=1.5)
+    latencies = []
+    publish_times = {}
+    for index in range(publications):
+        mid = group.publish({"seq": index})
+        publish_times[mid] = group.sim.now
+        group.run_for(0.2)
+    group.run_for(25.0)
+    for mid, published_at in publish_times.items():
+        if group.delivered_fraction(mid) < 1.0:
+            return None
+        for when in group.delivery_times(mid):
+            latencies.append(when - published_at)
+    latencies.sort()
+    return latencies[int(0.95 * (len(latencies) - 1))]
+
+
+def test_a4_ordering_cost(benchmark):
+    rows = []
+    for ordered in (False, True):
+        p95s = [ordered_run(ordered, seed) for seed in SEEDS]
+        complete = [value for value in p95s if value is not None]
+        rows.append(
+            ("FIFO ordered" if ordered else "unordered",
+             mean(complete) if complete else float("nan"),
+             f"{len(complete)}/{len(SEEDS)}")
+        )
+    emit(
+        "a4_ordering",
+        "A4: p95 delivery latency under 15% loss -- ordering costs "
+        "head-of-line waiting",
+        ["mode", "p95 latency (s)", "complete runs"],
+        rows,
+    )
+    unordered_p95, ordered_p95 = rows[0][1], rows[1][1]
+    assert ordered_p95 >= unordered_p95, (
+        "holding back out-of-order messages cannot be faster"
+    )
+    benchmark.pedantic(lambda: ordered_run(True, 1), rounds=1, iterations=1)
+
+
+def centralized_run(seed, n=20):
+    group = GossipGroup(
+        n_disseminators=n - 1,
+        seed=seed,
+        params={"style": "push-pull", "fanout": 4, "rounds": 7,
+                "period": 0.5, "peer_sample_size": 14},
+        auto_tune=False,
+    )
+    group.setup(settle=1.0)
+    before = group.message_counts().get("net.sent", 0)
+    gossip_id = group.publish({"a": 1})
+    group.run_for(15.0)
+    return (
+        group.delivered_fraction(gossip_id),
+        group.message_counts()["net.sent"] - before,
+    )
+
+
+def decentralized_run(seed, n=20):
+    group = DecentralizedGroup(
+        n_nodes=n,
+        seed=seed,
+        params=GossipParams(fanout=4, rounds=7, style=GossipStyle.PUSH_PULL,
+                            period=0.5),
+    )
+    group.setup()
+    before = group.message_counts().get("net.sent", 0)
+    gossip_id = group.publish({"a": 1})
+    group.run_for(15.0)
+    return (
+        group.delivered_fraction(gossip_id),
+        group.message_counts()["net.sent"] - before,
+    )
+
+
+def test_a5_distributed_coordinator(benchmark):
+    central = [centralized_run(seed) for seed in SEEDS]
+    decentralized = [decentralized_run(seed) for seed in SEEDS]
+    rows = [
+        ("centralized coordinator", mean(r[0] for r in central),
+         mean(r[1] for r in central)),
+        ("WS-Membership views", mean(r[0] for r in decentralized),
+         mean(r[1] for r in decentralized)),
+    ]
+    emit(
+        "a5_decentralized",
+        "A5: centralized vs distributed coordinator (N=20, push-pull); "
+        "msgs include membership/sampling background",
+        ["mode", "delivery", "msgs during dissemination"],
+        rows,
+    )
+    assert rows[0][1] == 1.0
+    assert rows[1][1] == 1.0
+    benchmark.pedantic(lambda: decentralized_run(1), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    print("ablation tables are produced under pytest: "
+          "pytest benchmarks/bench_a2_modes.py --benchmark-only")

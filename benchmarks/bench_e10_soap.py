@@ -1,0 +1,123 @@
+"""E10 -- Middleware overhead: the cost of the SOAP stack itself.
+
+The gossip layer lives inside the handler chain of a real XML SOAP stack
+(Section 3's deployment story); this bench quantifies what that stack
+costs per message: envelope encode/decode, payload serialization, the
+handler chain, and a full local send->receive->dispatch round trip.
+"""
+
+import xml.etree.ElementTree as ET
+
+from _tables import emit
+
+from repro.core.message import GossipHeader, GossipStyle
+from repro.soap.envelope import Envelope
+from repro.soap.handler import Handler, HandlerChain, MessageContext, Direction
+from repro.soap.runtime import SoapRuntime
+from repro.soap.serializer import from_element, to_element
+from repro.soap.service import Service, operation
+from repro.transport.base import LoopbackTransport
+from repro.wsa.addressing import AddressingHeaders
+from repro.wscoord.context import CoordinationContext
+from repro.wsa.addressing import EndpointReference
+
+TICK = {"symbol": "SYM01", "price": 42.125, "size": 300, "seq": 123456,
+        "time": 17.25}
+
+
+def build_gossip_envelope():
+    """A representative on-the-wire gossip message."""
+    envelope = Envelope(body=to_element("{urn:stock}tick", TICK))
+    envelope.add_header(
+        CoordinationContext(
+            identifier="urn:wscoord:activity:bench",
+            coordination_type="urn:ws-gossip:2008:coordination",
+            registration_service=EndpointReference(
+                "sim://coordinator/registration",
+                {"ActivityId": "urn:wscoord:activity:bench"},
+            ),
+        ).to_element()
+    )
+    envelope.add_header(
+        GossipHeader(
+            activity="urn:wscoord:activity:bench",
+            message_id="urn:ws-gossip:msg:bench",
+            origin="sim://initiator/app",
+            hops=5,
+            style=GossipStyle.PUSH,
+        ).to_element()
+    )
+    AddressingHeaders(
+        to="sim://node/app", action="urn:stock/tick",
+        message_id="urn:uuid:bench",
+    ).apply(envelope)
+    return envelope
+
+
+def test_e10_envelope_encode(benchmark):
+    envelope = build_gossip_envelope()
+    data = benchmark(envelope.to_bytes)
+    emit(
+        "e10_size",
+        "E10a: wire size of one gossiped tick",
+        ["artifact", "bytes"],
+        [("full gossip envelope", len(data)),
+         ("payload only", len(ET.tostring(to_element("{urn:stock}tick", TICK))))],
+    )
+    assert data.startswith(b"<?xml")
+
+
+def test_e10_envelope_decode(benchmark):
+    data = build_gossip_envelope().to_bytes()
+
+    def decode():
+        envelope = Envelope.from_bytes(data)
+        header = GossipHeader.from_envelope(envelope)
+        return from_element(envelope.body), header
+
+    value, header = benchmark(decode)
+    assert value == TICK
+    assert header.hops == 5
+
+
+def test_e10_handler_chain(benchmark):
+    chain = HandlerChain([Handler() for _ in range(4)])
+    context = MessageContext(Envelope(), Direction.INBOUND)
+
+    def run_chain():
+        return chain.run_inbound(context)
+
+    assert benchmark(run_chain)
+
+
+def test_e10_full_roundtrip(benchmark):
+    transport = LoopbackTransport()
+    client = SoapRuntime("test://client", transport)
+    server = SoapRuntime("test://server", transport)
+    transport.register(client)
+    transport.register(server)
+
+    class TickSink(Service):
+        def __init__(self):
+            super().__init__()
+            self.count = 0
+
+        @operation("urn:stock/tick")
+        def tick(self, context, value):
+            self.count += 1
+            return None
+
+    sink = TickSink()
+    server.add_service("/app", sink)
+
+    def send_one():
+        client.send("test://server/app", "urn:stock/tick", value=TICK)
+
+    benchmark(send_one)
+    assert sink.count > 0
+
+
+if __name__ == "__main__":
+    data = build_gossip_envelope().to_bytes()
+    emit("e10_size", "E10a: wire size", ["artifact", "bytes"],
+         [("full gossip envelope", len(data))])

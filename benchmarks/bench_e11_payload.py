@@ -1,0 +1,86 @@
+"""E11 -- Payload size and the lazy-push trade-off (extension experiment).
+
+Eager push re-transmits the full payload on every forward; lazy push
+(Plumtree-style) pushes identifiers and transfers the payload once per
+node.  With per-node uplink bandwidth bounded, the wire-byte savings turn
+into latency savings as payloads grow.  This experiment did not exist in
+the paper (which names only push); it exercises the "different gossip
+styles" extension point.
+"""
+
+from _tables import emit
+
+from repro.core.api import GossipGroup
+from repro.simnet.latency import FixedLatency
+
+N = 16
+BANDWIDTH = 250_000.0  # 250 KB/s uplink per node
+PAYLOAD_SIZES = [100, 2_000, 16_000]
+
+
+def run_once(style, payload_bytes, seed=3):
+    group = GossipGroup(
+        n_disseminators=N - 1,
+        seed=seed,
+        latency=FixedLatency(0.002),
+        params={"style": style, "fanout": 5, "rounds": 7, "period": 2.0,
+                "peer_sample_size": 12},
+        auto_tune=False,
+    )
+    group.setup(settle=1.0)
+    for node in group.app_nodes():
+        group.network.set_egress_bandwidth(node.name, BANDWIDTH)
+    bytes_before = group.metrics.counters().get("net.bytes", 0)
+    start = group.sim.now
+    gossip_id = group.publish({"blob": "x" * payload_bytes})
+    deadline = start + 60.0
+    while group.sim.now < deadline and group.delivered_fraction(gossip_id) < 1.0:
+        group.run_for(0.25)
+    elapsed = group.sim.now - start
+    total_bytes = group.metrics.counters().get("net.bytes", 0) - bytes_before
+    return group.delivered_fraction(gossip_id), elapsed, total_bytes
+
+
+def payload_rows():
+    rows = []
+    for payload_bytes in PAYLOAD_SIZES:
+        push_coverage, push_time, push_bytes = run_once("push", payload_bytes)
+        lazy_coverage, lazy_time, lazy_bytes = run_once("lazy-push", payload_bytes)
+        rows.append(
+            (payload_bytes, push_coverage, push_bytes // 1000,
+             lazy_coverage, lazy_bytes // 1000,
+             push_bytes / max(1, lazy_bytes))
+        )
+    return rows
+
+
+def test_e11_payload_size(benchmark):
+    rows = payload_rows()
+    emit(
+        "e11_payload",
+        f"E11: push vs lazy-push wire volume by payload size "
+        f"(N={N}, {BANDWIDTH / 1000:.0f} KB/s uplinks)",
+        ["payload B", "push cov", "push KB", "lazy cov", "lazy KB",
+         "push/lazy bytes"],
+        rows,
+    )
+    for payload_bytes, push_cov, _pb, lazy_cov, _lb, ratio in rows:
+        assert push_cov == 1.0
+        assert lazy_cov == 1.0
+    # The byte advantage must grow with payload size.
+    ratios = [row[5] for row in rows]
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 1.5, "large payloads should clearly favour lazy push"
+    # Small payloads pay the ad/fetch overhead: no free lunch.
+    assert ratios[0] < 1.2
+    benchmark.pedantic(lambda: run_once("lazy-push", 2000), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    emit(
+        "e11_payload",
+        "E11: push vs lazy-push wire volume by payload size",
+        ["payload B", "push cov", "push KB", "lazy cov", "lazy KB",
+         "push/lazy bytes"],
+        payload_rows(),
+    )

@@ -1,0 +1,112 @@
+"""E2 -- Reliability vs fanout: "parameters f and r can be configured [6]
+such that any desired average number of receivers successfully get the
+message ... [or] the message is atomically delivered with high
+probability" (paper Section 2).
+
+Sweep fanout for several population sizes, measure the delivered fraction
+and the atomic-delivery rate over seeds, and compare against the
+Eugster et al. analysis implemented in :mod:`repro.core.analysis`.
+"""
+
+from _tables import emit, mean
+
+from repro.stats import summarize
+
+from repro.core.analysis import (
+    atomic_delivery_probability,
+    expected_final_fraction,
+    fanout_for_atomicity,
+    rounds_for_coverage,
+)
+from repro.core.api import GossipGroup
+
+POPULATIONS = [32, 64, 128]
+FANOUTS = [1, 2, 3, 5, 7]
+SEEDS = [1, 2, 3, 4, 5]
+
+
+def run_once(n: int, fanout: int, seed: int) -> float:
+    rounds = rounds_for_coverage(n, max(fanout, 2)) + 2
+    group = GossipGroup(
+        n_disseminators=n - 1,
+        seed=seed,
+        params={
+            "fanout": fanout,
+            "rounds": rounds,
+            "peer_sample_size": max(2 * fanout, 12),
+        },
+        auto_tune=False,
+    )
+    group.setup(settle=1.0, eager_join=True)
+    gossip_id = group.publish({"exp": "e2"})
+    group.run_for(rounds * 0.5 + 5.0)
+    return group.delivered_fraction(gossip_id)
+
+
+def reliability_rows():
+    rows = []
+    for n in POPULATIONS:
+        for fanout in FANOUTS:
+            fractions = [run_once(n, fanout, seed) for seed in SEEDS]
+            summary = summarize(fractions)
+            atomic_rate = mean(1.0 if f >= 1.0 else 0.0 for f in fractions)
+            predicted_fraction = expected_final_fraction(float(fanout))
+            predicted_atomic = atomic_delivery_probability(n, float(fanout))
+            rows.append(
+                (n, fanout, summary.mean, summary.half_width,
+                 predicted_fraction, atomic_rate, predicted_atomic)
+            )
+    return rows
+
+
+def tuning_rows():
+    rows = []
+    for n in POPULATIONS:
+        fanout = int(fanout_for_atomicity(n, 0.99)) + 1
+        fractions = [run_once(n, fanout, seed) for seed in SEEDS]
+        rows.append((n, fanout, mean(fractions), mean(
+            1.0 if f >= 1.0 else 0.0 for f in fractions
+        )))
+    return rows
+
+
+def test_e2_reliability_vs_fanout(benchmark):
+    rows = reliability_rows()
+    emit(
+        "e2_reliability",
+        "E2: delivered fraction & atomicity vs fanout (mean over seeds)",
+        ["N", "fanout", "measured frac", "+/-95%", "analysis frac",
+         "atomic rate", "analysis atomic"],
+        rows,
+    )
+    # Shape checks: monotone in fanout; fanout>=5 effectively atomic;
+    # subcritical fanout=1 far from full coverage.
+    by_n = {}
+    for n, fanout, measured, _hw, _pf, atomic, _pa in rows:
+        by_n.setdefault(n, []).append((fanout, measured, atomic))
+    for n, series in by_n.items():
+        fractions = [item[1] for item in series]
+        assert fractions[0] < 0.9, "fanout=1 should miss many nodes"
+        assert fractions[-1] >= 0.99
+        assert series[-1][2] >= 0.66, "high fanout should be atomic most seeds"
+
+    tuned = tuning_rows()
+    emit(
+        "e2_tuned",
+        "E2b: coordinator-tuned fanout for 99% atomic delivery",
+        ["N", "tuned fanout", "measured frac", "atomic rate"],
+        tuned,
+    )
+    for n, fanout, measured, atomic in tuned:
+        assert measured >= 0.99
+
+    benchmark.pedantic(lambda: run_once(64, 4, 1), rounds=3, iterations=1)
+
+
+if __name__ == "__main__":
+    emit(
+        "e2_reliability",
+        "E2: delivered fraction & atomicity vs fanout",
+        ["N", "fanout", "measured frac", "analysis frac", "atomic rate", "analysis atomic"],
+        reliability_rows(),
+    )

@@ -1,0 +1,92 @@
+"""E3 -- Dissemination latency scales logarithmically with population.
+
+The paper's scalability claim: gossip reaches "large numbers of
+participants" in O(log N) rounds.  Sweep N with coordinator-tuned
+parameters (the framework's own auto-tune, targeting 99% atomic delivery),
+measure the hop count for the epidemic to reach everyone, and compare with
+the mean-field prediction.
+"""
+
+import math
+
+from _tables import emit, mean
+
+from repro.core.analysis import expected_rounds, fanout_for_atomicity
+from repro.core.api import GossipGroup
+from repro.simnet.latency import FixedLatency
+
+POPULATIONS = [16, 32, 64, 128, 256]
+SEEDS = [1, 2, 3]
+HOP_LATENCY = 0.01  # seconds per hop: time-to-cover / latency ~ hops
+
+
+def tuned_fanout(n: int) -> int:
+    return int(math.ceil(fanout_for_atomicity(n, 0.99))) + 1
+
+
+def run_once(n: int, seed: int):
+    fanout = tuned_fanout(n)
+    group = GossipGroup(
+        n_disseminators=n - 1,
+        seed=seed,
+        latency=FixedLatency(HOP_LATENCY),
+        params={
+            "fanout": fanout,
+            "rounds": expected_rounds(n, fanout) + 3,
+            "peer_sample_size": 2 * fanout,
+        },
+        auto_tune=False,
+    )
+    group.setup(settle=1.0, eager_join=True)
+    start = group.sim.now
+    gossip_id = group.publish({"exp": "e3"})
+    group.run_for(10.0)
+    if group.delivered_fraction(gossip_id) < 1.0:
+        return None
+    last = max(group.delivery_times(gossip_id))
+    return (last - start) / HOP_LATENCY  # hops until the last receiver
+
+
+def latency_rows():
+    rows = []
+    for n in POPULATIONS:
+        fanout = tuned_fanout(n)
+        hops = [run_once(n, seed) for seed in SEEDS]
+        covered = [h for h in hops if h is not None]
+        predicted = expected_rounds(n, fanout)
+        rows.append(
+            (
+                n,
+                fanout,
+                mean(covered) if covered else float("nan"),
+                predicted,
+                math.log2(n),
+                f"{len(covered)}/{len(SEEDS)}",
+            )
+        )
+    return rows
+
+
+def test_e3_latency_scaling(benchmark):
+    rows = latency_rows()
+    emit(
+        "e3_latency",
+        "E3: hops to full coverage vs N (coordinator-tuned fanout)",
+        ["N", "fanout", "measured hops", "mean-field", "log2(N)", "full runs"],
+        rows,
+    )
+    measured = [row[2] for row in rows]
+    assert all(not math.isnan(value) for value in measured), "coverage failed"
+    # Logarithmic shape: 16x the population costs far less than 16x hops.
+    assert measured[-1] <= measured[0] * 3.5
+    assert measured[-1] <= math.log2(POPULATIONS[-1]) + 3
+    benchmark.pedantic(lambda: run_once(64, 1), rounds=3, iterations=1)
+
+
+if __name__ == "__main__":
+    emit(
+        "e3_latency",
+        "E3: hops to full coverage vs N (coordinator-tuned fanout)",
+        ["N", "fanout", "measured hops", "mean-field", "log2(N)", "full runs"],
+        latency_rows(),
+    )

@@ -1,0 +1,125 @@
+"""E4 -- Stable high throughput under perturbation (Bimodal Multicast).
+
+The paper motivates gossip with "stable high throughput [2]": in
+tree/centralized dissemination one slow node throttles everyone downstream
+of it, while gossip routes around the perturbed node.  We stream stock
+ticks through a k-ary tree and through WS-Gossip, slow one early interior
+node's links by 300x, and measure each receiver's goodput (ticks delivered
+within a deadline).
+"""
+
+from _tables import emit, mean
+
+from repro.baselines.common import BASELINE_ACTION
+from repro.baselines.tree import TreeGroup
+from repro.core.api import GossipGroup
+from repro.simnet.latency import FixedLatency
+from repro.workloads import StockFeed
+
+N = 32
+TICKS = 40
+TICK_GAP = 0.2
+BASE_LATENCY = 0.005
+SLOW_FACTOR = 300.0
+DEADLINE = 1.0  # a tick must arrive within this to count as goodput
+
+
+def slow_node_links(network, victim: str, names):
+    model = FixedLatency(BASE_LATENCY * SLOW_FACTOR)
+    for name in names:
+        if name != victim:
+            network.set_link_latency(name, victim, model)
+            network.set_link_latency(victim, name, model)
+
+
+def run_tree(seed=3):
+    group = TreeGroup(N, seed=seed, arity=2, latency=FixedLatency(BASE_LATENCY))
+    group.setup()
+    victim = "r1"  # interior node near the root: half the tree behind it
+    slow_node_links(group.network, victim, [node.name for node in group.receivers])
+    feed = StockFeed(rate=1.0 / TICK_GAP, seed=seed)
+    published = []
+    for index in range(TICKS):
+        mid = group.publish({"tick": index})
+        published.append((group.sim.now, mid))
+        group.run_for(TICK_GAP)
+    group.run_for(5.0)
+    return goodput_per_receiver(group.receivers, published, exclude={victim})
+
+
+def run_gossip(seed=3):
+    group = GossipGroup(
+        n_disseminators=N - 1,
+        seed=seed,
+        latency=FixedLatency(BASE_LATENCY),
+        params={"fanout": 5, "rounds": 7, "peer_sample_size": 14},
+        auto_tune=False,
+    )
+    group.setup(settle=1.0, eager_join=True)
+    victim = "d0"
+    names = [node.name for node in group.app_nodes()]
+    slow_node_links(group.network, victim, names)
+    published = []
+    for index in range(TICKS):
+        mid = group.publish({"tick": index})
+        published.append((group.sim.now, mid))
+        group.run_for(TICK_GAP)
+    group.run_for(5.0)
+    receivers = [node for node in group.disseminators]
+    return goodput_per_receiver(receivers, published, exclude={victim})
+
+
+def goodput_per_receiver(nodes, published, exclude):
+    """Fraction of ticks each healthy receiver got within the deadline."""
+    fractions = []
+    for node in nodes:
+        if node.name in exclude:
+            continue
+        on_time = 0
+        for publish_time, mid in published:
+            delivery = node.delivery_time(mid)
+            if delivery is not None and delivery - publish_time <= DEADLINE:
+                on_time += 1
+        fractions.append(on_time / len(published))
+    return fractions
+
+
+def test_e4_throughput_stability(benchmark):
+    tree_goodput = run_tree()
+    gossip_goodput = run_gossip()
+    rows = [
+        ("tree (arity 2)", mean(tree_goodput), min(tree_goodput),
+         sum(1 for g in tree_goodput if g < 0.5)),
+        ("WS-Gossip push", mean(gossip_goodput), min(gossip_goodput),
+         sum(1 for g in gossip_goodput if g < 0.5)),
+    ]
+    emit(
+        "e4_throughput",
+        f"E4: goodput under one perturbed node ({SLOW_FACTOR:.0f}x slower links, "
+        f"deadline {DEADLINE}s)",
+        ["system", "mean goodput", "worst receiver", "receivers <50%"],
+        rows,
+    )
+    # Gossip stays stable; the tree starves the slowed subtree.
+    assert mean(gossip_goodput) > 0.95
+    assert min(gossip_goodput) > 0.9
+    assert min(tree_goodput) < 0.5, "tree should starve the perturbed subtree"
+    assert mean(gossip_goodput) > mean(tree_goodput)
+
+    benchmark.pedantic(run_gossip, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    tree_goodput = run_tree()
+    gossip_goodput = run_gossip()
+    emit(
+        "e4_throughput",
+        "E4: goodput under one perturbed node",
+        ["system", "mean goodput", "worst receiver", "receivers <50%"],
+        [
+            ("tree (arity 2)", mean(tree_goodput), min(tree_goodput),
+             sum(1 for g in tree_goodput if g < 0.5)),
+            ("WS-Gossip push", mean(gossip_goodput), min(gossip_goodput),
+             sum(1 for g in gossip_goodput if g < 0.5)),
+        ],
+    )

@@ -1,0 +1,88 @@
+"""E6 -- Load distribution: centralized broker vs gossip.
+
+The paper's architectural argument: a WS-Notification broker carries the
+entire fan-out itself (load linear in N at one node), whereas WS-Gossip
+spreads forwarding across the population and the Coordinator is only
+involved in registration.  Sweep N and measure per-node message load for
+one dissemination.
+"""
+
+from _tables import emit
+
+from repro.baselines.centralnotify import CentralNotifyGroup
+from repro.core.api import GossipGroup
+
+POPULATIONS = [16, 32, 64, 128]
+
+
+def broker_load(n, seed=1):
+    group = CentralNotifyGroup(n, seed=seed)
+    group.setup()
+    before = group.metrics.counter("wsn.fanout").value
+    group.publish({"exp": "e6"})
+    group.run_for(3.0)
+    return group.metrics.counter("wsn.fanout").value - before
+
+
+def gossip_loads(n, seed=1):
+    group = GossipGroup(
+        n_disseminators=n - 1,
+        seed=seed,
+        params={"fanout": 4, "rounds": 7, "peer_sample_size": 12},
+        auto_tune=False,
+        trace=True,
+    )
+    group.setup(settle=1.0, eager_join=True)
+    sends_before = group.metrics.counter("net.sent").value
+    forwards_before = group.metrics.counter("gossip.forward").value
+    coordinator_before = _coordinator_receipts(group)
+    gossip_id = group.publish({"exp": "e6"})
+    group.run_for(10.0)
+    total_sends = group.metrics.counter("net.sent").value - sends_before
+    per_node = total_sends / n
+    coordinator_msgs = _coordinator_receipts(group) - coordinator_before
+    return per_node, coordinator_msgs, group.delivered_fraction(gossip_id)
+
+
+def _coordinator_receipts(group):
+    return sum(
+        1
+        for event in group.trace.events(kind="net.deliver", node="coordinator")
+    )
+
+
+def load_rows():
+    rows = []
+    for n in POPULATIONS:
+        broker = broker_load(n)
+        per_node, coordinator_msgs, delivered = gossip_loads(n)
+        rows.append((n, broker, per_node, coordinator_msgs, delivered))
+    return rows
+
+
+def test_e6_coordinator_load(benchmark):
+    rows = load_rows()
+    emit(
+        "e6_load",
+        "E6: per-dissemination load -- broker msgs vs gossip per-node msgs",
+        ["N", "broker fan-out msgs", "gossip msgs/node", "coordinator msgs", "delivered"],
+        rows,
+    )
+    # Broker load is exactly linear in N.
+    assert [row[1] for row in rows] == POPULATIONS
+    # Gossip per-node load stays flat-ish (bounded by fanout * rounds),
+    # and the coordinator sits out of the data path entirely.
+    per_node = [row[2] for row in rows]
+    assert max(per_node) <= 4 * 2.5
+    assert per_node[-1] <= per_node[0] * 2.0
+    assert all(row[3] == 0 for row in rows)
+    benchmark.pedantic(lambda: gossip_loads(32), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    emit(
+        "e6_load",
+        "E6: per-dissemination load",
+        ["N", "broker fan-out msgs", "gossip msgs/node", "coordinator msgs", "delivered"],
+        load_rows(),
+    )

@@ -1,0 +1,147 @@
+"""E7 -- Membership under failures and churn (WS-Membership, Section 3).
+
+Two measurements:
+
+* failure-detection latency and view accuracy of the WS-Membership
+  heartbeat gossip as ``t_fail`` varies;
+* dissemination delivery under continuous churn, with push-pull repair.
+"""
+
+from _tables import emit, mean
+
+from repro.core.api import GossipGroup
+from repro.simnet.events import Simulator
+from repro.simnet.latency import FixedLatency
+from repro.simnet.network import Network
+from repro.wsmembership import MemberStatus, MembershipNode
+from repro.workloads import churn_plan
+
+N_MEMBERS = 16
+
+
+def detection_run(t_fail, seed=1):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=FixedLatency(0.005))
+    nodes = [
+        MembershipNode(f"m{index}", network, period=0.5, t_fail=t_fail,
+                       t_cleanup=4 * t_fail)
+        for index in range(N_MEMBERS)
+    ]
+    for node in nodes:
+        node.start()
+    anchor = nodes[0].runtime.base_address
+    for node in nodes[1:]:
+        node.bootstrap([anchor])
+    nodes[0].bootstrap([nodes[1].runtime.base_address])
+    sim.run_until(12.0)
+
+    victim = nodes[N_MEMBERS // 2]
+    victim_address = victim.runtime.base_address
+    victim.crash()
+    crash_time = sim.now
+
+    observers = [node for node in nodes if node is not victim]
+    detect_times = {}
+    step = 0.25
+    while sim.now < crash_time + 20 * t_fail and len(detect_times) < len(observers):
+        sim.run_until(sim.now + step)
+        for node in observers:
+            if node.name in detect_times:
+                continue
+            status = node.membership.view.status_of(victim_address)
+            if status in (MemberStatus.SUSPECT, MemberStatus.FAILED):
+                detect_times[node.name] = sim.now - crash_time
+    false_positives = sum(
+        1
+        for node in observers
+        for member in node.membership.view.members(MemberStatus.SUSPECT)
+        if member != victim_address
+    )
+    detected = list(detect_times.values())
+    return (
+        mean(detected) if detected else float("inf"),
+        len(detected) / len(observers),
+        false_positives,
+    )
+
+
+def detection_rows():
+    rows = []
+    for t_fail in (2.0, 4.0, 8.0):
+        latency, coverage, false_positives = detection_run(t_fail)
+        rows.append((t_fail, latency, coverage, false_positives))
+    return rows
+
+
+def churn_delivery(rate, seed=5):
+    group = GossipGroup(
+        n_disseminators=24,
+        seed=seed,
+        params={"fanout": 4, "rounds": 7, "style": "push-pull", "period": 0.5,
+                "peer_sample_size": 14},
+        auto_tune=False,
+    )
+    group.setup(settle=1.5, eager_join=True)
+    if rate > 0:
+        churn_plan(
+            group.network,
+            [node.name for node in group.disseminators],
+            rate=rate,
+            recover_delay=1.5,
+            until=group.sim.now + 20.0,
+        )
+    gossip_id = group.publish({"exp": "e7"})
+    group.run_for(30.0)
+    up_nodes = [
+        node
+        for node in group.disseminators
+        if group.network.process(node.name).is_running
+    ]
+    return mean(1.0 if node.has_delivered(gossip_id) else 0.0 for node in up_nodes)
+
+
+def churn_rows():
+    return [
+        (rate, churn_delivery(rate)) for rate in (0.0, 0.5, 1.0, 2.0, 4.0)
+    ]
+
+
+def test_e7_failure_detection(benchmark):
+    rows = detection_rows()
+    emit(
+        "e7_detection",
+        f"E7a: WS-Membership failure detection (N={N_MEMBERS}, period=0.5s)",
+        ["t_fail (s)", "mean detect (s)", "detect coverage", "false suspects"],
+        rows,
+    )
+    for t_fail, latency, coverage, false_positives in rows:
+        assert coverage == 1.0, "every live node must detect the crash"
+        assert latency >= t_fail * 0.8
+        assert latency <= 6 * t_fail
+        # Tight timeouts can transiently suspect a lagging-but-alive node;
+        # progress un-suspects it.  Allow a couple of transients.
+        assert false_positives <= 2
+    # Detection latency tracks the configured timeout.
+    assert rows[0][1] < rows[-1][1]
+    benchmark.pedantic(lambda: detection_run(2.0), rounds=1, iterations=1)
+
+
+def test_e7_delivery_under_churn(benchmark):
+    rows = churn_rows()
+    emit(
+        "e7_churn",
+        "E7b: delivery to up-nodes vs churn rate (push-pull, N=25)",
+        ["churn events/s", "delivery"],
+        rows,
+    )
+    assert rows[0][1] == 1.0
+    for rate, delivery in rows:
+        assert delivery >= 0.9, f"delivery collapsed at churn rate {rate}"
+    benchmark.pedantic(lambda: churn_delivery(1.0), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    emit("e7_detection", "E7a: failure detection",
+         ["t_fail", "mean detect", "coverage", "false suspects"], detection_rows())
+    emit("e7_churn", "E7b: delivery under churn",
+         ["churn events/s", "delivery"], churn_rows())

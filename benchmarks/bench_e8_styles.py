@@ -1,0 +1,102 @@
+"""E8 -- Gossip styles: push / pull / push-pull / anti-entropy (+ flooding).
+
+The paper claims the framework "encompass[es] different gossip styles ...
+suitable for multiple application scenarios".  For each style: time to
+full coverage, total wire messages, and per-node duplicate receipts, all
+for one dissemination over the same population -- plus flooding as the
+overhead anchor.
+"""
+
+from _tables import emit
+
+from repro.baselines.flooding import FloodGroup
+from repro.core.api import GossipGroup
+from repro.simnet.latency import FixedLatency
+
+N = 24
+STYLES = ["push", "lazy-push", "feedback", "push-pull", "pull", "anti-entropy"]
+
+
+def style_run(style, seed=2):
+    group = GossipGroup(
+        n_disseminators=N - 1,
+        seed=seed,
+        latency=FixedLatency(0.005),
+        params={"style": style, "fanout": 6, "rounds": 8, "period": 0.4,
+                "peer_sample_size": 12},
+        auto_tune=False,
+    )
+    group.setup(settle=1.0)
+    before = group.metrics.counter("net.sent").value
+    start = group.sim.now
+    gossip_id = group.publish({"exp": "e8"})
+    deadline = start + 60.0
+    while group.sim.now < deadline and group.delivered_fraction(gossip_id) < 1.0:
+        group.run_for(0.5)
+    coverage_time = group.sim.now - start
+    messages = group.metrics.counter("net.sent").value - before
+    duplicates = group.metrics.counter("gossip.duplicate").value
+    return (
+        style,
+        group.delivered_fraction(gossip_id),
+        coverage_time,
+        messages,
+        duplicates / N,
+    )
+
+
+def flood_run(seed=2):
+    group = FloodGroup(N, seed=seed, degree=6, latency=FixedLatency(0.005))
+    group.setup()
+    before = group.metrics.counter("net.sent").value if "net.sent" in group.metrics.counters() else 0
+    start = group.sim.now
+    mid = group.publish({"exp": "e8"})
+    group.run_for(5.0)
+    messages = group.metrics.counters()["net.sent"] - before
+    duplicate_receipts = sum(
+        max(0, node.receipts.get(mid, 0) - 1) for node in group.receivers
+    )
+    last = max(group.delivery_times(mid))
+    return (
+        "flooding (deg 6)",
+        group.delivered_fraction(mid),
+        last - start,
+        messages,
+        duplicate_receipts / N,
+    )
+
+
+def style_rows():
+    rows = [style_run(style) for style in STYLES]
+    rows.append(flood_run())
+    return rows
+
+
+def test_e8_gossip_styles(benchmark):
+    rows = style_rows()
+    emit(
+        "e8_styles",
+        f"E8: styles compared, one dissemination, N={N} (time counts periodic "
+        "rounds for pull-family)",
+        ["style", "coverage", "time to cover (s)", "wire msgs", "dups/node"],
+        rows,
+    )
+    by_style = {row[0]: row for row in rows}
+    for row in rows:
+        assert row[1] == 1.0, f"{row[0]} failed to cover"
+    # Push is reactive: fastest.  Pull-family pays periodic-round latency.
+    assert by_style["push"][2] <= by_style["pull"][2]
+    assert by_style["push"][2] <= by_style["anti-entropy"][2]
+    # Anti-entropy (1 peer/period) sends fewer messages per unit time than
+    # pull (fanout peers/period) over the same horizon.
+    assert by_style["anti-entropy"][3] < by_style["pull"][3]
+    benchmark.pedantic(lambda: style_run("push"), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    emit(
+        "e8_styles",
+        f"E8: styles compared (N={N})",
+        ["style", "coverage", "time to cover (s)", "wire msgs", "dups/node"],
+        style_rows(),
+    )

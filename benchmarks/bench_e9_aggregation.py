@@ -1,0 +1,146 @@
+"""E9 -- Gossip aggregation (push-sum): the second application scenario.
+
+Every node starts with a sensor reading; push-sum converges to the global
+average exponentially fast at every node, with no coordinator.  Measure
+relative error vs rounds and vs population size, against the known ground
+truth from the synthetic sensor field.
+"""
+
+from _tables import emit, mean
+
+from repro.core.aggregation import (
+    AGGREGATION_SERVICE_PATH,
+    AggregateKind,
+    AggregationEngine,
+    AggregationService,
+    initial_weight,
+)
+from repro.core.scheduling import ProcessScheduler
+from repro.simnet.events import Simulator
+from repro.simnet.network import Network
+from repro.transport.inmem import WsProcess
+from repro.workloads import SensorField
+
+PERIOD = 0.2
+
+
+class SensorNode(WsProcess):
+    def attach(self, task, kind, value, peers, is_root):
+        self.service = AggregationService()
+        self.runtime.add_service(AGGREGATION_SERVICE_PATH, self.service)
+        self.engine = AggregationEngine(
+            runtime=self.runtime,
+            scheduler=ProcessScheduler(self),
+            task=task,
+            kind=kind,
+            local_value=value,
+            view_provider=lambda: peers,
+            period=PERIOD,
+            rng=self.sim.rng.get(f"agg:{self.name}"),
+            weight=initial_weight(kind, is_root),
+        )
+        self.service.add_engine(self.engine)
+
+
+def build(n, kind, seed=1):
+    field = SensorField(n, seed=seed)
+    sim = Simulator(seed=seed)
+    network = Network(sim)
+    nodes = [SensorNode(f"s{index}", network) for index in range(n)]
+    addresses = [node.runtime.base_address for node in nodes]
+    for index, node in enumerate(nodes):
+        peers = [a for a in addresses if a != node.runtime.base_address]
+        node.attach("field", kind, field.readings[index], peers, index == 0)
+        node.start()
+        node.engine.start()
+    return sim, nodes, field
+
+
+def max_relative_error(nodes, truth):
+    scale = abs(truth) if truth else 1.0
+    return max(abs(node.engine.estimate() - truth) / scale for node in nodes)
+
+
+def convergence_rows(n=32, seed=1):
+    sim, nodes, field = build(n, AggregateKind.AVERAGE, seed=seed)
+    truth = field.truth()["mean"]
+    rows = []
+    for rounds in (5, 10, 20, 40, 80):
+        sim.run_until(rounds * PERIOD)
+        rows.append((rounds, max_relative_error(nodes, truth)))
+    return rows
+
+
+def population_rows(seed=1):
+    rows = []
+    for n in (8, 16, 32, 64):
+        sim, nodes, field = build(n, AggregateKind.AVERAGE, seed=seed)
+        truth = field.truth()["mean"]
+        sim.run_until(60 * PERIOD)
+        rows.append((n, max_relative_error(nodes, truth)))
+    return rows
+
+
+def kinds_rows(n=24, seed=2):
+    rows = []
+    for kind, key in (
+        (AggregateKind.AVERAGE, "mean"),
+        (AggregateKind.SUM, "sum"),
+        (AggregateKind.COUNT, "count"),
+        (AggregateKind.MIN, "min"),
+        (AggregateKind.MAX, "max"),
+    ):
+        sim, nodes, field = build(n, kind, seed=seed)
+        truth = field.truth()[key]
+        sim.run_until(80 * PERIOD)
+        estimates = [node.engine.estimate() for node in nodes]
+        scale = abs(truth) if truth else 1.0
+        rows.append((kind.value, truth, mean(estimates),
+                     max(abs(e - truth) / scale for e in estimates)))
+    return rows
+
+
+def test_e9_aggregation(benchmark):
+    conv = convergence_rows()
+    emit(
+        "e9_convergence",
+        "E9a: push-sum max relative error vs rounds (N=32, average)",
+        ["rounds", "max rel error"],
+        conv,
+    )
+    errors = [row[1] for row in conv]
+    assert errors == sorted(errors, reverse=True), "error must shrink"
+    assert errors[-1] < 1e-3
+    # Exponential decay: each doubling of rounds slashes the error by a
+    # large factor overall.
+    assert errors[-1] < errors[0] / 100.0
+
+    pops = population_rows()
+    emit(
+        "e9_population",
+        "E9b: error after 60 rounds vs population",
+        ["N", "max rel error"],
+        pops,
+    )
+    assert all(error < 0.01 for _, error in pops)
+
+    kinds = kinds_rows()
+    emit(
+        "e9_kinds",
+        "E9c: all aggregate kinds vs ground truth (N=24, 80 rounds)",
+        ["kind", "truth", "mean estimate", "max rel error"],
+        kinds,
+    )
+    for kind, truth, estimate, error in kinds:
+        assert error < 0.02, f"{kind} did not converge"
+
+    benchmark.pedantic(lambda: convergence_rows(n=16), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    emit("e9_convergence", "E9a: error vs rounds", ["rounds", "max rel error"],
+         convergence_rows())
+    emit("e9_population", "E9b: error vs N", ["N", "max rel error"],
+         population_rows())
+    emit("e9_kinds", "E9c: aggregate kinds", ["kind", "truth", "mean est", "err"],
+         kinds_rows())

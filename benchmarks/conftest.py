@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Makes the repo's ``benchmarks`` directory importable as a package-less
+module set (``_tables``) regardless of the pytest rootdir.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,59 @@
+"""The distributed-Coordinator mode: no central anything.
+
+Every node runs WS-Membership heartbeats and Cyclon peer sampling; gossip
+engines draw their views from the live local membership.  There is no
+Activation, no Registration, no subscriber list -- and therefore no node
+whose crash stops the system (we crash a quarter of the mesh mid-run to
+prove it).
+
+Run:  python examples/decentralized_mesh.py
+"""
+
+from repro.core.decentralized import DecentralizedGroup
+from repro.simnet.faults import FaultPlan
+
+N = 24
+
+
+def main() -> None:
+    group = DecentralizedGroup(n_nodes=N, seed=13)
+    print(f"{N} nodes bootstrapped knowing only 2 ring-neighbours each")
+    group.setup(warmup=8.0)
+
+    sizes = [
+        len(node.gossip_layer.engine_for(group.context.identifier).current_view())
+        for node in group.nodes
+    ]
+    print(f"membership converged: view sizes min={min(sizes)} max={max(sizes)}")
+
+    first = group.publish({"event": "steady-state"})
+    group.run_for(10.0)
+    print(f"steady-state dissemination: "
+          f"{group.delivered_fraction(first):.1%} delivered")
+
+    victims = [node.name for node in group.nodes[1:]]
+    plan = FaultPlan(group.network)
+    plan.crash_fraction_at(group.sim.now, 0.25, victims)
+    plan.apply()
+    group.run_for(0.1)
+    crashed = [
+        node.name for node in group.nodes
+        if not group.network.process(node.name).is_running
+    ]
+    print(f"\ncrashed {len(crashed)} nodes: {', '.join(crashed)}")
+
+    second = group.publish({"event": "after-crashes"})
+    group.run_for(20.0)
+    survivors = [
+        node for node in group.nodes[1:]
+        if group.network.process(node.name).is_running
+    ]
+    delivered = sum(1 for node in survivors if node.has_delivered(second))
+    print(f"post-crash dissemination: {delivered}/{len(survivors)} "
+          "survivors reached")
+    print("\nNo coordinator, no registration, no single point of failure -- "
+          "the paper's Section 3 extension, running.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Quickstart: disseminate one message to 50 services with WS-Gossip.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GossipGroup
+
+
+def main() -> None:
+    # One coordinator, one initiator, 39 disseminators, 10 unchanged
+    # consumers -- the paper's Figure 1 at 50-service scale.
+    group = GossipGroup(
+        n_disseminators=39,
+        n_consumers=10,
+        seed=7,
+        params={"fanout": 4, "rounds": 7},
+    )
+    activity_id = group.setup()
+    print(f"activity created: {activity_id}")
+    print(f"population: {group.population} application endpoints")
+
+    message_id = group.publish({"symbol": "ACME", "price": 101.5})
+    group.run_for(5.0)
+
+    fraction = group.delivered_fraction(message_id)
+    times = group.delivery_times(message_id)
+    counts = group.message_counts()
+    print(f"delivered to {fraction:.1%} of endpoints")
+    print(f"atomic delivery: {group.is_atomic(message_id)}")
+    print(f"first arrival {min(times):.4f}s, last arrival {max(times):.4f}s")
+    print(
+        f"wire messages: {counts['net.sent']} sent, "
+        f"{counts.get('net.dropped', 0)} dropped"
+    )
+
+
+if __name__ == "__main__":
+    main()

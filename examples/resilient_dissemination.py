@@ -1,0 +1,71 @@
+"""Resilience demo: gossip vs broadcast tree while a third of the system
+crashes mid-run.
+
+Run:  python examples/resilient_dissemination.py
+"""
+
+from repro.baselines.tree import TreeGroup
+from repro.core.api import GossipGroup
+from repro.simnet.faults import FaultPlan
+
+N = 36
+CRASH_FRACTION = 0.33
+
+
+def run_gossip():
+    group = GossipGroup(
+        n_disseminators=N - 1,
+        seed=9,
+        params={"fanout": 6, "rounds": 8, "peer_sample_size": 16},
+        auto_tune=False,
+    )
+    group.setup(settle=1.0, eager_join=True)
+    plan = FaultPlan(group.network)
+    plan.crash_fraction_at(
+        group.sim.now, CRASH_FRACTION, [node.name for node in group.disseminators]
+    )
+    plan.apply()
+    group.run_for(0.05)
+    gossip_id = group.publish({"alert": "failover"})
+    group.run_for(10.0)
+    survivors = [
+        node
+        for node in group.disseminators
+        if group.network.process(node.name).is_running
+    ]
+    delivered = sum(1 for node in survivors if node.has_delivered(gossip_id))
+    return delivered, len(survivors)
+
+
+def run_tree():
+    group = TreeGroup(N, seed=9, arity=2)
+    group.setup()
+    plan = FaultPlan(group.network)
+    plan.crash_fraction_at(
+        group.sim.now, CRASH_FRACTION, [node.name for node in group.receivers[1:]]
+    )
+    plan.apply()
+    group.run_for(0.05)
+    mid = group.publish({"alert": "failover"})
+    group.run_for(10.0)
+    survivors = [node for node in group.receivers if node.is_running]
+    delivered = sum(1 for node in survivors if node.has_delivered(mid))
+    return delivered, len(survivors)
+
+
+def main() -> None:
+    print(f"{N} services; {CRASH_FRACTION:.0%} crash right before a "
+          "critical notification goes out.\n")
+    gossip_delivered, gossip_up = run_gossip()
+    tree_delivered, tree_up = run_tree()
+    print(f"{'system':<20}{'survivors reached'}")
+    print(f"{'WS-Gossip':<20}{gossip_delivered}/{gossip_up} "
+          f"({gossip_delivered / gossip_up:.0%})")
+    print(f"{'broadcast tree':<20}{tree_delivered}/{tree_up} "
+          f"({tree_delivered / tree_up:.0%})")
+    print("\nRandomized redundancy routes around the dead third; the static "
+          "tree silently loses every subtree under a crashed relay.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""WS-Gossip: middleware for scalable service coordination.
+
+A full reproduction of Campos & Pereira (Middleware '08): epidemic
+dissemination layered over a from-scratch SOAP / WS-Coordination stack,
+runnable on a deterministic discrete-event simulator or over real
+localhost HTTP.
+
+Quickstart::
+
+    from repro import GossipGroup
+
+    group = GossipGroup(n_disseminators=32, n_consumers=16, seed=7)
+    group.setup()
+    message_id = group.publish({"symbol": "ACME", "price": 101.5})
+    group.run_for(5.0)
+    assert group.is_atomic(message_id)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.core import (
+    DecentralizedGroup,
+    GossipGroup,
+    GossipParams,
+    GossipStyle,
+    atomic_delivery_probability,
+    expected_rounds,
+    fanout_for_atomicity,
+)
+from repro.stats import summarize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DecentralizedGroup",
+    "GossipGroup",
+    "GossipParams",
+    "GossipStyle",
+    "atomic_delivery_probability",
+    "expected_rounds",
+    "fanout_for_atomicity",
+    "summarize",
+    "__version__",
+]

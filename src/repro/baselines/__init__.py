@@ -1,0 +1,23 @@
+"""Baseline dissemination strategies for the evaluation.
+
+Each baseline mirrors :class:`repro.core.api.GossipGroup`'s surface
+(``setup`` / ``publish`` / ``run_for`` / ``delivered_fraction``) so the
+benchmarks sweep them interchangeably:
+
+* :class:`~repro.baselines.centralnotify.CentralNotifyGroup` -- the
+  WS-Notification broker architecture the paper positions against.
+* :class:`~repro.baselines.unicast.UnicastGroup` -- the initiator
+  sequentially notifies every receiver itself.
+* :class:`~repro.baselines.tree.TreeGroup` -- a static k-ary broadcast
+  tree: minimal message count, but one crashed interior node severs its
+  whole subtree.
+* :class:`~repro.baselines.flooding.FloodGroup` -- flooding over a random
+  regular overlay: very reliable, very redundant.
+"""
+
+from repro.baselines.centralnotify import CentralNotifyGroup
+from repro.baselines.flooding import FloodGroup
+from repro.baselines.tree import TreeGroup
+from repro.baselines.unicast import UnicastGroup
+
+__all__ = ["CentralNotifyGroup", "FloodGroup", "TreeGroup", "UnicastGroup"]

@@ -1,0 +1,51 @@
+"""The WS-Notification broker baseline (centralized fan-out)."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.baselines.common import BASELINE_ACTION, BaselineGroup, RecordingNode
+from repro.transport.inmem import WsProcess
+from repro.wsn.broker import BrokerNode
+from repro.wsn.client import notify, subscribe
+
+
+class CentralNotifyGroup(BaselineGroup):
+    """One broker, one publisher, N consumers.
+
+    Every notification is one inbound message to the broker plus N
+    outbound -- the broker's load grows linearly with the population and a
+    broker crash silences the whole system (experiments E5/E6).
+    """
+
+    TOPIC = "baseline"
+
+    def __init__(self, n_receivers: int, **kwargs) -> None:
+        super().__init__(n_receivers, **kwargs)
+        self.broker = BrokerNode("broker", self.network)
+        self.publisher = WsProcess("publisher", self.network)
+
+    def all_nodes(self) -> List[WsProcess]:
+        """Broker, publisher, and every receiver."""
+        return [self.broker, self.publisher, *self.receivers]
+
+    def _setup(self) -> None:
+        for node in self.receivers:
+            subscribe(
+                node.runtime,
+                self.broker.broker_address,
+                self.TOPIC,
+                node.app_address,
+            )
+
+    def publish(self, value: Any = None) -> str:
+        """Publish one notification through the broker."""
+        mid = self.new_mid()
+        notify(
+            self.publisher.runtime,
+            self.broker.broker_address,
+            self.TOPIC,
+            BASELINE_ACTION,
+            payload={"mid": mid, "data": value},
+        )
+        return mid

@@ -1,0 +1,135 @@
+"""Shared plumbing for the baseline groups."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.simnet.events import Simulator
+from repro.simnet.latency import LatencyModel
+from repro.simnet.metrics import MetricsRegistry
+from repro.simnet.network import Network
+from repro.simnet.trace import TraceLog
+from repro.soap.handler import MessageContext
+from repro.soap.service import Service
+from repro.transport.inmem import WsProcess
+
+BASELINE_ACTION = "urn:ws-gossip:baseline/Event"
+APP_PATH = "/app"
+
+
+class RecordingNode(WsProcess):
+    """A plain SOAP node recording deliveries of ``{"mid": ..., "data": ...}``
+    payloads, with an optional forwarding hook (used by tree / flooding)."""
+
+    def __init__(self, name: str, network: Network, action: str = BASELINE_ACTION) -> None:
+        super().__init__(name, network)
+        self.action = action
+        self.app_service = Service()
+        self.runtime.add_service(APP_PATH, self.app_service)
+        self.app_service.add_operation(action, self._handle)
+        self.first_delivery: Dict[str, float] = {}
+        self.receipts: Dict[str, int] = {}
+        self.forward_hook: Optional[Callable[["RecordingNode", str, Any], None]] = None
+
+    @property
+    def app_address(self) -> str:
+        return self.runtime.address_of(APP_PATH)
+
+    def _handle(self, context: MessageContext, value: Any) -> None:
+        if not isinstance(value, dict) or "mid" not in value:
+            return None
+        mid = value["mid"]
+        self.receipts[mid] = self.receipts.get(mid, 0) + 1
+        if mid not in self.first_delivery:
+            self.first_delivery[mid] = self.now
+            if self.forward_hook is not None:
+                self.forward_hook(self, mid, value)
+        return None
+
+    def has_delivered(self, mid: str) -> bool:
+        """True when this node received the item at least once."""
+        return mid in self.first_delivery
+
+    def delivery_time(self, mid: str) -> Optional[float]:
+        """First delivery time of the item, or ``None``."""
+        return self.first_delivery.get(mid)
+
+
+class BaselineGroup:
+    """Common base: owns the simulator, network, and receiver accounting."""
+
+    def __init__(
+        self,
+        n_receivers: int,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        trace: bool = False,
+    ) -> None:
+        if n_receivers < 1:
+            raise ValueError(f"need at least one receiver: {n_receivers!r}")
+        self.sim = Simulator(seed=seed)
+        self.trace = TraceLog(enabled=trace)
+        self.metrics = MetricsRegistry()
+        self.network = Network(
+            self.sim,
+            latency=latency,
+            loss_rate=loss_rate,
+            trace=self.trace,
+            metrics=self.metrics,
+        )
+        self.receivers: List[RecordingNode] = [
+            RecordingNode(f"r{index}", self.network) for index in range(n_receivers)
+        ]
+        self._mid_counter = itertools.count()
+        self._setup_done = False
+
+    def new_mid(self) -> str:
+        """A fresh baseline message identifier."""
+        return f"mid-{next(self._mid_counter)}"
+
+    def run_for(self, duration: float) -> None:
+        """Advance simulated time by ``duration`` seconds."""
+        self.sim.run_until(self.sim.now + duration)
+
+    def setup(self, settle: float = 1.0) -> None:
+        """Template method: subclasses wire their topology in
+        :meth:`_setup` and this drains the control traffic."""
+        if self._setup_done:
+            return
+        self._setup_done = True
+        for node in self.all_nodes():
+            node.start()
+        self._setup()
+        self.run_for(settle)
+
+    def _setup(self) -> None:
+        """Subclass hook: subscriptions / topology construction."""
+
+    def all_nodes(self) -> List[WsProcess]:
+        """Every node in the deployment (receivers by default)."""
+        return list(self.receivers)
+
+    def publish(self, value: Any = None) -> str:
+        """Disseminate one item; returns its identifier."""
+        raise NotImplementedError
+
+    # -- measurements ----------------------------------------------------------
+
+    def delivered_fraction(self, mid: str) -> float:
+        """Fraction of receivers that got the item."""
+        delivered = sum(1 for node in self.receivers if node.has_delivered(mid))
+        return delivered / len(self.receivers)
+
+    def delivery_times(self, mid: str) -> List[float]:
+        """First-delivery times across receivers that got the item."""
+        return [
+            node.delivery_time(mid)
+            for node in self.receivers
+            if node.has_delivered(mid)
+        ]
+
+    def message_counts(self) -> Dict[str, int]:
+        """Network-level counters (sent / delivered / dropped...)."""
+        return self.metrics.counters()

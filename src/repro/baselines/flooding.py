@@ -1,0 +1,59 @@
+"""Flooding over a random regular overlay.
+
+Every node forwards each new message to *all* of its overlay neighbours.
+Extremely reliable (as long as the overlay stays connected) and extremely
+redundant: ~``degree`` times more messages than the tree.  Used as the
+upper anchor of the overhead/reliability trade-off in E8.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import networkx
+
+from repro.baselines.common import BASELINE_ACTION, BaselineGroup, RecordingNode
+
+
+class FloodGroup(BaselineGroup):
+    """Receivers connected by a random ``degree``-regular graph."""
+
+    def __init__(self, n_receivers: int, degree: int = 4, **kwargs) -> None:
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1: {degree!r}")
+        if degree >= n_receivers:
+            raise ValueError(
+                f"degree ({degree}) must be below the population ({n_receivers})"
+            )
+        super().__init__(n_receivers, **kwargs)
+        self.degree = degree
+        if (degree * n_receivers) % 2 == 1:
+            raise ValueError("degree * n_receivers must be even for a regular graph")
+        graph = networkx.random_regular_graph(
+            degree, n_receivers, seed=self.sim.rng.get("overlay").randint(0, 2**31)
+        )
+        self._neighbors: Dict[str, List[str]] = {}
+        for index, node in enumerate(self.receivers):
+            self._neighbors[node.name] = [
+                self.receivers[neighbor].app_address
+                for neighbor in graph.neighbors(index)
+            ]
+            node.forward_hook = self._forward
+
+    def neighbors_of(self, name: str) -> List[str]:
+        """Overlay neighbours of one receiver (app addresses)."""
+        return list(self._neighbors.get(name, []))
+
+    def _forward(self, node: RecordingNode, mid: str, value: Any) -> None:
+        for neighbor in self._neighbors.get(node.name, []):
+            self.metrics.counter("flood.forward").inc()
+            node.runtime.send(neighbor, BASELINE_ACTION, value=value)
+
+    def publish(self, value: Any = None) -> str:
+        """Inject one item at the flood root (receiver 0)."""
+        mid = self.new_mid()
+        payload = {"mid": mid, "data": value}
+        root = self.receivers[0]
+        self.metrics.counter("flood.forward").inc()
+        root.runtime.send(root.app_address, BASELINE_ACTION, value=payload)
+        return mid

@@ -1,0 +1,64 @@
+"""Static k-ary broadcast tree baseline.
+
+Message-optimal (N-1 messages per dissemination) and latency-good
+(depth log_k N), but brittle: a crashed interior node cuts off its entire
+subtree -- the fragility the paper's resilience claims target.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.baselines.common import BASELINE_ACTION, BaselineGroup, RecordingNode
+
+
+class TreeGroup(BaselineGroup):
+    """Receivers arranged as a k-ary tree rooted at receiver 0.
+
+    The publisher sends to the root; every node forwards to its children
+    on first receipt.
+    """
+
+    def __init__(self, n_receivers: int, arity: int = 2, **kwargs) -> None:
+        if arity < 1:
+            raise ValueError(f"arity must be >= 1: {arity!r}")
+        super().__init__(n_receivers, **kwargs)
+        self.arity = arity
+        self._children: Dict[str, List[str]] = {}
+        for index, node in enumerate(self.receivers):
+            children = []
+            for child_offset in range(1, arity + 1):
+                child_index = arity * index + child_offset
+                if child_index < len(self.receivers):
+                    children.append(self.receivers[child_index].app_address)
+            self._children[node.name] = children
+            node.forward_hook = self._forward
+
+    def children_of(self, name: str) -> List[str]:
+        """A node's children in the broadcast tree (app addresses)."""
+        return list(self._children.get(name, []))
+
+    def depth(self) -> int:
+        """Tree depth (informational, for E4/E5 reports)."""
+        depth = 0
+        index = len(self.receivers) - 1
+        while index > 0:
+            index = (index - 1) // self.arity
+            depth += 1
+        return depth
+
+    def _forward(self, node: RecordingNode, mid: str, value: Any) -> None:
+        for child in self._children.get(node.name, []):
+            self.metrics.counter("tree.forward").inc()
+            node.runtime.send(child, BASELINE_ACTION, value=value)
+
+    def publish(self, value: Any = None) -> str:
+        """Inject one item at the tree root (receiver 0)."""
+        mid = self.new_mid()
+        payload = {"mid": mid, "data": value}
+        root = self.receivers[0]
+        # Inject at the root via its own runtime (the root is the
+        # publisher in this architecture).
+        self.metrics.counter("tree.forward").inc()
+        root.runtime.send(root.app_address, BASELINE_ACTION, value=payload)
+        return mid

@@ -1,0 +1,33 @@
+"""Sequential unicast baseline: the initiator notifies everyone itself."""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.baselines.common import BASELINE_ACTION, BaselineGroup
+from repro.transport.inmem import WsProcess
+
+
+class UnicastGroup(BaselineGroup):
+    """The pre-broker architecture: the publishing application loops over
+    the receiver list.  All send load concentrates at the initiator; a
+    single lost message permanently misses that receiver."""
+
+    def __init__(self, n_receivers: int, **kwargs) -> None:
+        super().__init__(n_receivers, **kwargs)
+        self.publisher = WsProcess("publisher", self.network)
+
+    def all_nodes(self) -> List[WsProcess]:
+        """Publisher plus every receiver."""
+        return [self.publisher, *self.receivers]
+
+    def publish(self, value: Any = None) -> str:
+        """Sequentially unicast one item to every receiver."""
+        mid = self.new_mid()
+        payload = {"mid": mid, "data": value}
+        for node in self.receivers:
+            self.metrics.counter("unicast.fanout").inc()
+            self.publisher.runtime.send(
+                node.app_address, BASELINE_ACTION, value=payload
+            )
+        return mid

@@ -1,0 +1,225 @@
+"""Command-line interface: quick demos without writing any code.
+
+Usage::
+
+    python -m repro demo            # 50-service dissemination, stats
+    python -m repro figure1         # the paper's Figure 1, as executed
+    python -m repro styles          # compare the gossip styles
+    python -m repro analyze 1000    # fanout/rounds the coordinator picks
+    python -m repro describe        # WSDL summary of a gossip node
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.analysis import (
+    atomic_delivery_probability,
+    expected_rounds,
+    fanout_for_atomicity,
+)
+from repro.core.api import GossipGroup
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    group = GossipGroup(
+        n_disseminators=args.nodes - args.consumers - 1,
+        n_consumers=args.consumers,
+        seed=args.seed,
+        params={"fanout": args.fanout, "rounds": args.rounds},
+    )
+    activity_id = group.setup()
+    print(f"activity: {activity_id}")
+    message_id = group.publish({"demo": True})
+    group.run_for(10.0)
+    times = group.delivery_times(message_id)
+    counts = group.message_counts()
+    print(f"population: {group.population} endpoints "
+          f"({args.consumers} unchanged consumers)")
+    print(f"delivered: {group.delivered_fraction(message_id):.1%} "
+          f"(atomic: {group.is_atomic(message_id)})")
+    if times:
+        print(f"spread completed in {max(times) - min(times):.4f}s of "
+              "simulated time")
+    print(f"wire messages: {counts.get('net.sent', 0)}")
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    from repro.core.roles import (
+        ConsumerNode,
+        CoordinatorNode,
+        DisseminatorNode,
+        InitiatorNode,
+    )
+    from repro.simnet.events import Simulator
+    from repro.simnet.latency import FixedLatency
+    from repro.simnet.network import Network
+    from repro.simnet.seqdiag import render_sequence
+    from repro.simnet.trace import TraceLog
+
+    sim = Simulator(seed=args.seed)
+    trace = TraceLog(enabled=True)
+    network = Network(sim, latency=FixedLatency(0.002), trace=trace)
+    coordinator = CoordinatorNode("coordinator", network, auto_tune=False)
+    app0b = InitiatorNode("app0b", network)
+    app1 = DisseminatorNode("app1", network)
+    app2 = DisseminatorNode("app2", network)
+    app3 = ConsumerNode("app3", network)
+    action = "urn:stock/op"
+    for node in (coordinator, app0b, app1, app2, app3):
+        node.start()
+    for node in (app0b, app1, app2, app3):
+        node.bind(action)
+
+    engines: List = []
+    app0b.activate(
+        coordinator.activation_address,
+        parameters={"fanout": 2, "rounds": 3},
+        on_ready=engines.append,
+    )
+    sim.run_until(1.0)
+    activity_id = engines[0].activity_id
+    for node in (app1, app2, app3):
+        node.subscribe(coordinator.subscription_address, activity_id)
+    sim.run_until(2.0)
+    engines[0].refresh_view()
+    sim.run_until(3.0)
+    gossip_id = app0b.publish(activity_id, action, {"symbol": "SWX", "px": 42})
+    sim.run_until(8.0)
+
+    print("Figure 1 as executed (message sends between nodes):\n")
+    print(
+        render_sequence(
+            trace,
+            participants=["app0b", "coordinator", "app1", "app2", "app3"],
+            max_events=args.max_events,
+        )
+    )
+    receivers = [n.name for n in (app1, app2, app3) if n.has_delivered(gossip_id)]
+    print(f"\nreceivers of the op: {', '.join(receivers)}")
+    return 0 if len(receivers) == 3 else 1
+
+
+def _cmd_styles(args: argparse.Namespace) -> int:
+    print(f"{'style':<14}{'coverage':<10}{'time (s)':<10}{'messages'}")
+    for style in ("push", "lazy-push", "feedback", "push-pull", "pull",
+                  "anti-entropy"):
+        group = GossipGroup(
+            n_disseminators=args.nodes - 1,
+            seed=args.seed,
+            params={"style": style, "fanout": args.fanout, "rounds": args.rounds,
+                    "period": 0.4},
+            auto_tune=False,
+        )
+        group.setup()
+        before = group.message_counts().get("net.sent", 0)
+        start = group.sim.now
+        message_id = group.publish({"style": style})
+        deadline = start + 60.0
+        while (
+            group.sim.now < deadline
+            and group.delivered_fraction(message_id) < 1.0
+        ):
+            group.run_for(0.5)
+        coverage = group.delivered_fraction(message_id)
+        elapsed = group.sim.now - start
+        messages = group.message_counts()["net.sent"] - before
+        print(f"{style:<14}{coverage:<10.3f}{elapsed:<10.2f}{messages}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    n = args.population
+    print(f"population n = {n}, target reliability = {args.target}")
+    fanout = fanout_for_atomicity(n, args.target)
+    print(f"fanout for atomic delivery: {fanout:.2f} (use {int(fanout) + 1})")
+    rounds = expected_rounds(n, int(fanout) + 1)
+    print(f"expected rounds to cover everyone: {rounds}")
+    print("\natomicity probability by fanout:")
+    for candidate in range(1, int(fanout) + 4):
+        probability = atomic_delivery_probability(n, candidate)
+        print(f"  f={candidate:<3} P(all reached) = {probability:.4f}")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.core.handler import GossipLayer
+    from repro.core.service import GossipService
+    from repro.soap.runtime import SoapRuntime
+    from repro.soap.wsdl import describe_runtime
+    from repro.transport.base import LoopbackTransport
+
+    class NullScheduler:
+        now = 0.0
+
+        def call_after(self, delay, callback):
+            return self
+
+        def cancel(self):
+            pass
+
+    runtime = SoapRuntime("sim://node", LoopbackTransport())
+    layer = GossipLayer(runtime, NullScheduler(), "sim://node/app",
+                        rng=random.Random(0))
+    runtime.add_service("/gossip", GossipService(layer))
+    for path, description in describe_runtime(runtime).items():
+        print(f"{path}  ({description.service_name})")
+        for operation in description.operations:
+            print(f"  {operation.name:<12} {operation.action}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WS-Gossip reproduction: demos and analysis",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="disseminate across N services")
+    demo.add_argument("--nodes", type=int, default=50)
+    demo.add_argument("--consumers", type=int, default=10)
+    demo.add_argument("--fanout", type=int, default=4)
+    demo.add_argument("--rounds", type=int, default=7)
+    demo.set_defaults(handler=_cmd_demo)
+
+    figure1 = commands.add_parser("figure1", help="replay the paper's Figure 1")
+    figure1.add_argument("--max-events", type=int, default=40)
+    figure1.set_defaults(handler=_cmd_figure1)
+
+    styles = commands.add_parser("styles", help="compare the gossip styles")
+    styles.add_argument("--nodes", type=int, default=24)
+    styles.add_argument("--fanout", type=int, default=6)
+    styles.add_argument("--rounds", type=int, default=8)
+    styles.set_defaults(handler=_cmd_styles)
+
+    analyze = commands.add_parser(
+        "analyze", help="epidemic parameter configuration for a population"
+    )
+    analyze.add_argument("population", type=int)
+    analyze.add_argument("--target", type=float, default=0.99)
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    describe = commands.add_parser(
+        "describe", help="WSDL summary of the gossip port type"
+    )
+    describe.set_defaults(handler=_cmd_describe)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

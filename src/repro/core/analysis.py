@@ -1,0 +1,166 @@
+"""Epidemic analysis: configuring ``f`` and ``r`` for a target reliability.
+
+The paper (Section 2) states that fanout and rounds "can be configured [6]
+such that any desired average number of receivers successfully get the
+message" and even "atomically delivered with high probability".  This
+module implements the standard results from Eugster, Guerraoui, Kermarrec &
+Massoulie, *Epidemic information dissemination in distributed systems*
+(IEEE Computer, 2004), which the coordinator uses to hand out parameters:
+
+* The final fraction of infected nodes solves ``pi = 1 - exp(-f * pi)``.
+* With mean fanout ``f = ln(n) + c`` the probability that *every* node is
+  reached tends to ``exp(-exp(-c))`` (the Erdos-Renyi connectivity / atomic
+  broadcast threshold).
+* Rounds to infect the whole system grow as ``log2(n) + ln(n) + O(1)``
+  (Pittel 1987), i.e. logarithmically -- the scalability claim.
+
+A deterministic mean-field recursion (:func:`infection_curve`) backs the
+round-by-round expectations used in benchmark E2/E3 comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+
+def expected_final_fraction(fanout: float, tolerance: float = 1e-12) -> float:
+    """Final infected fraction ``pi`` solving ``pi = 1 - exp(-f * pi)``.
+
+    For ``f <= 1`` the epidemic dies out (returns 0.0).  Solved by fixed-
+    point iteration, which converges monotonically from ``pi = 1``.
+    """
+    if fanout <= 1.0:
+        return 0.0
+    pi = 1.0
+    for _ in range(10_000):
+        updated = 1.0 - math.exp(-fanout * pi)
+        if abs(updated - pi) < tolerance:
+            return updated
+        pi = updated
+    return pi
+
+
+def atomic_delivery_probability(n: int, fanout: float) -> float:
+    """Probability that *all* ``n`` nodes receive the message.
+
+    Uses the Erdos-Renyi asymptotic ``exp(-n * exp(-f))`` valid around the
+    connectivity threshold ``f ~ ln n``; clipped to [0, 1].
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1: {n!r}")
+    if n == 1:
+        return 1.0
+    exponent = -float(n) * math.exp(-float(fanout))
+    return max(0.0, min(1.0, math.exp(exponent)))
+
+
+def fanout_for_atomicity(n: int, target_probability: float = 0.99) -> float:
+    """Mean fanout needed so atomic delivery holds with ``target_probability``.
+
+    Inverts :func:`atomic_delivery_probability`:
+    ``f = ln(n) - ln(-ln(p))``.
+
+    Raises:
+        ValueError: for probabilities outside (0, 1).
+    """
+    if not 0.0 < target_probability < 1.0:
+        raise ValueError(
+            f"target_probability must be in (0, 1): {target_probability!r}"
+        )
+    if n < 2:
+        return 1.0
+    return math.log(n) - math.log(-math.log(target_probability))
+
+
+def infection_curve(
+    n: int, fanout: int, max_rounds: Optional[int] = None
+) -> List[float]:
+    """Mean-field expected infected counts per round.
+
+    Round ``t+1``: every infected node pushes to ``fanout`` uniform targets;
+    a susceptible node stays uninfected with probability
+    ``(1 - 1/n) ** (fanout * i_t)``::
+
+        i_{t+1} = i_t + (n - i_t) * (1 - (1 - 1/n) ** (f * i_t))
+
+    Returns the list ``[i_0 = 1, i_1, ...]`` until it plateaus (or
+    ``max_rounds`` entries).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1: {n!r}")
+    counts = [1.0]
+    miss = (1.0 - 1.0 / n) if n > 1 else 0.0
+    while True:
+        current = counts[-1]
+        newly = (n - current) * (1.0 - miss ** (fanout * current))
+        nxt = min(float(n), current + newly)
+        counts.append(nxt)
+        if max_rounds is not None and len(counts) > max_rounds:
+            return counts[: max_rounds + 1]
+        if nxt >= n - 1e-9 or nxt - current < 1e-9:
+            return counts
+
+
+def expected_rounds(n: int, fanout: int, coverage: float = 0.9999) -> int:
+    """Rounds until the mean-field curve reaches ``coverage * n``.
+
+    Grows as O(log n); used by E3 as the analytical reference line.
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError(f"coverage must be in (0, 1]: {coverage!r}")
+    target = coverage * n
+    curve = infection_curve(n, fanout, max_rounds=max(64, 4 * int(math.log2(n + 1)) + 16))
+    for round_index, infected in enumerate(curve):
+        if infected >= target:
+            return round_index
+    return len(curve) - 1
+
+
+def effective_fanout(fanout: float, loss_rate: float = 0.0, crash_fraction: float = 0.0) -> float:
+    """The fanout the epidemic *effectively* runs at under faults.
+
+    A forwarded copy contributes only if the message is not lost on the
+    link and the chosen target is alive; uniform selection makes both
+    independent thinning factors::
+
+        f_eff = f * (1 - loss) * (1 - crashed)
+
+    Raises:
+        ValueError: for rates outside [0, 1).
+    """
+    if not 0.0 <= loss_rate < 1.0:
+        raise ValueError(f"loss_rate must be in [0, 1): {loss_rate!r}")
+    if not 0.0 <= crash_fraction < 1.0:
+        raise ValueError(f"crash_fraction must be in [0, 1): {crash_fraction!r}")
+    return fanout * (1.0 - loss_rate) * (1.0 - crash_fraction)
+
+
+def fanout_for_atomicity_under_faults(
+    n: int,
+    target_probability: float = 0.99,
+    loss_rate: float = 0.0,
+    crash_fraction: float = 0.0,
+) -> float:
+    """Fanout to configure so atomic delivery survives the given faults.
+
+    Inverts :func:`effective_fanout` around :func:`fanout_for_atomicity`:
+    the coordinator uses this when the deployment declares an expected
+    loss rate (see ``expected_loss`` in the gossip activity parameters).
+    """
+    base = fanout_for_atomicity(n, target_probability)
+    thinning = (1.0 - loss_rate) * (1.0 - crash_fraction)
+    if thinning <= 0.0:
+        raise ValueError("faults leave no working fanout")
+    return base / thinning
+
+
+def rounds_for_coverage(n: int, fanout: int, coverage: float = 0.9999, margin: int = 2) -> int:
+    """Forwarding budget ``r`` the coordinator hands out.
+
+    The mean-field estimate plus a safety ``margin`` of extra rounds, which
+    absorbs the variance the deterministic recursion ignores.
+    """
+    if margin < 0:
+        raise ValueError(f"margin must be non-negative: {margin!r}")
+    return expected_rounds(n, fanout, coverage) + margin

@@ -1,0 +1,256 @@
+"""High-level facade: build and drive a complete WS-Gossip deployment.
+
+:class:`GossipGroup` wires up the Figure-1 topology at any scale -- one
+coordinator, one initiator, N disseminators, M consumers -- orchestrates
+activation / subscription / registration, and exposes the measurements the
+experiments need (delivery fraction, latency, message counts).
+
+Example:
+    >>> group = GossipGroup(n_disseminators=16, n_consumers=8, seed=42)
+    >>> group.setup()
+    >>> message_id = group.publish({"symbol": "QIM", "price": 13.37})
+    >>> group.run_for(5.0)
+    >>> group.delivered_fraction(message_id)  # doctest: +SKIP
+    1.0
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.engine import PROTOCOL_DISSEMINATOR
+from repro.core.message import GossipStyle
+from repro.core.params import GossipParams
+from repro.core.roles import (
+    AppNode,
+    ConsumerNode,
+    CoordinatorNode,
+    DisseminatorNode,
+    InitiatorNode,
+)
+from repro.simnet.events import Simulator
+from repro.simnet.latency import LatencyModel
+from repro.simnet.metrics import MetricsRegistry
+from repro.simnet.network import Network
+from repro.simnet.trace import TraceLog
+
+DEFAULT_ACTION = "urn:ws-gossip:example/Event"
+
+
+class GossipGroup:
+    """One complete, simulated WS-Gossip deployment.
+
+    Args:
+        n_disseminators: gossip-capable nodes besides the initiator.
+        n_consumers: completely unchanged nodes (push styles only -- pull
+            styles spread between gossip-capable nodes).
+        seed: master seed; every run with the same seed is identical.
+        latency: network latency model (default 1 ms fixed).
+        loss_rate: uniform message-loss probability.
+        params: activation parameters handed to the coordinator, e.g.
+            ``{"style": "push", "fanout": 4, "rounds": 6}``.
+        auto_tune: let the coordinator grow fanout/rounds with population.
+        target_reliability: auto-tune goal for atomic delivery.
+        action: the application action disseminated invocations use.
+        trace: record a full event trace (memory-heavy at large N).
+    """
+
+    def __init__(
+        self,
+        n_disseminators: int = 8,
+        n_consumers: int = 0,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        params: Optional[Dict[str, Any]] = None,
+        auto_tune: bool = True,
+        target_reliability: float = 0.99,
+        action: str = DEFAULT_ACTION,
+        trace: bool = False,
+    ) -> None:
+        if n_disseminators < 0 or n_consumers < 0:
+            raise ValueError("node counts must be non-negative")
+        self.sim = Simulator(seed=seed)
+        self.trace = TraceLog(enabled=trace)
+        self.metrics = MetricsRegistry()
+        self.network = Network(
+            self.sim,
+            latency=latency,
+            loss_rate=loss_rate,
+            trace=self.trace,
+            metrics=self.metrics,
+        )
+        self.action = action
+        self.activation_parameters = dict(params or {})
+
+        self.coordinator = CoordinatorNode(
+            "coordinator",
+            self.network,
+            auto_tune=auto_tune,
+            target_reliability=target_reliability,
+        )
+        self.initiator = InitiatorNode("initiator", self.network)
+        self.disseminators: List[DisseminatorNode] = [
+            DisseminatorNode(f"d{index}", self.network)
+            for index in range(n_disseminators)
+        ]
+        self.consumers: List[ConsumerNode] = [
+            ConsumerNode(f"c{index}", self.network) for index in range(n_consumers)
+        ]
+        for node in self.app_nodes():
+            node.bind(self.action)
+        for node in self.all_nodes():
+            node.start()
+
+        self.activity_id: Optional[str] = None
+        self._setup_done = False
+
+    # -- topology ------------------------------------------------------------
+
+    def app_nodes(self) -> List[AppNode]:
+        """Every node with an application endpoint (initiator included)."""
+        return [self.initiator, *self.disseminators, *self.consumers]
+
+    def all_nodes(self) -> List:
+        """Every node including the coordinator."""
+        return [self.coordinator, *self.app_nodes()]
+
+    @property
+    def population(self) -> int:
+        """Number of application endpoints in the group."""
+        return len(self.app_nodes())
+
+    # -- orchestration ------------------------------------------------------------
+
+    def setup(self, settle: float = 2.0, eager_join: Optional[bool] = None) -> str:
+        """Activate the gossip interaction and subscribe every node.
+
+        Mirrors Figure 1: the initiator activates at the coordinator, every
+        app endpoint subscribes, and the initiator refreshes its peer view
+        once the subscriber list is populated.  ``eager_join`` makes the
+        disseminators register immediately rather than on first message --
+        required by the pull-family styles (defaults to exactly that).
+
+        Returns the activity id.
+        """
+        if self._setup_done:
+            if self.activity_id is None:
+                raise RuntimeError("previous setup did not complete")
+            return self.activity_id
+        self._setup_done = True
+
+        ready: List[str] = []
+        for _ in range(5):  # activation is control traffic: retry on loss
+            self.initiator.activate(
+                self.coordinator.activation_address,
+                parameters=self.activation_parameters,
+                on_ready=lambda engine: ready.append(engine.activity_id),
+            )
+            self.run_for(settle)
+            if ready:
+                break
+        if not ready:
+            raise RuntimeError("activation did not complete; is the coordinator up?")
+        self.activity_id = ready[0]
+
+        acked: set = set()
+        pending = [*self.disseminators, *self.consumers]
+        for _ in range(5):  # subscriptions retried until acknowledged
+            for node in pending:
+                node.subscribe(
+                    self.coordinator.subscription_address,
+                    self.activity_id,
+                    on_reply=lambda _context, _value, name=node.name: acked.add(name),
+                )
+            self.run_for(settle)
+            pending = [node for node in pending if node.name not in acked]
+            if not pending:
+                break
+
+        style = self._style()
+        if eager_join is None:
+            eager_join = style is not GossipStyle.PUSH
+        if eager_join:
+            engine = self.initiator.activities[self.activity_id]
+            for node in self.disseminators:
+                node.gossip_layer.join(engine.context, PROTOCOL_DISSEMINATOR)
+            self.run_for(settle)
+
+        # The initiator registered before anyone subscribed; refresh so its
+        # first fanout has real targets.  Retried: the refresh reply rides
+        # the same lossy fabric.
+        engine = self.initiator.activities[self.activity_id]
+        for _ in range(5):
+            engine.refresh_view()
+            self.run_for(settle)
+            if engine.view:
+                break
+        return self.activity_id
+
+    def _style(self) -> GossipStyle:
+        style = self.activation_parameters.get("style")
+        return GossipStyle(style) if style else GossipStyle.PUSH
+
+    def publish(self, value: Any) -> str:
+        """Disseminate one data item from the initiator."""
+        if self.activity_id is None:
+            raise RuntimeError("call setup() before publish()")
+        return self.initiator.publish(self.activity_id, self.action, value)
+
+    def run_for(self, duration: float) -> None:
+        """Advance simulated time by ``duration`` seconds."""
+        self.sim.run_until(self.sim.now + duration)
+
+    # -- measurements -----------------------------------------------------------------
+
+    def receivers(self, gossip_id: str) -> List[AppNode]:
+        """Nodes (other than the initiator) whose app saw the item."""
+        return [
+            node
+            for node in self.app_nodes()
+            if node is not self.initiator and node.has_delivered(gossip_id)
+        ]
+
+    def delivered_fraction(self, gossip_id: str) -> float:
+        """Fraction of non-initiator app endpoints that received the item."""
+        others = self.population - 1
+        if others <= 0:
+            return 1.0
+        return len(self.receivers(gossip_id)) / others
+
+    def is_atomic(self, gossip_id: str) -> bool:
+        """True when every app endpoint received the item."""
+        return self.delivered_fraction(gossip_id) >= 1.0
+
+    def delivery_times(self, gossip_id: str) -> List[float]:
+        """First-delivery times across receiving nodes."""
+        times = []
+        for node in self.app_nodes():
+            if node is self.initiator:
+                continue
+            when = node.delivery_time(gossip_id)
+            if when is not None:
+                times.append(when)
+        return times
+
+    def message_counts(self) -> Dict[str, int]:
+        """Network-level counters (sent / delivered / dropped...)."""
+        return self.metrics.counters()
+
+    def duplicate_deliveries(self, gossip_id: str) -> int:
+        """App-level duplicate receipts of one item (consumers have no
+        dedup layer, so this measures the duplication cost of gossip)."""
+        duplicates = 0
+        for node in self.app_nodes():
+            count = sum(
+                1 for delivery in node.deliveries if delivery.gossip_id == gossip_id
+            )
+            if count > 1:
+                duplicates += count - 1
+        return duplicates
+
+    def __repr__(self) -> str:
+        return (
+            f"GossipGroup(n={self.population}, activity={self.activity_id!r}, "
+            f"now={self.sim.now:.3f})"
+        )

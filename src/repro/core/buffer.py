@@ -1,0 +1,93 @@
+"""Per-activity message store: dedup, retention and digests.
+
+The store keeps the full wire bytes of each distinct data item so pull and
+anti-entropy styles can re-transmit the *original* envelope (headers and
+all) to lagging peers.  Capacity-bounded with FIFO eviction -- evicted
+identities are remembered in the seen-set so re-receipt of an old message
+does not count as fresh.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+
+@dataclass
+class StoredMessage:
+    """One retained data item."""
+
+    message_id: str
+    data: bytes
+    received_at: float
+    origin: str
+
+
+class MessageStore:
+    """Seen-set plus bounded payload retention for one activity.
+
+    ``capacity`` bounds only the retained payloads; the seen-set of
+    identities is unbounded by design (identities are small and forgetting
+    one would re-trigger dissemination of an old message).
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity!r}")
+        self.capacity = capacity
+        self._messages: "OrderedDict[str, StoredMessage]" = OrderedDict()
+        self._seen: Set[str] = set()
+
+    def is_new(self, message_id: str) -> bool:
+        """True when this identity has never been seen."""
+        return message_id not in self._seen
+
+    def add(self, message_id: str, data: bytes, received_at: float, origin: str) -> bool:
+        """Record a message; returns True when it was new.
+
+        Duplicate adds are no-ops (the first-received bytes are kept).
+        """
+        if message_id in self._seen:
+            return False
+        self._seen.add(message_id)
+        self._messages[message_id] = StoredMessage(
+            message_id=message_id,
+            data=data,
+            received_at=received_at,
+            origin=origin,
+        )
+        while len(self._messages) > self.capacity:
+            self._messages.popitem(last=False)
+        return True
+
+    def get(self, message_id: str) -> Optional[StoredMessage]:
+        """The retained message, or ``None`` if never seen or evicted."""
+        return self._messages.get(message_id)
+
+    def digest(self) -> List[str]:
+        """Identities currently retained, oldest first.
+
+        This is what digest/anti-entropy exchanges advertise; evicted
+        identities are deliberately excluded (they can no longer be served).
+        """
+        return list(self._messages)
+
+    def missing_from(self, remote_digest: Iterable[str]) -> List[str]:
+        """Identities in ``remote_digest`` that this store has never seen."""
+        return [message_id for message_id in remote_digest if message_id not in self._seen]
+
+    def not_in(self, remote_digest: Iterable[str]) -> List[str]:
+        """Retained identities absent from ``remote_digest``."""
+        remote = set(remote_digest)
+        return [message_id for message_id in self._messages if message_id not in remote]
+
+    @property
+    def seen_count(self) -> int:
+        return len(self._seen)
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __contains__(self, message_id: str) -> bool:
+        return message_id in self._seen

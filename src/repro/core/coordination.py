@@ -1,0 +1,162 @@
+"""The gossip coordination type plugged into WS-Coordination.
+
+The coordinator "knows the entire list of subscribers, as well as those
+that are participating in gossiping.  It is thus capable of providing
+adequate parameter configurations and peers for each gossip round"
+(paper Section 3).  :class:`GossipCoordinationProtocol` implements that:
+on registration it hands back
+
+* the activity's :class:`~repro.core.params.GossipParams` -- either the
+  configured ones or, in auto-tune mode, fanout/rounds derived from the
+  current population via :mod:`repro.core.analysis`;
+* a uniform random peer sample drawn from every known participant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import Any, Dict, Optional
+
+from repro.core.analysis import (
+    fanout_for_atomicity_under_faults,
+    rounds_for_coverage,
+)
+from repro.core.message import GossipStyle
+from repro.core.params import GossipParams
+from repro.soap import namespaces as ns
+from repro.soap.fault import sender_fault
+from repro.wscoord.coordinator import Activity, CoordinationProtocol, Participant
+
+GOSSIP_COORDINATION_TYPE = ns.WSGOSSIP_COORD
+
+_PARAMS_KEY = "gossip.params"
+_AUTO_TUNE_KEY = "gossip.auto_tune"
+_TARGET_KEY = "gossip.target_reliability"
+_EXPECTED_LOSS_KEY = "gossip.expected_loss"
+
+
+class GossipCoordinationProtocol(CoordinationProtocol):
+    """Coordinator-side behaviour of gossip activities.
+
+    Args:
+        rng: seeded stream for peer sampling.
+        defaults: baseline parameters for new activities.
+        auto_tune: when True, fanout/rounds grow with the registered
+            population to keep atomic delivery at ``target_reliability``.
+        target_reliability: probability that a dissemination reaches every
+            participant (auto-tune mode).
+    """
+
+    coordination_type = GOSSIP_COORDINATION_TYPE
+
+    def __init__(
+        self,
+        rng: Optional[random.Random] = None,
+        defaults: Optional[GossipParams] = None,
+        auto_tune: bool = True,
+        target_reliability: float = 0.99,
+    ) -> None:
+        if not 0.0 < target_reliability < 1.0:
+            raise ValueError(
+                f"target_reliability must be in (0, 1): {target_reliability!r}"
+            )
+        self.rng = rng if rng is not None else random.Random()
+        self.defaults = defaults if defaults is not None else GossipParams()
+        self.auto_tune = auto_tune
+        self.target_reliability = target_reliability
+
+    # -- CoordinationProtocol hooks ------------------------------------------
+
+    def on_create(self, activity: Activity, parameters: Dict[str, Any]) -> None:
+        params = self._params_from(parameters)
+        activity.properties[_PARAMS_KEY] = params
+        activity.properties[_AUTO_TUNE_KEY] = bool(
+            parameters.get("auto_tune", self.auto_tune)
+        )
+        activity.properties[_TARGET_KEY] = float(
+            parameters.get("target_reliability", self.target_reliability)
+        )
+        expected_loss = float(parameters.get("expected_loss", 0.0))
+        if not 0.0 <= expected_loss < 1.0:
+            raise sender_fault(f"expected_loss must be in [0, 1): {expected_loss!r}")
+        activity.properties[_EXPECTED_LOSS_KEY] = expected_loss
+
+    def on_register(
+        self, activity: Activity, participant: Participant
+    ) -> Dict[str, Any]:
+        params = self.activity_params(activity)
+        peers = self._peer_sample(activity, participant, params)
+        return {"params": params.to_value(), "peers": peers}
+
+    # -- parameter management ----------------------------------------------------
+
+    def activity_params(self, activity: Activity) -> GossipParams:
+        """Current parameters, auto-tuned to the live population size."""
+        params: GossipParams = activity.properties[_PARAMS_KEY]
+        if not activity.properties.get(_AUTO_TUNE_KEY, False):
+            return params
+        population = len(activity.participants)
+        if population < 2:
+            return params
+        target = activity.properties.get(_TARGET_KEY, self.target_reliability)
+        expected_loss = activity.properties.get(_EXPECTED_LOSS_KEY, 0.0)
+        fanout = max(
+            params.fanout,
+            int(
+                math.ceil(
+                    fanout_for_atomicity_under_faults(
+                        population, target, loss_rate=expected_loss
+                    )
+                )
+            ),
+        )
+        rounds = max(params.rounds, rounds_for_coverage(population, fanout))
+        tuned = dataclasses.replace(
+            params,
+            fanout=fanout,
+            rounds=rounds,
+            peer_sample_size=max(params.peer_sample_size, 2 * fanout),
+        )
+        activity.properties[_PARAMS_KEY] = tuned
+        return tuned
+
+    def _params_from(self, parameters: Dict[str, Any]) -> GossipParams:
+        base = self.defaults
+        style = parameters.get("style")
+        try:
+            return GossipParams(
+                fanout=int(parameters.get("fanout", base.fanout)),
+                rounds=int(parameters.get("rounds", base.rounds)),
+                style=GossipStyle(style) if style is not None else base.style,
+                period=float(parameters.get("period", base.period)),
+                peer_sample_size=int(
+                    parameters.get("peer_sample_size", base.peer_sample_size)
+                ),
+                buffer_capacity=int(
+                    parameters.get("buffer_capacity", base.buffer_capacity)
+                ),
+                jitter=float(parameters.get("jitter", base.jitter)),
+                ordered=bool(parameters.get("ordered", base.ordered)),
+                stop_probability=float(
+                    parameters.get("stop_probability", base.stop_probability)
+                ),
+            )
+        except (TypeError, ValueError) as exc:
+            raise sender_fault(f"invalid gossip parameters: {exc}") from exc
+
+    def _peer_sample(
+        self, activity: Activity, participant: Participant, params: GossipParams
+    ) -> list:
+        """Uniform sample of other participants' application addresses."""
+        view = sorted(
+            {
+                other.endpoint.address
+                for other in activity.participants
+                if other.endpoint.address != participant.endpoint.address
+            }
+        )
+        if len(view) <= params.peer_sample_size:
+            return view
+        return self.rng.sample(view, params.peer_sample_size)

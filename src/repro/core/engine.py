@@ -1,0 +1,656 @@
+"""The node-local gossip engine.
+
+One :class:`GossipEngine` instance exists per (node, activity).  It owns
+the activity's message store, peer view and parameters, and implements the
+behaviour of every gossip style:
+
+* **push**: a fresh message is immediately forwarded to ``fanout`` peers
+  with a decremented round budget (infect-and-die rumor mongering).
+* **pull**: no eager forwarding; every ``period`` the engine sends its
+  digest to ``fanout`` random peers, which return the messages it lacks.
+* **push-pull**: eager push plus the periodic pull as a repair path.
+* **anti-entropy**: every ``period`` the engine reconciles bidirectionally
+  with one random peer (digest exchange, then both sides complete).
+* **lazy-push**: eager hops carry only message *identifiers* (Advertise);
+  peers that lack the item Fetch it from the advertiser -- the
+  Plumtree-style bandwidth optimization.
+* **feedback**: re-forward each period while "hot"; duplicate feedback
+  cools the rumor with probability ``stop_probability`` (Demers-style
+  coin variant), bounded by the rounds cap.
+
+The engine normally never *delivers* messages to the application itself:
+delivery is the normal SOAP dispatch that continues after the gossip
+handler lets a fresh message through -- which is how the paper keeps
+Consumers unchanged.  The one exception is FIFO ordered mode
+(``params.ordered``): the engine holds out-of-order arrivals back and
+re-runs local dispatch when gaps close.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.buffer import MessageStore
+from repro.core.message import GossipHeader, GossipStyle, new_gossip_message_id
+from repro.core.ordering import FifoBuffer
+from repro.core.params import GossipParams
+from repro.core.peers import PeerSelector, UniformSelector
+from repro.core.scheduling import Scheduler
+from repro.soap import namespaces as ns
+from repro.soap.envelope import Envelope
+from repro.soap.handler import Direction, MessageContext
+from repro.soap.runtime import SoapRuntime
+from repro.transport.base import split_address
+from repro.wsa.addressing import AddressingHeaders
+from repro.wscoord.context import CoordinationContext
+
+GOSSIP_ACTION = f"{ns.WSGOSSIP}/Gossip"
+PULL_ACTION = f"{ns.WSGOSSIP}/Pull"
+PULL_RESPONSE_ACTION = f"{ns.WSGOSSIP}/PullResponse"
+DELIVER_ACTION = f"{ns.WSGOSSIP}/Deliver"
+ADVERTISE_ACTION = f"{ns.WSGOSSIP}/Advertise"
+FETCH_ACTION = f"{ns.WSGOSSIP}/Fetch"
+FEEDBACK_ACTION = f"{ns.WSGOSSIP}/Feedback"
+
+# Registration protocol identifiers (the "protocol" field of Register).
+PROTOCOL_DISSEMINATOR = f"{ns.WSGOSSIP}/protocol/disseminator"
+PROTOCOL_INITIATOR = f"{ns.WSGOSSIP}/protocol/initiator"
+PROTOCOL_SUBSCRIBER = f"{ns.WSGOSSIP}/protocol/subscriber"
+
+GOSSIP_SERVICE_PATH = "/gossip"
+
+
+def gossip_address_of(app_address: str) -> str:
+    """Derive a node's gossip port address from any of its app addresses.
+
+    By framework convention every gossip-capable node mounts its gossip
+    service at ``/gossip`` on the same base address.
+    """
+    scheme, authority, _ = split_address(app_address)
+    return f"{scheme}://{authority}{GOSSIP_SERVICE_PATH}"
+
+
+class GossipEngine:
+    """Protocol state machine for one activity on one node.
+
+    Args:
+        runtime: the node's SOAP runtime.
+        scheduler: timer/clock facade for the host (sim or threads).
+        context: the activity's coordination context.
+        app_address: the local application endpoint the activity targets
+            (used for self-exclusion and as the registered participant).
+        params: initial parameters; replaced by whatever the coordinator
+            returns at registration.
+        rng: the random stream for peer selection.
+        selector: peer-selection strategy (uniform by default).
+        on_params: optional hook invoked when the coordinator updates the
+            parameters.
+        view_provider: optional callable returning the current peer view;
+            when set it replaces the coordinator-supplied ``view`` entirely
+            -- this is the distributed-coordinator mode, fed by peer
+            sampling or WS-Membership.
+    """
+
+    def __init__(
+        self,
+        runtime: SoapRuntime,
+        scheduler: Scheduler,
+        context: CoordinationContext,
+        app_address: str,
+        params: Optional[GossipParams] = None,
+        rng: Optional[random.Random] = None,
+        selector: Optional[PeerSelector] = None,
+        on_params: Optional[Callable[[GossipParams], None]] = None,
+        view_provider: Optional[Callable[[], Sequence[str]]] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.scheduler = scheduler
+        self.context = context
+        self.app_address = app_address
+        self.params = params if params is not None else GossipParams()
+        self.rng = rng if rng is not None else random.Random()
+        self.selector = selector if selector is not None else UniformSelector()
+        self.store = MessageStore(self.params.buffer_capacity)
+        self.view: List[str] = []
+        self.view_provider = view_provider
+        self.registered = False
+        self.register_pending = False
+        self._on_params = on_params
+        self._periodic_started = False
+        self._stopped = False
+        # Messages that arrived before registration completed: the paper's
+        # flow is register -> obtain targets -> forward, so fresh messages
+        # wait here until the RegisterResponse delivers a peer view.
+        self._pending_forwards: List[tuple] = []
+        self._pending_limit = 128
+        # Lazy push: remaining ad budget per advertised message id, plus
+        # the ids we have already fetched but not yet received (avoids
+        # duplicate fetches when several ads race ahead of the payload).
+        self._ad_hops: Dict[str, int] = {}
+        self._pending_fetch: set = set()
+        # Feedback style: message id -> remaining hot rounds; a hot rumor
+        # is re-forwarded every period until feedback cools it.
+        self._hot: Dict[str, int] = {}
+        # FIFO ordered mode: per-origin holdback and publication counter.
+        self._fifo = FifoBuffer()
+        self._publish_sequence = 0
+
+    @property
+    def activity_id(self) -> str:
+        return self.context.identifier
+
+    @property
+    def metrics(self):
+        return self.runtime.metrics
+
+    # -- registration -----------------------------------------------------------
+
+    def register(
+        self,
+        protocol: str = PROTOCOL_DISSEMINATOR,
+        max_attempts: int = 12,
+        retry_timeout: float = 1.5,
+    ) -> None:
+        """Register with the activity's Registration service.
+
+        The RegisterResponse delivers the coordinator-chosen parameters and
+        a fresh peer sample ("adequate parameter configurations and peers
+        for each gossip round", paper Section 3).  The exchange is retried
+        up to ``max_attempts`` times: registration is control traffic that
+        must survive the same lossy fabric the gossip rides on.
+        """
+        self.register_pending = True
+        attempt_state = {"sent": 0, "answered": False, "last_id": None}
+
+        def on_reply(reply_context, value) -> None:
+            attempt_state["answered"] = True
+            self._on_register_reply(reply_context, value)
+
+        def send_attempt() -> None:
+            if attempt_state["answered"] or self._stopped:
+                return
+            # A retry supersedes the previous attempt: drop its callback so
+            # abandoned attempts do not accumulate in the runtime.
+            if attempt_state["last_id"] is not None:
+                self.runtime.cancel_reply(attempt_state["last_id"])
+            if attempt_state["sent"] >= max_attempts:
+                self.register_pending = False
+                self.metrics.counter("gossip.register.gave-up").inc()
+                return
+            attempt_state["sent"] += 1
+            self.metrics.counter("gossip.register").inc()
+            attempt_state["last_id"] = self.runtime.send(
+                self.context.registration_service,
+                f"{ns.WSCOORD}/Register",
+                value={
+                    "protocol": protocol,
+                    "participant": self.app_address,
+                    "metadata": {"gossip": gossip_address_of(self.app_address)},
+                    "activity": self.activity_id,
+                },
+                on_reply=on_reply,
+            )
+            self.scheduler.call_after(retry_timeout, send_attempt)
+
+        send_attempt()
+
+    def _on_register_reply(self, reply_context, value) -> None:
+        self.register_pending = False
+        if not isinstance(value, dict):
+            self.metrics.counter("gossip.register.failed").inc()
+            return
+        params_value = value.get("params")
+        if isinstance(params_value, dict):
+            try:
+                self.params = GossipParams.from_value(params_value)
+            except (KeyError, ValueError):
+                self.metrics.counter("gossip.register.bad-params").inc()
+        peers = value.get("peers")
+        if isinstance(peers, list):
+            self.view = [peer for peer in peers if isinstance(peer, str)]
+        self.registered = True
+        if self._on_params is not None:
+            self._on_params(self.params)
+        self._start_periodic_rounds()
+        self._flush_pending_forwards()
+
+    def _flush_pending_forwards(self) -> None:
+        pending, self._pending_forwards = self._pending_forwards, []
+        for data, header, source in pending:
+            self._forward(Envelope.from_bytes(data), header, source)
+
+    def refresh_view(self) -> None:
+        """Re-register to obtain a fresh peer sample and parameters."""
+        if not self._stopped:
+            self.register()
+
+    # -- publishing (Initiator role) ------------------------------------------------
+
+    def publish(self, action: str, value, tag: Optional[str] = None) -> str:
+        """Disseminate an application invocation; returns its gossip id.
+
+        This is the Initiator's single notification: the engine builds the
+        gossip headers and pushes to ``fanout`` peers; the epidemic does the
+        rest.
+        """
+        message_id = new_gossip_message_id()
+        sequence = None
+        if self.params.ordered:
+            sequence = self._publish_sequence
+            self._publish_sequence += 1
+        header = GossipHeader(
+            activity=self.activity_id,
+            message_id=message_id,
+            origin=self.app_address,
+            hops=self.params.rounds,
+            style=self.params.style,
+            sequence=sequence,
+        )
+        if self.params.style in (GossipStyle.PUSH, GossipStyle.PUSH_PULL):
+            targets = self._select_targets(exclude=[self.app_address])
+        else:
+            # Pull-family and lazy styles: the payload waits at the origin;
+            # peers pull digests or fetch advertised identifiers.
+            targets = []
+        self.metrics.counter("gossip.publish").inc()
+        for target in targets:
+            self.runtime.send(
+                target,
+                action,
+                value=value,
+                tag=tag,
+                extra_headers=[self.context.to_element(), header.to_element()],
+            )
+            self.metrics.counter("gossip.fanout-send").inc()
+        # Remember our own message so an echo is not treated as fresh.
+        self.store.add(message_id, b"", self.scheduler.now, self.app_address)
+        self._remember_publication(message_id, action, value, tag, header)
+        if self.params.style is GossipStyle.LAZY_PUSH:
+            self._advertise([message_id], self.params.rounds)
+        elif self.params.style is GossipStyle.FEEDBACK:
+            self._hot[message_id] = self.params.rounds
+            self._forward_hot(message_id)
+        if self.params.ordered:
+            # Our own publication counts toward the origin's sequence.
+            self._fifo.offer(self.app_address, sequence, b"")
+        return message_id
+
+    def _remember_publication(self, message_id, action, value, tag, header) -> None:
+        """Store the published message as wire bytes so pull styles can
+        serve it to peers."""
+        from repro.soap.serializer import to_element
+        from repro.soap.runtime import _default_tag
+        from repro.wsa.addressing import AddressingHeaders, new_message_id
+
+        body = to_element(tag or _default_tag(action), value)
+        envelope = Envelope(body=body)
+        envelope.add_header(self.context.to_element())
+        envelope.add_header(header.to_element())
+        addressing = AddressingHeaders(
+            to=self.app_address, action=action, message_id=new_message_id()
+        )
+        addressing.apply(envelope)
+        # Overwrite the placeholder entry with real bytes.
+        stored = self.store.get(message_id)
+        if stored is not None:
+            stored.data = envelope.to_bytes()
+
+    # -- receiving -------------------------------------------------------------------
+
+    def on_gossip(self, envelope: Envelope, header: GossipHeader, source: Optional[str]) -> bool:
+        """Handle an incoming gossiped application message.
+
+        Returns True when the message should be delivered locally now,
+        False when it is consumed (duplicate, or held back for ordering --
+        held messages are re-dispatched by the engine once in order).
+        """
+        self._pending_fetch.discard(header.message_id)
+        fresh = self.store.add(
+            header.message_id,
+            envelope.to_bytes(),
+            self.scheduler.now,
+            header.origin,
+        )
+        if not fresh:
+            self.metrics.counter("gossip.duplicate").inc()
+            if self.params.style is GossipStyle.FEEDBACK and source is not None:
+                self._send_feedback(header.message_id, source)
+            return False
+        self.metrics.counter("gossip.fresh").inc()
+        self._propagate(envelope, header, source)
+        if self.params.ordered and header.sequence is not None:
+            return self._offer_ordered(envelope, header)
+        return True
+
+    def _propagate(self, envelope: Envelope, header: GossipHeader, source: Optional[str]) -> None:
+        """Run the style's forwarding step for a fresh message."""
+        if self.params.style in (GossipStyle.PUSH, GossipStyle.PUSH_PULL):
+            if self.has_view:
+                self._forward(envelope, header, source)
+            elif len(self._pending_forwards) < self._pending_limit:
+                self.metrics.counter("gossip.forward-deferred").inc()
+                self._pending_forwards.append(
+                    (envelope.to_bytes(), header, source)
+                )
+        elif self.params.style is GossipStyle.LAZY_PUSH:
+            budget = self._ad_hops.pop(header.message_id, header.hops)
+            self._advertise([header.message_id], budget - 1)
+        elif self.params.style is GossipStyle.FEEDBACK:
+            # Become hot: forward now and keep re-forwarding each period
+            # until feedback (or the rounds cap) cools the rumor.
+            self._hot[header.message_id] = self.params.rounds
+            if self.has_view:
+                self._forward_hot(header.message_id, source)
+
+    def _offer_ordered(self, envelope: Envelope, header: GossipHeader) -> bool:
+        """FIFO mode: hold back out-of-order arrivals; re-dispatch on gap
+        close.  Always returns False -- the engine owns delivery here."""
+        released = self._fifo.offer(
+            header.origin, header.sequence, envelope.to_bytes()
+        )
+        if not released:
+            self.metrics.counter("gossip.held-back").inc()
+        for data in released:
+            self.metrics.counter("gossip.released-in-order").inc()
+            self._dispatch_stored(data)
+        return False
+
+    def _dispatch_stored(self, data: bytes) -> None:
+        """Re-run local dispatch (past the handler chain) for stored wire
+        bytes -- used when the holdback buffer releases a message."""
+        replay = Envelope.from_bytes(data)
+        context = MessageContext(
+            replay,
+            Direction.INBOUND,
+            addressing=AddressingHeaders.extract(replay),
+            runtime=self.runtime,
+        )
+        self.runtime.deliver_local(context)
+
+    @property
+    def has_view(self) -> bool:
+        """True when the engine has any source of peers."""
+        return self.view_provider is not None or self.registered
+
+    def current_view(self) -> List[str]:
+        """The peer view in force (provider-backed or coordinator-supplied)."""
+        if self.view_provider is not None:
+            return list(self.view_provider())
+        return list(self.view)
+
+    def _forward(self, envelope: Envelope, header: GossipHeader, source: Optional[str]) -> None:
+        if header.hops <= 0:
+            self.metrics.counter("gossip.hops-exhausted").inc()
+            return
+        exclude = [self.app_address, header.origin]
+        if source is not None:
+            exclude.append(source)
+        targets = self._select_targets(exclude=exclude)
+        decremented = header.decremented()
+        for target in targets:
+            copy = Envelope.from_bytes(envelope.to_bytes())
+            decremented.replace_in(copy)
+            self.runtime.forward_envelope(target, copy)
+            self.metrics.counter("gossip.forward").inc()
+
+    def _select_targets(self, exclude: Sequence[str]) -> List[str]:
+        return self.selector.select(
+            self.current_view(), self.params.fanout, self.rng, exclude=exclude
+        )
+
+    # -- lazy push (Advertise / Fetch) ---------------------------------------------
+
+    def _advertise(self, message_ids: List[str], hops: int) -> None:
+        """Send identifier-only advertisements to ``fanout`` peers."""
+        if hops <= 0 or not message_ids:
+            self.metrics.counter("gossip.ad-exhausted").inc()
+            return
+        targets = self._select_targets(exclude=[self.app_address])
+        holder = gossip_address_of(self.app_address)
+        for target in targets:
+            self.metrics.counter("gossip.advertise").inc()
+            self.runtime.send(
+                gossip_address_of(target),
+                ADVERTISE_ACTION,
+                value={
+                    "activity": self.activity_id,
+                    "ids": list(message_ids),
+                    "hops": hops,
+                    "holder": holder,
+                },
+            )
+
+    def on_advertise(self, message_ids: List[str], hops: int, holder: str) -> None:
+        """Passive side of lazy push: fetch whatever we have not seen."""
+        wanted = [
+            message_id
+            for message_id in self.store.missing_from(message_ids)
+            if message_id not in self._pending_fetch
+        ]
+        # Bound the ad-budget bookkeeping: entries for messages that never
+        # arrive must not accumulate forever.
+        if len(self._ad_hops) > 4 * self.params.buffer_capacity:
+            self._ad_hops.clear()
+        for message_id in wanted:
+            budget = self._ad_hops.get(message_id, 0)
+            self._ad_hops[message_id] = max(budget, hops)
+            self._pending_fetch.add(message_id)
+            # Fallback: if the fetch (or its response) is lost, let a later
+            # advertisement re-trigger it.
+            self.scheduler.call_after(
+                2.0 * self.params.period,
+                lambda message_id=message_id: self._pending_fetch.discard(
+                    message_id
+                ),
+            )
+        if wanted:
+            self.metrics.counter("gossip.fetch").inc()
+            self.runtime.send(
+                holder,
+                FETCH_ACTION,
+                value={
+                    "activity": self.activity_id,
+                    "ids": wanted,
+                    "requester": gossip_address_of(self.app_address),
+                },
+            )
+
+    def serve_fetch(self, message_ids: List[str], requester: str) -> None:
+        """Serve a Fetch: deliver the requested retained messages."""
+        self.metrics.counter("gossip.fetch-served").inc()
+        self.push_messages(requester, message_ids)
+
+    # -- feedback ("coin") rumor mongering --------------------------------------
+
+    def _forward_hot(self, message_id: str, source: Optional[str] = None) -> None:
+        """Forward a hot rumor to ``fanout`` peers (feedback style)."""
+        stored = self.store.get(message_id)
+        if stored is None or not stored.data:
+            self._hot.pop(message_id, None)
+            return
+        envelope = Envelope.from_bytes(stored.data)
+        try:
+            header = GossipHeader.from_envelope(envelope)
+        except ValueError:
+            header = None
+        exclude = [self.app_address]
+        if header is not None:
+            exclude.append(header.origin)
+        if source is not None:
+            exclude.append(source)
+        for target in self._select_targets(exclude):
+            copy = Envelope.from_bytes(stored.data)
+            self.runtime.forward_envelope(target, copy)
+            self.metrics.counter("gossip.feedback-forward").inc()
+
+    def _feedback_round(self) -> None:
+        """Re-forward every hot rumor; the rounds cap bounds lifetime."""
+        for message_id in list(self._hot):
+            self._forward_hot(message_id)
+            remaining = self._hot.get(message_id, 0) - 1
+            if remaining <= 0:
+                self._hot.pop(message_id, None)
+                self.metrics.counter("gossip.cooled.cap").inc()
+            else:
+                self._hot[message_id] = remaining
+
+    def _send_feedback(self, message_id: str, source: str) -> None:
+        """Tell the sender we already had this rumor."""
+        self.metrics.counter("gossip.feedback-sent").inc()
+        self.runtime.send(
+            gossip_address_of(source),
+            FEEDBACK_ACTION,
+            value={"activity": self.activity_id, "ids": [message_id]},
+        )
+
+    def on_feedback(self, message_ids: List[str]) -> None:
+        """Cool each rumor with the configured stop probability."""
+        for message_id in message_ids:
+            if message_id in self._hot:
+                if self.rng.random() < self.params.stop_probability:
+                    self._hot.pop(message_id, None)
+                    self.metrics.counter("gossip.cooled.feedback").inc()
+
+    @property
+    def hot_count(self) -> int:
+        """Rumors this node is still actively spreading (feedback style)."""
+        return len(self._hot)
+
+    # -- periodic rounds (pull / push-pull / anti-entropy) ------------------------------
+
+    def start_periodic_rounds(self) -> None:
+        """Start the style's periodic activity.
+
+        Called automatically on registration; decentralized deployments
+        (no coordinator, ``view_provider`` set) call it directly.
+        """
+        self._start_periodic_rounds()
+
+    def _start_periodic_rounds(self) -> None:
+        if self._periodic_started or self._stopped:
+            return
+        self._periodic_started = True
+        if self.params.style in (
+            GossipStyle.PULL,
+            GossipStyle.PUSH_PULL,
+            GossipStyle.ANTI_ENTROPY,
+            # Lazy push pairs eager advertisements with a periodic pull
+            # repair (Plumtree's recovery path) -- ads alone die out under
+            # loss because only payload holders re-advertise.
+            GossipStyle.LAZY_PUSH,
+            # Feedback style re-forwards hot rumors every period.
+            GossipStyle.FEEDBACK,
+        ):
+            self._schedule_next_round()
+
+    def _schedule_next_round(self) -> None:
+        delay = self.params.period + self.rng.uniform(0.0, self.params.jitter)
+        self.scheduler.call_after(delay, self._periodic_round)
+
+    def _periodic_round(self) -> None:
+        if self._stopped:
+            return
+        if self.params.style is GossipStyle.ANTI_ENTROPY:
+            self._anti_entropy_round()
+        elif self.params.style is GossipStyle.FEEDBACK:
+            self._feedback_round()
+        else:
+            self._pull_round()
+        self._schedule_next_round()
+
+    def _pull_round(self) -> None:
+        """Send our digest to ``fanout`` peers; they reply with what we lack."""
+        targets = self._select_targets(exclude=[self.app_address])
+        digest = self.store.digest()
+        for target in targets:
+            self.metrics.counter("gossip.pull-request").inc()
+            self.runtime.send(
+                gossip_address_of(target),
+                PULL_ACTION,
+                value={"activity": self.activity_id, "digest": digest},
+                on_reply=self._on_pull_reply,
+            )
+
+    def _anti_entropy_round(self) -> None:
+        """Reconcile with one random peer, both directions."""
+        targets = self.selector.select(
+            self.current_view(), 1, self.rng, exclude=[self.app_address]
+        )
+        if not targets:
+            return
+        self.metrics.counter("gossip.anti-entropy").inc()
+        self.runtime.send(
+            gossip_address_of(targets[0]),
+            PULL_ACTION,
+            value={"activity": self.activity_id, "digest": self.store.digest()},
+            on_reply=self._on_anti_entropy_reply,
+        )
+
+    def _on_pull_reply(self, reply_context, value) -> None:
+        self._ingest_pull_reply(value, serve_wants=False)
+
+    def _on_anti_entropy_reply(self, reply_context, value) -> None:
+        self._ingest_pull_reply(value, serve_wants=True)
+
+    def _ingest_pull_reply(self, value, serve_wants: bool) -> None:
+        if not isinstance(value, dict):
+            return
+        messages = value.get("messages")
+        if isinstance(messages, list):
+            for data in messages:
+                if isinstance(data, (bytes, bytearray)):
+                    self.metrics.counter("gossip.pulled").inc()
+                    self.runtime.receive(bytes(data), source=None)
+        if serve_wants:
+            wants = value.get("wants")
+            peer = value.get("peer")
+            if isinstance(wants, list) and isinstance(peer, str):
+                self.push_messages(peer, [w for w in wants if isinstance(w, str)])
+
+    def push_messages(self, gossip_address: str, message_ids: List[str]) -> None:
+        """Send retained messages to a peer's gossip port (Deliver op)."""
+        payload = []
+        for message_id in message_ids:
+            stored = self.store.get(message_id)
+            if stored is not None and stored.data:
+                payload.append(stored.data)
+        if not payload:
+            return
+        self.metrics.counter("gossip.deliver-sent").inc()
+        self.runtime.send(
+            gossip_address,
+            DELIVER_ACTION,
+            value={"activity": self.activity_id, "messages": payload},
+        )
+
+    # -- pull serving (called by the gossip service) ------------------------------------
+
+    def serve_pull(self, remote_digest: List[str], requester_gossip: Optional[str]) -> dict:
+        """Build the PullResponse payload for a remote digest."""
+        missing_at_requester = self.store.not_in(remote_digest)
+        messages = []
+        for message_id in missing_at_requester:
+            stored = self.store.get(message_id)
+            if stored is not None and stored.data:
+                messages.append(stored.data)
+        wants = self.store.missing_from(remote_digest)
+        response = {
+            "messages": messages,
+            "wants": wants,
+            "peer": gossip_address_of(self.app_address),
+        }
+        return response
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop periodic activity (timers already dead on sim crash)."""
+        self._stopped = True
+
+    def __repr__(self) -> str:
+        return (
+            f"GossipEngine(activity={self.activity_id!r}, "
+            f"style={self.params.style.value}, view={len(self.view)}, "
+            f"seen={self.store.seen_count})"
+        )

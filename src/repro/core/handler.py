@@ -1,0 +1,162 @@
+"""The gossip layer as a SOAP handler -- the paper's deployment story.
+
+    "for a Disseminator it will require configuring an additional handler,
+    the gossip layer, in the middleware stack, which intercepts the
+    outgoing message and re-routes it to selected destinations. [...] Upon
+    arrival, the message is again intercepted by the gossip layer in the
+    middleware stack.  If this is an unknown gossip interaction, it
+    registers itself with the Registration service, thus obtaining gossip
+    targets to which it will forward the message."  (Section 3)
+
+:class:`GossipLayer` implements exactly that: it watches inbound messages
+for the ``Gossip`` header, auto-joins unknown activities via the
+``CoordinationContext`` header, dedups, forwards, and lets fresh messages
+continue up the stack so the application sees a plain invocation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.core.engine import PROTOCOL_DISSEMINATOR, GossipEngine
+from repro.core.message import GossipHeader
+from repro.core.params import GossipParams
+from repro.core.peers import PeerSelector
+from repro.core.scheduling import Scheduler
+from repro.soap.handler import Handler, MessageContext
+from repro.soap.runtime import SoapRuntime
+from repro.wscoord.context import CoordinationContext
+
+
+class GossipLayer(Handler):
+    """Per-node gossip middleware: engine registry plus the intercept hook.
+
+    Args:
+        runtime: the node's SOAP runtime (the layer should also be added to
+            ``runtime.chain``; :func:`install_gossip_layer` does both).
+        scheduler: timers/clock for the engines.
+        app_address: the node's application endpoint address -- the
+            participant identity used when auto-registering.
+        rng: random stream for peer selection.
+        auto_join: when True (Disseminator behaviour), unknown gossip
+            interactions trigger registration; when False the node behaves
+            like an unchanged Consumer that happens to have the layer
+            installed (messages pass through with dedup only).
+        default_params: parameters used before the coordinator responds.
+        selector: peer-selection strategy shared by created engines.
+    """
+
+    def __init__(
+        self,
+        runtime: SoapRuntime,
+        scheduler: Scheduler,
+        app_address: str,
+        rng: Optional[random.Random] = None,
+        auto_join: bool = True,
+        default_params: Optional[GossipParams] = None,
+        selector: Optional[PeerSelector] = None,
+        view_provider=None,
+    ) -> None:
+        self.runtime = runtime
+        self.scheduler = scheduler
+        self.app_address = app_address
+        self.rng = rng if rng is not None else random.Random()
+        self.auto_join = auto_join
+        self.default_params = default_params
+        self.selector = selector
+        # Optional decentralized mode: engines draw their peer view from
+        # this callable (peer sampling / WS-Membership) instead of the
+        # coordinator's RegisterResponse.
+        self.view_provider = view_provider
+        self._engines: Dict[str, GossipEngine] = {}
+
+    # -- engine registry ------------------------------------------------------
+
+    def engine_for(self, activity_id: str) -> Optional[GossipEngine]:
+        """The engine for an activity, or ``None`` when not joined."""
+        return self._engines.get(activity_id)
+
+    def engines(self) -> List[GossipEngine]:
+        """Every engine this layer manages."""
+        return list(self._engines.values())
+
+    def create_engine(
+        self,
+        context: CoordinationContext,
+        params: Optional[GossipParams] = None,
+    ) -> GossipEngine:
+        """Create (or return the existing) engine for an activity."""
+        existing = self._engines.get(context.identifier)
+        if existing is not None:
+            return existing
+        engine = GossipEngine(
+            runtime=self.runtime,
+            scheduler=self.scheduler,
+            context=context,
+            app_address=self.app_address,
+            params=params if params is not None else self.default_params,
+            rng=self.rng,
+            selector=self.selector,
+            view_provider=self.view_provider,
+        )
+        self._engines[context.identifier] = engine
+        return engine
+
+    def join(
+        self,
+        context: CoordinationContext,
+        protocol: str = PROTOCOL_DISSEMINATOR,
+        params: Optional[GossipParams] = None,
+        register: bool = True,
+    ) -> GossipEngine:
+        """Explicitly join an activity (create engine + register).
+
+        ``register=False`` is the decentralized mode: no coordinator
+        round trip -- the engine relies on its ``view_provider`` and the
+        periodic rounds start immediately.
+        """
+        engine = self.create_engine(context, params=params)
+        if register:
+            if not engine.registered and not engine.register_pending:
+                engine.register(protocol)
+        else:
+            engine.start_periodic_rounds()
+        return engine
+
+    # -- the intercept hook --------------------------------------------------------
+
+    def on_inbound(self, context: MessageContext) -> bool:
+        """The intercept hook: dedup, auto-join, forward, pass fresh through."""
+        try:
+            header = GossipHeader.from_envelope(context.envelope)
+        except ValueError:
+            self.runtime.metrics.counter("gossip.malformed-header").inc()
+            return False
+        if header is None:
+            return True  # not a gossip message; pass through untouched
+
+        engine = self._engines.get(header.activity)
+        if engine is None:
+            if not self.auto_join:
+                # Consumer behaviour: deliver, never forward.
+                self.runtime.metrics.counter("gossip.passthrough").inc()
+                return True
+            engine = self._auto_join(context)
+            if engine is None:
+                return True
+
+        fresh = engine.on_gossip(context.envelope, header, source=context.source)
+        return fresh
+
+    def _auto_join(self, context: MessageContext) -> Optional[GossipEngine]:
+        """Join an unknown gossip interaction from its context header."""
+        try:
+            coordination = CoordinationContext.from_envelope(context.envelope)
+        except ValueError:
+            coordination = None
+        if coordination is None:
+            self.runtime.metrics.counter("gossip.no-context").inc()
+            return None
+        self.runtime.metrics.counter("gossip.auto-join").inc()
+        return self.join(coordination, register=self.view_provider is None)

@@ -1,0 +1,145 @@
+"""The ``Gossip`` SOAP header block and message identity.
+
+A gossiped application message is an ordinary SOAP invocation carrying two
+extra header blocks: the activity's ``CoordinationContext`` (from
+WS-Coordination) and this ``Gossip`` block with the epidemic routing state
+(message id, origin, remaining rounds, style).  Any node without a gossip
+layer simply ignores both headers and processes the invocation -- that is
+the paper's unchanged *Consumer*.
+"""
+
+from __future__ import annotations
+
+import enum
+import uuid
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.soap import namespaces as ns
+from repro.soap.envelope import Envelope
+from repro.xmlutil import qname
+
+GOSSIP_HEADER_TAG = qname(ns.WSGOSSIP, "Gossip")
+_ACTIVITY = qname(ns.WSGOSSIP, "Activity")
+_MESSAGE_ID = qname(ns.WSGOSSIP, "MessageId")
+_ORIGIN = qname(ns.WSGOSSIP, "Origin")
+_HOPS = qname(ns.WSGOSSIP, "Hops")
+_STYLE = qname(ns.WSGOSSIP, "Style")
+_SEQUENCE = qname(ns.WSGOSSIP, "Sequence")
+
+
+class GossipStyle(enum.Enum):
+    """The gossip variants the framework implements (paper Section 4:
+    "encompassing different gossip styles")."""
+
+    PUSH = "push"
+    PULL = "pull"
+    PUSH_PULL = "push-pull"
+    ANTI_ENTROPY = "anti-entropy"
+    # Lazy push (Plumtree-style rumor mongering): eager hops carry only the
+    # message *identifier*; peers fetch the payload if they lack it.  Saves
+    # bandwidth on large payloads at one extra round trip for fresh items.
+    LAZY_PUSH = "lazy-push"
+    # Feedback ("coin") rumor mongering, Demers et al.: a node keeps
+    # re-forwarding a rumor each period until duplicates' feedback makes it
+    # lose interest (stop with probability p per feedback), bounded by the
+    # rounds budget.  Self-tuning redundancy instead of a fixed hop count.
+    FEEDBACK = "feedback"
+
+
+def new_gossip_message_id() -> str:
+    """Fresh identifier for a disseminated data item."""
+    return f"urn:ws-gossip:msg:{uuid.uuid4()}"
+
+
+@dataclass(frozen=True)
+class GossipHeader:
+    """Parsed ``Gossip`` header block.
+
+    Attributes:
+        activity: the coordination activity this message belongs to.
+        message_id: identity of the *data item* (stable across forwards,
+            unlike the per-hop ``wsa:MessageID``).
+        origin: address of the initiator's application endpoint.
+        hops: remaining forwarding budget; decremented per forward.
+        style: gossip style the activity runs.
+        sequence: per-origin publication counter (``None`` for unordered
+            activities; used by the FIFO ordered-delivery extension).
+    """
+
+    activity: str
+    message_id: str
+    origin: str
+    hops: int
+    style: GossipStyle = GossipStyle.PUSH
+    sequence: Optional[int] = None
+
+    def to_element(self) -> ET.Element:
+        """Serialize as the ``Gossip`` header block."""
+        root = ET.Element(GOSSIP_HEADER_TAG)
+        children = [
+            (_ACTIVITY, self.activity),
+            (_MESSAGE_ID, self.message_id),
+            (_ORIGIN, self.origin),
+            (_HOPS, str(self.hops)),
+            (_STYLE, self.style.value),
+        ]
+        if self.sequence is not None:
+            children.append((_SEQUENCE, str(self.sequence)))
+        for tag, text in children:
+            child = ET.SubElement(root, tag)
+            child.text = text
+        return root
+
+    @classmethod
+    def from_element(cls, element: ET.Element) -> "GossipHeader":
+        """Parse the header block.
+
+        Raises:
+            ValueError: when mandatory children are missing or malformed.
+        """
+        activity = element.findtext(_ACTIVITY)
+        message_id = element.findtext(_MESSAGE_ID)
+        origin = element.findtext(_ORIGIN)
+        hops_text = element.findtext(_HOPS)
+        style_text = element.findtext(_STYLE)
+        if activity is None or message_id is None or origin is None:
+            raise ValueError("malformed Gossip header: missing children")
+        try:
+            hops = int(hops_text) if hops_text is not None else 0
+        except ValueError:
+            raise ValueError(f"malformed Gossip hops: {hops_text!r}") from None
+        style = GossipStyle(style_text) if style_text else GossipStyle.PUSH
+        sequence_text = element.findtext(_SEQUENCE)
+        try:
+            sequence = int(sequence_text) if sequence_text is not None else None
+        except ValueError:
+            raise ValueError(
+                f"malformed Gossip sequence: {sequence_text!r}"
+            ) from None
+        return cls(
+            activity=activity,
+            message_id=message_id,
+            origin=origin,
+            hops=hops,
+            style=style,
+            sequence=sequence,
+        )
+
+    @classmethod
+    def from_envelope(cls, envelope: Envelope) -> Optional["GossipHeader"]:
+        """Extract and parse the header from an envelope, if present."""
+        element = envelope.header(GOSSIP_HEADER_TAG)
+        if element is None:
+            return None
+        return cls.from_element(element)
+
+    def decremented(self) -> "GossipHeader":
+        """A copy with one less hop (floor at zero)."""
+        return replace(self, hops=max(0, self.hops - 1))
+
+    def replace_in(self, envelope: Envelope) -> None:
+        """Swap this header into the envelope (removing any previous one)."""
+        envelope.remove_header(GOSSIP_HEADER_TAG)
+        envelope.add_header(self.to_element())

@@ -1,0 +1,123 @@
+"""Gossip parameters.
+
+The paper (Section 2) names the two key parameters:
+
+* **Fanout (f)** -- number of targets each process selects per gossip step.
+* **Rounds (r)** -- maximum number of times a message is forwarded before
+  being ignored.
+
+This module adds the operational knobs a deployment needs around them
+(period between proactive rounds, peer-sample size, buffer capacity) and
+validates everything in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from repro.core.message import GossipStyle
+
+
+@dataclass(frozen=True)
+class GossipParams:
+    """Validated gossip configuration.
+
+    Attributes:
+        fanout: targets selected per gossip step (``f`` in the paper).
+        rounds: forwarding budget per message (``r``); a message arriving
+            with no remaining rounds is consumed but not forwarded
+            (infect-and-die).
+        style: which gossip variant the engine runs.
+        period: seconds between proactive rounds (pull digests,
+            anti-entropy exchanges, peer refresh).  Push gossip forwards
+            reactively and only uses the period for peer refresh.
+        peer_sample_size: how many peers the coordinator hands out per
+            registration; must be >= fanout.
+        buffer_capacity: per-activity message store size (FIFO eviction).
+        jitter: uniform extra delay added to periodic timers, decorrelating
+            rounds across nodes.
+        ordered: enforce per-origin FIFO delivery (holdback buffer; see
+            :mod:`repro.core.ordering`).
+        stop_probability: feedback-style only -- probability of losing
+            interest in a rumor per duplicate feedback received.
+    """
+
+    fanout: int = 3
+    rounds: int = 5
+    style: GossipStyle = GossipStyle.PUSH
+    period: float = 1.0
+    peer_sample_size: int = 12
+    buffer_capacity: int = 1024
+    jitter: float = 0.1
+    ordered: bool = False
+    stop_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.fanout < 1:
+            raise ValueError(f"fanout must be >= 1: {self.fanout!r}")
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1: {self.rounds!r}")
+        if self.period <= 0:
+            raise ValueError(f"period must be positive: {self.period!r}")
+        if self.peer_sample_size < self.fanout:
+            raise ValueError(
+                f"peer_sample_size ({self.peer_sample_size}) must be >= "
+                f"fanout ({self.fanout})"
+            )
+        if self.buffer_capacity < 1:
+            raise ValueError(f"buffer_capacity must be >= 1: {self.buffer_capacity!r}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be non-negative: {self.jitter!r}")
+        if not 0.0 < self.stop_probability <= 1.0:
+            raise ValueError(
+                f"stop_probability must be in (0, 1]: {self.stop_probability!r}"
+            )
+
+    # -- wire form (serializer maps, exchanged with the coordinator) --------
+
+    def to_value(self) -> Dict[str, Any]:
+        """Serialize for a RegisterResponse payload."""
+        return {
+            "fanout": self.fanout,
+            "rounds": self.rounds,
+            "style": self.style.value,
+            "period": self.period,
+            "peer_sample_size": self.peer_sample_size,
+            "buffer_capacity": self.buffer_capacity,
+            "jitter": self.jitter,
+            "ordered": self.ordered,
+            "stop_probability": self.stop_probability,
+        }
+
+    @classmethod
+    def from_value(cls, value: Dict[str, Any]) -> "GossipParams":
+        """Parse from a RegisterResponse payload.
+
+        Raises:
+            ValueError / KeyError: on malformed maps (callers translate to
+            faults where appropriate).
+        """
+        return cls(
+            fanout=int(value["fanout"]),
+            rounds=int(value["rounds"]),
+            style=GossipStyle(value["style"]),
+            period=float(value["period"]),
+            peer_sample_size=int(value["peer_sample_size"]),
+            buffer_capacity=int(value["buffer_capacity"]),
+            jitter=float(value["jitter"]),
+            ordered=bool(value.get("ordered", False)),
+            stop_probability=float(value.get("stop_probability", 0.5)),
+        )
+
+    def with_style(self, style: GossipStyle) -> "GossipParams":
+        """A copy with a different style."""
+        return replace(self, style=style)
+
+    def with_fanout(self, fanout: int) -> "GossipParams":
+        """A copy with a different fanout."""
+        return replace(self, fanout=fanout)
+
+    def with_rounds(self, rounds: int) -> "GossipParams":
+        """A copy with a different rounds budget."""
+        return replace(self, rounds=rounds)

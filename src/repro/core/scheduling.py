@@ -1,0 +1,92 @@
+"""Scheduler abstraction: one gossip engine, two notions of time.
+
+The engine needs timers (pull rounds, anti-entropy, peer refresh) and a
+clock.  Inside the simulator those map to the node's
+:meth:`~repro.simnet.process.Process.set_timer`; on a real deployment they
+map to ``threading.Timer``.  The engine only sees this interface.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Optional, Protocol
+
+from repro.simnet.process import Process
+
+
+class CancellableTimer(Protocol):
+    def cancel(self) -> None:  # pragma: no cover - protocol
+        """Cancel the pending timer."""
+        ...
+
+
+class Scheduler(Protocol):
+    """What the gossip engine needs from its host."""
+
+    @property
+    def now(self) -> float:  # pragma: no cover - protocol
+        ...
+
+    def call_after(
+        self, delay: float, callback: Callable[[], None]
+    ) -> CancellableTimer:  # pragma: no cover - protocol
+        """Schedule ``callback`` after ``delay`` seconds."""
+        ...
+
+
+class ProcessScheduler:
+    """Adapter over a simulated process.
+
+    Timers automatically die with the process (crash semantics), which is
+    exactly the fault model the experiments need.
+    """
+
+    def __init__(self, process: Process) -> None:
+        self._process = process
+
+    @property
+    def now(self) -> float:
+        return self._process.now
+
+    def call_after(self, delay: float, callback: Callable[[], None]):
+        """Schedule on the simulated process (dies with it on crash)."""
+        return self._process.set_timer(delay, callback)
+
+
+class ThreadScheduler:
+    """Real-time scheduler over ``threading.Timer`` (HTTP deployments)."""
+
+    def __init__(self) -> None:
+        self._timers: list = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def now(self) -> float:
+        return time.monotonic()
+
+    def call_after(self, delay: float, callback: Callable[[], None]):
+        """Schedule on a daemon ``threading.Timer``."""
+        with self._lock:
+            if self._closed:
+                return _NullTimer()
+            timer = threading.Timer(delay, callback)
+            timer.daemon = True
+            self._timers.append(timer)
+            timer.start()
+            return timer
+
+    def close(self) -> None:
+        """Cancel all outstanding timers (orderly node shutdown)."""
+        with self._lock:
+            self._closed = True
+            for timer in self._timers:
+                timer.cancel()
+            self._timers.clear()
+
+
+class _NullTimer:
+    def cancel(self) -> None:
+        pass

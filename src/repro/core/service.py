@@ -1,0 +1,119 @@
+"""The gossip port type: digest pulls and explicit delivery.
+
+Push gossip needs no service of its own (the handler intercepts plain
+application messages), but the pull, push-pull and anti-entropy styles need
+two operations on every gossip-capable node:
+
+* ``Pull`` -- request/response digest reconciliation: the caller sends its
+  digest, the service returns the retained messages the caller lacks plus
+  the identities it wants back.
+* ``Deliver`` -- one-way batch of wire messages, fed straight back through
+  the stack so the gossip layer handles them like any arrival.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.engine import (
+    ADVERTISE_ACTION,
+    DELIVER_ACTION,
+    FEEDBACK_ACTION,
+    FETCH_ACTION,
+    PULL_ACTION,
+    PULL_RESPONSE_ACTION,
+)
+from repro.core.handler import GossipLayer
+from repro.soap.fault import sender_fault
+from repro.soap.handler import MessageContext
+from repro.soap.service import Reply, Service, operation
+
+
+class GossipService(Service):
+    """The ``/gossip`` endpoint mounted on gossip-capable nodes."""
+
+    def __init__(self, layer: GossipLayer) -> None:
+        super().__init__()
+        self._layer = layer
+
+    @operation(PULL_ACTION)
+    def pull(self, context: MessageContext, value: Optional[Dict[str, Any]]) -> Reply:
+        """SOAP operation: serve a digest reconciliation request."""
+        if not isinstance(value, dict):
+            raise sender_fault("Pull requires a map payload")
+        activity = value.get("activity")
+        digest = value.get("digest")
+        if not isinstance(activity, str) or not isinstance(digest, list):
+            raise sender_fault("Pull requires activity and digest")
+        engine = self._layer.engine_for(activity)
+        if engine is None:
+            raise sender_fault(f"not participating in activity {activity!r}")
+        requester = context.source
+        response = engine.serve_pull(
+            [item for item in digest if isinstance(item, str)], requester
+        )
+        engine.metrics.counter("gossip.pull-served").inc()
+        return Reply(value=response, action=PULL_RESPONSE_ACTION)
+
+    @operation(ADVERTISE_ACTION)
+    def advertise(
+        self, context: MessageContext, value: Optional[Dict[str, Any]]
+    ) -> None:
+        """SOAP operation: receive lazy-push advertisements."""
+        engine, ids = self._engine_and_ids(value)
+        hops = value.get("hops")
+        holder = value.get("holder")
+        if not isinstance(hops, int) or not isinstance(holder, str):
+            raise sender_fault("Advertise requires hops and holder")
+        engine.on_advertise(ids, hops, holder)
+        return None
+
+    @operation(FETCH_ACTION)
+    def fetch(
+        self, context: MessageContext, value: Optional[Dict[str, Any]]
+    ) -> None:
+        """SOAP operation: serve a lazy-push payload fetch."""
+        engine, ids = self._engine_and_ids(value)
+        requester = value.get("requester")
+        if not isinstance(requester, str):
+            raise sender_fault("Fetch requires a requester address")
+        engine.serve_fetch(ids, requester)
+        return None
+
+    @operation(FEEDBACK_ACTION)
+    def feedback(
+        self, context: MessageContext, value: Optional[Dict[str, Any]]
+    ) -> None:
+        """SOAP operation: receive duplicate feedback (coin style)."""
+        engine, ids = self._engine_and_ids(value)
+        engine.on_feedback(ids)
+        return None
+
+    def _engine_and_ids(self, value: Optional[Dict[str, Any]]):
+        if not isinstance(value, dict):
+            raise sender_fault("payload must be a map")
+        activity = value.get("activity")
+        ids = value.get("ids")
+        if not isinstance(activity, str) or not isinstance(ids, list):
+            raise sender_fault("payload requires activity and ids")
+        engine = self._layer.engine_for(activity)
+        if engine is None:
+            raise sender_fault(f"not participating in activity {activity!r}")
+        return engine, [item for item in ids if isinstance(item, str)]
+
+    @operation(DELIVER_ACTION)
+    def deliver(
+        self, context: MessageContext, value: Optional[Dict[str, Any]]
+    ) -> None:
+        """SOAP operation: ingest a batch of wire messages."""
+        if not isinstance(value, dict):
+            raise sender_fault("Deliver requires a map payload")
+        messages = value.get("messages")
+        if not isinstance(messages, list):
+            raise sender_fault("Deliver requires a messages list")
+        runtime = self._layer.runtime
+        for data in messages:
+            if isinstance(data, (bytes, bytearray)):
+                runtime.metrics.counter("gossip.delivered-batch").inc()
+                runtime.receive(bytes(data), source=context.source)
+        return None

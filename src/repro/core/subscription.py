@@ -1,0 +1,132 @@
+"""The coordinator's Subscription service.
+
+Figure 1 shows Consumers and Disseminators *subscribing* at the
+Coordinator, which "besides the Activation and Registration services from
+WS-Coordination [...] manages the subscription list".  Subscribing makes a
+node a potential gossip target without requiring any middleware change on
+its side -- the Consumer story.
+
+Subscriptions may carry a WS-style **lease**: ``{"expires": seconds}``
+bounds the subscription's lifetime; re-subscribing renews it.  Expired
+subscribers are pruned lazily on every subscription operation and
+periodically by the hosting coordinator node, so departed consumers stop
+being handed out as gossip targets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.engine import PROTOCOL_SUBSCRIBER
+from repro.soap import namespaces as ns
+from repro.soap.fault import sender_fault
+from repro.soap.handler import MessageContext
+from repro.soap.service import Service, operation
+from repro.wsa.addressing import EndpointReference
+from repro.wscoord.coordinator import Activity, Coordinator
+
+SUBSCRIBE_ACTION = f"{ns.WSGOSSIP}/Subscribe"
+UNSUBSCRIBE_ACTION = f"{ns.WSGOSSIP}/Unsubscribe"
+
+LEASE_KEY = "lease_expires_at"
+
+
+def prune_expired(activity: Activity, now: float) -> int:
+    """Drop participants whose lease has lapsed; returns how many."""
+    before = len(activity.participants)
+    activity.participants[:] = [
+        participant
+        for participant in activity.participants
+        if participant.metadata.get(LEASE_KEY) is None
+        or participant.metadata[LEASE_KEY] > now
+    ]
+    return before - len(activity.participants)
+
+
+class SubscriptionService(Service):
+    """Manages the per-activity subscriber list on the coordinator node.
+
+    Args:
+        coordinator: the activity registry.
+        clock: time source for leases (defaults to a frozen 0.0, which
+            disables expiry -- the hosting node should pass its clock).
+    """
+
+    def __init__(
+        self,
+        coordinator: Coordinator,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        super().__init__()
+        self._coordinator = coordinator
+        self._clock = clock if clock is not None else (lambda: 0.0)
+
+    def prune_all(self) -> int:
+        """Prune expired subscribers in every activity; returns the total."""
+        now = self._clock()
+        return sum(
+            prune_expired(activity, now)
+            for activity in self._coordinator.activities()
+        )
+
+    @operation(SUBSCRIBE_ACTION)
+    def subscribe(
+        self, context: MessageContext, value: Optional[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """SOAP operation: add a subscriber (optionally leased)."""
+        activity_id, participant = self._parse(value)
+        expires = value.get("expires")
+        if expires is not None and (
+            not isinstance(expires, (int, float)) or expires <= 0
+        ):
+            raise sender_fault("expires must be a positive number of seconds")
+        metadata: Dict[str, Any] = {"subscription": True}
+        now = self._clock()
+        if expires is not None:
+            metadata[LEASE_KEY] = now + float(expires)
+
+        activity = self._coordinator.activity(activity_id)
+        prune_expired(activity, now)
+        self._coordinator.register(
+            activity_id,
+            PROTOCOL_SUBSCRIBER,
+            EndpointReference(participant),
+            metadata=metadata,
+        )
+        response: Dict[str, Any] = {"activity": activity_id, "subscribed": True}
+        if expires is not None:
+            response["expires_at"] = metadata[LEASE_KEY]
+        return response
+
+    @operation(UNSUBSCRIBE_ACTION)
+    def unsubscribe(
+        self, context: MessageContext, value: Optional[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """SOAP operation: remove a subscriber."""
+        activity_id, participant = self._parse(value)
+        activity = self._coordinator.activity(activity_id)
+        prune_expired(activity, self._clock())
+        before = len(activity.participants)
+        activity.participants[:] = [
+            existing
+            for existing in activity.participants
+            if not (
+                existing.endpoint.address == participant
+                and existing.protocol == PROTOCOL_SUBSCRIBER
+            )
+        ]
+        return {
+            "activity": activity_id,
+            "subscribed": False,
+            "removed": before - len(activity.participants),
+        }
+
+    @staticmethod
+    def _parse(value: Optional[Dict[str, Any]]) -> Tuple[str, str]:
+        if not isinstance(value, dict):
+            raise sender_fault("Subscribe requires a map payload")
+        activity_id = value.get("activity")
+        participant = value.get("participant")
+        if not isinstance(activity_id, str) or not isinstance(participant, str):
+            raise sender_fault("Subscribe requires activity and participant")
+        return activity_id, participant

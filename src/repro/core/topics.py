@@ -1,0 +1,141 @@
+"""Topic directory: named gossip activities.
+
+WS-Notification users think in *topics*; WS-Gossip thinks in coordination
+*activities*.  This module bridges them: a directory service on the
+coordinator maps topic names to gossip activities, creating them on first
+use.  Publishers and subscribers address topics by name and never handle
+raw activity identifiers.
+
+This is the idiom the stock-market scenario wants: one activity per
+symbol (or per feed tier), consumers subscribing only to the topics they
+care about.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.coordination import GOSSIP_COORDINATION_TYPE
+from repro.soap import namespaces as ns
+from repro.soap.fault import sender_fault
+from repro.soap.handler import MessageContext
+from repro.soap.service import Service, operation
+from repro.soap.runtime import SoapRuntime
+from repro.wsa.addressing import EndpointReference
+from repro.wscoord.context import CoordinationContext
+from repro.wscoord.coordinator import Coordinator
+from repro.wscoord.registration import ACTIVITY_ID_PARAM
+
+ENSURE_ACTION = f"{ns.WSGOSSIP}/topic/Ensure"
+TOPIC_DIRECTORY_PATH = "/topics"
+
+
+class TopicDirectoryService(Service):
+    """Maps topic names to gossip activities, creating on first use.
+
+    Args:
+        coordinator: the coordinator whose activities back the topics.
+        default_parameters: gossip parameters applied to new topics
+            (individual Ensure requests may override per topic).
+    """
+
+    def __init__(
+        self,
+        coordinator: Coordinator,
+        default_parameters: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__()
+        self._coordinator = coordinator
+        self._default_parameters = dict(default_parameters or {})
+        self._topics: Dict[str, str] = {}
+
+    def topics(self) -> Dict[str, str]:
+        """Mapping of topic name to activity identifier."""
+        return dict(self._topics)
+
+    @operation(ENSURE_ACTION)
+    def ensure(
+        self, context: MessageContext, value: Optional[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """SOAP operation: resolve or create the named topic."""
+        if not isinstance(value, dict):
+            raise sender_fault("Ensure requires a map payload")
+        topic = value.get("topic")
+        if not isinstance(topic, str) or not topic:
+            raise sender_fault("Ensure requires a non-empty topic name")
+        parameters = value.get("parameters") or {}
+        if not isinstance(parameters, dict):
+            raise sender_fault("parameters must be a map")
+
+        created = False
+        activity_id = self._topics.get(topic)
+        if activity_id is None or activity_id not in self._coordinator:
+            merged = dict(self._default_parameters)
+            merged.update(parameters)
+            coordination_context = self._coordinator.create_context(
+                GOSSIP_COORDINATION_TYPE, parameters=merged
+            )
+            activity_id = coordination_context.identifier
+            self._topics[topic] = activity_id
+            created = True
+
+        activity = self._coordinator.activity(activity_id)
+        return {
+            "topic": topic,
+            "activity": activity_id,
+            "registration": activity.context.registration_service.address,
+            "created": created,
+        }
+
+
+def context_from_ensure_response(value: Dict[str, Any]) -> CoordinationContext:
+    """Rebuild the activity's coordination context from an Ensure reply.
+
+    Raises:
+        ValueError: on malformed responses.
+    """
+    activity_id = value.get("activity")
+    registration = value.get("registration")
+    if not isinstance(activity_id, str) or not isinstance(registration, str):
+        raise ValueError(f"malformed Ensure response: {value!r}")
+    return CoordinationContext(
+        identifier=activity_id,
+        coordination_type=GOSSIP_COORDINATION_TYPE,
+        registration_service=EndpointReference(
+            registration, {ACTIVITY_ID_PARAM: activity_id}
+        ),
+    )
+
+
+def ensure_topic(
+    runtime: SoapRuntime,
+    directory_address: str,
+    topic: str,
+    parameters: Optional[Dict[str, Any]] = None,
+    on_context: Optional[Callable[[CoordinationContext, Dict[str, Any]], None]] = None,
+) -> str:
+    """Resolve (or create) a topic; returns the request's MessageID.
+
+    ``on_context`` receives the reconstructed
+    :class:`~repro.wscoord.context.CoordinationContext` plus the raw
+    response map once the directory answers.
+    """
+
+    def handle(reply_context: MessageContext, value: Any) -> None:
+        if not isinstance(value, dict):
+            runtime.metrics.counter("topics.ensure-failed").inc()
+            return
+        try:
+            coordination_context = context_from_ensure_response(value)
+        except ValueError:
+            runtime.metrics.counter("topics.ensure-malformed").inc()
+            return
+        if on_context is not None:
+            on_context(coordination_context, value)
+
+    return runtime.send(
+        directory_address,
+        ENSURE_ACTION,
+        value={"topic": topic, "parameters": parameters or {}},
+        on_reply=handle,
+    )

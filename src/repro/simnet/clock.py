@@ -1,0 +1,45 @@
+"""Virtual time for the discrete-event simulator.
+
+Simulated time is a float number of seconds since the start of the run.
+Only the :class:`~repro.simnet.events.Simulator` may advance the clock;
+everything else reads it.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Monotonic simulated clock.
+
+    The clock starts at ``0.0`` and can only move forward.  Attempting to
+    move it backwards raises :class:`ValueError` -- that would mean the event
+    queue yielded events out of order, which is a kernel bug worth failing
+    loudly on.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValueError(f"clock cannot start before zero: {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises:
+            ValueError: if ``when`` is earlier than the current time.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"clock cannot go backwards: now={self._now!r}, target={when!r}"
+            )
+        self._now = when
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now!r})"

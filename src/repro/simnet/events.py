@@ -1,0 +1,172 @@
+"""The event queue and the simulator main loop.
+
+Events are ``(time, sequence, callback)`` triples kept in a binary heap.
+The sequence number breaks ties so that two events scheduled for the same
+instant fire in scheduling order -- this is what makes runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.simnet.clock import VirtualClock
+from repro.simnet.rng import RngStreams
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(time, seq)``; the callback itself does not participate
+    in comparisons.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` objects with stable FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at ``time``; returns the cancellable event."""
+        event = Event(time=time, seq=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Pop the earliest non-cancelled event.
+
+        Raises:
+            IndexError: if the queue is empty (after discarding cancellations).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise IndexError("pop from empty EventQueue")
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None
+
+
+class Simulator:
+    """Drives the virtual clock through the event queue.
+
+    The simulator owns the clock and the master RNG streams.  Simulated
+    components schedule work with :meth:`call_at` / :meth:`call_after` and
+    the run methods execute events in timestamp order.
+
+    Example:
+        >>> sim = Simulator(seed=1)
+        >>> fired = []
+        >>> _ = sim.call_after(2.0, lambda: fired.append(sim.now))
+        >>> sim.run()
+        >>> fired
+        [2.0]
+    """
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self.clock = VirtualClock(start_time)
+        self.rng = RngStreams(seed)
+        self._queue = EventQueue()
+        self._events_executed = 0
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.clock.now
+
+    @property
+    def events_executed(self) -> int:
+        """How many events have fired so far (cancelled ones excluded)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """How many events are still scheduled."""
+        return len(self._queue)
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute time ``when``.
+
+        Raises:
+            ValueError: if ``when`` is in the simulated past.
+        """
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past: {when!r} < {self.now!r}")
+        return self._queue.push(when, callback)
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative: {delay!r}")
+        return self._queue.push(self.now + delay, callback)
+
+    def stop(self) -> None:
+        """Request the current run loop to return after the current event."""
+        self._stopped = True
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns ``False`` when the queue is empty."""
+        try:
+            event = self._queue.pop()
+        except IndexError:
+            return False
+        self.clock.advance_to(event.time)
+        self._events_executed += 1
+        event.callback()
+        return True
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, :meth:`stop` is called, or
+        ``max_events`` events have fired."""
+        self._stopped = False
+        executed = 0
+        while not self._stopped:
+            if max_events is not None and executed >= max_events:
+                return
+            if not self.step():
+                return
+            executed += 1
+
+    def run_until(self, deadline: float) -> None:
+        """Run events with timestamps ``<= deadline``, then set the clock to
+        ``deadline`` so callers can keep scheduling relative to it."""
+        self._stopped = False
+        while not self._stopped:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > deadline:
+                break
+            self.step()
+        if deadline > self.now:
+            self.clock.advance_to(deadline)
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.now!r}, pending={self.pending_events}, "
+            f"executed={self._events_executed})"
+        )

@@ -1,0 +1,161 @@
+"""Fault injection: crash schedules, partitions and churn.
+
+A :class:`FaultPlan` is a declarative schedule of faults applied to a
+network; :class:`ChurnGenerator` synthesizes continuous join/leave activity
+at a target rate.  Both only *schedule* simulator events -- the kernel stays
+oblivious to why a node crashed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.simnet.events import Simulator
+from repro.simnet.network import Network
+
+
+class FaultPlan:
+    """Declarative fault schedule.
+
+    Example::
+
+        plan = FaultPlan(network)
+        plan.crash_at(5.0, "node-3")
+        plan.recover_at(12.0, "node-3")
+        plan.partition_at(20.0, [["a", "b"], ["c", "d"]])
+        plan.heal_at(30.0)
+        plan.apply()
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.sim = network.sim
+        self._schedule: List[Tuple[float, str, tuple]] = []
+        self._applied = False
+
+    def crash_at(self, time: float, name: str) -> "FaultPlan":
+        """Crash process ``name`` at simulated ``time``."""
+        self._schedule.append((time, "crash", (name,)))
+        return self
+
+    def recover_at(self, time: float, name: str) -> "FaultPlan":
+        """Restart a crashed process at ``time``."""
+        self._schedule.append((time, "recover", (name,)))
+        return self
+
+    def crash_fraction_at(
+        self, time: float, fraction: float, candidates: Sequence[str]
+    ) -> "FaultPlan":
+        """Crash a random ``fraction`` of ``candidates`` at ``time``.
+
+        The victim set is drawn from the ``faults`` RNG stream at apply
+        time, so it is deterministic per seed.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1]: {fraction!r}")
+        rng = self.sim.rng.get("faults")
+        count = int(round(fraction * len(candidates)))
+        victims = rng.sample(list(candidates), count)
+        for victim in victims:
+            self.crash_at(time, victim)
+        return self
+
+    def partition_at(
+        self, time: float, groups: Iterable[Iterable[str]]
+    ) -> "FaultPlan":
+        """Install a partition at ``time``."""
+        frozen = [list(group) for group in groups]
+        self._schedule.append((time, "partition", (frozen,)))
+        return self
+
+    def heal_at(self, time: float) -> "FaultPlan":
+        """Remove all partitions at ``time``."""
+        self._schedule.append((time, "heal", ()))
+        return self
+
+    def apply(self) -> None:
+        """Schedule every fault on the simulator.  May only be called once."""
+        if self._applied:
+            raise RuntimeError("FaultPlan.apply() called twice")
+        self._applied = True
+        for time, action, args in self._schedule:
+            if action == "crash":
+                (name,) = args
+                self.sim.call_at(time, self._crash_callback(name))
+            elif action == "recover":
+                (name,) = args
+                self.sim.call_at(time, self._recover_callback(name))
+            elif action == "partition":
+                (groups,) = args
+                self.sim.call_at(
+                    time, lambda groups=groups: self.network.partition(groups)
+                )
+            elif action == "heal":
+                self.sim.call_at(time, self.network.heal)
+
+    def _crash_callback(self, name: str):
+        def crash() -> None:
+            if name in self.network:
+                self.network.process(name).crash()
+
+        return crash
+
+    def _recover_callback(self, name: str):
+        def recover() -> None:
+            if name in self.network:
+                self.network.process(name).start()
+
+        return recover
+
+
+@dataclass
+class ChurnGenerator:
+    """Continuous churn: crash a random running node, recover a random
+    crashed one, at exponentially distributed intervals.
+
+    Args:
+        network: the fabric to churn.
+        candidates: names eligible for churn (protect coordinators by
+            leaving them out).
+        rate: expected churn events per second (crash + recover each count
+            as one event).
+        recover_delay: mean time a crashed node stays down.
+    """
+
+    network: Network
+    candidates: Sequence[str]
+    rate: float
+    recover_delay: float = 1.0
+
+    def start(self, until: Optional[float] = None) -> None:
+        """Begin injecting churn until simulated time ``until`` (forever if
+        ``None``, bounded by the run's own horizon)."""
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive: {self.rate!r}")
+        self._until = until
+        self._rng = self.network.sim.rng.get("churn")
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        delay = self._rng.expovariate(self.rate)
+        when = self.network.sim.now + delay
+        if self._until is not None and when > self._until:
+            return
+        self.network.sim.call_at(when, self._churn_once)
+
+    def _churn_once(self) -> None:
+        running = [
+            name
+            for name in self.candidates
+            if name in self.network and self.network.process(name).is_running
+        ]
+        if running:
+            victim = self._rng.choice(running)
+            process = self.network.process(victim)
+            process.crash()
+            down_for = self._rng.expovariate(1.0 / self.recover_delay)
+            self.network.sim.call_after(
+                down_for, lambda process=process: process.start()
+            )
+        self._schedule_next()

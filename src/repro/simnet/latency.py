@@ -1,0 +1,115 @@
+"""Message latency models.
+
+Each model is a callable object drawing one delivery delay (seconds) from a
+supplied RNG stream.  Models never draw from global state, so two links with
+separate streams stay independent.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class LatencyModel:
+    """Base class: draw a one-way message delay in seconds."""
+
+    def sample(self, rng: random.Random) -> float:
+        """Draw one delivery delay in seconds."""
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Expected delay, used by analytical helpers and trace summaries."""
+        raise NotImplementedError
+
+
+class FixedLatency(LatencyModel):
+    """Constant delay -- the simplest, fully deterministic model."""
+
+    def __init__(self, delay: float = 0.001) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative: {delay!r}")
+        self.delay = float(delay)
+
+    def sample(self, rng: random.Random) -> float:
+        """The constant delay (ignores the RNG)."""
+        return self.delay
+
+    def mean(self) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"FixedLatency({self.delay!r})"
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ValueError(f"need 0 <= low <= high, got [{low!r}, {high!r}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: random.Random) -> float:
+        """Uniform draw from ``[low, high]``."""
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low!r}, {self.high!r})"
+
+
+class ExponentialLatency(LatencyModel):
+    """Exponential delay with the given mean, plus an optional floor.
+
+    The floor models the propagation delay below which no packet can arrive;
+    the exponential tail models queueing.
+    """
+
+    def __init__(self, mean: float, floor: float = 0.0) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean must be positive: {mean!r}")
+        if floor < 0:
+            raise ValueError(f"floor must be non-negative: {floor!r}")
+        self._mean = float(mean)
+        self.floor = float(floor)
+
+    def sample(self, rng: random.Random) -> float:
+        """Floor plus an exponential queueing tail."""
+        return self.floor + rng.expovariate(1.0 / self._mean)
+
+    def mean(self) -> float:
+        return self.floor + self._mean
+
+    def __repr__(self) -> str:
+        return f"ExponentialLatency(mean={self._mean!r}, floor={self.floor!r})"
+
+
+class LogNormalLatency(LatencyModel):
+    """Log-normal delay, the standard fit for WAN round-trip distributions.
+
+    Parameterized by the *median* delay and ``sigma`` (shape): most samples
+    land near the median with a heavy right tail.
+    """
+
+    def __init__(self, median: float, sigma: float = 0.5) -> None:
+        if median <= 0:
+            raise ValueError(f"median must be positive: {median!r}")
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive: {sigma!r}")
+        self.median = float(median)
+        self.sigma = float(sigma)
+        self._mu = math.log(median)
+
+    def sample(self, rng: random.Random) -> float:
+        """Log-normal draw around the configured median."""
+        return rng.lognormvariate(self._mu, self.sigma)
+
+    def mean(self) -> float:
+        return math.exp(self._mu + self.sigma**2 / 2.0)
+
+    def __repr__(self) -> str:
+        return f"LogNormalLatency(median={self.median!r}, sigma={self.sigma!r})"

@@ -1,0 +1,227 @@
+"""The simulated network fabric.
+
+The network connects named :class:`~repro.simnet.process.Process` instances.
+Sending draws a latency from the configured model, applies loss and
+partition checks, and schedules delivery on the simulator.  Delivery is
+per-message (datagram semantics): no ordering guarantee across messages,
+which is the honest model for SOAP-over-HTTP between distinct connections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.simnet.events import Simulator
+from repro.simnet.latency import FixedLatency, LatencyModel
+from repro.simnet.metrics import MetricsRegistry
+from repro.simnet.trace import TraceLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simnet.process import Process
+
+
+@dataclass
+class NetworkMessage:
+    """A message in flight (or delivered/dropped)."""
+
+    source: str
+    destination: str
+    payload: Any
+    send_time: float
+    size: int = 0
+    deliver_time: Optional[float] = None
+    dropped: bool = False
+    drop_reason: Optional[str] = None
+
+
+class Network:
+    """Message fabric with latency, loss and partitions.
+
+    Args:
+        sim: the simulator events are scheduled on.
+        latency: default latency model for all links.
+        loss_rate: probability in ``[0, 1]`` that any message is dropped.
+        trace: optional shared trace log.
+        metrics: optional shared metrics registry.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        trace: Optional[TraceLog] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1]: {loss_rate!r}")
+        self.sim = sim
+        self.latency = latency if latency is not None else FixedLatency(0.001)
+        self.loss_rate = loss_rate
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._processes: Dict[str, "Process"] = {}
+        self._link_latency: Dict[Tuple[str, str], LatencyModel] = {}
+        self._link_loss: Dict[Tuple[str, str], float] = {}
+        self._partition_of: Dict[str, int] = {}
+        # Optional egress bandwidth (bytes/second) per node: messages
+        # serialize onto the wire, so a busy sender delays later sends.
+        self._egress_bandwidth: Dict[str, float] = {}
+        self._egress_busy_until: Dict[str, float] = {}
+        self._rng = sim.rng.get("network")
+
+    # -- membership of the fabric ------------------------------------------
+
+    def attach(self, process: "Process") -> None:
+        """Register a process under its name.
+
+        Raises:
+            ValueError: if the name is already taken by another process.
+        """
+        existing = self._processes.get(process.name)
+        if existing is not None and existing is not process:
+            raise ValueError(f"process name already attached: {process.name!r}")
+        self._processes[process.name] = process
+
+    def detach(self, name: str) -> None:
+        """Remove a process; in-flight messages to it will be dropped."""
+        self._processes.pop(name, None)
+
+    def process(self, name: str) -> "Process":
+        """Look up an attached process by name (KeyError if absent)."""
+        return self._processes[name]
+
+    def process_names(self) -> List[str]:
+        """Names of every attached process."""
+        return list(self._processes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._processes
+
+    # -- link configuration -------------------------------------------------
+
+    def set_link_latency(self, source: str, destination: str, model: LatencyModel) -> None:
+        """Override latency on the directed link ``source -> destination``."""
+        self._link_latency[(source, destination)] = model
+
+    def set_link_loss(self, source: str, destination: str, loss_rate: float) -> None:
+        """Override loss on the directed link ``source -> destination``."""
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1]: {loss_rate!r}")
+        self._link_loss[(source, destination)] = loss_rate
+
+    def set_egress_bandwidth(self, name: str, bytes_per_second: float) -> None:
+        """Bound a node's transmit rate; messages queue behind each other.
+
+        Models the serialization delay a real NIC/stack imposes: a message
+        of ``size`` bytes occupies the sender's uplink for
+        ``size / bytes_per_second`` before propagation latency starts.
+        """
+        if bytes_per_second <= 0:
+            raise ValueError(
+                f"bytes_per_second must be positive: {bytes_per_second!r}"
+            )
+        self._egress_bandwidth[name] = bytes_per_second
+
+    def _transmission_delay(self, source: str, size: int) -> float:
+        """Queueing + serialization delay at the sender (0 when unbounded)."""
+        bandwidth = self._egress_bandwidth.get(source)
+        if bandwidth is None or size <= 0:
+            return 0.0
+        start = max(self.sim.now, self._egress_busy_until.get(source, 0.0))
+        departure = start + size / bandwidth
+        self._egress_busy_until[source] = departure
+        return departure - self.sim.now
+
+    # -- partitions ----------------------------------------------------------
+
+    def partition(self, groups: Iterable[Iterable[str]]) -> None:
+        """Split the network: messages crossing group boundaries are dropped.
+
+        Nodes not mentioned in any group remain mutually reachable (they
+        implicitly form group ``-1``).
+        """
+        self._partition_of.clear()
+        for index, group in enumerate(groups):
+            for name in group:
+                self._partition_of[name] = index
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self._partition_of.clear()
+
+    def partitioned(self, source: str, destination: str) -> bool:
+        """True when a partition separates the two nodes."""
+        if not self._partition_of:
+            return False
+        group_a = self._partition_of.get(source, -1)
+        group_b = self._partition_of.get(destination, -1)
+        return group_a != group_b
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, source: str, destination: str, payload: Any, size: int = 0) -> NetworkMessage:
+        """Send ``payload`` from ``source`` to ``destination``.
+
+        The message may be dropped (loss, partition, dead destination); the
+        returned :class:`NetworkMessage` records the outcome as it becomes
+        known.  Sending to an unknown destination is a silent drop, matching
+        a datagram to a host that is gone.
+        """
+        message = NetworkMessage(
+            source=source,
+            destination=destination,
+            payload=payload,
+            send_time=self.sim.now,
+            size=size,
+        )
+        self.metrics.counter("net.sent").inc()
+        if size > 0:
+            self.metrics.counter("net.bytes").inc(size)
+        self.trace.record(self.sim.now, "net.send", source, destination=destination)
+
+        if self.partitioned(source, destination):
+            self._drop(message, "partition")
+            return message
+        loss = self._link_loss.get((source, destination), self.loss_rate)
+        if loss > 0.0 and self._rng.random() < loss:
+            self._drop(message, "loss")
+            return message
+
+        model = self._link_latency.get((source, destination), self.latency)
+        delay = self._transmission_delay(source, size) + model.sample(self._rng)
+        self.sim.call_after(delay, lambda: self._deliver(message))
+        return message
+
+    def _drop(self, message: NetworkMessage, reason: str) -> None:
+        message.dropped = True
+        message.drop_reason = reason
+        self.metrics.counter("net.dropped").inc()
+        self.metrics.counter(f"net.dropped.{reason}").inc()
+        self.trace.record(
+            self.sim.now,
+            "net.drop",
+            message.source,
+            destination=message.destination,
+            reason=reason,
+        )
+
+    def _deliver(self, message: NetworkMessage) -> None:
+        process = self._processes.get(message.destination)
+        if process is None or not process.is_running:
+            self._drop(message, "dead-destination")
+            return
+        # A partition raised while the message was in flight also cuts it.
+        if self.partitioned(message.source, message.destination):
+            self._drop(message, "partition")
+            return
+        message.deliver_time = self.sim.now
+        self.metrics.counter("net.delivered").inc()
+        self.metrics.histogram("net.latency").observe(
+            message.deliver_time - message.send_time
+        )
+        self.trace.record(
+            self.sim.now, "net.deliver", message.destination, source=message.source
+        )
+        process.deliver(message.source, message.payload)

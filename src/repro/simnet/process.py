@@ -1,0 +1,179 @@
+"""Simulated processes (nodes).
+
+A :class:`Process` is a named actor attached to a :class:`~repro.simnet.network.Network`.
+Subclasses override the ``on_*`` hooks.  Crash semantics follow the paper's
+fault model (crash-stop with optional recovery): a crashed process receives
+no messages, its pending timers are cancelled, and on recovery it restarts
+from whatever state the subclass chose to keep (crash-recovery) or reset
+(crash-stop with fresh start).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.simnet.events import Event
+from repro.simnet.network import Network
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a simulated process."""
+
+    NEW = "new"
+    RUNNING = "running"
+    CRASHED = "crashed"
+    STOPPED = "stopped"
+
+
+class Process:
+    """Base class for all simulated nodes.
+
+    Subclass hooks (all optional):
+
+    * :meth:`on_start`   -- called once when the process starts.
+    * :meth:`on_message` -- called per delivered message.
+    * :meth:`on_crash`   -- called when a fault crashes the process.
+    * :meth:`on_recover` -- called when the process restarts after a crash.
+    * :meth:`on_stop`    -- called on orderly shutdown.
+    """
+
+    def __init__(self, name: str, network: Network) -> None:
+        self.name = name
+        self.network = network
+        self.sim = network.sim
+        self.state = ProcessState.NEW
+        self._timers: List[Event] = []
+        network.attach(self)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def is_running(self) -> bool:
+        return self.state is ProcessState.RUNNING
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Move to RUNNING and invoke :meth:`on_start`."""
+        if self.state is ProcessState.RUNNING:
+            return
+        if self.state is ProcessState.STOPPED:
+            raise RuntimeError(f"process {self.name!r} was stopped; cannot restart")
+        previous = self.state
+        self.state = ProcessState.RUNNING
+        if previous is ProcessState.CRASHED:
+            self.network.trace.record(self.now, "proc.recover", self.name)
+            self.on_recover()
+        else:
+            self.network.trace.record(self.now, "proc.start", self.name)
+            self.on_start()
+
+    def crash(self) -> None:
+        """Crash-stop: drop timers, stop receiving."""
+        if self.state is not ProcessState.RUNNING:
+            return
+        self.state = ProcessState.CRASHED
+        self._cancel_timers()
+        self.network.trace.record(self.now, "proc.crash", self.name)
+        self.on_crash()
+
+    def stop(self) -> None:
+        """Orderly permanent shutdown."""
+        if self.state is ProcessState.STOPPED:
+            return
+        self.state = ProcessState.STOPPED
+        self._cancel_timers()
+        self.network.trace.record(self.now, "proc.stop", self.name)
+        self.on_stop()
+
+    # -- communication -----------------------------------------------------------
+
+    def send(self, destination: str, payload: Any, size: int = 0) -> None:
+        """Send a message; silently ignored unless RUNNING (a crashed node
+        cannot transmit)."""
+        if self.is_running:
+            self.network.send(self.name, destination, payload, size=size)
+
+    def deliver(self, source: str, payload: Any) -> None:
+        """Called by the network; routes to :meth:`on_message` when alive."""
+        if self.is_running:
+            self.on_message(source, payload)
+
+    # -- timers --------------------------------------------------------------------
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds of simulated time.
+
+        The timer fires only if the process is still RUNNING at that moment;
+        crash and stop cancel all pending timers.
+        """
+        event_box: List[Event] = []
+
+        def fire() -> None:
+            if event_box:
+                try:
+                    self._timers.remove(event_box[0])
+                except ValueError:
+                    pass
+            if self.is_running:
+                callback()
+
+        event = self.sim.call_after(delay, fire)
+        event_box.append(event)
+        self._timers.append(event)
+        return event
+
+    def set_periodic_timer(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        jitter: float = 0.0,
+    ) -> None:
+        """Fire ``callback`` every ``period`` seconds while RUNNING.
+
+        ``jitter`` adds a uniform random offset in ``[0, jitter]`` to every
+        firing, desynchronizing gossip rounds across nodes the way real
+        unsynchronized clocks do.
+        """
+        if period <= 0:
+            raise ValueError(f"period must be positive: {period!r}")
+        rng = self.sim.rng.get(f"timer-jitter:{self.name}")
+
+        def tick() -> None:
+            callback()
+            if self.is_running:
+                delay = period + (rng.uniform(0.0, jitter) if jitter > 0 else 0.0)
+                self.set_timer(delay, tick)
+
+        initial = period + (rng.uniform(0.0, jitter) if jitter > 0 else 0.0)
+        self.set_timer(initial, tick)
+
+    def _cancel_timers(self) -> None:
+        for event in self._timers:
+            event.cancel()
+        self._timers.clear()
+
+    # -- subclass hooks ----------------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Called once when the process first starts."""
+
+    def on_message(self, source: str, payload: Any) -> None:
+        """Called for each message delivered while RUNNING."""
+
+    def on_crash(self) -> None:
+        """Called when the process crashes."""
+
+    def on_recover(self) -> None:
+        """Called when the process restarts after a crash."""
+
+    def on_stop(self) -> None:
+        """Called on orderly shutdown."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, state={self.state.value})"

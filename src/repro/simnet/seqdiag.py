@@ -1,0 +1,99 @@
+"""Render a trace as an ASCII sequence diagram.
+
+Turns the ``net.send`` / ``net.deliver`` records of a
+:class:`~repro.simnet.trace.TraceLog` into the classic lifeline picture,
+used by the CLI's ``figure1`` command to show the paper's message flow as
+it actually executed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.simnet.trace import TraceLog
+
+_COLUMN_WIDTH = 16
+
+
+def render_sequence(
+    trace: TraceLog,
+    participants: Optional[Sequence[str]] = None,
+    max_events: int = 60,
+    kind: str = "net.send",
+) -> str:
+    """Render message sends between participants as a sequence diagram.
+
+    Args:
+        trace: the trace to read.
+        participants: lifeline order (defaults to first-seen order).
+        max_events: truncate long traces (a note marks the cut).
+        kind: which event kind represents a message (must carry ``node``
+            as the source and ``destination`` in its detail).
+    """
+    events = trace.events(kind=kind)
+    if participants is None:
+        seen: Dict[str, None] = {}
+        for event in events:
+            if event.node:
+                seen.setdefault(event.node, None)
+            destination = event.detail.get("destination")
+            if destination:
+                seen.setdefault(destination, None)
+        participants = list(seen)
+    columns = {name: index for index, name in enumerate(participants)}
+    if not columns:
+        return "(no messages)"
+
+    width = _COLUMN_WIDTH
+    lines: List[str] = []
+    header = "".join(name[: width - 2].center(width) for name in participants)
+    lines.append(header)
+    lines.append("".join("|".center(width) for _ in participants))
+
+    shown = 0
+    for event in events:
+        source = event.node
+        destination = event.detail.get("destination")
+        if source not in columns or destination not in columns:
+            continue
+        if shown >= max_events:
+            lines.append(f"... ({len(events) - shown} more messages)")
+            break
+        shown += 1
+        lines.append(_arrow_line(columns, source, destination, event.time, width))
+        lines.append("".join("|".center(width) for _ in participants))
+    return "\n".join(lines)
+
+
+def _arrow_line(
+    columns: Dict[str, int], source: str, destination: str, time: float, width: int
+) -> str:
+    """One lifeline row with an arrow from source to destination."""
+    count = len(columns)
+    cells = ["|".center(width) for _ in range(count)]
+    left = min(columns[source], columns[destination])
+    right = max(columns[source], columns[destination])
+    if left == right:
+        # Self-send: mark the lifeline.
+        cells[left] = "(self)".center(width)
+        return "".join(cells) + f"  t={time:.3f}"
+
+    # Build the arrow span between the two lifelines.
+    span_cells = []
+    for index in range(count):
+        if index < left or index > right:
+            span_cells.append("|".center(width))
+        elif index == left:
+            body = "-" * (width // 2 - 1)
+            span_cells.append("|".center(width // 2) + body + "-" * (width - width // 2 - len(body) - 1) + "-")
+        elif index == right:
+            span_cells.append("-" * (width // 2 - 1) + ">|".ljust(width - width // 2 + 1, " "))
+        else:
+            span_cells.append("-" * width)
+    line = "".join(span_cells)
+    if columns[source] > columns[destination]:
+        # Arrow points left: swap the chevron.
+        line = line.replace(">", "", 1)
+        head = line.find("-")
+        line = line[:head] + "<" + line[head + 1:]
+    return line + f"  t={time:.3f}"

@@ -1,0 +1,92 @@
+"""Structured tracing of simulation events.
+
+Traces are the ground truth for experiment E1 (reproducing the paper's
+Figure 1 message flow) and for debugging protocol behaviour.  A trace is an
+append-only list of :class:`TraceEvent` records with cheap filtering
+helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped record.
+
+    Attributes:
+        time: simulated time of the event.
+        kind: short machine-readable tag, e.g. ``"send"``, ``"deliver"``,
+            ``"crash"``, ``"gossip.forward"``.
+        node: the node the event happened at (or ``None`` for global events).
+        detail: free-form payload for assertions and reports.
+    """
+
+    time: float
+    kind: str
+    node: Optional[str] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceLog:
+    """Append-only trace with filtering.
+
+    Tracing can be disabled (``enabled=False``) for large benchmark runs
+    where per-message records would dominate memory.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: List[TraceEvent] = []
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        node: Optional[str] = None,
+        **detail: Any,
+    ) -> None:
+        """Append one event (no-op when disabled)."""
+        if self.enabled:
+            self._events.append(TraceEvent(time, kind, node, detail))
+
+    def events(
+        self,
+        kind: Optional[str] = None,
+        node: Optional[str] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> List[TraceEvent]:
+        """Return events matching all the given filters, in time order."""
+        result = self._events
+        if kind is not None:
+            result = [event for event in result if event.kind == kind]
+        if node is not None:
+            result = [event for event in result if event.node == node]
+        if predicate is not None:
+            result = [event for event in result if predicate(event)]
+        return list(result)
+
+    def count(self, kind: Optional[str] = None) -> int:
+        """Number of events, optionally restricted to one kind."""
+        if kind is None:
+            return len(self._events)
+        return sum(1 for event in self._events if event.kind == kind)
+
+    def kinds(self) -> List[str]:
+        """Distinct event kinds in first-seen order."""
+        seen: Dict[str, None] = {}
+        for event in self._events:
+            seen.setdefault(event.kind, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        """Drop every recorded event."""
+        self._events.clear()
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,87 @@
+"""Trace persistence and analysis.
+
+Experiment traces are worth keeping: export them as JSON lines for
+offline inspection, load them back, and summarize who-talked-to-whom.
+The formats are plain stdlib JSON -- no schema machinery -- because the
+consumer is a researcher with a text editor.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Iterable, List, Tuple
+
+from repro.simnet.trace import TraceEvent, TraceLog
+
+
+def dump_jsonl(trace: TraceLog, stream: IO[str]) -> int:
+    """Write one JSON object per event; returns the number written."""
+    count = 0
+    for event in trace:
+        record = {"time": event.time, "kind": event.kind}
+        if event.node is not None:
+            record["node"] = event.node
+        if event.detail:
+            record["detail"] = _jsonable(event.detail)
+        stream.write(json.dumps(record, sort_keys=True) + "\n")
+        count += 1
+    return count
+
+
+def _jsonable(detail: Dict) -> Dict:
+    """Coerce detail values JSON can't represent into strings."""
+    result = {}
+    for key, value in detail.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            result[key] = value
+        else:
+            result[key] = repr(value)
+    return result
+
+
+def load_jsonl(stream: IO[str]) -> TraceLog:
+    """Rebuild a trace from :func:`dump_jsonl` output.
+
+    Raises:
+        ValueError: on lines that are not valid event records.
+    """
+    trace = TraceLog(enabled=True)
+    for line_number, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            time = float(record["time"])
+            kind = str(record["kind"])
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"bad trace record on line {line_number}") from exc
+        trace.record(
+            time, kind, record.get("node"), **record.get("detail", {})
+        )
+    return trace
+
+
+def traffic_matrix(
+    trace: TraceLog, kind: str = "net.send"
+) -> Dict[Tuple[str, str], int]:
+    """Count messages per (source, destination) pair."""
+    matrix: Dict[Tuple[str, str], int] = {}
+    for event in trace.events(kind=kind):
+        destination = event.detail.get("destination")
+        if event.node is None or destination is None:
+            continue
+        key = (event.node, destination)
+        matrix[key] = matrix.get(key, 0) + 1
+    return matrix
+
+
+def top_talkers(
+    trace: TraceLog, kind: str = "net.send", limit: int = 10
+) -> List[Tuple[str, int]]:
+    """Nodes ranked by messages sent."""
+    totals: Dict[str, int] = {}
+    for (source, _destination), count in traffic_matrix(trace, kind).items():
+        totals[source] = totals.get(source, 0) + count
+    ranked = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+    return ranked[:limit]

@@ -1,0 +1,36 @@
+"""A from-scratch SOAP 1.1/1.2 stack.
+
+This is the "compliant middleware stack" the paper requires on Initiator and
+Disseminator nodes.  The pieces:
+
+* :mod:`repro.soap.namespaces` -- the namespace URIs used across the repo.
+* :mod:`repro.soap.envelope`   -- envelope construction and parsing.
+* :mod:`repro.soap.fault`      -- SOAP faults as exceptions and as XML.
+* :mod:`repro.soap.serializer` -- Python values <-> XML payload elements.
+* :mod:`repro.soap.handler`    -- the handler chain (where the gossip layer
+  plugs in, per the paper's Figure 1 deployment story).
+* :mod:`repro.soap.service`    -- service base class with operation routing.
+* :mod:`repro.soap.runtime`    -- the transport-agnostic per-node engine.
+"""
+
+from repro.soap.envelope import Envelope
+from repro.soap.fault import FaultCode, SoapFault
+from repro.soap.handler import Direction, Handler, HandlerChain, MessageContext
+from repro.soap.runtime import SoapRuntime
+from repro.soap.serializer import from_element, to_element
+from repro.soap.service import Service, operation
+
+__all__ = [
+    "Direction",
+    "Envelope",
+    "FaultCode",
+    "Handler",
+    "HandlerChain",
+    "MessageContext",
+    "Service",
+    "SoapFault",
+    "SoapRuntime",
+    "from_element",
+    "operation",
+    "to_element",
+]

@@ -1,0 +1,152 @@
+"""SOAP envelope construction and parsing.
+
+Supports both SOAP 1.1 (the 2008-era default the paper's stack would have
+used) and SOAP 1.2.  An :class:`Envelope` owns a list of header blocks and a
+single body element; serialization produces real on-the-wire XML, and
+parsing round-trips it.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import List, Optional
+
+from repro.soap import namespaces as ns
+from repro.xmlutil import canonical_bytes, local_name, parse_bytes, qname
+from repro.xmlutil.text import XmlParseError
+
+_ENVELOPE_NS = {"1.1": ns.SOAP11_ENV, "1.2": ns.SOAP12_ENV}
+_NS_TO_VERSION = {uri: version for version, uri in _ENVELOPE_NS.items()}
+
+
+class EnvelopeError(ValueError):
+    """Raised when bytes are well-formed XML but not a SOAP envelope."""
+
+
+class Envelope:
+    """A SOAP envelope: header blocks plus one body element.
+
+    Example:
+        >>> body = ET.Element("{urn:example}ping")
+        >>> env = Envelope(body=body)
+        >>> round_tripped = Envelope.from_bytes(env.to_bytes())
+        >>> round_tripped.body.tag
+        '{urn:example}ping'
+    """
+
+    def __init__(
+        self,
+        body: Optional[ET.Element] = None,
+        headers: Optional[List[ET.Element]] = None,
+        version: str = "1.1",
+    ) -> None:
+        if version not in _ENVELOPE_NS:
+            raise ValueError(f"unsupported SOAP version: {version!r}")
+        self.version = version
+        self.headers: List[ET.Element] = list(headers) if headers else []
+        self.body = body
+
+    @property
+    def envelope_namespace(self) -> str:
+        return _ENVELOPE_NS[self.version]
+
+    # -- header access ------------------------------------------------------
+
+    def add_header(self, element: ET.Element) -> None:
+        """Append a header block."""
+        self.headers.append(element)
+
+    def header(self, tag: str) -> Optional[ET.Element]:
+        """First header block with the given ElementTree tag, or ``None``."""
+        for element in self.headers:
+            if element.tag == tag:
+                return element
+        return None
+
+    def headers_named(self, tag: str) -> List[ET.Element]:
+        """All header blocks with the given tag."""
+        return [element for element in self.headers if element.tag == tag]
+
+    def remove_header(self, tag: str) -> int:
+        """Remove all header blocks with the given tag; returns how many."""
+        before = len(self.headers)
+        self.headers = [element for element in self.headers if element.tag != tag]
+        return before - len(self.headers)
+
+    def header_text(self, tag: str) -> Optional[str]:
+        """Text content of the first matching header, or ``None``."""
+        element = self.header(tag)
+        return element.text if element is not None else None
+
+    # -- body helpers --------------------------------------------------------
+
+    @property
+    def is_fault(self) -> bool:
+        """True when the body is a SOAP Fault element."""
+        return self.body is not None and local_name(self.body.tag) == "Fault"
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_element(self) -> ET.Element:
+        """Build the ``Envelope`` element tree."""
+        env_ns = self.envelope_namespace
+        root = ET.Element(qname(env_ns, "Envelope"))
+        if self.headers:
+            header = ET.SubElement(root, qname(env_ns, "Header"))
+            header.extend(self.headers)
+        body = ET.SubElement(root, qname(env_ns, "Body"))
+        if self.body is not None:
+            body.append(self.body)
+        return root
+
+    def to_bytes(self) -> bytes:
+        """Serialize to UTF-8 XML bytes with declaration."""
+        return canonical_bytes(self.to_element())
+
+    @classmethod
+    def from_element(cls, root: ET.Element) -> "Envelope":
+        """Build an envelope from a parsed ``Envelope`` element.
+
+        Raises:
+            EnvelopeError: if the root is not a SOAP envelope or the body
+                is missing.
+        """
+        version = None
+        if root.tag.startswith("{"):
+            uri = root.tag[1:].partition("}")[0]
+            version = _NS_TO_VERSION.get(uri)
+        if version is None or local_name(root.tag) != "Envelope":
+            raise EnvelopeError(f"not a SOAP envelope root: {root.tag!r}")
+        env_ns = _ENVELOPE_NS[version]
+
+        header_element = root.find(qname(env_ns, "Header"))
+        headers = list(header_element) if header_element is not None else []
+
+        body_element = root.find(qname(env_ns, "Body"))
+        if body_element is None:
+            raise EnvelopeError("SOAP envelope has no Body")
+        children = list(body_element)
+        if len(children) > 1:
+            raise EnvelopeError(f"SOAP Body has {len(children)} children; expected <= 1")
+        body = children[0] if children else None
+        return cls(body=body, headers=headers, version=version)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Envelope":
+        """Parse wire bytes into an envelope.
+
+        Raises:
+            EnvelopeError: malformed XML or not an envelope.
+        """
+        try:
+            root = parse_bytes(data)
+        except XmlParseError as exc:
+            raise EnvelopeError(str(exc)) from exc
+        return cls.from_element(root)
+
+    def __repr__(self) -> str:
+        body_tag = self.body.tag if self.body is not None else None
+        return (
+            f"Envelope(version={self.version!r}, headers={len(self.headers)}, "
+            f"body={body_tag!r})"
+        )

@@ -1,0 +1,138 @@
+"""SOAP faults, both as Python exceptions and as wire XML.
+
+A :class:`SoapFault` raised inside a service operation is converted by the
+runtime into a fault reply; on the client side a fault reply parses back
+into the same exception type.
+"""
+
+from __future__ import annotations
+
+import enum
+import xml.etree.ElementTree as ET
+from typing import Optional
+
+from repro.soap import namespaces as ns
+from repro.xmlutil import qname
+
+
+class FaultCode(enum.Enum):
+    """The standard SOAP fault code families."""
+
+    VERSION_MISMATCH = "VersionMismatch"
+    MUST_UNDERSTAND = "MustUnderstand"
+    SENDER = "Sender"  # SOAP 1.1 "Client"
+    RECEIVER = "Receiver"  # SOAP 1.1 "Server"
+
+    @property
+    def soap11_name(self) -> str:
+        if self is FaultCode.SENDER:
+            return "Client"
+        if self is FaultCode.RECEIVER:
+            return "Server"
+        return self.value
+
+    @classmethod
+    def from_wire(cls, name: str) -> "FaultCode":
+        bare = name.rpartition(":")[2]
+        mapping = {
+            "Client": cls.SENDER,
+            "Server": cls.RECEIVER,
+            "Sender": cls.SENDER,
+            "Receiver": cls.RECEIVER,
+            "MustUnderstand": cls.MUST_UNDERSTAND,
+            "VersionMismatch": cls.VERSION_MISMATCH,
+        }
+        try:
+            return mapping[bare]
+        except KeyError:
+            raise ValueError(f"unknown fault code: {name!r}") from None
+
+
+class SoapFault(Exception):
+    """A SOAP fault.
+
+    Attributes:
+        code: standard fault code family.
+        reason: human-readable fault string.
+        detail: optional application-specific detail string.
+    """
+
+    def __init__(
+        self,
+        code: FaultCode,
+        reason: str,
+        detail: Optional[str] = None,
+    ) -> None:
+        super().__init__(reason)
+        self.code = code
+        self.reason = reason
+        self.detail = detail
+
+    # -- wire form ----------------------------------------------------------
+
+    def to_element(self, version: str = "1.1") -> ET.Element:
+        """Build the ``Fault`` body element for the given SOAP version."""
+        if version == "1.1":
+            fault = ET.Element(qname(ns.SOAP11_ENV, "Fault"))
+            # SOAP 1.1 faultcode/faultstring are unqualified by spec.
+            code = ET.SubElement(fault, "faultcode")
+            code.text = f"soap:{self.code.soap11_name}"
+            reason = ET.SubElement(fault, "faultstring")
+            reason.text = self.reason
+            if self.detail is not None:
+                detail = ET.SubElement(fault, "detail")
+                detail.text = self.detail
+            return fault
+        fault = ET.Element(qname(ns.SOAP12_ENV, "Fault"))
+        code = ET.SubElement(fault, qname(ns.SOAP12_ENV, "Code"))
+        value = ET.SubElement(code, qname(ns.SOAP12_ENV, "Value"))
+        value.text = f"soap:{self.code.value}"
+        reason = ET.SubElement(fault, qname(ns.SOAP12_ENV, "Reason"))
+        text = ET.SubElement(reason, qname(ns.SOAP12_ENV, "Text"))
+        text.text = self.reason
+        if self.detail is not None:
+            detail = ET.SubElement(fault, qname(ns.SOAP12_ENV, "Detail"))
+            detail.text = self.detail
+        return fault
+
+    @classmethod
+    def from_element(cls, fault: ET.Element) -> "SoapFault":
+        """Parse a ``Fault`` element from either SOAP version.
+
+        Raises:
+            ValueError: if the element does not look like a fault.
+        """
+        if fault.tag == qname(ns.SOAP11_ENV, "Fault"):
+            code_text = fault.findtext("faultcode") or "Server"
+            reason = fault.findtext("faultstring") or ""
+            detail = fault.findtext("detail")
+            return cls(FaultCode.from_wire(code_text), reason, detail)
+        if fault.tag == qname(ns.SOAP12_ENV, "Fault"):
+            code_text = (
+                fault.findtext(
+                    f"{qname(ns.SOAP12_ENV, 'Code')}/{qname(ns.SOAP12_ENV, 'Value')}"
+                )
+                or "Receiver"
+            )
+            reason = (
+                fault.findtext(
+                    f"{qname(ns.SOAP12_ENV, 'Reason')}/{qname(ns.SOAP12_ENV, 'Text')}"
+                )
+                or ""
+            )
+            detail = fault.findtext(qname(ns.SOAP12_ENV, "Detail"))
+            return cls(FaultCode.from_wire(code_text), reason, detail)
+        raise ValueError(f"not a SOAP Fault element: {fault.tag!r}")
+
+    def __repr__(self) -> str:
+        return f"SoapFault({self.code.value!r}, {self.reason!r})"
+
+
+def sender_fault(reason: str, detail: Optional[str] = None) -> SoapFault:
+    """Shorthand for a Sender (caller error) fault."""
+    return SoapFault(FaultCode.SENDER, reason, detail)
+
+
+def receiver_fault(reason: str, detail: Optional[str] = None) -> SoapFault:
+    """Shorthand for a Receiver (service error) fault."""
+    return SoapFault(FaultCode.RECEIVER, reason, detail)

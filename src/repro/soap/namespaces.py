@@ -1,0 +1,27 @@
+"""Namespace URIs used throughout the stack.
+
+The standard namespaces are the real OASIS/W3C URIs (so captured envelopes
+look like the 2008-era wire format the paper assumes); the WS-Gossip ones
+are this project's own, mirroring the paper's proposed extension.
+"""
+
+SOAP11_ENV = "http://schemas.xmlsoap.org/soap/envelope/"
+SOAP12_ENV = "http://www.w3.org/2003/05/soap-envelope"
+
+WSA = "http://www.w3.org/2005/08/addressing"
+WSA_ANONYMOUS = "http://www.w3.org/2005/08/addressing/anonymous"
+WSA_NONE = "http://www.w3.org/2005/08/addressing/none"
+
+# WS-Coordination 1.1 (OASIS WS-TX).
+WSCOORD = "http://docs.oasis-open.org/ws-tx/wscoor/2006/06"
+
+# WS-Notification base notification (OASIS WSN).
+WSN = "http://docs.oasis-open.org/wsn/b-2"
+
+# This project's extensions, in the spirit of the paper.
+WSGOSSIP = "urn:ws-gossip:2008:core"
+WSGOSSIP_COORD = "urn:ws-gossip:2008:coordination"
+WSMEMBERSHIP = "urn:ws-membership:2003"
+
+# Payload serialization namespace for repro.soap.serializer.
+PAYLOAD = "urn:ws-gossip:2008:payload"

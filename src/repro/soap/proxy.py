@@ -1,0 +1,129 @@
+"""Typed client proxies over the one-way runtime.
+
+Application code that talks to a known service is nicer with a proxy than
+with raw ``runtime.send`` calls::
+
+    quotes = ServiceProxy(runtime, "sim://market/quotes", {
+        "get_quote": "urn:stock/GetQuote",
+        "subscribe": "urn:stock/Subscribe",
+    })
+    pending = quotes.get_quote({"symbol": "SWX"})
+    ...  # drive the event loop / wait
+    price = pending.value
+
+:class:`PendingReply` adapts the callback style to a future-ish object
+that works in both worlds: poll ``done``/``value`` inside the simulator,
+or ``wait()`` on real transports.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+from repro.soap.fault import SoapFault
+from repro.soap.runtime import SoapRuntime
+
+
+class PendingReply:
+    """A reply that has not arrived yet.
+
+    Attributes become meaningful once :attr:`done` is True.  A fault reply
+    is surfaced by :attr:`value` raising the :class:`SoapFault`.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Any = None
+        self._fault: Optional[SoapFault] = None
+
+    def _resolve(self, context, value: Any) -> None:
+        if isinstance(value, SoapFault):
+            self._fault = value
+        else:
+            self._value = value
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def value(self) -> Any:
+        """The reply payload.
+
+        Raises:
+            RuntimeError: if the reply has not arrived yet.
+            SoapFault: if the service faulted.
+        """
+        if not self._event.is_set():
+            raise RuntimeError("reply has not arrived yet")
+        if self._fault is not None:
+            raise self._fault
+        return self._value
+
+    @property
+    def fault(self) -> Optional[SoapFault]:
+        return self._fault if self._event.is_set() else None
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block a real thread until the reply lands (HTTP transports).
+
+        Never call this inside a simulation -- drive the simulator instead
+        and poll :attr:`done`.
+        """
+        return self._event.wait(timeout)
+
+
+class ServiceProxy:
+    """Callable stubs for a remote service's operations.
+
+    Args:
+        runtime: the local runtime to send through.
+        address: the remote service address.
+        operations: mapping of Python method name to WS-A action URI.
+
+    Each generated method takes the payload value and keyword ``one_way``
+    (default False).  Two-way calls return a :class:`PendingReply`;
+    one-way calls return the ``MessageID``.
+    """
+
+    def __init__(
+        self,
+        runtime: SoapRuntime,
+        address: str,
+        operations: Dict[str, str],
+    ) -> None:
+        if not operations:
+            raise ValueError("a proxy needs at least one operation")
+        self._runtime = runtime
+        self._address = address
+        self._operations = dict(operations)
+        for name in operations:
+            if hasattr(type(self), name) or name.startswith("_"):
+                raise ValueError(f"operation name not allowed: {name!r}")
+
+    def __getattr__(self, name: str):
+        try:
+            action = self._operations[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+        def call(value: Any = None, one_way: bool = False):
+            if one_way:
+                return self._runtime.send(self._address, action, value=value)
+            pending = PendingReply()
+            self._runtime.send(
+                self._address, action, value=value, on_reply=pending._resolve
+            )
+            return pending
+
+        call.__name__ = name
+        return call
+
+    def operations(self) -> Dict[str, str]:
+        """Mapping of method name to action URI."""
+        return dict(self._operations)
+
+    def __repr__(self) -> str:
+        return f"ServiceProxy({self._address!r}, ops={sorted(self._operations)})"

@@ -1,0 +1,89 @@
+"""Service base class with action-based operation routing.
+
+A service is a class whose methods are marked with :func:`operation`,
+keyed by WS-A action URI.  The runtime dispatches inbound messages to the
+operation matching their ``wsa:Action`` header.
+
+Operations receive ``(context, value)`` where ``value`` is the
+deserialized body payload (or ``None`` for an empty body), and may return:
+
+* ``None`` -- one-way, no reply;
+* a plain Python value -- the runtime wraps it in a ``<tag>Response`` body
+  with action ``<action>Response``;
+* a :class:`Reply` -- full control over reply action/tag/value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.soap.handler import MessageContext
+
+
+@dataclass
+class Reply:
+    """Explicit reply specification from an operation."""
+
+    value: Any
+    action: Optional[str] = None
+    tag: Optional[str] = None
+
+
+_OPERATION_ATTR = "_ws_operation_action"
+
+
+def operation(action: str) -> Callable[[Callable], Callable]:
+    """Mark a method as the operation handling WS-A ``action``."""
+
+    def mark(method: Callable) -> Callable:
+        setattr(method, _OPERATION_ATTR, action)
+        return method
+
+    return mark
+
+
+class Service:
+    """Base class for SOAP services.
+
+    Subclasses define operations with the :func:`operation` decorator and
+    are mounted on a runtime at a path::
+
+        class Ping(Service):
+            @operation("urn:example:ping")
+            def ping(self, context, value):
+                return {"echo": value}
+
+        runtime.add_service("/ping", Ping())
+    """
+
+    def __init__(self) -> None:
+        self._operations: Dict[str, Callable[[MessageContext, Any], Any]] = {}
+        for name in dir(type(self)):
+            method = getattr(self, name, None)
+            action = getattr(method, _OPERATION_ATTR, None)
+            if action is not None:
+                if action in self._operations:
+                    raise ValueError(f"duplicate operation for action {action!r}")
+                self._operations[action] = method
+
+    def add_operation(
+        self, action: str, handler: Callable[[MessageContext, Any], Any]
+    ) -> None:
+        """Register an operation at runtime (used by application nodes that
+        bind callbacks rather than subclassing).
+
+        Raises:
+            ValueError: if the action is already handled.
+        """
+        if action in self._operations:
+            raise ValueError(f"duplicate operation for action {action!r}")
+        self._operations[action] = handler
+
+    def actions(self) -> Dict[str, Callable[[MessageContext, Any], Any]]:
+        """Mapping of action URI to bound operation method."""
+        return dict(self._operations)
+
+    def lookup(self, action: str) -> Optional[Callable[[MessageContext, Any], Any]]:
+        """The operation for ``action``, or ``None``."""
+        return self._operations.get(action)

@@ -1,0 +1,87 @@
+"""Node introspection: the ``/status`` port type.
+
+Production middleware exposes its internals; this service reports a
+node's runtime state over SOAP itself -- mounted services, metric
+counters, and (when a gossip layer is attached) per-activity engine state
+(style, view size, seen count, registration state).  The CLI and the
+operations example query it like any other service.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.soap import namespaces as ns
+from repro.soap.handler import MessageContext
+from repro.soap.runtime import SoapRuntime
+from repro.soap.service import Service, operation
+
+STATUS_ACTION = f"{ns.WSGOSSIP}/status/Get"
+STATUS_SERVICE_PATH = "/status"
+
+
+class StatusService(Service):
+    """Reports runtime and gossip-layer state.
+
+    Args:
+        runtime: the node's runtime.
+        gossip_layer: optional :class:`repro.core.handler.GossipLayer`
+            whose engines should be included.
+        extra: optional callable returning additional application-defined
+            status fields (merged under ``"app"``).
+    """
+
+    def __init__(
+        self,
+        runtime: SoapRuntime,
+        gossip_layer=None,
+        extra=None,
+    ) -> None:
+        super().__init__()
+        self._runtime = runtime
+        self._gossip_layer = gossip_layer
+        self._extra = extra
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The status document (also returned by the SOAP operation)."""
+        status: Dict[str, Any] = {
+            "address": self._runtime.base_address,
+            "services": self._runtime.service_paths(),
+            "counters": {
+                name: value
+                for name, value in self._runtime.metrics.counters().items()
+            },
+        }
+        if self._gossip_layer is not None:
+            activities = {}
+            for engine in self._gossip_layer.engines():
+                activities[engine.activity_id] = {
+                    "style": engine.params.style.value,
+                    "fanout": engine.params.fanout,
+                    "rounds": engine.params.rounds,
+                    "ordered": engine.params.ordered,
+                    "registered": engine.registered,
+                    "view_size": len(engine.current_view()),
+                    "seen": engine.store.seen_count,
+                    "retained": len(engine.store),
+                }
+            status["activities"] = activities
+        if self._extra is not None:
+            extra = self._extra()
+            if isinstance(extra, dict):
+                status["app"] = extra
+        return status
+
+    @operation(STATUS_ACTION)
+    def get(self, context: MessageContext, value: Any) -> Dict[str, Any]:
+        """SOAP operation: return the status document."""
+        return self.snapshot()
+
+
+def install_status(
+    runtime: SoapRuntime, gossip_layer=None, extra=None
+) -> StatusService:
+    """Mount a :class:`StatusService` at the conventional ``/status``."""
+    service = StatusService(runtime, gossip_layer=gossip_layer, extra=extra)
+    runtime.add_service(STATUS_SERVICE_PATH, service)
+    return service

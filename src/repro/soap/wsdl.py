@@ -1,0 +1,164 @@
+"""WSDL 1.1 description generation.
+
+A 2008-era WS stack advertises its port types as WSDL; tooling consumed it
+to generate stubs.  This module renders a faithful WSDL 1.1 document for
+any service mounted on a :class:`~repro.soap.runtime.SoapRuntime`: one
+``portType`` operation per registered action, a document-literal SOAP
+binding carrying the action as ``soapAction``, and a ``service`` element
+with the endpoint's concrete address.
+
+The generated documents are real XML and round-trip through
+:func:`parse_wsdl` (used by the tests and by the CLI's ``describe``
+command) -- enough for interop demos, though no external tooling is
+assumed.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.soap.runtime import SoapRuntime
+from repro.soap.service import Service
+from repro.xmlutil import canonical_bytes, parse_bytes, qname
+
+WSDL_NS = "http://schemas.xmlsoap.org/wsdl/"
+WSDL_SOAP_NS = "http://schemas.xmlsoap.org/wsdl/soap/"
+
+_DEFINITIONS = qname(WSDL_NS, "definitions")
+_PORT_TYPE = qname(WSDL_NS, "portType")
+_OPERATION = qname(WSDL_NS, "operation")
+_INPUT = qname(WSDL_NS, "input")
+_BINDING = qname(WSDL_NS, "binding")
+_SERVICE = qname(WSDL_NS, "service")
+_PORT = qname(WSDL_NS, "port")
+_SOAP_BINDING = qname(WSDL_SOAP_NS, "binding")
+_SOAP_OPERATION = qname(WSDL_SOAP_NS, "operation")
+_SOAP_ADDRESS = qname(WSDL_SOAP_NS, "address")
+
+
+def _operation_name(action: str) -> str:
+    """A WSDL operation name derived from an action URI."""
+    tail = action.rpartition("/")[2] or action.rpartition(":")[2]
+    return tail or "Operation"
+
+
+@dataclass
+class WsdlOperation:
+    """One parsed operation."""
+
+    name: str
+    action: str
+
+
+@dataclass
+class WsdlDescription:
+    """Parsed summary of a generated WSDL document."""
+
+    service_name: str
+    endpoint: str
+    operations: List[WsdlOperation] = field(default_factory=list)
+
+    def actions(self) -> List[str]:
+        """The soapAction URIs of every operation."""
+        return [operation.action for operation in self.operations]
+
+
+def generate_wsdl(
+    runtime: SoapRuntime,
+    path: str,
+    service_name: Optional[str] = None,
+    target_namespace: str = "urn:ws-gossip:2008:wsdl",
+) -> bytes:
+    """Render WSDL 1.1 bytes for the service mounted at ``path``.
+
+    Raises:
+        ValueError: when no service is mounted there.
+    """
+    service = runtime.service_at(path)
+    if service is None:
+        raise ValueError(f"no service mounted at {path!r}")
+    name = service_name or type(service).__name__
+
+    root = ET.Element(_DEFINITIONS)
+    root.set("name", name)
+    root.set("targetNamespace", target_namespace)
+
+    port_type = ET.SubElement(root, _PORT_TYPE)
+    port_type.set("name", f"{name}PortType")
+    binding = ET.SubElement(root, _BINDING)
+    binding.set("name", f"{name}Binding")
+    binding.set("type", f"tns:{name}PortType")
+    soap_binding = ET.SubElement(binding, _SOAP_BINDING)
+    soap_binding.set("style", "document")
+    soap_binding.set(
+        "transport", "http://schemas.xmlsoap.org/soap/http"
+    )
+
+    for action in sorted(service.actions()):
+        operation_name = _operation_name(action)
+        pt_operation = ET.SubElement(port_type, _OPERATION)
+        pt_operation.set("name", operation_name)
+        ET.SubElement(pt_operation, _INPUT).set(
+            "message", f"tns:{operation_name}Input"
+        )
+        b_operation = ET.SubElement(binding, _OPERATION)
+        b_operation.set("name", operation_name)
+        soap_operation = ET.SubElement(b_operation, _SOAP_OPERATION)
+        soap_operation.set("soapAction", action)
+
+    service_element = ET.SubElement(root, _SERVICE)
+    service_element.set("name", name)
+    port = ET.SubElement(service_element, _PORT)
+    port.set("name", f"{name}Port")
+    port.set("binding", f"tns:{name}Binding")
+    address = ET.SubElement(port, _SOAP_ADDRESS)
+    address.set("location", runtime.address_of(path))
+
+    return canonical_bytes(root)
+
+
+def parse_wsdl(data: bytes) -> WsdlDescription:
+    """Parse a document produced by :func:`generate_wsdl`.
+
+    Raises:
+        ValueError: when the bytes are not a WSDL definitions document.
+    """
+    root = parse_bytes(data)
+    if root.tag != _DEFINITIONS:
+        raise ValueError(f"not a WSDL definitions document: {root.tag!r}")
+
+    service_element = root.find(_SERVICE)
+    if service_element is None:
+        raise ValueError("WSDL document has no service element")
+    address = service_element.find(f"{_PORT}/{_SOAP_ADDRESS}")
+    if address is None or address.get("location") is None:
+        raise ValueError("WSDL service has no soap:address")
+
+    operations: List[WsdlOperation] = []
+    binding = root.find(_BINDING)
+    if binding is not None:
+        for operation in binding.findall(_OPERATION):
+            soap_operation = operation.find(_SOAP_OPERATION)
+            if soap_operation is None:
+                continue
+            operations.append(
+                WsdlOperation(
+                    name=operation.get("name", ""),
+                    action=soap_operation.get("soapAction", ""),
+                )
+            )
+    return WsdlDescription(
+        service_name=service_element.get("name", ""),
+        endpoint=address.get("location", ""),
+        operations=operations,
+    )
+
+
+def describe_runtime(runtime: SoapRuntime) -> Dict[str, WsdlDescription]:
+    """WSDL descriptions for every service mounted on a runtime."""
+    descriptions = {}
+    for path in runtime.service_paths():
+        descriptions[path] = parse_wsdl(generate_wsdl(runtime, path))
+    return descriptions

@@ -1,0 +1,15 @@
+"""Transport bindings for the SOAP runtime.
+
+* :mod:`repro.transport.inmem` -- binds runtimes to the discrete-event
+  simulator (addresses ``sim://node/path``).
+* :mod:`repro.transport.http`  -- real localhost HTTP (addresses
+  ``http://host:port/path``), used by the examples.
+* :class:`LoopbackTransport`   -- delivers straight back to a registry of
+  runtimes with no latency; used by unit tests.
+"""
+
+from repro.transport.base import LoopbackTransport
+from repro.transport.inmem import SimTransport, WsProcess, sim_address
+from repro.transport.http import HttpNode
+
+__all__ = ["HttpNode", "LoopbackTransport", "SimTransport", "WsProcess", "sim_address"]

@@ -1,0 +1,47 @@
+"""Transport helpers shared by the bindings."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+def split_address(address: str) -> tuple:
+    """Split ``scheme://authority/path`` into ``(scheme, authority, path)``.
+
+    Raises:
+        ValueError: if the address has no ``://``.
+    """
+    scheme, sep, rest = address.partition("://")
+    if not sep:
+        raise ValueError(f"not an absolute address: {address!r}")
+    authority, slash, path = rest.partition("/")
+    return scheme, authority, ("/" + path if slash else "")
+
+
+class LoopbackTransport:
+    """Zero-latency in-process transport for unit tests.
+
+    Runtimes register under their base address; ``send`` synchronously
+    invokes the destination runtime's ``receive``.  Unknown destinations
+    are counted and dropped (datagram semantics, like the simulator).
+    """
+
+    def __init__(self) -> None:
+        self._receivers: Dict[str, object] = {}
+        self.dropped = 0
+        self.delivered = 0
+
+    def register(self, runtime) -> None:
+        """Register a :class:`~repro.soap.runtime.SoapRuntime`."""
+        self._receivers[runtime.base_address] = runtime
+
+    def send(self, address: str, data: bytes) -> None:
+        """Deliver synchronously to the registered runtime, else drop."""
+        scheme, authority, _ = split_address(address)
+        base = f"{scheme}://{authority}"
+        runtime = self._receivers.get(base)
+        if runtime is None:
+            self.dropped += 1
+            return
+        self.delivered += 1
+        runtime.receive(data, source=None)

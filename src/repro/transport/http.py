@@ -1,0 +1,121 @@
+"""Real HTTP binding (stdlib only), for running examples on localhost.
+
+Every node runs its own small HTTP server; sending POSTs the envelope to
+the destination and expects ``202 Accepted`` (one-way WS-Addressing
+messaging, the same model the simulator uses).  Outbound sends happen on a
+small thread pool so a service operation can send without deadlocking on
+its own server thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.soap.runtime import SoapRuntime
+
+
+class HttpTransport:
+    """POSTs envelope bytes to ``http://...`` addresses."""
+
+    def __init__(self, max_workers: int = 8, timeout: float = 5.0) -> None:
+        self._pool = ThreadPoolExecutor(max_workers=max_workers)
+        self._timeout = timeout
+        self.send_errors = 0
+
+    def send(self, address: str, data: bytes) -> None:
+        """POST asynchronously from the worker pool (best effort)."""
+        self._pool.submit(self._post, address, data)
+
+    def _post(self, address: str, data: bytes) -> None:
+        request = urllib.request.Request(
+            address,
+            data=data,
+            headers={"Content-Type": "text/xml; charset=utf-8"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self._timeout):
+                pass
+        except (urllib.error.URLError, OSError):
+            # One-way messaging is best effort, exactly like the simulated
+            # datagram fabric: the gossip layer's redundancy covers losses.
+            self.send_errors += 1
+
+    def close(self) -> None:
+        """Shut the outbound worker pool down."""
+        self._pool.shutdown(wait=False)
+
+
+class HttpNode:
+    """A SOAP runtime served over real localhost HTTP.
+
+    Example::
+
+        node = HttpNode("127.0.0.1", 8801)
+        node.runtime.add_service("/ping", PingService())
+        node.start()
+        ...
+        node.stop()
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.transport = HttpTransport()
+        runtime_holder = {}
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+                length = int(self.headers.get("Content-Length", "0"))
+                body = self.rfile.read(length)
+                self.send_response(202)
+                self.send_header("Content-Length", "0")
+                self.end_headers()
+                runtime = runtime_holder.get("runtime")
+                if runtime is not None:
+                    runtime.receive(body, source=None)
+
+            def log_message(self, *args) -> None:  # silence stderr
+                pass
+
+        class Server(ThreadingHTTPServer):
+            # The socketserver default backlog (5) refuses connections
+            # under concurrent senders; a gossip node must absorb bursts.
+            request_queue_size = 128
+            daemon_threads = True
+
+        self._server = Server((host, port), Handler)
+        self.host, self.port = self._server.server_address[:2]
+        self.base_address = f"http://{self.host}:{self.port}"
+        self.runtime = SoapRuntime(self.base_address, self.transport)
+        runtime_holder["runtime"] = self.runtime
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        """Serve requests on a daemon thread."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name=f"http-{self.port}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Shut the server and the outbound pool down."""
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self.transport.close()
+
+    def __enter__(self) -> "HttpNode":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,71 @@
+"""Binding the SOAP runtime to the discrete-event simulator.
+
+Each simulated WS node is a :class:`WsProcess`: a
+:class:`~repro.simnet.process.Process` hosting a
+:class:`~repro.soap.runtime.SoapRuntime`.  Wire messages are the actual
+serialized envelope bytes travelling through :class:`~repro.simnet.network.Network`,
+so the full SOAP encode/decode path is exercised in every experiment.
+
+Addresses take the form ``sim://<node-name>/<service-path>``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simnet.network import Network
+from repro.simnet.process import Process
+from repro.soap.runtime import SoapRuntime
+from repro.transport.base import split_address
+
+
+def sim_address(node_name: str, path: str = "") -> str:
+    """Build a ``sim://`` address for a node (and optional service path)."""
+    if path and not path.startswith("/"):
+        raise ValueError(f"path must start with '/': {path!r}")
+    return f"sim://{node_name}{path}"
+
+
+class SimTransport:
+    """Sends envelope bytes from one simulated node over the network."""
+
+    def __init__(self, node: Process) -> None:
+        self._node = node
+
+    def send(self, address: str, data: bytes) -> None:
+        """Send envelope bytes over the simulated network."""
+        scheme, authority, _ = split_address(address)
+        if scheme != "sim":
+            raise ValueError(f"SimTransport cannot reach {address!r}")
+        self._node.send(authority, data, size=len(data))
+
+
+class WsProcess(Process):
+    """A simulated node running the SOAP middleware stack.
+
+    The runtime's handler chain is where a "compliant middleware stack"
+    (paper, Section 3) gets its gossip layer installed.
+
+    Subclasses add services in :meth:`configure` (called once at
+    construction) and may override the process lifecycle hooks as usual.
+    """
+
+    def __init__(self, name: str, network: Network) -> None:
+        super().__init__(name, network)
+        self.runtime = SoapRuntime(
+            sim_address(name),
+            SimTransport(self),
+            metrics=network.metrics,
+        )
+        self.configure()
+
+    def configure(self) -> None:
+        """Mount services / install handlers.  Default: nothing."""
+
+    def on_message(self, source: str, payload: bytes) -> None:
+        if not isinstance(payload, (bytes, bytearray)):
+            raise TypeError(
+                f"WsProcess {self.name!r} expects wire bytes, got "
+                f"{type(payload).__name__}"
+            )
+        self.runtime.receive(bytes(payload), source=sim_address(source))

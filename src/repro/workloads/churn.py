@@ -1,0 +1,39 @@
+"""Fault-schedule builders used by the resilience experiments."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.simnet.faults import ChurnGenerator, FaultPlan
+from repro.simnet.network import Network
+
+
+def crash_fraction_plan(
+    network: Network,
+    candidates: Sequence[str],
+    fraction: float,
+    at: float,
+) -> FaultPlan:
+    """Crash ``fraction`` of ``candidates`` at time ``at`` (applied)."""
+    plan = FaultPlan(network)
+    plan.crash_fraction_at(at, fraction, candidates)
+    plan.apply()
+    return plan
+
+
+def churn_plan(
+    network: Network,
+    candidates: Sequence[str],
+    rate: float,
+    recover_delay: float = 2.0,
+    until: Optional[float] = None,
+) -> ChurnGenerator:
+    """Start continuous churn over ``candidates`` (started)."""
+    generator = ChurnGenerator(
+        network=network,
+        candidates=list(candidates),
+        rate=rate,
+        recover_delay=recover_delay,
+    )
+    generator.start(until=until)
+    return generator

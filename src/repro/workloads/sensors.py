@@ -1,0 +1,55 @@
+"""Sensor-field workload for the aggregation scenario."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+
+class SensorField:
+    """A population of sensors with known ground-truth statistics.
+
+    Readings are Gaussian around a per-sensor bias so the field's exact
+    mean/sum/min/max are computable -- the aggregation experiments compare
+    gossip estimates against these.
+    """
+
+    def __init__(
+        self,
+        n_sensors: int,
+        seed: int = 0,
+        mean: float = 21.0,
+        spread: float = 4.0,
+        noise: float = 0.2,
+    ) -> None:
+        if n_sensors < 1:
+            raise ValueError(f"need at least one sensor: {n_sensors!r}")
+        self._rng = random.Random(seed)
+        self.biases: List[float] = [
+            mean + self._rng.uniform(-spread, spread) for _ in range(n_sensors)
+        ]
+        self.noise = noise
+        self.readings: List[float] = [
+            bias + self._rng.gauss(0.0, noise) for bias in self.biases
+        ]
+
+    @property
+    def n_sensors(self) -> int:
+        return len(self.readings)
+
+    def truth(self) -> Dict[str, float]:
+        """Exact aggregates of the current readings."""
+        return {
+            "mean": sum(self.readings) / len(self.readings),
+            "sum": sum(self.readings),
+            "min": min(self.readings),
+            "max": max(self.readings),
+            "count": float(len(self.readings)),
+        }
+
+    def resample(self) -> List[float]:
+        """Draw a fresh reading per sensor (new measurement epoch)."""
+        self.readings = [
+            bias + self._rng.gauss(0.0, self.noise) for bias in self.biases
+        ]
+        return list(self.readings)

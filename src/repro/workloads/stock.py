@@ -1,0 +1,111 @@
+"""Synthetic stock-market tick feed.
+
+Properties modelled after public descriptions of exchange feeds:
+
+* a fixed universe of symbols whose popularity follows a Zipf law (a few
+  hot symbols dominate the volume);
+* per-symbol geometric-random-walk prices;
+* exponential inter-arrival times, with optional *burst* windows where the
+  rate multiplies (opening auction, news events) -- the perturbation used
+  by the throughput-stability experiment E4.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Tick:
+    """One trade/quote event."""
+
+    time: float
+    symbol: str
+    price: float
+    size: int
+    sequence: int
+
+    def to_value(self) -> Dict[str, Any]:
+        """Serializer-friendly payload."""
+        return {
+            "symbol": self.symbol,
+            "price": self.price,
+            "size": self.size,
+            "seq": self.sequence,
+            "time": self.time,
+        }
+
+
+class StockFeed:
+    """Deterministic, seedable tick generator.
+
+    Args:
+        symbols: ticker universe (defaults to 16 synthetic names).
+        rate: mean ticks per second.
+        seed: RNG seed.
+        zipf_s: Zipf exponent for symbol popularity (~1 is realistic).
+        volatility: per-tick log-price standard deviation.
+        bursts: list of ``(start, end, multiplier)`` windows where the
+            arrival rate is multiplied.
+    """
+
+    def __init__(
+        self,
+        symbols: Optional[Sequence[str]] = None,
+        rate: float = 10.0,
+        seed: int = 0,
+        zipf_s: float = 1.1,
+        volatility: float = 0.002,
+        bursts: Optional[List[Tuple[float, float, float]]] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive: {rate!r}")
+        if symbols is None:
+            symbols = [f"SYM{index:02d}" for index in range(16)]
+        self.symbols = list(symbols)
+        if not self.symbols:
+            raise ValueError("need at least one symbol")
+        self.rate = rate
+        self.volatility = volatility
+        self.bursts = list(bursts or [])
+        self._rng = random.Random(seed)
+        # Zipf weights over the symbol universe.
+        weights = [1.0 / (rank ** zipf_s) for rank in range(1, len(self.symbols) + 1)]
+        total = sum(weights)
+        self._weights = [weight / total for weight in weights]
+        self._prices: Dict[str, float] = {
+            symbol: 20.0 + 5.0 * index for index, symbol in enumerate(self.symbols)
+        }
+        self._sequence = 0
+
+    def rate_at(self, time: float) -> float:
+        """Instantaneous arrival rate, bursts applied."""
+        rate = self.rate
+        for start, end, multiplier in self.bursts:
+            if start <= time < end:
+                rate *= multiplier
+        return rate
+
+    def ticks(self, duration: float) -> Iterator[Tick]:
+        """Generate the tick stream for ``duration`` seconds."""
+        now = 0.0
+        while True:
+            now += self._rng.expovariate(self.rate_at(now))
+            if now >= duration:
+                return
+            symbol = self._rng.choices(self.symbols, weights=self._weights)[0]
+            price = self._prices[symbol] * math.exp(
+                self._rng.gauss(0.0, self.volatility)
+            )
+            self._prices[symbol] = price
+            self._sequence += 1
+            yield Tick(
+                time=now,
+                symbol=symbol,
+                price=round(price, 4),
+                size=self._rng.randint(1, 100) * 10,
+                sequence=self._sequence,
+            )

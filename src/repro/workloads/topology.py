@@ -1,0 +1,70 @@
+"""Network topology helpers: multi-datacenter latency shapes.
+
+The simulator's per-link overrides can express any latency matrix; this
+module provides the common shape experiments need -- a population split
+across sites with fast local links and slow cross-site links -- plus the
+site map the locality-aware peer selector consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.simnet.latency import LatencyModel
+from repro.simnet.network import Network
+from repro.transport.base import split_address
+
+
+def site_of_address(address: str, site_map: Dict[str, str]) -> str:
+    """Resolve an address (``sim://node/path``) to its site via node name."""
+    _, authority, _ = split_address(address)
+    return site_map.get(authority, "")
+
+
+def apply_site_latency(
+    network: Network,
+    sites: Dict[str, Sequence[str]],
+    local: LatencyModel,
+    cross: LatencyModel,
+) -> Dict[str, str]:
+    """Install a site-structured latency matrix.
+
+    Args:
+        network: the fabric to configure.
+        sites: mapping of site name to the node names it hosts.
+        local: latency model for same-site links.
+        cross: latency model for cross-site links.
+
+    Returns the node-name -> site-name map (for selectors and accounting).
+
+    Raises:
+        ValueError: when a node appears in two sites.
+    """
+    site_map: Dict[str, str] = {}
+    for site, nodes in sites.items():
+        for name in nodes:
+            if name in site_map:
+                raise ValueError(f"node in two sites: {name!r}")
+            site_map[name] = site
+
+    names: List[str] = list(site_map)
+    for source in names:
+        for destination in names:
+            if source == destination:
+                continue
+            model = local if site_map[source] == site_map[destination] else cross
+            network.set_link_latency(source, destination, model)
+    return site_map
+
+
+def cross_site_fraction(trace, site_map: Dict[str, str]) -> float:
+    """Fraction of traced sends that crossed a site boundary."""
+    sends = trace.events(kind="net.send")
+    if not sends:
+        return 0.0
+    crossing = sum(
+        1
+        for event in sends
+        if site_map.get(event.node) != site_map.get(event.detail.get("destination"))
+    )
+    return crossing / len(sends)

@@ -1,0 +1,9 @@
+"""WS-Addressing: endpoint references and message addressing properties."""
+
+from repro.wsa.addressing import (
+    AddressingHeaders,
+    EndpointReference,
+    new_message_id,
+)
+
+__all__ = ["AddressingHeaders", "EndpointReference", "new_message_id"]

@@ -1,0 +1,30 @@
+"""WS-Coordination 1.1: contexts, Activation and Registration services.
+
+The paper builds WS-PushGossip "on the standard WS-Coordination in order to
+provide gossip-based communication seamlessly" (Section 3).  This package
+implements the protocol machinery the paper relies on:
+
+* :class:`~repro.wscoord.context.CoordinationContext` -- the context
+  created by Activation and propagated as a SOAP header with every
+  coordinated message.
+* :class:`~repro.wscoord.coordinator.Coordinator` -- activity state plus a
+  plug-in interface (:class:`~repro.wscoord.coordinator.CoordinationProtocol`)
+  that concrete coordination types (here: gossip) implement.
+* :class:`~repro.wscoord.activation.ActivationService` and
+  :class:`~repro.wscoord.registration.RegistrationService` -- the two
+  standard port types, mounted on the coordinator node.
+"""
+
+from repro.wscoord.activation import ActivationService
+from repro.wscoord.context import CoordinationContext
+from repro.wscoord.coordinator import Activity, CoordinationProtocol, Coordinator
+from repro.wscoord.registration import RegistrationService
+
+__all__ = [
+    "Activity",
+    "ActivationService",
+    "CoordinationContext",
+    "CoordinationProtocol",
+    "Coordinator",
+    "RegistrationService",
+]

@@ -1,0 +1,60 @@
+"""The WS-Coordination Activation service port type."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.soap import namespaces as ns
+from repro.soap.fault import sender_fault
+from repro.soap.handler import MessageContext
+from repro.soap.service import Reply, Service, operation
+from repro.wscoord.coordinator import Coordinator
+
+CREATE_ACTION = f"{ns.WSCOORD}/CreateCoordinationContext"
+CREATE_RESPONSE_ACTION = f"{ns.WSCOORD}/CreateCoordinationContextResponse"
+
+
+class ActivationService(Service):
+    """Creates coordination contexts on request.
+
+    Request payload (serializer map)::
+
+        {"coordination_type": str, "expires": float | None,
+         "parameters": map | None}
+
+    The response body is the ``CoordinationContext`` header-block element
+    itself, per the WS-Coordination wire format.
+    """
+
+    def __init__(self, coordinator: Coordinator) -> None:
+        super().__init__()
+        self._coordinator = coordinator
+
+    @operation(CREATE_ACTION)
+    def create_coordination_context(
+        self, context: MessageContext, value: Optional[Dict[str, Any]]
+    ) -> Reply:
+        """SOAP operation: create an activity, reply with its context."""
+        if not isinstance(value, dict) or "coordination_type" not in value:
+            raise sender_fault(
+                "CreateCoordinationContext requires a coordination_type"
+            )
+        coordination_type = value["coordination_type"]
+        if not isinstance(coordination_type, str):
+            raise sender_fault("coordination_type must be a string")
+        expires = value.get("expires")
+        if expires is not None and not isinstance(expires, (int, float)):
+            raise sender_fault("expires must be a number of seconds")
+        parameters = value.get("parameters") or {}
+        if not isinstance(parameters, dict):
+            raise sender_fault("parameters must be a map")
+
+        coordination_context = self._coordinator.create_context(
+            coordination_type,
+            expires=float(expires) if expires is not None else None,
+            parameters=parameters,
+        )
+        return Reply(
+            value=coordination_context.to_element(),
+            action=CREATE_RESPONSE_ACTION,
+        )

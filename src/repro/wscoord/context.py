@@ -1,0 +1,89 @@
+"""The WS-Coordination CoordinationContext.
+
+A context identifies one coordinated *activity*.  It is returned by the
+Activation service and then travels as a SOAP header block on every message
+belonging to the activity, so any compliant stack (e.g. a Disseminator's
+gossip layer) can recognize the activity and find its Registration service.
+"""
+
+from __future__ import annotations
+
+import uuid
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.soap import namespaces as ns
+from repro.wsa.addressing import EndpointReference
+from repro.xmlutil import qname
+
+CONTEXT_TAG = qname(ns.WSCOORD, "CoordinationContext")
+_IDENTIFIER = qname(ns.WSCOORD, "Identifier")
+_COORDINATION_TYPE = qname(ns.WSCOORD, "CoordinationType")
+_EXPIRES = qname(ns.WSCOORD, "Expires")
+_REGISTRATION_SERVICE = qname(ns.WSCOORD, "RegistrationService")
+
+
+def new_context_identifier() -> str:
+    """A fresh activity identifier."""
+    return f"urn:wscoord:activity:{uuid.uuid4()}"
+
+
+@dataclass(frozen=True)
+class CoordinationContext:
+    """One activity's coordination context.
+
+    Attributes:
+        identifier: unique activity id.
+        coordination_type: URI naming the protocol family (for WS-Gossip:
+            :data:`repro.soap.namespaces.WSGOSSIP_COORD` plus a style suffix).
+        registration_service: EPR of the Registration service participants
+            must register with.
+        expires: optional lifetime in seconds (``None`` = unbounded).
+    """
+
+    identifier: str
+    coordination_type: str
+    registration_service: EndpointReference
+    expires: Optional[float] = None
+
+    def to_element(self) -> ET.Element:
+        """Serialize as the standard header block."""
+        root = ET.Element(CONTEXT_TAG)
+        identifier = ET.SubElement(root, _IDENTIFIER)
+        identifier.text = self.identifier
+        if self.expires is not None:
+            expires = ET.SubElement(root, _EXPIRES)
+            expires.text = repr(self.expires)
+        coordination_type = ET.SubElement(root, _COORDINATION_TYPE)
+        coordination_type.text = self.coordination_type
+        root.append(self.registration_service.to_element(_REGISTRATION_SERVICE))
+        return root
+
+    @classmethod
+    def from_element(cls, element: ET.Element) -> "CoordinationContext":
+        """Parse the header block.
+
+        Raises:
+            ValueError: when mandatory children are missing.
+        """
+        identifier = element.findtext(_IDENTIFIER)
+        coordination_type = element.findtext(_COORDINATION_TYPE)
+        registration = element.find(_REGISTRATION_SERVICE)
+        if identifier is None or coordination_type is None or registration is None:
+            raise ValueError("malformed CoordinationContext header")
+        expires_text = element.findtext(_EXPIRES)
+        return cls(
+            identifier=identifier,
+            coordination_type=coordination_type,
+            registration_service=EndpointReference.from_element(registration),
+            expires=float(expires_text) if expires_text is not None else None,
+        )
+
+    @classmethod
+    def from_envelope(cls, envelope) -> Optional["CoordinationContext"]:
+        """Extract the context header from an envelope, if present."""
+        element = envelope.header(CONTEXT_TAG)
+        if element is None:
+            return None
+        return cls.from_element(element)

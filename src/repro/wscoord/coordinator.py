@@ -1,0 +1,188 @@
+"""The coordinator: activity state and protocol plug-ins.
+
+WS-Coordination itself is protocol-agnostic; concrete behaviour comes from
+a *coordination type* plugged into the coordinator.  WS-Gossip registers
+its gossip coordination types here
+(:class:`repro.core.coordination.GossipCoordinationProtocol`), exactly as
+WS-AtomicTransaction would register 2PC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.soap.fault import sender_fault
+from repro.wsa.addressing import EndpointReference
+from repro.wscoord.context import CoordinationContext, new_context_identifier
+
+
+@dataclass
+class Participant:
+    """One registered participant of an activity."""
+
+    protocol: str
+    endpoint: EndpointReference
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Activity:
+    """Coordinator-side state for one activity."""
+
+    context: CoordinationContext
+    participants: List[Participant] = field(default_factory=list)
+    properties: Dict[str, Any] = field(default_factory=dict)
+
+    def participant_addresses(self, protocol: Optional[str] = None) -> List[str]:
+        """Addresses of registered participants, optionally by protocol."""
+        return [
+            participant.endpoint.address
+            for participant in self.participants
+            if protocol is None or participant.protocol == protocol
+        ]
+
+    def is_registered(self, address: str, protocol: Optional[str] = None) -> bool:
+        """True when ``address`` is a participant (optionally by protocol)."""
+        return address in self.participant_addresses(protocol)
+
+
+class CoordinationProtocol:
+    """Plug-in interface for a coordination type.
+
+    Subclasses implement the behaviour of one coordination type URI.  The
+    coordinator invokes the hooks; return values of :meth:`on_register`
+    are merged into the RegisterResponse payload.
+    """
+
+    coordination_type: str = ""
+
+    def on_create(self, activity: Activity, parameters: Dict[str, Any]) -> None:
+        """Called when an activity of this type is created."""
+
+    def on_register(
+        self, activity: Activity, participant: Participant
+    ) -> Dict[str, Any]:
+        """Called when a participant registers; returns response extras."""
+        return {}
+
+
+class Coordinator:
+    """Activity registry plus the protocol plug-ins.
+
+    Args:
+        registration_epr_factory: callable ``(activity_id) -> EndpointReference``
+            returning the EPR of the Registration service to embed in new
+            contexts (supplied by the node hosting the coordinator, since
+            only it knows its address).  The activity id should ride as a
+            reference parameter so Register messages identify themselves.
+    """
+
+    def __init__(self, registration_epr_factory) -> None:
+        self._registration_epr_factory = registration_epr_factory
+        self._protocols: Dict[str, CoordinationProtocol] = {}
+        self._activities: Dict[str, Activity] = {}
+
+    # -- protocol plug-ins ----------------------------------------------------
+
+    def add_protocol(self, protocol: CoordinationProtocol) -> None:
+        """Install a coordination type.
+
+        Raises:
+            ValueError: on duplicate or empty coordination type URIs.
+        """
+        if not protocol.coordination_type:
+            raise ValueError("protocol must define a coordination_type URI")
+        if protocol.coordination_type in self._protocols:
+            raise ValueError(
+                f"coordination type already installed: {protocol.coordination_type!r}"
+            )
+        self._protocols[protocol.coordination_type] = protocol
+
+    def protocol_for(self, coordination_type: str) -> CoordinationProtocol:
+        """The installed protocol for a coordination type (faults if absent)."""
+        try:
+            return self._protocols[coordination_type]
+        except KeyError:
+            raise sender_fault(
+                f"unsupported coordination type: {coordination_type!r}"
+            ) from None
+
+    # -- activities --------------------------------------------------------------
+
+    def create_context(
+        self,
+        coordination_type: str,
+        expires: Optional[float] = None,
+        parameters: Optional[Dict[str, Any]] = None,
+    ) -> CoordinationContext:
+        """Create a new activity and return its context.
+
+        Raises:
+            SoapFault: (Sender) for unknown coordination types.
+        """
+        protocol = self.protocol_for(coordination_type)
+        identifier = new_context_identifier()
+        context = CoordinationContext(
+            identifier=identifier,
+            coordination_type=coordination_type,
+            registration_service=self._registration_epr_factory(identifier),
+            expires=expires,
+        )
+        activity = Activity(context=context)
+        self._activities[identifier] = activity
+        protocol.on_create(activity, parameters or {})
+        return context
+
+    def register(
+        self,
+        activity_id: str,
+        protocol_id: str,
+        participant_epr: EndpointReference,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Register a participant; returns the protocol's response extras.
+
+        Registration is idempotent per (address, protocol): re-registering
+        refreshes metadata instead of duplicating the participant.
+
+        Raises:
+            SoapFault: (Sender) for unknown activities.
+        """
+        activity = self.activity(activity_id)
+        protocol = self.protocol_for(activity.context.coordination_type)
+        participant = None
+        for existing in activity.participants:
+            if (
+                existing.endpoint.address == participant_epr.address
+                and existing.protocol == protocol_id
+            ):
+                participant = existing
+                participant.metadata = dict(metadata or {})
+                break
+        if participant is None:
+            participant = Participant(
+                protocol=protocol_id,
+                endpoint=participant_epr,
+                metadata=dict(metadata or {}),
+            )
+            activity.participants.append(participant)
+        return protocol.on_register(activity, participant)
+
+    def activity(self, activity_id: str) -> Activity:
+        """Look up an activity.
+
+        Raises:
+            SoapFault: (Sender) when the activity does not exist.
+        """
+        try:
+            return self._activities[activity_id]
+        except KeyError:
+            raise sender_fault(f"unknown activity: {activity_id!r}") from None
+
+    def activities(self) -> List[Activity]:
+        """Every known activity."""
+        return list(self._activities.values())
+
+    def __contains__(self, activity_id: str) -> bool:
+        return activity_id in self._activities

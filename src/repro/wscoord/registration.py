@@ -1,0 +1,71 @@
+"""The WS-Coordination Registration service port type."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.soap import namespaces as ns
+from repro.soap.fault import sender_fault
+from repro.soap.handler import MessageContext
+from repro.soap.service import Service, operation
+from repro.wsa.addressing import EndpointReference
+from repro.wscoord.coordinator import Coordinator
+from repro.xmlutil import qname
+
+REGISTER_ACTION = f"{ns.WSCOORD}/Register"
+REGISTER_RESPONSE_ACTION = f"{ns.WSCOORD}/RegisterResponse"
+
+# The activity id rides as a reference parameter of the Registration EPR and
+# therefore arrives as this header on Register messages.
+ACTIVITY_ID_PARAM = "ActivityId"
+_ACTIVITY_ID_HEADER = qname(ns.WSGOSSIP, ACTIVITY_ID_PARAM)
+
+
+class RegistrationService(Service):
+    """Registers participants into activities.
+
+    Request payload (serializer map)::
+
+        {"protocol": str, "participant": str (address),
+         "metadata": map | None,
+         "activity": str | None  # fallback when no header is present}
+
+    Response payload: the coordination protocol's response extras (for
+    gossip: peer list and round parameters), plus the activity id.
+    """
+
+    def __init__(self, coordinator: Coordinator) -> None:
+        super().__init__()
+        self._coordinator = coordinator
+
+    @operation(REGISTER_ACTION)
+    def register(
+        self, context: MessageContext, value: Optional[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """SOAP operation: register a participant into an activity."""
+        if not isinstance(value, dict):
+            raise sender_fault("Register requires a map payload")
+        protocol = value.get("protocol")
+        participant = value.get("participant")
+        if not isinstance(protocol, str) or not isinstance(participant, str):
+            raise sender_fault("Register requires protocol and participant strings")
+        metadata = value.get("metadata") or {}
+        if not isinstance(metadata, dict):
+            raise sender_fault("metadata must be a map")
+
+        activity_id = context.envelope.header_text(_ACTIVITY_ID_HEADER)
+        if activity_id is None:
+            fallback = value.get("activity")
+            if not isinstance(fallback, str):
+                raise sender_fault("Register missing activity identifier")
+            activity_id = fallback
+
+        extras = self._coordinator.register(
+            activity_id,
+            protocol,
+            EndpointReference(participant),
+            metadata=metadata,
+        )
+        response: Dict[str, Any] = {"activity": activity_id}
+        response.update(extras)
+        return response

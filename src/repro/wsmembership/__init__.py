@@ -1,0 +1,26 @@
+"""WS-Membership: gossip-style failure management (Vogels & Re, 2003).
+
+The paper's distributed-Coordinator mode relies on WS-Membership to keep
+the subscriber list "in a distributed fashion".  This package implements
+the heartbeat-gossip membership protocol:
+
+* every node keeps a table ``member -> (heartbeat, last_update, status)``;
+* periodically it bumps its own heartbeat and gossips the table to a few
+  random members;
+* receivers merge by taking the larger heartbeat;
+* a detector sweep marks members SUSPECT after ``t_fail`` without
+  progress and FAILED (removed) after ``t_cleanup``.
+"""
+
+from repro.wsmembership.engine import MembershipEngine
+from repro.wsmembership.node import MembershipNode
+from repro.wsmembership.service import MembershipService
+from repro.wsmembership.view import MemberStatus, MembershipView
+
+__all__ = [
+    "MemberStatus",
+    "MembershipEngine",
+    "MembershipNode",
+    "MembershipService",
+    "MembershipView",
+]

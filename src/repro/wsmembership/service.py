@@ -1,0 +1,27 @@
+"""The ``/membership`` SOAP endpoint."""
+
+from __future__ import annotations
+
+from repro.soap.fault import sender_fault
+from repro.soap.handler import MessageContext
+from repro.soap.service import Service, operation
+from repro.wsmembership.engine import UPDATE_ACTION, MembershipEngine
+
+
+class MembershipService(Service):
+    """Receives gossiped membership tables."""
+
+    def __init__(self, engine: MembershipEngine) -> None:
+        super().__init__()
+        self._engine = engine
+
+    @operation(UPDATE_ACTION)
+    def update(self, context: MessageContext, value) -> None:
+        """SOAP operation: merge a gossiped membership table."""
+        if not isinstance(value, dict):
+            raise sender_fault("Update requires a map payload")
+        table = value.get("table")
+        if not isinstance(table, list):
+            raise sender_fault("Update requires a table list")
+        self._engine.receive_update(table)
+        return None

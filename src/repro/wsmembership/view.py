@@ -1,0 +1,144 @@
+"""The membership table and its merge semantics."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+class MemberStatus(enum.Enum):
+    """Detector opinion about one member."""
+
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    FAILED = "failed"
+
+
+@dataclass
+class MemberRecord:
+    """One row of the membership table.
+
+    ``heartbeat`` only ever increases (monotone merge); ``last_update`` is
+    the *local* time the heartbeat last increased, which is what the
+    failure detector ages.
+    """
+
+    address: str
+    heartbeat: int
+    last_update: float
+    status: MemberStatus = MemberStatus.ALIVE
+
+
+class MembershipView:
+    """Per-node membership table with gossip merge and detector sweep."""
+
+    def __init__(self, self_address: str) -> None:
+        self.self_address = self_address
+        self._records: Dict[str, MemberRecord] = {
+            self_address: MemberRecord(self_address, 0, 0.0)
+        }
+
+    # -- local heartbeat -----------------------------------------------------
+
+    def beat(self, now: float) -> None:
+        """Advance our own heartbeat."""
+        record = self._records[self.self_address]
+        record.heartbeat += 1
+        record.last_update = now
+        record.status = MemberStatus.ALIVE
+
+    # -- gossip merge -----------------------------------------------------------
+
+    def snapshot(self) -> List[dict]:
+        """Serializable table (address -> heartbeat) sent in gossip.
+
+        Suspect members are included (their heartbeat still disproves false
+        suspicion at other nodes); failed ones are not resurrected by us.
+        """
+        return [
+            {"address": record.address, "heartbeat": record.heartbeat}
+            for record in self._records.values()
+            if record.status is not MemberStatus.FAILED
+        ]
+
+    def merge(self, remote: List[dict], now: float) -> int:
+        """Merge a received table; returns how many rows progressed."""
+        progressed = 0
+        for item in remote:
+            if not isinstance(item, dict):
+                continue
+            address = item.get("address")
+            heartbeat = item.get("heartbeat")
+            if not isinstance(address, str) or not isinstance(heartbeat, int):
+                continue
+            record = self._records.get(address)
+            if record is None:
+                self._records[address] = MemberRecord(address, heartbeat, now)
+                progressed += 1
+            elif heartbeat > record.heartbeat:
+                record.heartbeat = heartbeat
+                record.last_update = now
+                if record.status is not MemberStatus.FAILED:
+                    record.status = MemberStatus.ALIVE
+                progressed += 1
+        return progressed
+
+    # -- failure detection ----------------------------------------------------------
+
+    def sweep(self, now: float, t_fail: float, t_cleanup: float) -> List[str]:
+        """Run the detector; returns addresses newly marked FAILED.
+
+        ``t_fail`` stale -> SUSPECT; ``t_cleanup`` stale -> FAILED and
+        dropped from gossip.  Our own record is exempt.
+        """
+        if t_cleanup < t_fail:
+            raise ValueError("t_cleanup must be >= t_fail")
+        newly_failed = []
+        for record in self._records.values():
+            if record.address == self.self_address:
+                continue
+            staleness = now - record.last_update
+            if staleness >= t_cleanup:
+                if record.status is not MemberStatus.FAILED:
+                    record.status = MemberStatus.FAILED
+                    newly_failed.append(record.address)
+            elif staleness >= t_fail:
+                if record.status is MemberStatus.ALIVE:
+                    record.status = MemberStatus.SUSPECT
+        return newly_failed
+
+    # -- queries -----------------------------------------------------------------------
+
+    def status_of(self, address: str) -> Optional[MemberStatus]:
+        """The detector's opinion of ``address`` (None when unknown)."""
+        record = self._records.get(address)
+        return record.status if record is not None else None
+
+    def members(self, status: Optional[MemberStatus] = None) -> List[str]:
+        """Addresses with the given status (default: not FAILED)."""
+        if status is None:
+            return [
+                record.address
+                for record in self._records.values()
+                if record.status is not MemberStatus.FAILED
+            ]
+        return [
+            record.address
+            for record in self._records.values()
+            if record.status is status
+        ]
+
+    def alive_members(self) -> List[str]:
+        """Addresses currently believed ALIVE."""
+        return self.members(MemberStatus.ALIVE)
+
+    def record(self, address: str) -> Optional[MemberRecord]:
+        """The raw table row for ``address``, or ``None``."""
+        return self._records.get(address)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._records

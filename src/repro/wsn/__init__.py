@@ -1,0 +1,14 @@
+"""WS-Notification (base notification pattern): the centralized baseline.
+
+The paper's motivation (Section 1) is that existing event dissemination
+standards -- the OASIS WS-Notification family -- funnel traffic through
+brokers that become scalability and resilience bottlenecks.  This package
+implements that architecture faithfully so the experiments can measure the
+bottleneck: a :class:`~repro.wsn.broker.NotificationBroker` holding the
+subscriber list and fanning every notification out itself.
+"""
+
+from repro.wsn.broker import BrokerNode, NotificationBroker
+from repro.wsn.client import notify, subscribe
+
+__all__ = ["BrokerNode", "NotificationBroker", "notify", "subscribe"]

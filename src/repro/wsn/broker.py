@@ -1,0 +1,80 @@
+"""The WS-Notification broker.
+
+Implements the OASIS base-notification pattern: ``Subscribe`` registers a
+consumer for a topic; ``Notify`` fans the message out to every subscriber
+-- sequentially, from this single node, which is precisely the bottleneck
+gossip removes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.simnet.network import Network
+from repro.soap import namespaces as ns
+from repro.soap.fault import sender_fault
+from repro.soap.handler import MessageContext
+from repro.soap.service import Service, operation
+from repro.soap.runtime import SoapRuntime
+from repro.transport.inmem import WsProcess
+
+SUBSCRIBE_ACTION = f"{ns.WSN}/Subscribe"
+NOTIFY_ACTION = f"{ns.WSN}/Notify"
+BROKER_PATH = "/broker"
+
+
+class NotificationBroker(Service):
+    """Broker port type: subscription list plus sequential fan-out."""
+
+    def __init__(self, runtime: SoapRuntime) -> None:
+        super().__init__()
+        self._runtime = runtime
+        self._subscribers: Dict[str, List[str]] = {}
+
+    def subscribers(self, topic: str) -> List[str]:
+        """Consumer addresses subscribed to ``topic``."""
+        return list(self._subscribers.get(topic, []))
+
+    @operation(SUBSCRIBE_ACTION)
+    def subscribe(self, context: MessageContext, value) -> Dict[str, Any]:
+        """SOAP operation: add a consumer to a topic."""
+        if not isinstance(value, dict):
+            raise sender_fault("Subscribe requires a map payload")
+        topic = value.get("topic")
+        consumer = value.get("consumer")
+        if not isinstance(topic, str) or not isinstance(consumer, str):
+            raise sender_fault("Subscribe requires topic and consumer")
+        consumers = self._subscribers.setdefault(topic, [])
+        if consumer not in consumers:
+            consumers.append(consumer)
+        return {"topic": topic, "subscribers": len(consumers)}
+
+    @operation(NOTIFY_ACTION)
+    def notify(self, context: MessageContext, value) -> None:
+        """SOAP operation: fan a notification out to every subscriber."""
+        if not isinstance(value, dict):
+            raise sender_fault("Notify requires a map payload")
+        topic = value.get("topic")
+        if not isinstance(topic, str):
+            raise sender_fault("Notify requires a topic")
+        action = value.get("action")
+        if not isinstance(action, str):
+            raise sender_fault("Notify requires the consumer action URI")
+        payload = value.get("payload")
+        for consumer in self._subscribers.get(topic, []):
+            self._runtime.metrics.counter("wsn.fanout").inc()
+            self._runtime.send(consumer, action, value=payload)
+        return None
+
+
+class BrokerNode(WsProcess):
+    """A simulated node hosting the notification broker."""
+
+    def __init__(self, name: str, network: Network) -> None:
+        super().__init__(name, network)
+        self.broker = NotificationBroker(self.runtime)
+        self.runtime.add_service(BROKER_PATH, self.broker)
+
+    @property
+    def broker_address(self) -> str:
+        return self.runtime.address_of(BROKER_PATH)

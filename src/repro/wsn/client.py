@@ -1,0 +1,39 @@
+"""Client helpers for talking to a notification broker."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.soap.runtime import SoapRuntime
+from repro.wsn.broker import NOTIFY_ACTION, SUBSCRIBE_ACTION
+
+
+def subscribe(
+    runtime: SoapRuntime,
+    broker_address: str,
+    topic: str,
+    consumer_address: str,
+    on_reply=None,
+) -> str:
+    """Subscribe ``consumer_address`` to ``topic`` at the broker."""
+    return runtime.send(
+        broker_address,
+        SUBSCRIBE_ACTION,
+        value={"topic": topic, "consumer": consumer_address},
+        on_reply=on_reply,
+    )
+
+
+def notify(
+    runtime: SoapRuntime,
+    broker_address: str,
+    topic: str,
+    action: str,
+    payload: Any = None,
+) -> str:
+    """Publish a notification through the broker."""
+    return runtime.send(
+        broker_address,
+        NOTIFY_ACTION,
+        value={"topic": topic, "action": action, "payload": payload},
+    )

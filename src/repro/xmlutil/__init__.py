@@ -1,0 +1,14 @@
+"""Small XML helpers shared by the SOAP stack."""
+
+from repro.xmlutil.qname import QName, local_name, namespace_of, qname
+from repro.xmlutil.text import canonical_bytes, indent, parse_bytes
+
+__all__ = [
+    "QName",
+    "canonical_bytes",
+    "indent",
+    "local_name",
+    "namespace_of",
+    "parse_bytes",
+    "qname",
+]

@@ -1,0 +1,45 @@
+"""Qualified-name helpers in ElementTree's ``{namespace}local`` convention."""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+
+class QName(NamedTuple):
+    """A namespace / local-name pair."""
+
+    namespace: Optional[str]
+    local: str
+
+    @property
+    def text(self) -> str:
+        """The ElementTree tag form, ``{ns}local`` or bare ``local``."""
+        if self.namespace:
+            return f"{{{self.namespace}}}{self.local}"
+        return self.local
+
+    @classmethod
+    def parse(cls, tag: str) -> "QName":
+        """Parse an ElementTree tag back into its parts."""
+        if tag.startswith("{"):
+            namespace, _, local = tag[1:].partition("}")
+            return cls(namespace, local)
+        return cls(None, tag)
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def qname(namespace: Optional[str], local: str) -> str:
+    """Build an ElementTree tag string."""
+    return QName(namespace, local).text
+
+
+def local_name(tag: str) -> str:
+    """Local part of an ElementTree tag."""
+    return QName.parse(tag).local
+
+
+def namespace_of(tag: str) -> Optional[str]:
+    """Namespace URI of an ElementTree tag, or ``None``."""
+    return QName.parse(tag).namespace

@@ -1,0 +1,50 @@
+"""Serialization helpers on top of :mod:`xml.etree.ElementTree`."""
+
+from __future__ import annotations
+
+import io
+import xml.etree.ElementTree as ET
+
+
+class XmlParseError(ValueError):
+    """Raised when bytes do not parse as well-formed XML."""
+
+
+def parse_bytes(data: bytes) -> ET.Element:
+    """Parse ``data`` into an element tree root.
+
+    Raises:
+        XmlParseError: on malformed input (wraps the ElementTree error so
+        callers need not depend on its exception type).
+    """
+    try:
+        return ET.fromstring(data)
+    except ET.ParseError as exc:
+        raise XmlParseError(f"malformed XML: {exc}") from exc
+
+
+def canonical_bytes(element: ET.Element) -> bytes:
+    """Serialize an element to UTF-8 bytes with an XML declaration.
+
+    Not full C14N -- namespace prefixes are whatever ElementTree assigns --
+    but stable for a given tree, which is all the stack needs.
+    """
+    buffer = io.BytesIO()
+    ET.ElementTree(element).write(buffer, encoding="utf-8", xml_declaration=True)
+    return buffer.getvalue()
+
+
+def indent(element: ET.Element, level: int = 0) -> ET.Element:
+    """In-place pretty-print indentation (for logs and examples)."""
+    pad = "\n" + "  " * level
+    children = list(element)
+    if children:
+        if not element.text or not element.text.strip():
+            element.text = pad + "  "
+        for child in children:
+            indent(child, level + 1)
+            if not child.tail or not child.tail.strip():
+                child.tail = pad + "  "
+        if not children[-1].tail or not children[-1].tail.strip():
+            children[-1].tail = pad
+    return element

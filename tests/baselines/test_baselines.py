@@ -1,0 +1,144 @@
+"""Tests for the baseline dissemination strategies."""
+
+import pytest
+
+from repro.baselines import CentralNotifyGroup, FloodGroup, TreeGroup, UnicastGroup
+from repro.simnet.faults import FaultPlan
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: CentralNotifyGroup(15, seed=1),
+        lambda: UnicastGroup(15, seed=1),
+        lambda: TreeGroup(15, seed=1, arity=2),
+        lambda: FloodGroup(15, seed=1, degree=4),
+    ],
+    ids=["broker", "unicast", "tree", "flood"],
+)
+def test_full_delivery_without_faults(factory):
+    group = factory()
+    group.setup()
+    mid = group.publish({"x": 1})
+    group.run_for(3.0)
+    assert group.delivered_fraction(mid) == 1.0
+
+
+def test_message_cost_ordering():
+    """tree <= unicast < broker(+1) << flood."""
+
+    def cost(factory):
+        group = factory()
+        group.setup()
+        before = group.message_counts().get("net.sent", 0)
+        group.publish({"x": 1})
+        group.run_for(3.0)
+        return group.message_counts()["net.sent"] - before
+
+    tree = cost(lambda: TreeGroup(31, seed=2, arity=2))
+    unicast = cost(lambda: UnicastGroup(31, seed=2))
+    broker = cost(lambda: CentralNotifyGroup(31, seed=2))
+    flood = cost(lambda: FloodGroup(31, seed=2, degree=6))
+    assert tree <= unicast
+    assert broker == unicast + 1  # one extra hop into the broker
+    assert flood > 2 * tree
+
+
+class TestTree:
+    def test_structure(self):
+        group = TreeGroup(7, seed=3, arity=2)
+        assert group.children_of("r0") == [
+            group.receivers[1].app_address,
+            group.receivers[2].app_address,
+        ]
+        assert group.children_of("r3") == []
+        assert group.depth() == 2
+
+    def test_interior_crash_severs_subtree(self):
+        group = TreeGroup(31, seed=3, arity=2)
+        group.setup()
+        # Crash r1: its subtree (r3, r4, r7, r8, r15..) never receives.
+        group.network.process("r1").crash()
+        mid = group.publish({"x": 1})
+        group.run_for(3.0)
+        fraction = group.delivered_fraction(mid)
+        assert fraction < 0.6  # lost roughly half the tree
+        assert not group.receivers[3].has_delivered(mid)
+        assert group.receivers[2].has_delivered(mid)
+
+    def test_invalid_arity(self):
+        with pytest.raises(ValueError):
+            TreeGroup(5, arity=0)
+
+
+class TestFlood:
+    def test_redundancy_tolerates_crashes(self):
+        group = FloodGroup(30, seed=4, degree=6)
+        group.setup()
+        plan = FaultPlan(group.network)
+        victims = [f"r{index}" for index in (3, 7, 11, 19)]
+        for victim in victims:
+            plan.crash_at(group.sim.now, victim)
+        plan.apply()
+        group.run_for(0.1)
+        mid = group.publish({"x": 1})
+        group.run_for(3.0)
+        alive = [node for node in group.receivers if node.name not in victims]
+        delivered = sum(1 for node in alive if node.has_delivered(mid))
+        assert delivered == len(alive)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            FloodGroup(5, degree=5)
+        with pytest.raises(ValueError):
+            FloodGroup(5, degree=0)
+
+    def test_odd_regular_graph_rejected(self):
+        with pytest.raises(ValueError):
+            FloodGroup(5, degree=3)
+
+
+class TestBrokerBaseline:
+    def test_broker_crash_is_total_outage(self):
+        group = CentralNotifyGroup(10, seed=5)
+        group.setup()
+        group.broker.crash()
+        mid = group.publish({"x": 1})
+        group.run_for(3.0)
+        assert group.delivered_fraction(mid) == 0.0
+
+    def test_broker_load_is_linear(self):
+        group = CentralNotifyGroup(20, seed=6)
+        group.setup()
+        before = group.message_counts().get("wsn.fanout", 0)
+        for _ in range(3):
+            group.publish({"x": 1})
+        group.run_for(3.0)
+        assert group.message_counts()["wsn.fanout"] - before == 60
+
+
+class TestUnicast:
+    def test_loss_directly_misses_receivers(self):
+        group = UnicastGroup(200, seed=7, loss_rate=0.2)
+        group.setup()
+        mid = group.publish({"x": 1})
+        group.run_for(3.0)
+        fraction = group.delivered_fraction(mid)
+        # No redundancy: delivery tracks (1 - loss) closely.
+        assert 0.72 <= fraction <= 0.88
+
+
+def test_common_validation():
+    with pytest.raises(ValueError):
+        UnicastGroup(0)
+
+
+def test_deterministic_by_seed():
+    def run():
+        group = FloodGroup(20, seed=9, degree=4)
+        group.setup()
+        mid = group.publish({"x": 1})
+        group.run_for(3.0)
+        return group.message_counts()["net.sent"]
+
+    assert run() == run()

@@ -1,0 +1,37 @@
+"""Shared fixtures for the WS-Gossip test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simnet.events import Simulator
+from repro.simnet.network import Network
+from repro.simnet.trace import TraceLog
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator with a fixed seed."""
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def network(sim: Simulator) -> Network:
+    """A network with tracing enabled (tests assert on traces)."""
+    return Network(sim, trace=TraceLog(enabled=True))
+
+
+@pytest.fixture
+def loopback():
+    """A loopback transport plus a factory for runtimes registered on it."""
+    from repro.soap.runtime import SoapRuntime
+    from repro.transport.base import LoopbackTransport
+
+    transport = LoopbackTransport()
+
+    def make(base_address: str) -> SoapRuntime:
+        runtime = SoapRuntime(base_address, transport)
+        transport.register(runtime)
+        return runtime
+
+    return transport, make

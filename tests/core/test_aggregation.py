@@ -1,0 +1,165 @@
+"""Tests for push-sum aggregation, including the mass-conservation property."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import (
+    AGGREGATION_SERVICE_PATH,
+    AggregateKind,
+    AggregationEngine,
+    AggregationService,
+    initial_weight,
+)
+from repro.core.scheduling import ProcessScheduler
+from repro.simnet.events import Simulator
+from repro.simnet.network import Network
+from repro.transport.inmem import WsProcess
+
+
+class AggregatorNode(WsProcess):
+    """Test node hosting one aggregation engine."""
+
+    def attach_engine(self, task, kind, value, peers, is_root=False, period=0.2):
+        self.service = AggregationService()
+        self.runtime.add_service(AGGREGATION_SERVICE_PATH, self.service)
+        self.engine = AggregationEngine(
+            runtime=self.runtime,
+            scheduler=ProcessScheduler(self),
+            task=task,
+            kind=kind,
+            local_value=value,
+            view_provider=lambda: peers,
+            period=period,
+            rng=self.sim.rng.get(f"agg:{self.name}"),
+            weight=initial_weight(kind, is_root),
+        )
+        self.service.add_engine(self.engine)
+
+
+def build_field(values, kind, seed=1, period=0.2):
+    sim = Simulator(seed=seed)
+    network = Network(sim)
+    nodes = [AggregatorNode(f"s{index}", network) for index in range(len(values))]
+    addresses = [node.runtime.base_address for node in nodes]
+    for index, node in enumerate(nodes):
+        peers = [address for address in addresses if address != node.runtime.base_address]
+        node.attach_engine("t", kind, values[index], peers, is_root=(index == 0), period=period)
+        node.start()
+        node.engine.start()
+    return sim, network, nodes
+
+
+def estimates(nodes):
+    return [node.engine.estimate() for node in nodes]
+
+
+def test_average_converges_to_true_mean():
+    values = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0]
+    sim, network, nodes = build_field(values, AggregateKind.AVERAGE)
+    sim.run_until(20.0)
+    truth = sum(values) / len(values)
+    for estimate in estimates(nodes):
+        assert estimate == pytest.approx(truth, rel=0.01)
+
+
+def test_sum_converges():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0]
+    sim, network, nodes = build_field(values, AggregateKind.SUM)
+    sim.run_until(25.0)
+    for estimate in estimates(nodes):
+        assert estimate == pytest.approx(15.0, rel=0.02)
+
+
+def test_count_converges_to_population():
+    values = [123.0] * 10
+    sim, network, nodes = build_field(values, AggregateKind.COUNT)
+    sim.run_until(25.0)
+    for estimate in estimates(nodes):
+        assert estimate == pytest.approx(10.0, rel=0.02)
+
+
+def test_min_and_max_converge_exactly():
+    values = [7.0, -3.0, 12.5, 0.0, 5.0, 5.0]
+    for kind, expected in ((AggregateKind.MIN, -3.0), (AggregateKind.MAX, 12.5)):
+        sim, network, nodes = build_field(values, kind)
+        sim.run_until(10.0)
+        assert estimates(nodes) == [expected] * len(values)
+
+
+@pytest.mark.parametrize("checkpoint", [1.0, 5.0, 9.0])
+def test_mass_conservation_invariant(checkpoint):
+    values = [3.0, 1.0, 4.0, 1.0, 5.0]
+    sim, network, nodes = build_field(values, AggregateKind.AVERAGE)
+    sim.run_until(checkpoint)
+    # Shares in flight also carry mass: stop the engines and drain the
+    # event queue so every share has landed before measuring.
+    for node in nodes:
+        node.engine.stop()
+    sim.run()
+    value_mass = sum(node.engine.value for node in nodes)
+    weight_mass = sum(node.engine.weight for node in nodes)
+    assert value_mass == pytest.approx(sum(values), rel=1e-9)
+    assert weight_mass == pytest.approx(float(len(values)), rel=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-1e3, max_value=1e3),
+        min_size=2,
+        max_size=8,
+    ),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_average_convergence_property(values, seed):
+    sim, network, nodes = build_field(values, AggregateKind.AVERAGE, seed=seed)
+    sim.run_until(25.0)
+    truth = sum(values) / len(values)
+    spread = max(abs(value - truth) for value in values) or 1.0
+    for estimate in estimates(nodes):
+        assert abs(estimate - truth) <= 0.05 * spread + 1e-6
+
+
+def test_kind_mismatch_rejected():
+    sim, network, nodes = build_field([1.0, 2.0], AggregateKind.AVERAGE)
+    with pytest.raises(ValueError):
+        nodes[0].engine.receive_share(1.0, 1.0, "sum")
+
+
+def test_service_rejects_unknown_task():
+    from repro.soap.fault import SoapFault
+
+    sim, network, nodes = build_field([1.0, 2.0], AggregateKind.AVERAGE)
+    replies = []
+    nodes[0].runtime.send(
+        nodes[1].runtime.base_address + AGGREGATION_SERVICE_PATH,
+        "urn:ws-gossip:2008:core/aggregate/Share",
+        value={"task": "nope", "value": 1.0, "weight": 1.0, "kind": "average"},
+        on_reply=lambda context, value: replies.append(value),
+    )
+    sim.run_until(30.0)
+    assert isinstance(replies[0], SoapFault)
+
+
+def test_duplicate_task_registration_rejected():
+    sim, network, nodes = build_field([1.0, 2.0], AggregateKind.AVERAGE)
+    with pytest.raises(ValueError):
+        nodes[0].service.add_engine(nodes[0].engine)
+
+
+def test_invalid_period_rejected():
+    sim = Simulator(seed=1)
+    network = Network(sim)
+    node = AggregatorNode("x", network)
+    with pytest.raises(ValueError):
+        node.attach_engine("t", AggregateKind.AVERAGE, 1.0, [], period=0.0)
+
+
+def test_initial_weight_rules():
+    assert initial_weight(AggregateKind.AVERAGE, False) == 1.0
+    assert initial_weight(AggregateKind.SUM, True) == 1.0
+    assert initial_weight(AggregateKind.SUM, False) == 0.0
+    assert initial_weight(AggregateKind.MIN, True) == 0.0

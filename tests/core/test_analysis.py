@@ -1,0 +1,137 @@
+"""Tests for the epidemic analysis (Eugster et al. configuration math)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.analysis import (
+    atomic_delivery_probability,
+    expected_final_fraction,
+    expected_rounds,
+    fanout_for_atomicity,
+    infection_curve,
+    rounds_for_coverage,
+)
+
+
+class TestFinalFraction:
+    def test_subcritical_dies_out(self):
+        assert expected_final_fraction(0.5) == 0.0
+        assert expected_final_fraction(1.0) == 0.0
+
+    def test_known_values(self):
+        # pi = 1 - exp(-f*pi): for f=2 the fixed point is ~0.7968.
+        assert expected_final_fraction(2.0) == pytest.approx(0.7968, abs=1e-3)
+        # f=ln(n)-ish fanouts push the fraction very close to 1.
+        assert expected_final_fraction(8.0) > 0.999
+
+    def test_monotone_in_fanout(self):
+        fractions = [expected_final_fraction(f) for f in (1.5, 2.0, 3.0, 5.0)]
+        assert fractions == sorted(fractions)
+
+    def test_is_a_fixed_point(self):
+        for fanout in (1.5, 2.5, 4.0):
+            pi = expected_final_fraction(fanout)
+            assert pi == pytest.approx(1.0 - math.exp(-fanout * pi), abs=1e-9)
+
+
+class TestAtomicity:
+    def test_single_node_trivially_atomic(self):
+        assert atomic_delivery_probability(1, 0.0) == 1.0
+
+    def test_bounds(self):
+        assert 0.0 <= atomic_delivery_probability(100, 2.0) <= 1.0
+
+    def test_monotone_in_fanout(self):
+        probs = [atomic_delivery_probability(256, f) for f in (2, 4, 6, 8, 10)]
+        assert probs == sorted(probs)
+
+    def test_threshold_behaviour(self):
+        # f = ln(n) + c gives P ~ exp(-exp(-c)).
+        n = 1000
+        c = 2.0
+        expected = math.exp(-math.exp(-c))
+        assert atomic_delivery_probability(n, math.log(n) + c) == pytest.approx(
+            expected, rel=1e-6
+        )
+
+    def test_inverse_relationship(self):
+        for n in (64, 256, 1024):
+            for target in (0.9, 0.99, 0.999):
+                fanout = fanout_for_atomicity(n, target)
+                assert atomic_delivery_probability(n, fanout) == pytest.approx(
+                    target, rel=1e-6
+                )
+
+    def test_fanout_grows_logarithmically(self):
+        f_small = fanout_for_atomicity(100, 0.99)
+        f_big = fanout_for_atomicity(10_000, 0.99)
+        assert f_big - f_small == pytest.approx(math.log(100), rel=1e-6)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            atomic_delivery_probability(0, 1.0)
+        with pytest.raises(ValueError):
+            fanout_for_atomicity(100, 1.0)
+        with pytest.raises(ValueError):
+            fanout_for_atomicity(100, 0.0)
+
+
+class TestInfectionCurve:
+    def test_starts_with_one_infected(self):
+        assert infection_curve(100, 3)[0] == 1.0
+
+    def test_monotone_nondecreasing(self):
+        curve = infection_curve(500, 3)
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+
+    def test_bounded_by_population(self):
+        curve = infection_curve(64, 4)
+        assert all(value <= 64.0 for value in curve)
+
+    def test_saturates_with_good_fanout(self):
+        curve = infection_curve(256, 4)
+        assert curve[-1] >= 255.0
+
+    def test_max_rounds_truncates(self):
+        curve = infection_curve(1024, 3, max_rounds=2)
+        assert len(curve) == 3
+
+    def test_single_node(self):
+        assert infection_curve(1, 3)[0] == 1.0
+
+
+class TestRounds:
+    def test_log_growth(self):
+        rounds = [expected_rounds(n, 4) for n in (16, 256, 4096)]
+        assert rounds == sorted(rounds)
+        # Quadrupling the exponent should not quadruple the rounds.
+        assert rounds[2] <= rounds[0] * 4
+
+    def test_coverage_validation(self):
+        with pytest.raises(ValueError):
+            expected_rounds(100, 3, coverage=0.0)
+        with pytest.raises(ValueError):
+            expected_rounds(100, 3, coverage=1.5)
+
+    def test_rounds_for_coverage_adds_margin(self):
+        base = expected_rounds(128, 4)
+        assert rounds_for_coverage(128, 4, margin=3) == base + 3
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            rounds_for_coverage(128, 4, margin=-1)
+
+
+@given(st.integers(min_value=2, max_value=5000), st.floats(min_value=1.1, max_value=12.0))
+def test_final_fraction_always_in_unit_interval(n, fanout):
+    fraction = expected_final_fraction(fanout)
+    assert 0.0 <= fraction <= 1.0
+
+
+@given(st.integers(min_value=2, max_value=5000))
+def test_fanout_for_atomicity_is_sufficient(n):
+    fanout = fanout_for_atomicity(n, 0.99)
+    assert atomic_delivery_probability(n, fanout) >= 0.989

@@ -1,0 +1,130 @@
+"""Tests for the fault-aware epidemic analysis extensions."""
+
+import pytest
+
+from repro.core.analysis import (
+    atomic_delivery_probability,
+    effective_fanout,
+    fanout_for_atomicity,
+    fanout_for_atomicity_under_faults,
+)
+
+
+class TestEffectiveFanout:
+    def test_no_faults_is_identity(self):
+        assert effective_fanout(5.0) == 5.0
+
+    def test_loss_thins_linearly(self):
+        assert effective_fanout(10.0, loss_rate=0.3) == pytest.approx(7.0)
+
+    def test_crashes_thin_linearly(self):
+        assert effective_fanout(10.0, crash_fraction=0.5) == pytest.approx(5.0)
+
+    def test_faults_compose(self):
+        assert effective_fanout(10.0, 0.2, 0.5) == pytest.approx(4.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"loss_rate": 1.0}, {"loss_rate": -0.1},
+        {"crash_fraction": 1.0}, {"crash_fraction": -0.1},
+    ])
+    def test_invalid_rates(self, kwargs):
+        with pytest.raises(ValueError):
+            effective_fanout(3.0, **kwargs)
+
+
+class TestFanoutUnderFaults:
+    def test_no_faults_matches_base(self):
+        assert fanout_for_atomicity_under_faults(256, 0.99) == pytest.approx(
+            fanout_for_atomicity(256, 0.99)
+        )
+
+    def test_compensates_for_loss(self):
+        boosted = fanout_for_atomicity_under_faults(256, 0.99, loss_rate=0.2)
+        # The effective fanout after thinning meets the original target.
+        assert effective_fanout(boosted, loss_rate=0.2) == pytest.approx(
+            fanout_for_atomicity(256, 0.99)
+        )
+        assert atomic_delivery_probability(
+            256, effective_fanout(boosted, loss_rate=0.2)
+        ) >= 0.989
+
+    def test_compensates_for_crashes(self):
+        boosted = fanout_for_atomicity_under_faults(
+            128, 0.99, crash_fraction=0.3
+        )
+        assert boosted > fanout_for_atomicity(128, 0.99)
+
+    def test_total_failure_rejected(self):
+        with pytest.raises(ValueError):
+            fanout_for_atomicity_under_faults(128, 0.99, loss_rate=1.0)
+
+
+class TestCoordinatorExpectedLoss:
+    def test_expected_loss_boosts_handed_out_fanout(self):
+        import random
+
+        from repro.core.coordination import GossipCoordinationProtocol
+        from repro.wsa.addressing import EndpointReference
+        from repro.wscoord.context import CoordinationContext
+        from repro.wscoord.coordinator import Activity, Participant
+
+        def tuned_fanout(expected_loss):
+            protocol = GossipCoordinationProtocol(
+                rng=random.Random(1), auto_tune=True
+            )
+            context = CoordinationContext(
+                identifier="urn:a",
+                coordination_type=protocol.coordination_type,
+                registration_service=EndpointReference("test://c/reg"),
+            )
+            activity = Activity(context=context)
+            protocol.on_create(
+                activity, {"fanout": 1, "rounds": 1,
+                           "expected_loss": expected_loss}
+            )
+            for index in range(50):
+                participant = Participant(
+                    "d", EndpointReference(f"test://n{index}/app")
+                )
+                activity.participants.append(participant)
+                protocol.on_register(activity, participant)
+            return protocol.activity_params(activity).fanout
+
+        assert tuned_fanout(0.3) > tuned_fanout(0.0)
+
+    def test_invalid_expected_loss_faults(self):
+        import random
+
+        from repro.core.coordination import GossipCoordinationProtocol
+        from repro.soap.fault import SoapFault
+        from repro.wsa.addressing import EndpointReference
+        from repro.wscoord.context import CoordinationContext
+        from repro.wscoord.coordinator import Activity
+
+        protocol = GossipCoordinationProtocol(rng=random.Random(1))
+        context = CoordinationContext(
+            identifier="urn:a",
+            coordination_type=protocol.coordination_type,
+            registration_service=EndpointReference("test://c/reg"),
+        )
+        with pytest.raises(SoapFault):
+            protocol.on_create(Activity(context=context), {"expected_loss": 1.5})
+
+
+def test_end_to_end_expected_loss_keeps_atomicity():
+    """Declaring the deployment's loss rate at activation restores atomic
+    delivery on a lossy fabric."""
+    from repro.core.api import GossipGroup
+
+    group = GossipGroup(
+        n_disseminators=31,
+        seed=12,
+        loss_rate=0.25,
+        params={"fanout": 3, "rounds": 6, "expected_loss": 0.25,
+                "peer_sample_size": 20},
+        auto_tune=True,
+    )
+    group.setup(settle=1.5, eager_join=True)
+    gossip_id = group.publish({"x": 1})
+    group.run_for(10.0)
+    assert group.delivered_fraction(gossip_id) >= 0.99

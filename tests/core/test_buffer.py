@@ -1,0 +1,98 @@
+"""Tests for the message store, including property tests on eviction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.buffer import MessageStore
+
+
+def test_add_and_get():
+    store = MessageStore()
+    assert store.add("m1", b"data", 1.0, "origin")
+    stored = store.get("m1")
+    assert stored.data == b"data"
+    assert stored.received_at == 1.0
+    assert stored.origin == "origin"
+
+
+def test_duplicate_add_returns_false_and_keeps_first():
+    store = MessageStore()
+    store.add("m1", b"first", 1.0, "a")
+    assert not store.add("m1", b"second", 2.0, "b")
+    assert store.get("m1").data == b"first"
+
+
+def test_is_new():
+    store = MessageStore()
+    assert store.is_new("m1")
+    store.add("m1", b"", 0.0, "o")
+    assert not store.is_new("m1")
+
+
+def test_capacity_evicts_fifo():
+    store = MessageStore(capacity=2)
+    store.add("m1", b"1", 0.0, "o")
+    store.add("m2", b"2", 0.0, "o")
+    store.add("m3", b"3", 0.0, "o")
+    assert store.get("m1") is None
+    assert store.get("m2") is not None
+    assert store.digest() == ["m2", "m3"]
+
+
+def test_evicted_identity_stays_seen():
+    store = MessageStore(capacity=1)
+    store.add("m1", b"1", 0.0, "o")
+    store.add("m2", b"2", 0.0, "o")
+    # m1 was evicted but re-adding is still a duplicate.
+    assert not store.add("m1", b"1", 1.0, "o")
+    assert "m1" in store
+    assert store.seen_count == 2
+
+
+def test_digest_order_is_insertion_order():
+    store = MessageStore()
+    for index in range(5):
+        store.add(f"m{index}", b"", 0.0, "o")
+    assert store.digest() == [f"m{index}" for index in range(5)]
+
+
+def test_missing_from_and_not_in():
+    store = MessageStore()
+    store.add("a", b"", 0.0, "o")
+    store.add("b", b"", 0.0, "o")
+    assert store.missing_from(["b", "c", "d"]) == ["c", "d"]
+    assert store.not_in(["b", "c"]) == ["a"]
+
+
+def test_missing_from_respects_seen_not_just_retained():
+    store = MessageStore(capacity=1)
+    store.add("a", b"", 0.0, "o")
+    store.add("b", b"", 0.0, "o")  # evicts a's payload
+    # We have *seen* a, so we do not want it again.
+    assert store.missing_from(["a"]) == []
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        MessageStore(capacity=0)
+
+
+@given(st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=60),
+       st.integers(min_value=1, max_value=10))
+def test_invariants_under_arbitrary_adds(message_ids, capacity):
+    store = MessageStore(capacity=capacity)
+    for message_id in message_ids:
+        store.add(message_id, b"x", 0.0, "o")
+    # Retention never exceeds capacity.
+    assert len(store) <= capacity
+    # Seen set equals the distinct identities added.
+    assert store.seen_count == len(set(message_ids))
+    # Everything retained has been seen.
+    for message_id in store.digest():
+        assert message_id in store
+    # The retained set is exactly the most recent distinct ids.
+    distinct_in_order = list(dict.fromkeys(message_ids))
+    assert store.digest() == distinct_in_order[-capacity:] if len(
+        distinct_in_order
+    ) >= capacity else distinct_in_order

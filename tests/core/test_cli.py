@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_demo(capsys):
+    exit_code = main(["--seed", "3", "demo", "--nodes", "16", "--consumers", "4"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "delivered: 100.0%" in out
+    assert "wire messages" in out
+
+
+def test_figure1(capsys):
+    exit_code = main(["figure1"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "app0b" in out
+    assert "coordinator" in out
+    assert "receivers of the op: app1, app2, app3" in out
+
+
+def test_analyze(capsys):
+    exit_code = main(["analyze", "500", "--target", "0.999"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "fanout for atomic delivery" in out
+    assert "P(all reached)" in out
+
+
+def test_describe(capsys):
+    exit_code = main(["describe"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "/gossip" in out
+    assert "urn:ws-gossip:2008:core/Pull" in out
+
+
+def test_styles_small(capsys):
+    exit_code = main(["--seed", "5", "styles", "--nodes", "10", "--fanout", "4"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    for style in ("push", "lazy-push", "feedback", "push-pull", "pull",
+                  "anti-entropy"):
+        assert style in out

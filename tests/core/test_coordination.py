@@ -1,0 +1,130 @@
+"""Tests for the gossip coordination protocol (coordinator side)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.analysis import fanout_for_atomicity
+from repro.core.coordination import GossipCoordinationProtocol
+from repro.core.message import GossipStyle
+from repro.core.params import GossipParams
+from repro.soap.fault import SoapFault
+from repro.wsa.addressing import EndpointReference
+from repro.wscoord.context import CoordinationContext
+from repro.wscoord.coordinator import Activity, Participant
+
+
+def make_activity(protocol, parameters=None):
+    context = CoordinationContext(
+        identifier="urn:wscoord:activity:x",
+        coordination_type=protocol.coordination_type,
+        registration_service=EndpointReference("test://coord/registration"),
+    )
+    activity = Activity(context=context)
+    protocol.on_create(activity, parameters or {})
+    return activity
+
+
+def register(protocol, activity, address, proto_id="disseminator"):
+    participant = Participant(proto_id, EndpointReference(address))
+    activity.participants.append(participant)
+    return protocol.on_register(activity, participant)
+
+
+def test_on_create_applies_parameter_overrides():
+    protocol = GossipCoordinationProtocol(rng=random.Random(1), auto_tune=False)
+    activity = make_activity(
+        protocol,
+        {"fanout": 7, "rounds": 11, "style": "pull", "period": 0.25,
+         "peer_sample_size": 14},
+    )
+    params = protocol.activity_params(activity)
+    assert params.fanout == 7
+    assert params.rounds == 11
+    assert params.style is GossipStyle.PULL
+    assert params.period == 0.25
+
+
+def test_on_create_rejects_bad_parameters():
+    protocol = GossipCoordinationProtocol(rng=random.Random(1))
+    with pytest.raises(SoapFault):
+        make_activity(protocol, {"fanout": "lots"})
+    with pytest.raises(SoapFault):
+        make_activity(protocol, {"style": "telepathy"})
+
+
+def test_register_returns_params_and_peers():
+    protocol = GossipCoordinationProtocol(rng=random.Random(1), auto_tune=False)
+    activity = make_activity(protocol, {"fanout": 2, "rounds": 4})
+    register(protocol, activity, "test://a/app")
+    response = register(protocol, activity, "test://b/app")
+    assert response["params"]["fanout"] == 2
+    assert response["peers"] == ["test://a/app"]
+
+
+def test_peer_sample_excludes_registrant():
+    protocol = GossipCoordinationProtocol(rng=random.Random(1), auto_tune=False)
+    activity = make_activity(protocol)
+    for index in range(5):
+        register(protocol, activity, f"test://n{index}/app")
+    response = register(protocol, activity, "test://me/app")
+    assert "test://me/app" not in response["peers"]
+
+
+def test_peer_sample_bounded_by_sample_size():
+    protocol = GossipCoordinationProtocol(
+        rng=random.Random(1),
+        defaults=GossipParams(fanout=2, peer_sample_size=3),
+        auto_tune=False,
+    )
+    activity = make_activity(protocol)
+    for index in range(10):
+        register(protocol, activity, f"test://n{index}/app")
+    response = register(protocol, activity, "test://me/app")
+    assert len(response["peers"]) == 3
+
+
+def test_auto_tune_grows_fanout_with_population():
+    protocol = GossipCoordinationProtocol(
+        rng=random.Random(1), auto_tune=True, target_reliability=0.99
+    )
+    activity = make_activity(protocol, {"fanout": 1, "rounds": 1})
+    for index in range(100):
+        register(protocol, activity, f"test://n{index}/app")
+    params = protocol.activity_params(activity)
+    expected_fanout = math.ceil(fanout_for_atomicity(100, 0.99))
+    assert params.fanout >= expected_fanout
+    assert params.rounds > 1
+    assert params.peer_sample_size >= params.fanout
+
+
+def test_auto_tune_never_shrinks_configured_fanout():
+    protocol = GossipCoordinationProtocol(rng=random.Random(1), auto_tune=True)
+    activity = make_activity(protocol, {"fanout": 50, "rounds": 3, "peer_sample_size": 60})
+    register(protocol, activity, "test://a/app")
+    register(protocol, activity, "test://b/app")
+    assert protocol.activity_params(activity).fanout == 50
+
+
+def test_auto_tune_disabled_keeps_params_fixed():
+    protocol = GossipCoordinationProtocol(rng=random.Random(1), auto_tune=False)
+    activity = make_activity(protocol, {"fanout": 2, "rounds": 3})
+    for index in range(50):
+        register(protocol, activity, f"test://n{index}/app")
+    params = protocol.activity_params(activity)
+    assert params.fanout == 2
+    assert params.rounds == 3
+
+
+def test_per_activity_auto_tune_override():
+    protocol = GossipCoordinationProtocol(rng=random.Random(1), auto_tune=True)
+    activity = make_activity(protocol, {"auto_tune": False, "fanout": 2})
+    for index in range(50):
+        register(protocol, activity, f"test://n{index}/app")
+    assert protocol.activity_params(activity).fanout == 2
+
+
+def test_invalid_target_reliability_rejected():
+    with pytest.raises(ValueError):
+        GossipCoordinationProtocol(target_reliability=1.0)

@@ -1,0 +1,37 @@
+"""Decentralized mode works with every gossip style.
+
+The distributed-coordinator deployment must not silently depend on the
+centralized registration flow: each style's periodic machinery has to run
+off the membership-backed view alone.
+"""
+
+import pytest
+
+from repro.core.decentralized import DecentralizedGroup
+from repro.core.message import GossipStyle
+from repro.core.params import GossipParams
+
+
+@pytest.mark.parametrize(
+    "style",
+    [
+        GossipStyle.PUSH,
+        GossipStyle.PUSH_PULL,
+        GossipStyle.PULL,
+        GossipStyle.ANTI_ENTROPY,
+        GossipStyle.LAZY_PUSH,
+        GossipStyle.FEEDBACK,
+    ],
+    ids=lambda style: style.value,
+)
+def test_style_converges_without_coordinator(style):
+    group = DecentralizedGroup(
+        n_nodes=14,
+        seed=23,
+        params=GossipParams(fanout=4, rounds=6, style=style, period=0.4),
+    )
+    group.setup()
+    gossip_id = group.publish({"style": style.value})
+    group.run_for(25.0)
+    assert group.delivered_fraction(gossip_id) == 1.0
+    assert group.message_counts().get("gossip.register", 0) == 0

@@ -1,0 +1,95 @@
+"""Tests for the feedback ("coin") rumor-mongering style."""
+
+import pytest
+
+from repro.core.api import GossipGroup
+from repro.core.message import GossipStyle
+from repro.core.params import GossipParams
+
+
+def run_group(n=16, seed=9, loss_rate=0.0, stop_probability=0.5, rounds=6,
+              run=15.0):
+    group = GossipGroup(
+        n_disseminators=n,
+        seed=seed,
+        loss_rate=loss_rate,
+        params={"style": "feedback", "fanout": 3, "rounds": rounds,
+                "period": 0.4, "stop_probability": stop_probability},
+        auto_tune=False,
+    )
+    group.setup()
+    gossip_id = group.publish({"rumor": True})
+    group.run_for(run)
+    return group, gossip_id
+
+
+def test_full_delivery():
+    group, gossip_id = run_group()
+    assert group.delivered_fraction(gossip_id) == 1.0
+
+
+def test_rumor_eventually_cools_everywhere():
+    group, gossip_id = run_group(run=40.0)
+    engines = [
+        node.gossip_layer.engine_for(group.activity_id)
+        for node in [group.initiator, *group.disseminators]
+    ]
+    engines = [engine for engine in engines if engine is not None]
+    assert engines
+    assert all(engine.hot_count == 0 for engine in engines)
+    counters = group.message_counts()
+    cooled = counters.get("gossip.cooled.feedback", 0) + counters.get(
+        "gossip.cooled.cap", 0
+    )
+    assert cooled >= len(engines) - 1
+
+
+def test_feedback_messages_flow():
+    group, gossip_id = run_group()
+    counters = group.message_counts()
+    assert counters.get("gossip.feedback-forward", 0) > 0
+    assert counters.get("gossip.feedback-sent", 0) > 0
+
+
+def test_survives_loss_via_reforwarding():
+    # A persistent rumor (low stop probability, generous cap) rides the
+    # re-forwarding through 25% loss.
+    group, gossip_id = run_group(
+        loss_rate=0.25, seed=10, run=25.0, stop_probability=0.25, rounds=10
+    )
+    assert group.delivered_fraction(gossip_id) >= 0.95
+
+
+def test_lower_stop_probability_means_more_traffic():
+    def traffic(stop_probability, seed):
+        group, gossip_id = run_group(
+            stop_probability=stop_probability, seed=seed, run=30.0
+        )
+        assert group.delivered_fraction(gossip_id) == 1.0
+        return group.message_counts().get("gossip.feedback-forward", 0)
+
+    eager = traffic(0.1, seed=11)
+    shy = traffic(1.0, seed=11)
+    assert eager > shy
+
+
+def test_rounds_cap_bounds_lifetime():
+    # Even with stop probability near zero, the cap cools everything.
+    group, gossip_id = run_group(stop_probability=0.01, rounds=3, run=40.0)
+    engines = [
+        node.gossip_layer.engine_for(group.activity_id)
+        for node in group.disseminators
+    ]
+    assert all(engine is None or engine.hot_count == 0 for engine in engines)
+
+
+def test_stop_probability_validation():
+    with pytest.raises(ValueError):
+        GossipParams(stop_probability=0.0)
+    with pytest.raises(ValueError):
+        GossipParams(stop_probability=1.5)
+
+
+def test_params_wire_round_trip_includes_stop_probability():
+    params = GossipParams(style=GossipStyle.FEEDBACK, stop_probability=0.25)
+    assert GossipParams.from_value(params.to_value()).stop_probability == 0.25

@@ -1,0 +1,131 @@
+"""Integration test reproducing the paper's Figure 1 message flow (E1).
+
+Topology: one Coordinator, one Initiator (App0b), two Disseminators
+(App1, App2), one Consumer (App3).  The test follows the figure's arrows:
+
+1. ``op`` arrives at the Initiator's application (modelled as publish);
+2. Activation: the Initiator creates the gossip activity;
+3. subscribe: App1-App3 subscribe at the Coordinator;
+4. the Initiator issues a single notification;
+5. Disseminators' gossip layers intercept, register, and forward;
+6. every application -- including the unchanged Consumer -- receives ``op``.
+"""
+
+import pytest
+
+from repro.core.engine import PROTOCOL_INITIATOR
+from repro.core.roles import ConsumerNode, CoordinatorNode, DisseminatorNode, InitiatorNode
+from repro.simnet.events import Simulator
+from repro.simnet.latency import FixedLatency
+from repro.simnet.network import Network
+from repro.simnet.trace import TraceLog
+
+ACTION = "urn:stock/op"
+
+
+@pytest.fixture
+def figure1():
+    sim = Simulator(seed=11)
+    trace = TraceLog(enabled=True)
+    network = Network(sim, latency=FixedLatency(0.002), trace=trace)
+
+    coordinator = CoordinatorNode("coordinator", network, auto_tune=False)
+    app0b = InitiatorNode("app0b", network)
+    app1 = DisseminatorNode("app1", network)
+    app2 = DisseminatorNode("app2", network)
+    app3 = ConsumerNode("app3", network)
+    nodes = [coordinator, app0b, app1, app2, app3]
+    for node in nodes:
+        node.start()
+    for node in (app0b, app1, app2, app3):
+        node.bind(ACTION)
+    return sim, network, trace, coordinator, app0b, app1, app2, app3
+
+
+def run_flow(sim, coordinator, app0b, app1, app2, app3, fanout=2, rounds=3):
+    engines = []
+    app0b.activate(
+        coordinator.activation_address,
+        parameters={"fanout": fanout, "rounds": rounds},
+        on_ready=lambda engine: engines.append(engine),
+    )
+    sim.run_until(sim.now + 1.0)
+    assert engines, "activation must complete"
+    activity_id = engines[0].activity_id
+
+    for node in (app1, app2, app3):
+        node.subscribe(coordinator.subscription_address, activity_id)
+    sim.run_until(sim.now + 1.0)
+
+    engines[0].refresh_view()
+    sim.run_until(sim.now + 1.0)
+
+    gossip_id = app0b.publish(activity_id, ACTION, {"symbol": "SWX", "price": 42.0})
+    sim.run_until(sim.now + 5.0)
+    return activity_id, gossip_id
+
+
+def test_all_roles_receive_the_op(figure1):
+    sim, network, trace, coordinator, app0b, app1, app2, app3 = figure1
+    activity_id, gossip_id = run_flow(sim, coordinator, app0b, app1, app2, app3)
+    for node in (app1, app2, app3):
+        assert node.has_delivered(gossip_id), f"{node.name} missed the op"
+
+
+def test_consumer_stack_is_unchanged(figure1):
+    sim, network, trace, coordinator, app0b, app1, app2, app3 = figure1
+    # The consumer has no gossip layer and no gossip service: the figure's
+    # "completely unchanged and unaffected" node.
+    assert len(app3.runtime.chain) == 0
+    assert app3.runtime.service_at("/gossip") is None
+    run_flow(sim, coordinator, app0b, app1, app2, app3)
+    assert app3.deliveries  # yet it still received the op
+
+
+def test_disseminators_auto_registered(figure1):
+    sim, network, trace, coordinator, app0b, app1, app2, app3 = figure1
+    activity_id, gossip_id = run_flow(sim, coordinator, app0b, app1, app2, app3)
+    activity = coordinator.coordinator.activity(activity_id)
+    registered = activity.participant_addresses()
+    # Subscribers: app1, app2, app3.  The initiator registered at
+    # activation; disseminators that received the op auto-registered as
+    # disseminators too.
+    assert app0b.app_address in registered
+    assert set(
+        activity.participant_addresses(PROTOCOL_INITIATOR)
+    ) == {app0b.app_address}
+    delivered_disseminators = [
+        node for node in (app1, app2) if node.has_delivered(gossip_id)
+    ]
+    for node in delivered_disseminators:
+        assert node.gossip_layer.engine_for(activity_id) is not None
+
+
+def test_subscription_list_managed_by_coordinator(figure1):
+    sim, network, trace, coordinator, app0b, app1, app2, app3 = figure1
+    activity_id, _ = run_flow(sim, coordinator, app0b, app1, app2, app3)
+    activity = coordinator.coordinator.activity(activity_id)
+    from repro.core.engine import PROTOCOL_SUBSCRIBER
+
+    subscribers = set(activity.participant_addresses(PROTOCOL_SUBSCRIBER))
+    assert subscribers == {app1.app_address, app2.app_address, app3.app_address}
+
+
+def test_trace_shows_figure1_message_kinds(figure1):
+    sim, network, trace, coordinator, app0b, app1, app2, app3 = figure1
+    run_flow(sim, coordinator, app0b, app1, app2, app3)
+    sends = trace.events(kind="net.send")
+    # Activation exchange, subscriptions, registrations and gossip ops all
+    # crossed the simulated wire.
+    destinations = {event.detail["destination"] for event in sends}
+    assert "coordinator" in destinations
+    assert {"app1", "app2", "app3"} & destinations
+
+
+def test_initiator_changed_consumer_not(figure1):
+    sim, network, trace, coordinator, app0b, app1, app2, app3 = figure1
+    # Initiator carries the gossip layer (its code changed to use the
+    # gossip service); disseminators carry it too (middleware only).
+    assert len(app0b.runtime.chain) == 1
+    assert len(app1.runtime.chain) == 1
+    assert len(app3.runtime.chain) == 0

@@ -1,0 +1,136 @@
+"""Tests for the gossip layer handler (interception and auto-join)."""
+
+import random
+
+import pytest
+
+from repro.core.engine import PROTOCOL_DISSEMINATOR
+from repro.core.handler import GossipLayer
+from repro.core.message import GossipHeader
+from repro.core.params import GossipParams
+from repro.soap.envelope import Envelope
+from repro.soap.handler import Direction, MessageContext
+from repro.soap.runtime import SoapRuntime
+from repro.transport.base import LoopbackTransport
+from repro.wsa.addressing import AddressingHeaders, EndpointReference
+from repro.wscoord.context import CoordinationContext
+
+from tests.core.test_engine import FakeScheduler
+
+
+@pytest.fixture
+def setup():
+    transport = LoopbackTransport()
+    runtime = SoapRuntime("test://node", transport)
+    transport.register(runtime)
+    layer = GossipLayer(
+        runtime=runtime,
+        scheduler=FakeScheduler(),
+        app_address="test://node/app",
+        rng=random.Random(2),
+        default_params=GossipParams(fanout=2, rounds=3),
+    )
+    runtime.chain.add_first(layer)
+    return transport, runtime, layer
+
+
+def make_context_header():
+    return CoordinationContext(
+        identifier="urn:wscoord:activity:layer-test",
+        coordination_type="urn:ws-gossip:2008:coordination",
+        registration_service=EndpointReference("test://coord/registration"),
+    )
+
+
+def make_inbound(with_gossip=True, with_context=True, hops=3, message_id="m1"):
+    envelope = Envelope()
+    if with_gossip:
+        envelope.add_header(
+            GossipHeader(
+                activity="urn:wscoord:activity:layer-test",
+                message_id=message_id,
+                origin="test://origin/app",
+                hops=hops,
+            ).to_element()
+        )
+    if with_context:
+        envelope.add_header(make_context_header().to_element())
+    AddressingHeaders(to="test://node/app", action="urn:app/Event").apply(envelope)
+    return MessageContext(
+        envelope, Direction.INBOUND, AddressingHeaders.extract(envelope)
+    )
+
+
+def test_non_gossip_messages_pass_through(setup):
+    transport, runtime, layer = setup
+    context = make_inbound(with_gossip=False, with_context=False)
+    assert layer.on_inbound(context)
+    assert layer.engines() == []
+
+
+def test_gossip_message_triggers_auto_join(setup):
+    transport, runtime, layer = setup
+    assert layer.on_inbound(make_inbound())
+    engine = layer.engine_for("urn:wscoord:activity:layer-test")
+    assert engine is not None
+    assert runtime.metrics.counter("gossip.auto-join").value == 1
+    # A Register message went out to the registration service (dropped by
+    # the loopback since no coordinator is registered, but sent).
+    assert runtime.metrics.counter("gossip.register").value == 1
+
+
+def test_duplicate_is_consumed(setup):
+    transport, runtime, layer = setup
+    assert layer.on_inbound(make_inbound(message_id="dup"))
+    assert not layer.on_inbound(make_inbound(message_id="dup"))
+
+
+def test_gossip_without_context_passes_through_without_join(setup):
+    transport, runtime, layer = setup
+    context = make_inbound(with_context=False)
+    assert layer.on_inbound(context)
+    assert layer.engines() == []
+    assert runtime.metrics.counter("gossip.no-context").value == 1
+
+
+def test_consumer_mode_never_joins(setup):
+    transport, runtime, layer = setup
+    layer.auto_join = False
+    assert layer.on_inbound(make_inbound())
+    assert layer.engines() == []
+    assert runtime.metrics.counter("gossip.passthrough").value == 1
+
+
+def test_malformed_gossip_header_consumed(setup):
+    transport, runtime, layer = setup
+    from repro.core.message import GOSSIP_HEADER_TAG
+    import xml.etree.ElementTree as ET
+
+    envelope = Envelope()
+    envelope.add_header(ET.Element(GOSSIP_HEADER_TAG))  # missing children
+    context = MessageContext(envelope, Direction.INBOUND)
+    assert not layer.on_inbound(context)
+    assert runtime.metrics.counter("gossip.malformed-header").value == 1
+
+
+def test_create_engine_is_idempotent(setup):
+    transport, runtime, layer = setup
+    context = make_context_header()
+    first = layer.create_engine(context)
+    second = layer.create_engine(context)
+    assert first is second
+
+
+def test_join_registers_once(setup):
+    transport, runtime, layer = setup
+    context = make_context_header()
+    layer.join(context)
+    layer.join(context)
+    assert runtime.metrics.counter("gossip.register").value == 1
+
+
+def test_default_params_propagate_to_engine(setup):
+    transport, runtime, layer = setup
+    engine = layer.create_engine(make_context_header())
+    assert engine.params.fanout == 2
+    assert engine.params.rounds == 3

@@ -1,0 +1,139 @@
+"""Tests for WAN topology helpers and the locality-aware selector."""
+
+import random
+
+import pytest
+
+from repro.core.peers import LocalityAwareSelector
+from repro.simnet.events import Simulator
+from repro.simnet.latency import FixedLatency
+from repro.simnet.network import Network
+from repro.simnet.process import Process
+from repro.simnet.trace import TraceLog
+from repro.workloads.topology import (
+    apply_site_latency,
+    cross_site_fraction,
+    site_of_address,
+)
+
+
+class TestApplySiteLatency:
+    def make(self):
+        sim = Simulator(seed=61)
+        trace = TraceLog(enabled=True)
+        network = Network(sim, trace=trace)
+        nodes = {name: Process(name, network) for name in ("a1", "a2", "b1", "b2")}
+        for node in nodes.values():
+            node.start()
+        site_map = apply_site_latency(
+            network,
+            {"east": ["a1", "a2"], "west": ["b1", "b2"]},
+            local=FixedLatency(0.001),
+            cross=FixedLatency(0.1),
+        )
+        return sim, network, trace, nodes, site_map
+
+    def test_site_map(self):
+        sim, network, trace, nodes, site_map = self.make()
+        assert site_map == {"a1": "east", "a2": "east", "b1": "west", "b2": "west"}
+
+    def test_local_vs_cross_latency(self):
+        sim, network, trace, nodes, site_map = self.make()
+
+        class Recorder(Process):
+            def __init__(self, name, network):
+                super().__init__(name, network)
+                self.times = []
+
+            def on_message(self, source, payload):
+                self.times.append(self.now)
+
+        # Re-use existing nodes via network.send directly.
+        received = {}
+        for destination in ("a2", "b1"):
+            nodes[destination].on_message = (
+                lambda source, payload, destination=destination:
+                received.__setitem__(destination, sim.now)
+            )
+        nodes["a1"].send("a2", "x")
+        nodes["a1"].send("b1", "x")
+        sim.run()
+        assert received["a2"] == pytest.approx(0.001)
+        assert received["b1"] == pytest.approx(0.1)
+
+    def test_duplicate_node_rejected(self):
+        sim = Simulator(seed=1)
+        network = Network(sim)
+        with pytest.raises(ValueError):
+            apply_site_latency(
+                network, {"e": ["n"], "w": ["n"]},
+                local=FixedLatency(0.001), cross=FixedLatency(0.1),
+            )
+
+    def test_cross_site_fraction(self):
+        sim, network, trace, nodes, site_map = self.make()
+        nodes["a1"].send("a2", "x")  # local
+        nodes["a1"].send("b1", "x")  # cross
+        nodes["b1"].send("b2", "x")  # local (queued after start)
+        sim.run()
+        assert cross_site_fraction(trace, site_map) == pytest.approx(1 / 3)
+
+    def test_cross_site_fraction_empty_trace(self):
+        assert cross_site_fraction(TraceLog(enabled=True), {}) == 0.0
+
+
+def test_site_of_address():
+    site_map = {"n1": "east"}
+    assert site_of_address("sim://n1/app", site_map) == "east"
+    assert site_of_address("sim://ghost/app", site_map) == ""
+
+
+class TestLocalityAwareSelector:
+    SITE = {"sim://l1/app": "here", "sim://l2/app": "here",
+            "sim://r1/app": "there", "sim://r2/app": "there"}
+
+    def make(self, remote_probability):
+        return LocalityAwareSelector(
+            site_of=lambda address: self.SITE.get(address, ""),
+            self_site="here",
+            remote_probability=remote_probability,
+        )
+
+    def test_zero_probability_stays_local_when_possible(self):
+        selector = self.make(0.0)
+        chosen = selector.select(list(self.SITE), 2, random.Random(1))
+        assert all(self.SITE[peer] == "here" for peer in chosen)
+
+    def test_falls_back_to_remote_when_no_local(self):
+        selector = self.make(0.0)
+        remote_only = ["sim://r1/app", "sim://r2/app"]
+        chosen = selector.select(remote_only, 2, random.Random(1))
+        assert sorted(chosen) == sorted(remote_only)
+
+    def test_probability_one_prefers_remote(self):
+        selector = self.make(1.0)
+        chosen = selector.select(list(self.SITE), 2, random.Random(1))
+        assert all(self.SITE[peer] == "there" for peer in chosen)
+
+    def test_no_duplicates_and_respects_exclude(self):
+        selector = self.make(0.5)
+        chosen = selector.select(
+            list(self.SITE), 4, random.Random(2), exclude=["sim://l1/app"]
+        )
+        assert len(chosen) == len(set(chosen))
+        assert "sim://l1/app" not in chosen
+
+    def test_remote_fraction_tracks_probability(self):
+        selector = self.make(0.25)
+        rng = random.Random(3)
+        remote_picks = 0
+        trials = 2000
+        for _ in range(trials):
+            chosen = selector.select(list(self.SITE), 1, rng)
+            if self.SITE[chosen[0]] == "there":
+                remote_picks += 1
+        assert 0.19 <= remote_picks / trials <= 0.31
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            self.make(1.5)

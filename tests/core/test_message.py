@@ -1,0 +1,89 @@
+"""Tests for the Gossip header block."""
+
+import pytest
+
+from repro.core.message import (
+    GOSSIP_HEADER_TAG,
+    GossipHeader,
+    GossipStyle,
+    new_gossip_message_id,
+)
+from repro.soap.envelope import Envelope
+
+
+def make_header(**overrides):
+    defaults = dict(
+        activity="urn:wscoord:activity:a",
+        message_id="urn:ws-gossip:msg:m",
+        origin="sim://initiator/app",
+        hops=4,
+        style=GossipStyle.PUSH,
+    )
+    defaults.update(overrides)
+    return GossipHeader(**defaults)
+
+
+def test_message_id_uniqueness():
+    assert new_gossip_message_id() != new_gossip_message_id()
+
+
+@pytest.mark.parametrize("style", list(GossipStyle))
+def test_round_trip_all_styles(style):
+    header = make_header(style=style)
+    parsed = GossipHeader.from_element(header.to_element())
+    assert parsed == header
+
+
+def test_from_envelope_absent():
+    assert GossipHeader.from_envelope(Envelope()) is None
+
+
+def test_from_envelope_present_after_wire_trip():
+    envelope = Envelope()
+    envelope.add_header(make_header(hops=7).to_element())
+    parsed = Envelope.from_bytes(envelope.to_bytes())
+    header = GossipHeader.from_envelope(parsed)
+    assert header.hops == 7
+    assert header.origin == "sim://initiator/app"
+
+
+def test_decremented_floors_at_zero():
+    assert make_header(hops=1).decremented().hops == 0
+    assert make_header(hops=0).decremented().hops == 0
+
+
+def test_decremented_is_a_copy():
+    header = make_header(hops=3)
+    lower = header.decremented()
+    assert header.hops == 3
+    assert lower.hops == 2
+
+
+def test_replace_in_swaps_header():
+    envelope = Envelope()
+    make_header(hops=5).replace_in(envelope)
+    make_header(hops=2).replace_in(envelope)
+    assert len(envelope.headers_named(GOSSIP_HEADER_TAG)) == 1
+    assert GossipHeader.from_envelope(envelope).hops == 2
+
+
+def test_missing_children_rejected():
+    import xml.etree.ElementTree as ET
+
+    with pytest.raises(ValueError):
+        GossipHeader.from_element(ET.Element(GOSSIP_HEADER_TAG))
+
+
+def test_bad_hops_rejected():
+    element = make_header().to_element()
+    for child in element:
+        if child.tag.endswith("Hops"):
+            child.text = "many"
+    with pytest.raises(ValueError):
+        GossipHeader.from_element(element)
+
+
+def test_missing_style_defaults_to_push():
+    element = make_header().to_element()
+    element.remove(next(child for child in element if child.tag.endswith("Style")))
+    assert GossipHeader.from_element(element).style is GossipStyle.PUSH

@@ -1,0 +1,74 @@
+"""Tests for gossip parameters."""
+
+import pytest
+
+from repro.core.message import GossipStyle
+from repro.core.params import GossipParams
+
+
+def test_defaults_are_valid():
+    params = GossipParams()
+    assert params.fanout >= 1
+    assert params.rounds >= 1
+    assert params.style is GossipStyle.PUSH
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"fanout": 0},
+        {"rounds": 0},
+        {"period": 0.0},
+        {"period": -1.0},
+        {"fanout": 5, "peer_sample_size": 4},
+        {"buffer_capacity": 0},
+        {"jitter": -0.1},
+    ],
+)
+def test_invalid_values_rejected(kwargs):
+    with pytest.raises(ValueError):
+        GossipParams(**kwargs)
+
+
+def test_wire_round_trip():
+    params = GossipParams(
+        fanout=4,
+        rounds=7,
+        style=GossipStyle.PUSH_PULL,
+        period=0.25,
+        peer_sample_size=9,
+        buffer_capacity=256,
+        jitter=0.05,
+    )
+    assert GossipParams.from_value(params.to_value()) == params
+
+
+def test_from_value_validates():
+    value = GossipParams().to_value()
+    value["fanout"] = 0
+    with pytest.raises(ValueError):
+        GossipParams.from_value(value)
+
+
+def test_from_value_rejects_unknown_style():
+    value = GossipParams().to_value()
+    value["style"] = "telepathy"
+    with pytest.raises(ValueError):
+        GossipParams.from_value(value)
+
+
+def test_with_helpers_are_functional():
+    base = GossipParams(fanout=3, rounds=5)
+    changed = base.with_fanout(4).with_rounds(6).with_style(GossipStyle.PULL)
+    assert changed.fanout == 4
+    assert changed.rounds == 6
+    assert changed.style is GossipStyle.PULL
+    # Original untouched (frozen dataclass semantics).
+    assert base.fanout == 3
+    assert base.style is GossipStyle.PUSH
+
+
+def test_frozen():
+    params = GossipParams()
+    with pytest.raises(AttributeError):
+        params.fanout = 9

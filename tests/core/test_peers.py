@@ -1,0 +1,59 @@
+"""Tests for peer-selection strategies."""
+
+import random
+from collections import Counter
+
+from repro.core.peers import RoundRobinSelector, UniformSelector
+
+
+class TestUniformSelector:
+    def test_respects_fanout(self):
+        selector = UniformSelector()
+        view = [f"p{index}" for index in range(10)]
+        chosen = selector.select(view, 3, random.Random(1))
+        assert len(chosen) == 3
+        assert len(set(chosen)) == 3
+
+    def test_small_view_returns_everything(self):
+        selector = UniformSelector()
+        assert sorted(selector.select(["a", "b"], 5, random.Random(1))) == ["a", "b"]
+
+    def test_exclusions_honoured(self):
+        selector = UniformSelector()
+        view = ["a", "b", "c", "d"]
+        chosen = selector.select(view, 4, random.Random(1), exclude=["a", "c"])
+        assert sorted(chosen) == ["b", "d"]
+
+    def test_empty_view(self):
+        assert UniformSelector().select([], 3, random.Random(1)) == []
+
+    def test_distribution_is_roughly_uniform(self):
+        selector = UniformSelector()
+        view = [f"p{index}" for index in range(10)]
+        rng = random.Random(7)
+        counts = Counter()
+        trials = 5000
+        for _ in range(trials):
+            counts.update(selector.select(view, 2, rng))
+        expected = trials * 2 / 10
+        for peer in view:
+            assert 0.85 * expected <= counts[peer] <= 1.15 * expected
+
+
+class TestRoundRobinSelector:
+    def test_rotates_through_view(self):
+        selector = RoundRobinSelector()
+        view = ["a", "b", "c"]
+        rng = random.Random(1)
+        first = selector.select(view, 2, rng)
+        second = selector.select(view, 2, rng)
+        assert first == ["a", "b"]
+        assert second == ["c", "a"]
+
+    def test_empty_view(self):
+        assert RoundRobinSelector().select([], 2, random.Random(1)) == []
+
+    def test_exclusions(self):
+        selector = RoundRobinSelector()
+        chosen = selector.select(["a", "b", "c"], 3, random.Random(1), exclude=["b"])
+        assert chosen == ["a", "c"]

@@ -1,0 +1,161 @@
+"""Tests for the Cyclon-style peer sampling service."""
+
+import random
+
+import pytest
+
+from repro.core.peersampling import (
+    Descriptor,
+    PartialView,
+    PeerSamplingEngine,
+    PeerSamplingService,
+    SAMPLING_SERVICE_PATH,
+)
+from repro.core.scheduling import ProcessScheduler
+from repro.simnet.events import Simulator
+from repro.simnet.network import Network
+from repro.transport.inmem import WsProcess
+
+
+class TestPartialView:
+    def test_capacity_and_self_exclusion(self):
+        view = PartialView(capacity=3, self_address="me")
+        view.add_seed("me")
+        view.add_seed("a")
+        view.add_seed("b")
+        view.add_seed("c")
+        view.add_seed("d")  # over capacity, dropped
+        assert "me" not in view
+        assert len(view) == 3
+
+    def test_aging_and_oldest(self):
+        view = PartialView(capacity=4, self_address="me")
+        view.add_seed("a")
+        view.age_all()
+        view.add_seed("b")
+        assert view.oldest().address == "a"
+
+    def test_merge_fills_empty_slots(self):
+        view = PartialView(capacity=4, self_address="me")
+        view.add_seed("a")
+        view.merge([Descriptor("b", 1), Descriptor("c", 2)], sent=[])
+        assert set(view.addresses()) == {"a", "b", "c"}
+
+    def test_merge_never_adds_self(self):
+        view = PartialView(capacity=4, self_address="me")
+        view.merge([Descriptor("me", 0)], sent=[])
+        assert len(view) == 0
+
+    def test_merge_keeps_younger_age_for_duplicates(self):
+        view = PartialView(capacity=4, self_address="me")
+        view.add_seed("a")
+        view.age_all()
+        view.age_all()
+        view.merge([Descriptor("a", 0)], sent=[])
+        assert view.descriptors()[0].age == 0
+
+    def test_merge_replaces_sent_entries_when_full(self):
+        view = PartialView(capacity=2, self_address="me")
+        view.add_seed("a")
+        view.add_seed("b")
+        sent = [Descriptor("a", 0)]
+        view.merge([Descriptor("c", 0)], sent=sent)
+        assert "c" in view
+        assert "a" not in view
+        assert "b" in view
+
+    def test_sample_excludes(self):
+        view = PartialView(capacity=4, self_address="me")
+        for name in ("a", "b", "c"):
+            view.add_seed(name)
+        sampled = view.sample(3, random.Random(1), exclude=["b"])
+        assert {d.address for d in sampled} == {"a", "c"}
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PartialView(capacity=0, self_address="me")
+
+
+class SamplingNode(WsProcess):
+    def attach(self, capacity=8, shuffle_length=4, period=0.5):
+        self.sampling = PeerSamplingEngine(
+            runtime=self.runtime,
+            scheduler=ProcessScheduler(self),
+            self_address=self.runtime.base_address,
+            capacity=capacity,
+            shuffle_length=shuffle_length,
+            period=period,
+            rng=self.sim.rng.get(f"sampling:{self.name}"),
+        )
+        self.runtime.add_service(
+            SAMPLING_SERVICE_PATH, PeerSamplingService(self.sampling)
+        )
+
+
+def build_ring(count, seed=1, capacity=8):
+    """Bootstrap each node knowing only its ring successor."""
+    sim = Simulator(seed=seed)
+    network = Network(sim)
+    nodes = [SamplingNode(f"p{index}", network) for index in range(count)]
+    for node in nodes:
+        node.attach(capacity=capacity)
+        node.start()
+    for index, node in enumerate(nodes):
+        successor = nodes[(index + 1) % count]
+        node.sampling.bootstrap([successor.runtime.base_address])
+        node.sampling.start()
+    return sim, network, nodes
+
+
+def test_invalid_shuffle_length():
+    sim = Simulator(seed=1)
+    network = Network(sim)
+    node = SamplingNode("x", network)
+    with pytest.raises(ValueError):
+        node.attach(capacity=4, shuffle_length=5)
+
+
+def test_views_fill_up_from_sparse_bootstrap():
+    sim, network, nodes = build_ring(20, capacity=8)
+    sim.run_until(30.0)
+    sizes = [len(node.sampling.view) for node in nodes]
+    assert min(sizes) >= 6  # views nearly full from a single seed each
+
+
+def test_views_never_contain_self():
+    sim, network, nodes = build_ring(10)
+    sim.run_until(20.0)
+    for node in nodes:
+        assert node.runtime.base_address not in node.sampling.view_addresses()
+
+
+def test_overlay_becomes_well_mixed():
+    """The union of who-knows-whom should connect the whole population."""
+    import networkx
+
+    sim, network, nodes = build_ring(16, capacity=6)
+    sim.run_until(30.0)
+    graph = networkx.DiGraph()
+    for node in nodes:
+        for peer in node.sampling.view_addresses():
+            graph.add_edge(node.runtime.base_address, peer)
+    undirected = graph.to_undirected()
+    assert networkx.is_connected(undirected)
+    # In-degree should be roughly balanced (no node hoards attention).
+    in_degrees = [graph.in_degree(node.runtime.base_address) for node in nodes]
+    assert max(in_degrees) <= 4 * max(1, min(in_degrees))
+
+
+def test_crashed_node_fades_from_views():
+    sim, network, nodes = build_ring(12, capacity=5)
+    sim.run_until(20.0)
+    victim = nodes[0]
+    victim_address = victim.runtime.base_address
+    victim.crash()
+    sim.run_until(120.0)
+    holders = sum(
+        1 for node in nodes[1:] if victim_address in node.sampling.view_addresses()
+    )
+    # Shuffling with the dead node fails, and its descriptor keeps aging,
+    # so it gets picked as "oldest" and removed; most views forget it.
+    assert holders <= 3

@@ -1,0 +1,113 @@
+"""Unit tests for the role node classes."""
+
+import pytest
+
+from repro.core.roles import (
+    APP_PATH,
+    AppNode,
+    ConsumerNode,
+    CoordinatorNode,
+    Delivery,
+    DisseminatorNode,
+    InitiatorNode,
+)
+from repro.simnet.events import Simulator
+from repro.simnet.network import Network
+
+ACTION = "urn:t/Event"
+
+
+@pytest.fixture
+def env():
+    sim = Simulator(seed=33)
+    network = Network(sim)
+    return sim, network
+
+
+def test_app_node_addresses(env):
+    sim, network = env
+    node = AppNode("n", network, app_path="/feed")
+    assert node.app_address == "sim://n/feed"
+    assert node.runtime.service_at("/feed") is not None
+
+
+def test_bind_records_and_invokes_callback(env):
+    sim, network = env
+    a = AppNode("a", network)
+    b = AppNode("b", network)
+    seen = []
+    b.bind(ACTION, callback=lambda context, value: seen.append(value))
+    a.start()
+    b.start()
+    a.runtime.send(b.app_address, ACTION, value={"k": 1})
+    sim.run_until(1.0)
+    assert seen == [{"k": 1}]
+    assert len(b.deliveries) == 1
+    delivery = b.deliveries[0]
+    assert delivery.action == ACTION
+    assert delivery.gossip_id is None  # plain, ungossiped invocation
+    assert "Delivery(" in repr(delivery)
+
+
+def test_delivery_time_and_has_delivered_for_plain_messages(env):
+    sim, network = env
+    node = AppNode("n", network)
+    node.bind(ACTION)
+    assert node.delivery_time("missing") is None
+    assert not node.has_delivered("anything")
+
+
+def test_consumer_has_no_gossip_parts(env):
+    sim, network = env
+    consumer = ConsumerNode("c", network)
+    assert consumer.runtime.service_at("/gossip") is None
+    assert len(consumer.runtime.chain) == 0
+
+
+def test_disseminator_has_gossip_parts(env):
+    sim, network = env
+    disseminator = DisseminatorNode("d", network)
+    assert disseminator.runtime.service_at("/gossip") is not None
+    assert len(disseminator.runtime.chain) == 1
+    assert disseminator.gossip_layer.app_address == disseminator.app_address
+
+
+def test_coordinator_mounts_four_services(env):
+    sim, network = env
+    coordinator = CoordinatorNode("coordinator", network)
+    assert coordinator.runtime.service_paths() == [
+        "/activation", "/registration", "/subscription", "/topics",
+    ]
+
+
+def test_activation_against_dead_coordinator_times_out_quietly(env):
+    sim, network = env
+    coordinator = CoordinatorNode("coordinator", network)
+    initiator = InitiatorNode("initiator", network)
+    initiator.start()
+    # Coordinator never started: the request is dropped, no engine appears,
+    # nothing crashes.
+    ready = []
+    initiator.activate(coordinator.activation_address, on_ready=ready.append)
+    sim.run_until(5.0)
+    assert ready == []
+    assert initiator.activities == {}
+
+
+def test_publish_unknown_activity_raises(env):
+    sim, network = env
+    initiator = InitiatorNode("initiator", network)
+    with pytest.raises(KeyError):
+        initiator.publish("urn:nope", ACTION, {"x": 1})
+
+
+def test_initiator_double_activation_creates_two_activities(env):
+    sim, network = env
+    coordinator = CoordinatorNode("coordinator", network)
+    initiator = InitiatorNode("initiator", network)
+    coordinator.start()
+    initiator.start()
+    for _ in range(2):
+        initiator.activate(coordinator.activation_address)
+    sim.run_until(2.0)
+    assert len(initiator.activities) == 2

@@ -1,0 +1,78 @@
+"""Tests for the scheduler adapters."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.scheduling import ProcessScheduler, ThreadScheduler
+from repro.simnet.events import Simulator
+from repro.simnet.network import Network
+from repro.simnet.process import Process
+
+
+class TestProcessScheduler:
+    def test_now_tracks_simulated_time(self):
+        sim = Simulator()
+        network = Network(sim)
+        process = Process("p", network)
+        process.start()
+        scheduler = ProcessScheduler(process)
+        assert scheduler.now == 0.0
+        sim.call_after(2.0, lambda: None)
+        sim.run()
+        assert scheduler.now == 2.0
+
+    def test_timer_fires_and_dies_with_crash(self):
+        sim = Simulator()
+        network = Network(sim)
+        process = Process("p", network)
+        process.start()
+        scheduler = ProcessScheduler(process)
+        fired = []
+        scheduler.call_after(1.0, lambda: fired.append("a"))
+        scheduler.call_after(3.0, lambda: fired.append("b"))
+        sim.call_after(2.0, process.crash)
+        sim.run()
+        assert fired == ["a"]
+
+    def test_timer_is_cancellable(self):
+        sim = Simulator()
+        network = Network(sim)
+        process = Process("p", network)
+        process.start()
+        scheduler = ProcessScheduler(process)
+        fired = []
+        timer = scheduler.call_after(1.0, lambda: fired.append("x"))
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+
+class TestThreadScheduler:
+    def test_fires_on_wall_clock(self):
+        scheduler = ThreadScheduler()
+        event = threading.Event()
+        scheduler.call_after(0.02, event.set)
+        assert event.wait(timeout=2.0)
+        scheduler.close()
+
+    def test_now_is_monotonic(self):
+        scheduler = ThreadScheduler()
+        first = scheduler.now
+        time.sleep(0.01)
+        assert scheduler.now > first
+        scheduler.close()
+
+    def test_close_cancels_pending(self):
+        scheduler = ThreadScheduler()
+        fired = threading.Event()
+        scheduler.call_after(0.2, fired.set)
+        scheduler.close()
+        assert not fired.wait(timeout=0.4)
+
+    def test_call_after_close_is_noop(self):
+        scheduler = ThreadScheduler()
+        scheduler.close()
+        timer = scheduler.call_after(0.01, lambda: None)
+        timer.cancel()  # null timer supports the interface

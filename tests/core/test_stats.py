@@ -1,0 +1,65 @@
+"""Tests for the seed-sweep statistics helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats import Summary, compare, summarize
+
+
+class TestSummarize:
+    def test_single_value(self):
+        summary = summarize([3.0])
+        assert summary.n == 1
+        assert summary.mean == 3.0
+        assert summary.stdev == 0.0
+        assert summary.half_width == 0.0
+
+    def test_known_values(self):
+        summary = summarize([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert summary.mean == pytest.approx(5.0)
+        assert summary.stdev == pytest.approx(2.138, rel=0.01)
+        assert summary.half_width > 0
+
+    def test_interval_brackets_mean(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.low < summary.mean < summary.high
+        assert summary.low == summary.mean - summary.half_width
+        assert summary.high == summary.mean + summary.half_width
+
+    def test_wider_confidence_wider_interval(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert summarize(data, 0.99).half_width > summarize(data, 0.90).half_width
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([1.0], confidence=1.0)
+
+    def test_str_form(self):
+        assert "+/-" in str(summarize([1.0, 2.0]))
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2,
+                    max_size=20))
+    def test_mean_within_data_range(self, values):
+        summary = summarize(values)
+        assert min(values) - 1e-9 <= summary.mean <= max(values) + 1e-9
+        assert summary.stdev >= 0
+        assert summary.half_width >= 0
+
+
+class TestCompare:
+    def test_clearly_separated_samples(self):
+        high = [10.0, 10.1, 10.2, 9.9]
+        low = [1.0, 1.1, 0.9, 1.05]
+        assert compare(high, low)
+        assert not compare(low, high)
+
+    def test_overlapping_samples_not_credible(self):
+        a = [1.0, 5.0, 3.0]
+        b = [2.0, 4.0, 3.0]
+        assert not compare(a, b)
+        assert not compare(b, a)

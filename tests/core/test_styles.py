@@ -1,0 +1,77 @@
+"""Integration tests: all four gossip styles converge to full delivery."""
+
+import pytest
+
+from repro.core.api import GossipGroup
+
+
+@pytest.mark.parametrize("style", ["push", "push-pull", "pull", "anti-entropy"])
+def test_style_reaches_full_delivery(style):
+    group = GossipGroup(
+        n_disseminators=16,
+        n_consumers=8 if style in ("push", "push-pull") else 0,
+        seed=13,
+        params={"style": style, "fanout": 3, "rounds": 6, "period": 0.4},
+    )
+    group.setup()
+    gossip_id = group.publish({"style": style})
+    group.run_for(20.0)
+    assert group.delivered_fraction(gossip_id) == 1.0
+
+
+def test_push_uses_far_fewer_messages_than_pull():
+    def messages_for(style):
+        group = GossipGroup(
+            n_disseminators=16, seed=14,
+            params={"style": style, "fanout": 3, "rounds": 6, "period": 0.4},
+        )
+        group.setup()
+        baseline = group.message_counts().get("net.sent", 0)
+        gossip_id = group.publish({"x": 1})
+        group.run_for(10.0)
+        assert group.delivered_fraction(gossip_id) == 1.0
+        return group.message_counts()["net.sent"] - baseline
+
+    assert messages_for("push") < messages_for("pull")
+
+
+def test_anti_entropy_repairs_a_lossy_push():
+    # Push with heavy loss misses nodes; push-pull (eager + periodic pull
+    # repair) recovers them.
+    push = GossipGroup(
+        n_disseminators=24, seed=15, loss_rate=0.35,
+        params={"style": "push", "fanout": 2, "rounds": 4},
+        auto_tune=False,
+    )
+    push.setup()
+    push_id = push.publish({"x": 1})
+    push.run_for(15.0)
+
+    pushpull = GossipGroup(
+        n_disseminators=24, seed=15, loss_rate=0.35,
+        params={"style": "push-pull", "fanout": 2, "rounds": 4, "period": 0.5},
+        auto_tune=False,
+    )
+    pushpull.setup()
+    pushpull_id = pushpull.publish({"x": 1})
+    pushpull.run_for(15.0)
+
+    assert pushpull.delivered_fraction(pushpull_id) >= push.delivered_fraction(push_id)
+    assert pushpull.delivered_fraction(pushpull_id) == 1.0
+
+
+def test_pull_spreads_exponentially_not_linearly():
+    group = GossipGroup(
+        n_disseminators=32, seed=16,
+        params={"style": "pull", "fanout": 2, "rounds": 4, "period": 0.5},
+    )
+    group.setup()
+    gossip_id = group.publish({"x": 1})
+    group.run_for(30.0)
+    times = sorted(group.delivery_times(group_id := gossip_id))
+    assert group.delivered_fraction(gossip_id) == 1.0
+    # Exponential spread: the last arrival should come within a small
+    # multiple of the median, not N periods later.
+    median = times[len(times) // 2]
+    publish_time = min(times)
+    assert times[-1] - publish_time <= 6.0 * max(median - publish_time, 0.5)

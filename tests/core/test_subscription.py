@@ -1,0 +1,188 @@
+"""Tests for the coordinator's Subscription service."""
+
+import pytest
+
+from repro.core.engine import PROTOCOL_SUBSCRIBER
+from repro.core.roles import ConsumerNode, CoordinatorNode, InitiatorNode
+from repro.core.subscription import SUBSCRIBE_ACTION, UNSUBSCRIBE_ACTION
+from repro.simnet.events import Simulator
+from repro.simnet.network import Network
+from repro.soap.fault import SoapFault
+
+
+@pytest.fixture
+def env():
+    sim = Simulator(seed=21)
+    network = Network(sim)
+    coordinator = CoordinatorNode("coordinator", network)
+    initiator = InitiatorNode("initiator", network)
+    consumer = ConsumerNode("consumer", network)
+    for node in (coordinator, initiator, consumer):
+        node.start()
+
+    engines = []
+    initiator.activate(
+        coordinator.activation_address, on_ready=lambda engine: engines.append(engine)
+    )
+    sim.run_until(1.0)
+    assert engines
+    return sim, coordinator, initiator, consumer, engines[0].activity_id
+
+
+def test_subscribe_adds_subscriber_participant(env):
+    sim, coordinator, initiator, consumer, activity_id = env
+    acks = []
+    consumer.subscribe(
+        coordinator.subscription_address,
+        activity_id,
+        on_reply=lambda context, value: acks.append(value),
+    )
+    sim.run_until(2.0)
+    assert acks == [{"activity": activity_id, "subscribed": True}]
+    activity = coordinator.coordinator.activity(activity_id)
+    assert activity.participant_addresses(PROTOCOL_SUBSCRIBER) == [
+        consumer.app_address
+    ]
+
+
+def test_subscribe_is_idempotent(env):
+    sim, coordinator, initiator, consumer, activity_id = env
+    consumer.subscribe(coordinator.subscription_address, activity_id)
+    consumer.subscribe(coordinator.subscription_address, activity_id)
+    sim.run_until(2.0)
+    activity = coordinator.coordinator.activity(activity_id)
+    assert len(activity.participant_addresses(PROTOCOL_SUBSCRIBER)) == 1
+
+
+def test_unsubscribe_removes(env):
+    sim, coordinator, initiator, consumer, activity_id = env
+    consumer.subscribe(coordinator.subscription_address, activity_id)
+    sim.run_until(2.0)
+    replies = []
+    consumer.runtime.send(
+        coordinator.subscription_address,
+        UNSUBSCRIBE_ACTION,
+        value={"activity": activity_id, "participant": consumer.app_address},
+        on_reply=lambda context, value: replies.append(value),
+    )
+    sim.run_until(3.0)
+    assert replies[0]["removed"] == 1
+    activity = coordinator.coordinator.activity(activity_id)
+    assert activity.participant_addresses(PROTOCOL_SUBSCRIBER) == []
+
+
+def test_unsubscribe_of_unknown_is_zero(env):
+    sim, coordinator, initiator, consumer, activity_id = env
+    replies = []
+    consumer.runtime.send(
+        coordinator.subscription_address,
+        UNSUBSCRIBE_ACTION,
+        value={"activity": activity_id, "participant": "sim://ghost/app"},
+        on_reply=lambda context, value: replies.append(value),
+    )
+    sim.run_until(2.0)
+    assert replies[0]["removed"] == 0
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [None, {}, {"activity": "a"}, {"participant": "p"}, {"activity": 1, "participant": "p"}],
+)
+def test_malformed_subscribe_faults(env, payload):
+    sim, coordinator, initiator, consumer, activity_id = env
+    replies = []
+    consumer.runtime.send(
+        coordinator.subscription_address,
+        SUBSCRIBE_ACTION,
+        value=payload,
+        on_reply=lambda context, value: replies.append(value),
+    )
+    sim.run_until(2.0)
+    assert isinstance(replies[0], SoapFault)
+
+
+class TestLeases:
+    def test_subscribe_with_lease_reports_expiry(self, env):
+        sim, coordinator, initiator, consumer, activity_id = env
+        replies = []
+        consumer.runtime.send(
+            coordinator.subscription_address,
+            SUBSCRIBE_ACTION,
+            value={"activity": activity_id, "participant": consumer.app_address,
+                   "expires": 10.0},
+            on_reply=lambda context, value: replies.append(value),
+        )
+        sim.run_until(2.0)
+        assert replies[0]["subscribed"] is True
+        assert replies[0]["expires_at"] == pytest.approx(sim.now, abs=2.0 + 10.0)
+
+    def test_expired_lease_is_pruned(self, env):
+        sim, coordinator, initiator, consumer, activity_id = env
+        consumer.runtime.send(
+            coordinator.subscription_address,
+            SUBSCRIBE_ACTION,
+            value={"activity": activity_id, "participant": consumer.app_address,
+                   "expires": 3.0},
+        )
+        sim.run_until(2.0)
+        activity = coordinator.coordinator.activity(activity_id)
+        assert activity.participant_addresses(PROTOCOL_SUBSCRIBER)
+        sim.run_until(12.0)  # past the lease and a periodic prune tick
+        assert activity.participant_addresses(PROTOCOL_SUBSCRIBER) == []
+
+    def test_resubscribe_renews_lease(self, env):
+        sim, coordinator, initiator, consumer, activity_id = env
+
+        def subscribe():
+            consumer.runtime.send(
+                coordinator.subscription_address,
+                SUBSCRIBE_ACTION,
+                value={"activity": activity_id,
+                       "participant": consumer.app_address, "expires": 6.0},
+            )
+
+        subscribe()
+        sim.run_until(4.0)
+        subscribe()  # renew before expiry
+        sim.run_until(9.0)  # original lease would have lapsed at ~6
+        activity = coordinator.coordinator.activity(activity_id)
+        assert activity.participant_addresses(PROTOCOL_SUBSCRIBER) == [
+            consumer.app_address
+        ]
+        sim.run_until(20.0)  # renewed lease lapses too
+        assert activity.participant_addresses(PROTOCOL_SUBSCRIBER) == []
+
+    def test_unleased_subscription_never_expires(self, env):
+        sim, coordinator, initiator, consumer, activity_id = env
+        consumer.subscribe(coordinator.subscription_address, activity_id)
+        sim.run_until(60.0)
+        activity = coordinator.coordinator.activity(activity_id)
+        assert activity.participant_addresses(PROTOCOL_SUBSCRIBER) == [
+            consumer.app_address
+        ]
+
+    def test_invalid_expires_faults(self, env):
+        sim, coordinator, initiator, consumer, activity_id = env
+        replies = []
+        consumer.runtime.send(
+            coordinator.subscription_address,
+            SUBSCRIBE_ACTION,
+            value={"activity": activity_id, "participant": consumer.app_address,
+                   "expires": -1},
+            on_reply=lambda context, value: replies.append(value),
+        )
+        sim.run_until(2.0)
+        assert isinstance(replies[0], SoapFault)
+
+
+def test_subscribe_to_unknown_activity_faults(env):
+    sim, coordinator, initiator, consumer, activity_id = env
+    replies = []
+    consumer.runtime.send(
+        coordinator.subscription_address,
+        SUBSCRIBE_ACTION,
+        value={"activity": "urn:nope", "participant": consumer.app_address},
+        on_reply=lambda context, value: replies.append(value),
+    )
+    sim.run_until(2.0)
+    assert isinstance(replies[0], SoapFault)

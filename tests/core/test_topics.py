@@ -1,0 +1,135 @@
+"""Tests for the topic directory (named gossip activities)."""
+
+import pytest
+
+from repro.core.roles import ConsumerNode, CoordinatorNode, InitiatorNode
+from repro.core.topics import (
+    ENSURE_ACTION,
+    context_from_ensure_response,
+    ensure_topic,
+)
+from repro.simnet.events import Simulator
+from repro.simnet.network import Network
+from repro.soap.fault import SoapFault
+
+ACTION = "urn:stock/tick"
+
+
+@pytest.fixture
+def env():
+    sim = Simulator(seed=41)
+    network = Network(sim)
+    coordinator = CoordinatorNode("coordinator", network, auto_tune=False)
+    initiator = InitiatorNode("initiator", network)
+    consumer = ConsumerNode("consumer", network)
+    for node in (coordinator, initiator, consumer):
+        node.start()
+    initiator.bind(ACTION)
+    consumer.bind(ACTION)
+    return sim, coordinator, initiator, consumer
+
+
+def test_ensure_creates_then_reuses(env):
+    sim, coordinator, initiator, consumer = env
+    replies = []
+    for _ in range(2):
+        initiator.runtime.send(
+            coordinator.topic_directory_address,
+            ENSURE_ACTION,
+            value={"topic": "SWX.ticks"},
+            on_reply=lambda context, value: replies.append(value),
+        )
+        sim.run_until(sim.now + 1.0)
+    assert replies[0]["created"] is True
+    assert replies[1]["created"] is False
+    assert replies[0]["activity"] == replies[1]["activity"]
+    assert coordinator.topic_directory.topics() == {
+        "SWX.ticks": replies[0]["activity"]
+    }
+
+
+def test_distinct_topics_get_distinct_activities(env):
+    sim, coordinator, initiator, consumer = env
+    activities = []
+    for topic in ("a", "b"):
+        ensure_topic(
+            initiator.runtime,
+            coordinator.topic_directory_address,
+            topic,
+            on_context=lambda context, value: activities.append(context.identifier),
+        )
+    sim.run_until(1.0)
+    assert len(activities) == 2
+    assert activities[0] != activities[1]
+
+
+def test_context_reconstruction(env):
+    sim, coordinator, initiator, consumer = env
+    contexts = []
+    ensure_topic(
+        initiator.runtime,
+        coordinator.topic_directory_address,
+        "rebuild",
+        on_context=lambda context, value: contexts.append(context),
+    )
+    sim.run_until(1.0)
+    context = contexts[0]
+    assert context.registration_service.address.endswith("/registration")
+    assert context.registration_service.reference_parameters == {
+        "ActivityId": context.identifier
+    }
+
+
+def test_context_from_bad_response_rejected():
+    with pytest.raises(ValueError):
+        context_from_ensure_response({"activity": 1, "registration": None})
+
+
+@pytest.mark.parametrize(
+    "payload", [None, {}, {"topic": ""}, {"topic": 1}, {"topic": "t", "parameters": 5}]
+)
+def test_malformed_ensure_faults(env, payload):
+    sim, coordinator, initiator, consumer = env
+    replies = []
+    initiator.runtime.send(
+        coordinator.topic_directory_address,
+        ENSURE_ACTION,
+        value=payload,
+        on_reply=lambda context, value: replies.append(value),
+    )
+    sim.run_until(1.0)
+    assert isinstance(replies[0], SoapFault)
+
+
+def test_end_to_end_topic_dissemination(env):
+    sim, coordinator, initiator, consumer = env
+    engines = []
+    initiator.ensure_topic(
+        coordinator.topic_directory_address,
+        "SWX.ticks",
+        parameters={"fanout": 2, "rounds": 3},
+        on_ready=engines.append,
+    )
+    sim.run_until(1.0)
+    assert engines
+    activity_id = engines[0].activity_id
+    consumer.subscribe(coordinator.subscription_address, activity_id)
+    sim.run_until(2.0)
+    engines[0].refresh_view()
+    sim.run_until(3.0)
+    gossip_id = initiator.publish(activity_id, ACTION, {"px": 1.0})
+    sim.run_until(8.0)
+    assert consumer.has_delivered(gossip_id)
+
+
+def test_topic_parameters_apply(env):
+    sim, coordinator, initiator, consumer = env
+    engines = []
+    initiator.ensure_topic(
+        coordinator.topic_directory_address,
+        "ordered-feed",
+        parameters={"fanout": 2, "rounds": 3, "ordered": True},
+        on_ready=engines.append,
+    )
+    sim.run_until(2.0)
+    assert engines[0].params.ordered is True

@@ -1,0 +1,43 @@
+"""Every shipped example must run clean end-to-end.
+
+Each example is executed in a subprocess (fresh interpreter, no test
+state) and its stdout checked for the success markers it prints.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+CASES = [
+    ("quickstart.py", ["delivered to 100.0%", "atomic delivery: True"]),
+    ("stock_market.py", ["WS-Gossip push", "WS-N broker"]),
+    ("sensor_aggregation.py", ["exact field mean", "80"]),
+    ("resilient_dissemination.py", ["WS-Gossip", "broadcast tree"]),
+    ("topic_feeds.py", ["FIFO violations across all consumers: 0",
+                        "cross-talk"]),
+    ("decentralized_mesh.py", ["steady-state dissemination: 100.0%",
+                               "post-crash dissemination"]),
+    ("http_deployment.py", ["every node received the tick over real HTTP"]),
+    ("operations_dashboard.py", ["top talkers", "trace exported"]),
+]
+
+
+@pytest.mark.parametrize("script,markers", CASES,
+                         ids=[case[0] for case in CASES])
+def test_example_runs(script, markers):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in markers:
+        assert marker in result.stdout, (
+            f"{script} output missing {marker!r}:\n{result.stdout[-2000:]}"
+        )

@@ -1,0 +1,83 @@
+"""Concurrency smoke test for the real-HTTP binding.
+
+The threaded HTTP server invokes the runtime from many handler threads at
+once; this guards the receive path against lost updates at realistic
+example-scale rates.
+"""
+
+import threading
+import time
+
+from repro.soap.service import Service, operation
+from repro.transport.http import HttpNode
+
+
+class CountingService(Service):
+    def __init__(self):
+        super().__init__()
+        self.lock = threading.Lock()
+        self.values = []
+
+    @operation("urn:t/Hit")
+    def hit(self, context, value):
+        with self.lock:
+            self.values.append(value)
+        return None
+
+
+def wait_for(predicate, timeout=15.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+def test_concurrent_one_way_messages_all_arrive():
+    with HttpNode() as server:
+        service = CountingService()
+        server.runtime.add_service("/svc", service)
+        senders = [HttpNode() for _ in range(4)]
+        try:
+            for sender in senders:
+                sender.start()
+            total = 80
+            for index in range(total):
+                sender = senders[index % len(senders)]
+                sender.runtime.send(
+                    f"{server.base_address}/svc", "urn:t/Hit", value=index
+                )
+            assert wait_for(lambda: len(service.values) == total), (
+                f"only {len(service.values)}/{total} arrived"
+            )
+            assert sorted(service.values) == list(range(total))
+        finally:
+            for sender in senders:
+                sender.stop()
+
+
+def test_concurrent_request_reply():
+    with HttpNode() as server, HttpNode() as client:
+
+        class Echo(Service):
+            @operation("urn:t/Echo")
+            def echo(self, context, value):
+                return {"echo": value}
+
+        server.runtime.add_service("/echo", Echo())
+        replies = []
+        lock = threading.Lock()
+
+        def on_reply(context, value):
+            with lock:
+                replies.append(value)
+
+        total = 40
+        for index in range(total):
+            client.runtime.send(
+                f"{server.base_address}/echo", "urn:t/Echo", value=index,
+                on_reply=on_reply,
+            )
+        assert wait_for(lambda: len(replies) == total)
+        assert sorted(reply["echo"] for reply in replies) == list(range(total))

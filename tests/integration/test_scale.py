@@ -1,0 +1,30 @@
+"""Scale smoke test: the stack holds up at hundreds of services.
+
+Not a micro-benchmark (that is E3/E10) -- this guards against
+accidentally-quadratic behaviour anywhere in the setup or dissemination
+paths.
+"""
+
+import time
+
+from repro.core.api import GossipGroup
+
+
+def test_500_node_dissemination_completes_quickly():
+    group = GossipGroup(
+        n_disseminators=449,
+        n_consumers=50,
+        seed=77,
+        params={"peer_sample_size": 40},
+        auto_tune=True,
+    )
+    started = time.monotonic()
+    group.setup(settle=1.5, eager_join=True)
+    gossip_id = group.publish({"scale": 500})
+    group.run_for(10.0)
+    elapsed = time.monotonic() - started
+    assert group.delivered_fraction(gossip_id) >= 0.99
+    # Real XML on every hop and still well under a minute of wall clock.
+    assert elapsed < 60.0
+    counters = group.message_counts()
+    assert counters["net.sent"] > 500  # registrations + gossip traffic

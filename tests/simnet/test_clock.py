@@ -1,0 +1,36 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.simnet.clock import VirtualClock
+
+
+def test_starts_at_zero_by_default():
+    assert VirtualClock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert VirtualClock(5.5).now == 5.5
+
+
+def test_rejects_negative_start():
+    with pytest.raises(ValueError):
+        VirtualClock(-1.0)
+
+
+def test_advances_forward():
+    clock = VirtualClock()
+    clock.advance_to(3.0)
+    assert clock.now == 3.0
+    clock.advance_to(3.0)  # same instant is fine
+    assert clock.now == 3.0
+
+
+def test_rejects_going_backwards():
+    clock = VirtualClock(2.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(1.0)
+
+
+def test_repr_mentions_time():
+    assert "2.5" in repr(VirtualClock(2.5))

@@ -1,0 +1,153 @@
+"""Tests for the event queue and simulator loop."""
+
+import pytest
+
+from repro.simnet.events import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda: order.append("b"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(3.0, lambda: order.append("c"))
+        while queue:
+            queue.pop().callback()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_is_fifo(self):
+        queue = EventQueue()
+        order = []
+        for label in "abcde":
+            queue.push(1.0, lambda label=label: order.append(label))
+        while queue:
+            queue.pop().callback()
+        assert order == list("abcde")
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        assert queue.pop().time == 2.0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.peek_time() == 1.0
+        first.cancel()
+        assert queue.peek_time() == 2.0
+
+
+class TestSimulator:
+    def test_run_executes_everything(self):
+        sim = Simulator()
+        fired = []
+        sim.call_after(1.0, lambda: fired.append(1))
+        sim.call_after(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1, 2]
+        assert sim.now == 2.0
+
+    def test_call_at_absolute_time(self):
+        sim = Simulator()
+        times = []
+        sim.call_at(5.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [5.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.call_after(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.call_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().call_after(-0.1, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.call_after(1.0, lambda: fired.append("second"))
+
+        sim.call_after(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_run_until_stops_at_deadline(self):
+        sim = Simulator()
+        fired = []
+        sim.call_after(1.0, lambda: fired.append(1))
+        sim.call_after(5.0, lambda: fired.append(5))
+        sim.run_until(3.0)
+        assert fired == [1]
+        assert sim.now == 3.0  # clock parked at the deadline
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_run_until_boundary_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.call_after(2.0, lambda: fired.append(2))
+        sim.run_until(2.0)
+        assert fired == [2]
+
+    def test_stop_interrupts_run(self):
+        sim = Simulator()
+        fired = []
+        sim.call_after(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.call_after(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        fired = []
+        for index in range(10):
+            sim.call_after(float(index + 1), lambda index=index: fired.append(index))
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        sim.call_after(1.0, lambda: None)
+        cancelled = sim.call_after(2.0, lambda: None)
+        cancelled.cancel()
+        sim.run()
+        assert sim.events_executed == 1
+
+    def test_determinism_same_seed(self):
+        def run(seed):
+            sim = Simulator(seed=seed)
+            rng = sim.rng.get("test")
+            draws = []
+            for index in range(5):
+                sim.call_after(rng.random(), lambda: draws.append(sim.now))
+            sim.run()
+            return draws
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)

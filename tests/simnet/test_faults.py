@@ -1,0 +1,114 @@
+"""Tests for fault injection."""
+
+import pytest
+
+from repro.simnet.events import Simulator
+from repro.simnet.faults import ChurnGenerator, FaultPlan
+from repro.simnet.network import Network
+from repro.simnet.process import Process
+
+
+def make_cluster(count, seed=1):
+    sim = Simulator(seed=seed)
+    network = Network(sim)
+    nodes = [Process(f"n{index}", network) for index in range(count)]
+    for node in nodes:
+        node.start()
+    return sim, network, nodes
+
+
+def test_crash_and_recover_schedule():
+    sim, network, nodes = make_cluster(2)
+    plan = FaultPlan(network)
+    plan.crash_at(1.0, "n0").recover_at(2.0, "n0")
+    plan.apply()
+    sim.run_until(1.5)
+    assert not nodes[0].is_running
+    sim.run_until(2.5)
+    assert nodes[0].is_running
+
+
+def test_crash_fraction_picks_expected_count():
+    sim, network, nodes = make_cluster(10)
+    plan = FaultPlan(network)
+    plan.crash_fraction_at(1.0, 0.3, [node.name for node in nodes])
+    plan.apply()
+    sim.run_until(2.0)
+    crashed = sum(1 for node in nodes if not node.is_running)
+    assert crashed == 3
+
+
+def test_crash_fraction_rejects_bad_fraction():
+    sim, network, nodes = make_cluster(2)
+    with pytest.raises(ValueError):
+        FaultPlan(network).crash_fraction_at(1.0, 1.5, ["n0"])
+
+
+def test_partition_and_heal_schedule():
+    sim, network, nodes = make_cluster(2)
+    plan = FaultPlan(network)
+    plan.partition_at(1.0, [["n0"], ["n1"]]).heal_at(2.0)
+    plan.apply()
+    sim.run_until(1.5)
+    assert network.partitioned("n0", "n1")
+    sim.run_until(2.5)
+    assert not network.partitioned("n0", "n1")
+
+
+def test_apply_twice_rejected():
+    sim, network, nodes = make_cluster(1)
+    plan = FaultPlan(network)
+    plan.crash_at(1.0, "n0")
+    plan.apply()
+    with pytest.raises(RuntimeError):
+        plan.apply()
+
+
+def test_crash_of_unknown_node_is_ignored():
+    sim, network, nodes = make_cluster(1)
+    plan = FaultPlan(network)
+    plan.crash_at(1.0, "ghost")
+    plan.apply()
+    sim.run()  # must not raise
+
+
+def test_churn_crashes_and_recovers():
+    sim, network, nodes = make_cluster(10, seed=3)
+    churn = ChurnGenerator(
+        network=network,
+        candidates=[node.name for node in nodes],
+        rate=5.0,
+        recover_delay=0.5,
+    )
+    churn.start(until=10.0)
+    sim.run_until(10.0)
+    # Churn happened: some crash events fired...
+    crashes = sum(1 for node in nodes if node.state.value in ("crashed", "running"))
+    assert crashes == 10
+    # ...and the system isn't permanently dead: run past recovery delays.
+    sim.run_until(15.0)
+    running = sum(1 for node in nodes if node.is_running)
+    assert running >= 8
+
+
+def test_churn_rejects_nonpositive_rate():
+    sim, network, nodes = make_cluster(2)
+    churn = ChurnGenerator(network=network, candidates=["n0"], rate=0.0)
+    with pytest.raises(ValueError):
+        churn.start()
+
+
+def test_churn_stops_at_until():
+    sim, network, nodes = make_cluster(5, seed=4)
+    churn = ChurnGenerator(
+        network=network,
+        candidates=[node.name for node in nodes],
+        rate=10.0,
+        recover_delay=0.1,
+    )
+    churn.start(until=2.0)
+    sim.run_until(2.0)
+    events_at_cutoff = sim.events_executed
+    sim.run_until(10.0)
+    # Only pending recoveries may fire after the cutoff; activity dies out.
+    assert sim.events_executed - events_at_cutoff <= 10

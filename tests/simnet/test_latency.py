@@ -1,0 +1,85 @@
+"""Tests for latency models."""
+
+import random
+
+import pytest
+
+from repro.simnet.latency import (
+    ExponentialLatency,
+    FixedLatency,
+    LogNormalLatency,
+    UniformLatency,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(7)
+
+
+class TestFixedLatency:
+    def test_constant(self, rng):
+        model = FixedLatency(0.05)
+        assert all(model.sample(rng) == 0.05 for _ in range(10))
+        assert model.mean() == 0.05
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedLatency(-0.1)
+
+
+class TestUniformLatency:
+    def test_within_bounds(self, rng):
+        model = UniformLatency(0.01, 0.02)
+        for _ in range(200):
+            assert 0.01 <= model.sample(rng) <= 0.02
+
+    def test_mean(self):
+        assert UniformLatency(0.0, 2.0).mean() == 1.0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(2.0, 1.0)
+
+    def test_rejects_negative_low(self):
+        with pytest.raises(ValueError):
+            UniformLatency(-1.0, 1.0)
+
+
+class TestExponentialLatency:
+    def test_respects_floor(self, rng):
+        model = ExponentialLatency(mean=0.01, floor=0.005)
+        assert all(model.sample(rng) >= 0.005 for _ in range(200))
+
+    def test_sample_mean_close(self, rng):
+        model = ExponentialLatency(mean=0.01)
+        samples = [model.sample(rng) for _ in range(5000)]
+        assert abs(sum(samples) / len(samples) - 0.01) < 0.002
+
+    def test_mean_includes_floor(self):
+        assert ExponentialLatency(mean=0.01, floor=0.005).mean() == pytest.approx(0.015)
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            ExponentialLatency(mean=0.0)
+
+
+class TestLogNormalLatency:
+    def test_positive_samples(self, rng):
+        model = LogNormalLatency(median=0.02, sigma=0.5)
+        assert all(model.sample(rng) > 0 for _ in range(200))
+
+    def test_median_roughly_holds(self, rng):
+        model = LogNormalLatency(median=0.02, sigma=0.5)
+        samples = sorted(model.sample(rng) for _ in range(4001))
+        assert samples[2000] == pytest.approx(0.02, rel=0.15)
+
+    def test_mean_above_median(self):
+        model = LogNormalLatency(median=0.02, sigma=0.8)
+        assert model.mean() > 0.02
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=0.0)
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=0.1, sigma=0.0)

@@ -1,0 +1,125 @@
+"""Tests for counters, histograms and time series."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simnet.metrics import Counter, Histogram, MetricsRegistry, TimeSeries
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestHistogram:
+    def test_basic_stats(self):
+        histogram = Histogram("h")
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.mean() == 2.5
+        assert histogram.min() == 1.0
+        assert histogram.max() == 4.0
+
+    def test_percentiles(self):
+        histogram = Histogram("h")
+        for value in range(101):
+            histogram.observe(float(value))
+        assert histogram.percentile(0) == 0.0
+        assert histogram.percentile(50) == 50.0
+        assert histogram.percentile(100) == 100.0
+        assert histogram.percentile(99) == pytest.approx(99.0)
+
+    def test_percentile_interpolates(self):
+        histogram = Histogram("h")
+        histogram.observe(0.0)
+        histogram.observe(10.0)
+        assert histogram.percentile(50) == 5.0
+
+    def test_empty_raises(self):
+        histogram = Histogram("h")
+        with pytest.raises(ValueError):
+            histogram.mean()
+        with pytest.raises(ValueError):
+            histogram.percentile(50)
+
+    def test_bad_percentile_rejected(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+    def test_stdev(self):
+        histogram = Histogram("h")
+        for value in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            histogram.observe(value)
+        assert histogram.stdev() == pytest.approx(2.138, rel=0.01)
+
+    def test_stdev_of_single_value_is_zero(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        assert histogram.stdev() == 0.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_percentile_within_range(self, values):
+        histogram = Histogram("h")
+        for value in values:
+            histogram.observe(value)
+        p50 = histogram.percentile(50)
+        assert histogram.min() <= p50 <= histogram.max()
+
+
+class TestTimeSeries:
+    def test_records_in_order(self):
+        series = TimeSeries("s")
+        series.record(0.0, 1.0)
+        series.record(1.0, 2.0)
+        assert series.values() == [1.0, 2.0]
+
+    def test_rejects_out_of_order(self):
+        series = TimeSeries("s")
+        series.record(1.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(0.5, 1.0)
+
+    def test_window_rate(self):
+        series = TimeSeries("s")
+        for time in [0.1, 0.2, 0.9, 1.5, 2.1]:
+            series.record(time, 1.0)
+        rates = series.window_rate(1.0)
+        assert rates == [(0.0, 3.0), (1.0, 1.0), (2.0, 1.0)]
+
+    def test_window_rate_fills_empty_bins(self):
+        series = TimeSeries("s")
+        series.record(0.0, 1.0)
+        series.record(3.5, 1.0)
+        rates = series.window_rate(1.0)
+        assert len(rates) == 4
+        assert rates[1][1] == 0.0
+        assert rates[2][1] == 0.0
+
+    def test_window_rate_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            TimeSeries("s").window_rate(0.0)
+
+
+class TestRegistry:
+    def test_caches_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.series("s") is registry.series("s")
+
+    def test_counters_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.counter("b").inc()
+        assert registry.counters() == {"a": 2, "b": 1}

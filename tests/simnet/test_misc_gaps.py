@@ -1,0 +1,78 @@
+"""Coverage for small kernel surfaces not exercised elsewhere."""
+
+import pytest
+
+from repro.simnet.events import Simulator
+from repro.simnet.network import Network
+from repro.simnet.process import Process
+
+
+def test_network_detach_drops_future_deliveries():
+    sim = Simulator(seed=71)
+    network = Network(sim)
+    received = []
+
+    class Sink(Process):
+        def on_message(self, source, payload):
+            received.append(payload)
+
+    a = Process("a", network)
+    b = Sink("b", network)
+    a.start()
+    b.start()
+    a.send("b", "before")
+    sim.run()
+    network.detach("b")
+    assert "b" not in network
+    a.send("b", "after")
+    sim.run()
+    assert received == ["before"]
+    assert network.metrics.counter("net.dropped.dead-destination").value == 1
+
+
+def test_detach_unknown_is_noop():
+    sim = Simulator(seed=72)
+    network = Network(sim)
+    network.detach("ghost")  # must not raise
+
+
+def test_reattach_same_process_allowed():
+    sim = Simulator(seed=73)
+    network = Network(sim)
+    node = Process("p", network)
+    network.attach(node)  # same object again: fine
+    with pytest.raises(ValueError):
+        Process("p", network)  # different object, same name: rejected
+
+
+def test_pending_events_and_step():
+    sim = Simulator(seed=74)
+    assert sim.pending_events == 0
+    assert not sim.step()
+    sim.call_after(1.0, lambda: None)
+    cancelled = sim.call_after(2.0, lambda: None)
+    cancelled.cancel()
+    assert sim.pending_events == 1
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_process_names_listing():
+    sim = Simulator(seed=75)
+    network = Network(sim)
+    Process("x", network)
+    Process("y", network)
+    assert sorted(network.process_names()) == ["x", "y"]
+
+
+def test_partitioned_query_without_partitions():
+    sim = Simulator(seed=76)
+    network = Network(sim)
+    assert not network.partitioned("anything", "else")
+
+
+def test_simulator_repr_mentions_state():
+    sim = Simulator(seed=77)
+    sim.call_after(1.0, lambda: None)
+    text = repr(sim)
+    assert "pending=1" in text

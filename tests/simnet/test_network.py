@@ -1,0 +1,210 @@
+"""Tests for the network fabric."""
+
+import pytest
+
+from repro.simnet.events import Simulator
+from repro.simnet.latency import FixedLatency
+from repro.simnet.network import Network
+from repro.simnet.process import Process
+from repro.simnet.trace import TraceLog
+
+
+class Recorder(Process):
+    def __init__(self, name, network):
+        super().__init__(name, network)
+        self.received = []
+
+    def on_message(self, source, payload):
+        self.received.append((source, payload, self.now))
+
+
+def make_pair(seed=1, **net_kwargs):
+    sim = Simulator(seed=seed)
+    net_kwargs.setdefault("trace", TraceLog(enabled=True))
+    network = Network(sim, **net_kwargs)
+    a = Recorder("a", network)
+    b = Recorder("b", network)
+    a.start()
+    b.start()
+    return sim, network, a, b
+
+
+def test_basic_delivery_applies_latency():
+    sim, network, a, b = make_pair(latency=FixedLatency(0.25))
+    a.send("b", "hello")
+    sim.run()
+    assert b.received == [("a", "hello", 0.25)]
+
+
+def test_send_to_unknown_is_dropped():
+    sim, network, a, b = make_pair()
+    message = network.send("a", "ghost", "x")
+    sim.run()
+    assert message.dropped
+    assert message.drop_reason == "dead-destination"
+
+
+def test_loss_rate_one_drops_everything():
+    sim, network, a, b = make_pair(loss_rate=1.0)
+    a.send("b", "x")
+    sim.run()
+    assert b.received == []
+    assert network.metrics.counter("net.dropped.loss").value == 1
+
+
+def test_loss_rate_statistics():
+    sim, network, a, b = make_pair(loss_rate=0.3)
+    for _ in range(1000):
+        a.send("b", "x")
+    sim.run()
+    delivered = len(b.received)
+    assert 620 <= delivered <= 780  # ~700 expected
+
+
+def test_invalid_loss_rate_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Network(sim, loss_rate=1.5)
+
+
+def test_partition_blocks_cross_group_traffic():
+    sim, network, a, b = make_pair()
+    network.partition([["a"], ["b"]])
+    a.send("b", "x")
+    sim.run()
+    assert b.received == []
+    assert network.metrics.counter("net.dropped.partition").value == 1
+
+
+def test_partition_allows_same_group():
+    sim, network, a, b = make_pair()
+    network.partition([["a", "b"], []])
+    a.send("b", "x")
+    sim.run()
+    assert len(b.received) == 1
+
+
+def test_unmentioned_nodes_share_implicit_group():
+    sim, network, a, b = make_pair()
+    network.partition([["other"]])
+    a.send("b", "x")
+    sim.run()
+    assert len(b.received) == 1
+
+
+def test_heal_restores_connectivity():
+    sim, network, a, b = make_pair()
+    network.partition([["a"], ["b"]])
+    network.heal()
+    a.send("b", "x")
+    sim.run()
+    assert len(b.received) == 1
+
+
+def test_partition_raised_mid_flight_cuts_message():
+    sim, network, a, b = make_pair(latency=FixedLatency(1.0))
+    a.send("b", "x")
+    sim.call_after(0.5, lambda: network.partition([["a"], ["b"]]))
+    sim.run()
+    assert b.received == []
+
+
+def test_crashed_destination_drops():
+    sim, network, a, b = make_pair(latency=FixedLatency(1.0))
+    a.send("b", "x")
+    sim.call_after(0.5, b.crash)
+    sim.run()
+    assert b.received == []
+    assert network.metrics.counter("net.dropped.dead-destination").value == 1
+
+
+def test_per_link_latency_override():
+    sim, network, a, b = make_pair(latency=FixedLatency(0.001))
+    network.set_link_latency("a", "b", FixedLatency(2.0))
+    a.send("b", "x")
+    b.send("a", "y")
+    sim.run()
+    assert b.received[0][2] == 2.0
+    assert a.received[0][2] == 0.001  # override is directional
+
+
+def test_per_link_loss_override():
+    sim, network, a, b = make_pair(loss_rate=0.0)
+    network.set_link_loss("a", "b", 1.0)
+    a.send("b", "x")
+    sim.run()
+    assert b.received == []
+
+
+def test_duplicate_name_rejected():
+    sim, network, a, b = make_pair()
+    with pytest.raises(ValueError):
+        Recorder("a", network)
+
+
+def test_metrics_and_latency_histogram():
+    sim, network, a, b = make_pair(latency=FixedLatency(0.1))
+    a.send("b", "x")
+    a.send("b", "y")
+    sim.run()
+    assert network.metrics.counter("net.sent").value == 2
+    assert network.metrics.counter("net.delivered").value == 2
+    assert network.metrics.histogram("net.latency").mean() == pytest.approx(0.1)
+
+
+def test_trace_records_send_and_deliver():
+    sim, network, a, b = make_pair()
+    a.send("b", "x")
+    sim.run()
+    assert network.trace.count("net.send") == 1
+    assert network.trace.count("net.deliver") == 1
+
+
+class TestEgressBandwidth:
+    def test_unbounded_by_default(self):
+        sim, network, a, b = make_pair(latency=FixedLatency(0.0))
+        a.send("b", "x", size=10_000)
+        a.send("b", "y", size=10_000)
+        sim.run()
+        times = [t for _, _, t in b.received]
+        assert times == [0.0, 0.0]
+
+    def test_serialization_delay(self):
+        sim, network, a, b = make_pair(latency=FixedLatency(0.0))
+        network.set_egress_bandwidth("a", 1000.0)  # 1 KB/s
+        a.send("b", "x", size=500)
+        sim.run()
+        assert b.received[0][2] == pytest.approx(0.5)
+
+    def test_messages_queue_behind_each_other(self):
+        sim, network, a, b = make_pair(latency=FixedLatency(0.0))
+        network.set_egress_bandwidth("a", 1000.0)
+        a.send("b", "x", size=500)
+        a.send("b", "y", size=500)
+        sim.run()
+        times = sorted(t for _, _, t in b.received)
+        assert times[0] == pytest.approx(0.5)
+        assert times[1] == pytest.approx(1.0)
+
+    def test_queue_drains_over_time(self):
+        sim, network, a, b = make_pair(latency=FixedLatency(0.0))
+        network.set_egress_bandwidth("a", 1000.0)
+        a.send("b", "x", size=500)
+        sim.run()
+        # Uplink idle again: a later send only pays its own time.
+        a.send("b", "y", size=500)
+        sim.run()
+        times = sorted(t for _, _, t in b.received)
+        assert times[1] == pytest.approx(1.0)  # 0.5 (idle until) + 0.5
+
+    def test_zero_size_is_free(self):
+        sim, network, a, b = make_pair(latency=FixedLatency(0.0))
+        network.set_egress_bandwidth("a", 1.0)
+        a.send("b", "x", size=0)
+        sim.run()
+        assert b.received[0][2] == 0.0
+
+    def test_invalid_bandwidth(self):
+        sim, network, a, b = make_pair()
+        with pytest.raises(ValueError):
+            network.set_egress_bandwidth("a", 0.0)

@@ -1,0 +1,155 @@
+"""Tests for the process lifecycle and timers."""
+
+import pytest
+
+from repro.simnet.events import Simulator
+from repro.simnet.network import Network
+from repro.simnet.process import Process, ProcessState
+
+
+class Probe(Process):
+    def __init__(self, name, network):
+        super().__init__(name, network)
+        self.events = []
+
+    def on_start(self):
+        self.events.append("start")
+
+    def on_message(self, source, payload):
+        self.events.append(("msg", source, payload))
+
+    def on_crash(self):
+        self.events.append("crash")
+
+    def on_recover(self):
+        self.events.append("recover")
+
+    def on_stop(self):
+        self.events.append("stop")
+
+
+@pytest.fixture
+def env():
+    sim = Simulator(seed=1)
+    network = Network(sim)
+    return sim, network
+
+
+def test_lifecycle_hooks(env):
+    sim, network = env
+    probe = Probe("p", network)
+    assert probe.state is ProcessState.NEW
+    probe.start()
+    assert probe.is_running
+    probe.crash()
+    assert probe.state is ProcessState.CRASHED
+    probe.start()
+    assert probe.is_running
+    probe.stop()
+    assert probe.state is ProcessState.STOPPED
+    assert probe.events == ["start", "crash", "recover", "stop"]
+
+
+def test_start_is_idempotent(env):
+    sim, network = env
+    probe = Probe("p", network)
+    probe.start()
+    probe.start()
+    assert probe.events == ["start"]
+
+
+def test_stopped_process_cannot_restart(env):
+    sim, network = env
+    probe = Probe("p", network)
+    probe.start()
+    probe.stop()
+    with pytest.raises(RuntimeError):
+        probe.start()
+
+
+def test_crashed_process_does_not_receive(env):
+    sim, network = env
+    a = Probe("a", network)
+    b = Probe("b", network)
+    a.start()
+    b.start()
+    b.crash()
+    a.send("b", "x")
+    sim.run()
+    assert not any(isinstance(event, tuple) for event in b.events)
+
+
+def test_crashed_process_cannot_send(env):
+    sim, network = env
+    a = Probe("a", network)
+    b = Probe("b", network)
+    a.start()
+    b.start()
+    a.crash()
+    a.send("b", "x")
+    sim.run()
+    assert not any(isinstance(event, tuple) for event in b.events)
+
+
+def test_timer_fires_while_running(env):
+    sim, network = env
+    probe = Probe("p", network)
+    probe.start()
+    fired = []
+    probe.set_timer(1.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.0]
+
+
+def test_crash_cancels_timers(env):
+    sim, network = env
+    probe = Probe("p", network)
+    probe.start()
+    fired = []
+    probe.set_timer(2.0, lambda: fired.append("late"))
+    sim.call_after(1.0, probe.crash)
+    sim.run()
+    assert fired == []
+
+
+def test_timer_set_before_crash_then_recover_does_not_fire(env):
+    sim, network = env
+    probe = Probe("p", network)
+    probe.start()
+    fired = []
+    probe.set_timer(3.0, lambda: fired.append("x"))
+    sim.call_after(1.0, probe.crash)
+    sim.call_after(2.0, probe.start)
+    sim.run()
+    assert fired == []  # cancelled at crash, not resurrected
+
+
+def test_periodic_timer_repeats_and_stops_on_crash(env):
+    sim, network = env
+    probe = Probe("p", network)
+    probe.start()
+    ticks = []
+    probe.set_periodic_timer(1.0, lambda: ticks.append(sim.now))
+    sim.call_after(4.5, probe.crash)
+    sim.run()
+    assert ticks == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_periodic_timer_jitter_bounds(env):
+    sim, network = env
+    probe = Probe("p", network)
+    probe.start()
+    ticks = []
+    probe.set_periodic_timer(1.0, lambda: ticks.append(sim.now), jitter=0.5)
+    sim.run_until(10.0)
+    assert len(ticks) >= 6
+    gaps = [b - a for a, b in zip(ticks, ticks[1:])]
+    assert all(1.0 <= gap <= 1.5 + 1e-9 for gap in gaps)
+
+
+def test_periodic_timer_rejects_bad_period(env):
+    sim, network = env
+    probe = Probe("p", network)
+    probe.start()
+    with pytest.raises(ValueError):
+        probe.set_periodic_timer(0.0, lambda: None)

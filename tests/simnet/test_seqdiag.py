@@ -1,0 +1,58 @@
+"""Tests for the ASCII sequence-diagram renderer."""
+
+from repro.simnet.seqdiag import render_sequence
+from repro.simnet.trace import TraceLog
+
+
+def make_trace():
+    trace = TraceLog()
+    trace.record(0.1, "net.send", "a", destination="b")
+    trace.record(0.2, "net.send", "b", destination="c")
+    trace.record(0.3, "net.send", "c", destination="a")
+    return trace
+
+
+def test_participants_appear_in_header():
+    output = render_sequence(make_trace())
+    header = output.splitlines()[0]
+    assert "a" in header and "b" in header and "c" in header
+
+
+def test_every_message_gets_a_timestamped_row():
+    output = render_sequence(make_trace())
+    assert output.count("t=") == 3
+    assert "t=0.100" in output
+    assert "t=0.300" in output
+
+
+def test_explicit_participant_order():
+    output = render_sequence(make_trace(), participants=["c", "b", "a"])
+    header = output.splitlines()[0]
+    assert header.index("c") < header.index("b") < header.index("a")
+
+
+def test_unknown_participants_skipped():
+    trace = make_trace()
+    trace.record(0.4, "net.send", "ghost", destination="elsewhere")
+    output = render_sequence(trace, participants=["a", "b", "c"])
+    assert output.count("t=") == 3
+
+
+def test_truncation_note():
+    trace = TraceLog()
+    for index in range(10):
+        trace.record(float(index), "net.send", "a", destination="b")
+    output = render_sequence(trace, max_events=4)
+    assert "more messages" in output
+    assert output.count("t=") == 4
+
+
+def test_self_send_marked():
+    trace = TraceLog()
+    trace.record(0.5, "net.send", "a", destination="a")
+    output = render_sequence(trace, participants=["a", "b"])
+    assert "(self)" in output
+
+
+def test_empty_trace():
+    assert render_sequence(TraceLog()) == "(no messages)"

@@ -1,0 +1,53 @@
+"""Tests for the trace log."""
+
+from repro.simnet.trace import TraceLog
+
+
+def test_records_in_order():
+    trace = TraceLog()
+    trace.record(1.0, "a", "n1")
+    trace.record(2.0, "b", "n2", key="value")
+    assert len(trace) == 2
+    assert [event.kind for event in trace] == ["a", "b"]
+    assert trace.events()[1].detail == {"key": "value"}
+
+
+def test_disabled_trace_is_noop():
+    trace = TraceLog(enabled=False)
+    trace.record(1.0, "a")
+    assert len(trace) == 0
+
+
+def test_filter_by_kind_and_node():
+    trace = TraceLog()
+    trace.record(1.0, "send", "a")
+    trace.record(2.0, "send", "b")
+    trace.record(3.0, "deliver", "a")
+    assert len(trace.events(kind="send")) == 2
+    assert len(trace.events(node="a")) == 2
+    assert len(trace.events(kind="send", node="a")) == 1
+
+
+def test_filter_by_predicate():
+    trace = TraceLog()
+    trace.record(1.0, "x", detail_key=1)
+    trace.record(2.0, "x", detail_key=2)
+    late = trace.events(predicate=lambda event: event.time > 1.5)
+    assert len(late) == 1
+
+
+def test_count_and_kinds():
+    trace = TraceLog()
+    trace.record(1.0, "a")
+    trace.record(2.0, "b")
+    trace.record(3.0, "a")
+    assert trace.count() == 3
+    assert trace.count("a") == 2
+    assert trace.kinds() == ["a", "b"]
+
+
+def test_clear():
+    trace = TraceLog()
+    trace.record(1.0, "a")
+    trace.clear()
+    assert len(trace) == 0

@@ -1,0 +1,90 @@
+"""Tests for trace persistence and analysis."""
+
+import io
+
+import pytest
+
+from repro.simnet.trace import TraceLog
+from repro.simnet.traceio import dump_jsonl, load_jsonl, top_talkers, traffic_matrix
+
+
+def make_trace():
+    trace = TraceLog()
+    trace.record(0.1, "net.send", "a", destination="b")
+    trace.record(0.2, "net.send", "a", destination="c")
+    trace.record(0.3, "net.send", "b", destination="c")
+    trace.record(0.4, "net.deliver", "c", source="b")
+    trace.record(0.5, "proc.crash", "c")
+    return trace
+
+
+def test_dump_load_round_trip():
+    trace = make_trace()
+    buffer = io.StringIO()
+    assert dump_jsonl(trace, buffer) == 5
+    buffer.seek(0)
+    loaded = load_jsonl(buffer)
+    assert len(loaded) == len(trace)
+    for original, reloaded in zip(trace, loaded):
+        assert reloaded.time == original.time
+        assert reloaded.kind == original.kind
+        assert reloaded.node == original.node
+        assert reloaded.detail == original.detail
+
+
+def test_non_json_detail_values_coerced():
+    trace = TraceLog()
+    trace.record(0.1, "custom", "n", payload=object())
+    buffer = io.StringIO()
+    dump_jsonl(trace, buffer)
+    buffer.seek(0)
+    loaded = load_jsonl(buffer)
+    assert "object" in loaded.events()[0].detail["payload"]
+
+
+def test_load_skips_blank_lines():
+    loaded = load_jsonl(io.StringIO('\n{"time": 1.0, "kind": "x"}\n\n'))
+    assert len(loaded) == 1
+
+
+def test_load_rejects_garbage():
+    with pytest.raises(ValueError):
+        load_jsonl(io.StringIO("not json\n"))
+    with pytest.raises(ValueError):
+        load_jsonl(io.StringIO('{"kind": "missing-time"}\n'))
+
+
+def test_traffic_matrix():
+    matrix = traffic_matrix(make_trace())
+    assert matrix == {("a", "b"): 1, ("a", "c"): 1, ("b", "c"): 1}
+
+
+def test_top_talkers():
+    ranked = top_talkers(make_trace())
+    assert ranked == [("a", 2), ("b", 1)]
+
+
+def test_top_talkers_limit_and_ties():
+    trace = TraceLog()
+    for node in ("x", "y"):
+        trace.record(0.1, "net.send", node, destination="z")
+    ranked = top_talkers(trace, limit=1)
+    assert ranked == [("x", 1)]  # ties broken by name
+
+
+def test_real_run_exports_cleanly():
+    from repro.core.api import GossipGroup
+
+    group = GossipGroup(
+        n_disseminators=4, seed=91, params={"fanout": 2, "rounds": 3},
+        auto_tune=False, trace=True,
+    )
+    group.setup()
+    group.publish({"x": 1})
+    group.run_for(3.0)
+    buffer = io.StringIO()
+    written = dump_jsonl(group.trace, buffer)
+    assert written == len(group.trace)
+    buffer.seek(0)
+    loaded = load_jsonl(buffer)
+    assert traffic_matrix(loaded) == traffic_matrix(group.trace)

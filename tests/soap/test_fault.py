@@ -1,0 +1,67 @@
+"""Tests for SOAP faults."""
+
+import pytest
+
+from repro.soap.fault import (
+    FaultCode,
+    SoapFault,
+    receiver_fault,
+    sender_fault,
+)
+
+
+@pytest.mark.parametrize("version", ["1.1", "1.2"])
+@pytest.mark.parametrize(
+    "code",
+    [FaultCode.SENDER, FaultCode.RECEIVER, FaultCode.MUST_UNDERSTAND, FaultCode.VERSION_MISMATCH],
+)
+def test_round_trip_all_codes(version, code):
+    fault = SoapFault(code, "something broke", detail="stack")
+    parsed = SoapFault.from_element(fault.to_element(version))
+    assert parsed.code is code
+    assert parsed.reason == "something broke"
+    assert parsed.detail == "stack"
+
+
+def test_round_trip_without_detail():
+    fault = sender_fault("oops")
+    parsed = SoapFault.from_element(fault.to_element("1.1"))
+    assert parsed.detail is None
+
+
+def test_soap11_uses_client_server_names():
+    assert FaultCode.SENDER.soap11_name == "Client"
+    assert FaultCode.RECEIVER.soap11_name == "Server"
+    element = sender_fault("x").to_element("1.1")
+    assert "Client" in element.findtext("faultcode")
+
+
+def test_from_wire_accepts_both_nomenclatures():
+    assert FaultCode.from_wire("soap:Client") is FaultCode.SENDER
+    assert FaultCode.from_wire("Sender") is FaultCode.SENDER
+    assert FaultCode.from_wire("Server") is FaultCode.RECEIVER
+    assert FaultCode.from_wire("Receiver") is FaultCode.RECEIVER
+
+
+def test_from_wire_unknown_rejected():
+    with pytest.raises(ValueError):
+        FaultCode.from_wire("Bogus")
+
+
+def test_from_element_rejects_non_fault():
+    import xml.etree.ElementTree as ET
+
+    with pytest.raises(ValueError):
+        SoapFault.from_element(ET.Element("{urn:x}NotAFault"))
+
+
+def test_is_exception():
+    with pytest.raises(SoapFault) as excinfo:
+        raise receiver_fault("down")
+    assert excinfo.value.code is FaultCode.RECEIVER
+    assert str(excinfo.value) == "down"
+
+
+def test_helpers():
+    assert sender_fault("x").code is FaultCode.SENDER
+    assert receiver_fault("x").code is FaultCode.RECEIVER

@@ -1,0 +1,101 @@
+"""Tests for the handler chain."""
+
+from repro.soap.envelope import Envelope
+from repro.soap.handler import Direction, Handler, HandlerChain, MessageContext
+
+
+class NamedHandler(Handler):
+    def __init__(self, name, log, consume_outbound=False, consume_inbound=False):
+        self.name = name
+        self.log = log
+        self.consume_outbound = consume_outbound
+        self.consume_inbound = consume_inbound
+
+    def on_outbound(self, context):
+        self.log.append(f"{self.name}:out")
+        return not self.consume_outbound
+
+    def on_inbound(self, context):
+        self.log.append(f"{self.name}:in")
+        return not self.consume_inbound
+
+
+def make_context(direction=Direction.OUTBOUND):
+    return MessageContext(Envelope(), direction)
+
+
+def test_outbound_runs_front_to_back():
+    log = []
+    chain = HandlerChain([NamedHandler("a", log), NamedHandler("b", log)])
+    assert chain.run_outbound(make_context())
+    assert log == ["a:out", "b:out"]
+
+
+def test_inbound_runs_back_to_front():
+    log = []
+    chain = HandlerChain([NamedHandler("a", log), NamedHandler("b", log)])
+    assert chain.run_inbound(make_context(Direction.INBOUND))
+    assert log == ["b:in", "a:in"]
+
+
+def test_consume_stops_chain_outbound():
+    log = []
+    chain = HandlerChain(
+        [NamedHandler("a", log, consume_outbound=True), NamedHandler("b", log)]
+    )
+    assert not chain.run_outbound(make_context())
+    assert log == ["a:out"]
+
+
+def test_consume_stops_chain_inbound():
+    log = []
+    chain = HandlerChain(
+        [NamedHandler("a", log), NamedHandler("b", log, consume_inbound=True)]
+    )
+    assert not chain.run_inbound(make_context(Direction.INBOUND))
+    assert log == ["b:in"]
+
+
+def test_add_first_puts_handler_at_transport_end():
+    log = []
+    chain = HandlerChain([NamedHandler("app", log)])
+    chain.add_first(NamedHandler("transport", log))
+    chain.run_outbound(make_context())
+    assert log == ["transport:out", "app:out"]
+    log.clear()
+    chain.run_inbound(make_context(Direction.INBOUND))
+    assert log == ["app:in", "transport:in"]
+
+
+def test_remove():
+    log = []
+    handler = NamedHandler("a", log)
+    chain = HandlerChain([handler])
+    chain.remove(handler)
+    assert len(chain) == 0
+
+
+def test_default_handler_passes_both_ways():
+    chain = HandlerChain([Handler()])
+    assert chain.run_outbound(make_context())
+    assert chain.run_inbound(make_context(Direction.INBOUND))
+
+
+def test_context_properties_are_scratch_space():
+    class Writer(Handler):
+        def on_outbound(self, context):
+            context.properties["mark"] = 1
+            return True
+
+    class Reader(Handler):
+        def __init__(self):
+            self.saw = None
+
+        def on_outbound(self, context):
+            self.saw = context.properties.get("mark")
+            return True
+
+    reader = Reader()
+    chain = HandlerChain([Writer(), reader])
+    chain.run_outbound(make_context())
+    assert reader.saw == 1

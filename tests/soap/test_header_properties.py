@@ -1,0 +1,100 @@
+"""Property tests: header blocks survive arbitrary wire round trips."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.message import GossipHeader, GossipStyle
+from repro.soap.envelope import Envelope
+from repro.wsa.addressing import AddressingHeaders, EndpointReference
+from repro.wscoord.context import CoordinationContext
+
+# URI-ish text that is XML-safe and non-empty.
+uri_text = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126,
+                           blacklist_characters="<>&'\""),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(
+    activity=uri_text,
+    message_id=uri_text,
+    origin=uri_text,
+    hops=st.integers(min_value=0, max_value=10_000),
+    style=st.sampled_from(list(GossipStyle)),
+    sequence=st.none() | st.integers(min_value=0, max_value=2**40),
+)
+def test_gossip_header_round_trip(activity, message_id, origin, hops, style,
+                                  sequence):
+    header = GossipHeader(
+        activity=activity,
+        message_id=message_id,
+        origin=origin,
+        hops=hops,
+        style=style,
+        sequence=sequence,
+    )
+    envelope = Envelope()
+    envelope.add_header(header.to_element())
+    parsed = Envelope.from_bytes(envelope.to_bytes())
+    assert GossipHeader.from_envelope(parsed) == header
+
+
+@given(
+    to=st.none() | uri_text,
+    action=st.none() | uri_text,
+    message_id=st.none() | uri_text,
+    relates_to=st.none() | uri_text,
+    reply_address=st.none() | uri_text,
+)
+def test_addressing_round_trip(to, action, message_id, relates_to,
+                               reply_address):
+    headers = AddressingHeaders(
+        to=to,
+        action=action,
+        message_id=message_id,
+        relates_to=relates_to,
+        reply_to=(
+            EndpointReference(reply_address) if reply_address is not None else None
+        ),
+    )
+    envelope = Envelope()
+    headers.apply(envelope)
+    parsed = Envelope.from_bytes(envelope.to_bytes())
+    extracted = AddressingHeaders.extract(parsed)
+    assert extracted.to == to
+    assert extracted.action == action
+    assert extracted.message_id == message_id
+    assert extracted.relates_to == relates_to
+    if reply_address is None:
+        assert extracted.reply_to is None
+    else:
+        assert extracted.reply_to.address == reply_address
+
+
+@given(
+    identifier=uri_text,
+    coordination_type=uri_text,
+    registration=uri_text,
+    expires=st.none() | st.floats(min_value=0.001, max_value=1e6,
+                                  allow_nan=False),
+    parameters=st.dictionaries(
+        st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                min_size=1, max_size=10),
+        uri_text,
+        max_size=3,
+    ),
+)
+def test_coordination_context_round_trip(identifier, coordination_type,
+                                         registration, expires, parameters):
+    context = CoordinationContext(
+        identifier=identifier,
+        coordination_type=coordination_type,
+        registration_service=EndpointReference(registration, parameters),
+        expires=expires,
+    )
+    envelope = Envelope()
+    envelope.add_header(context.to_element())
+    parsed = Envelope.from_bytes(envelope.to_bytes())
+    assert CoordinationContext.from_envelope(parsed) == context

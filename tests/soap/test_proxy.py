@@ -1,0 +1,110 @@
+"""Tests for service proxies and pending replies."""
+
+import pytest
+
+from repro.soap.fault import SoapFault, sender_fault
+from repro.soap.proxy import PendingReply, ServiceProxy
+from repro.soap.runtime import SoapRuntime
+from repro.soap.service import Service, operation
+from repro.transport.base import LoopbackTransport
+
+
+class Quotes(Service):
+    def __init__(self):
+        super().__init__()
+        self.one_way_calls = []
+
+    @operation("urn:stock/GetQuote")
+    def get_quote(self, context, value):
+        return {"symbol": value["symbol"], "px": 42.0}
+
+    @operation("urn:stock/Fail")
+    def fail(self, context, value):
+        raise sender_fault("no such symbol")
+
+    @operation("urn:stock/Fire")
+    def fire(self, context, value):
+        self.one_way_calls.append(value)
+        return None
+
+
+@pytest.fixture
+def proxy_env():
+    transport = LoopbackTransport()
+    server = SoapRuntime("test://market", transport)
+    client = SoapRuntime("test://client", transport)
+    transport.register(server)
+    transport.register(client)
+    service = Quotes()
+    server.add_service("/quotes", service)
+    proxy = ServiceProxy(
+        client,
+        "test://market/quotes",
+        {
+            "get_quote": "urn:stock/GetQuote",
+            "fail": "urn:stock/Fail",
+            "fire": "urn:stock/Fire",
+        },
+    )
+    return proxy, service
+
+
+def test_two_way_call(proxy_env):
+    proxy, service = proxy_env
+    pending = proxy.get_quote({"symbol": "SWX"})
+    assert pending.done  # loopback is synchronous
+    assert pending.value == {"symbol": "SWX", "px": 42.0}
+    assert pending.fault is None
+
+
+def test_fault_raises_on_value_access(proxy_env):
+    proxy, service = proxy_env
+    pending = proxy.fail({"symbol": "???"})
+    assert pending.done
+    assert isinstance(pending.fault, SoapFault)
+    with pytest.raises(SoapFault):
+        _ = pending.value
+
+
+def test_one_way_returns_message_id(proxy_env):
+    proxy, service = proxy_env
+    message_id = proxy.fire({"n": 1}, one_way=True)
+    assert message_id.startswith("urn:uuid:")
+    assert service.one_way_calls == [{"n": 1}]
+
+
+def test_value_before_arrival_rejected():
+    pending = PendingReply()
+    assert not pending.done
+    with pytest.raises(RuntimeError):
+        _ = pending.value
+    assert pending.fault is None
+
+
+def test_wait_with_timeout():
+    pending = PendingReply()
+    assert not pending.wait(timeout=0.01)
+    pending._resolve(None, 7)
+    assert pending.wait(timeout=0.01)
+    assert pending.value == 7
+
+
+def test_unknown_operation_is_attribute_error(proxy_env):
+    proxy, service = proxy_env
+    with pytest.raises(AttributeError):
+        proxy.nonexistent
+
+
+def test_reserved_names_rejected():
+    runtime = SoapRuntime("test://x", LoopbackTransport())
+    with pytest.raises(ValueError):
+        ServiceProxy(runtime, "test://y/svc", {"operations": "urn:a"})
+    with pytest.raises(ValueError):
+        ServiceProxy(runtime, "test://y/svc", {"_private": "urn:a"})
+    with pytest.raises(ValueError):
+        ServiceProxy(runtime, "test://y/svc", {})
+
+
+def test_operations_listing(proxy_env):
+    proxy, service = proxy_env
+    assert proxy.operations()["get_quote"] == "urn:stock/GetQuote"

@@ -1,0 +1,36 @@
+"""Tests for qualified-name helpers."""
+
+from repro.xmlutil import QName, local_name, namespace_of, qname
+
+
+def test_qname_builds_elementtree_tag():
+    assert qname("urn:x", "Foo") == "{urn:x}Foo"
+
+
+def test_qname_without_namespace():
+    assert qname(None, "Foo") == "Foo"
+    assert qname("", "Foo") == "Foo"
+
+
+def test_parse_round_trip():
+    parsed = QName.parse("{urn:x}Foo")
+    assert parsed.namespace == "urn:x"
+    assert parsed.local == "Foo"
+    assert parsed.text == "{urn:x}Foo"
+
+
+def test_parse_bare_tag():
+    parsed = QName.parse("Foo")
+    assert parsed.namespace is None
+    assert parsed.local == "Foo"
+
+
+def test_local_name_and_namespace_of():
+    assert local_name("{urn:x}Foo") == "Foo"
+    assert namespace_of("{urn:x}Foo") == "urn:x"
+    assert local_name("Bare") == "Bare"
+    assert namespace_of("Bare") is None
+
+
+def test_str_form():
+    assert str(QName("urn:x", "A")) == "{urn:x}A"

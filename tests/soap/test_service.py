@@ -1,0 +1,63 @@
+"""Tests for service operation routing."""
+
+import pytest
+
+from repro.soap.service import Reply, Service, operation
+
+
+class Calculator(Service):
+    @operation("urn:calc/Add")
+    def add(self, context, value):
+        return {"sum": value["a"] + value["b"]}
+
+    @operation("urn:calc/Noop")
+    def noop(self, context, value):
+        return None
+
+
+def test_operations_registered_by_action():
+    service = Calculator()
+    assert set(service.actions()) == {"urn:calc/Add", "urn:calc/Noop"}
+
+
+def test_lookup_returns_bound_method():
+    service = Calculator()
+    op = service.lookup("urn:calc/Add")
+    assert op(None, {"a": 1, "b": 2}) == {"sum": 3}
+
+
+def test_lookup_missing_returns_none():
+    assert Calculator().lookup("urn:calc/Missing") is None
+
+
+def test_duplicate_action_rejected():
+    class Broken(Service):
+        @operation("urn:x/Same")
+        def one(self, context, value):
+            return None
+
+        @operation("urn:x/Same")
+        def two(self, context, value):
+            return None
+
+    with pytest.raises(ValueError):
+        Broken()
+
+
+def test_add_operation_at_runtime():
+    service = Service()
+    service.add_operation("urn:x/Dyn", lambda context, value: value)
+    assert service.lookup("urn:x/Dyn")(None, 5) == 5
+
+
+def test_add_operation_duplicate_rejected():
+    service = Calculator()
+    with pytest.raises(ValueError):
+        service.add_operation("urn:calc/Add", lambda context, value: None)
+
+
+def test_reply_defaults():
+    reply = Reply(value=42)
+    assert reply.action is None
+    assert reply.tag is None
+    assert reply.value == 42

@@ -1,0 +1,70 @@
+"""Tests for the node introspection service."""
+
+import pytest
+
+from repro.core.api import GossipGroup
+from repro.soap.status import STATUS_ACTION, STATUS_SERVICE_PATH, install_status
+
+
+@pytest.fixture
+def group():
+    group = GossipGroup(
+        n_disseminators=4, seed=17, params={"fanout": 2, "rounds": 3},
+        auto_tune=False,
+    )
+    # Attach status to one disseminator before setup traffic flows.
+    node = group.disseminators[0]
+    install_status(node.runtime, gossip_layer=node.gossip_layer,
+                   extra=lambda: {"role": "disseminator"})
+    group.setup()
+    gossip_id = group.publish({"x": 1})
+    group.run_for(5.0)
+    return group, node, gossip_id
+
+
+def test_snapshot_fields(group):
+    group_obj, node, gossip_id = group
+    service = node.runtime.service_at(STATUS_SERVICE_PATH)
+    status = service.snapshot()
+    assert status["address"] == "sim://d0"
+    assert "/app" in status["services"]
+    assert "/gossip" in status["services"]
+    assert status["counters"]["net.sent"] > 0
+    assert status["app"] == {"role": "disseminator"}
+
+
+def test_activities_reported(group):
+    group_obj, node, gossip_id = group
+    service = node.runtime.service_at(STATUS_SERVICE_PATH)
+    activities = service.snapshot()["activities"]
+    assert group_obj.activity_id in activities
+    entry = activities[group_obj.activity_id]
+    assert entry["style"] == "push"
+    assert entry["registered"] is True
+    assert entry["seen"] >= 1
+    assert entry["view_size"] >= 1
+
+
+def test_queryable_over_soap(group):
+    group_obj, node, gossip_id = group
+    replies = []
+    group_obj.initiator.runtime.send(
+        "sim://d0" + STATUS_SERVICE_PATH,
+        STATUS_ACTION,
+        on_reply=lambda context, value: replies.append(value),
+    )
+    group_obj.run_for(2.0)
+    assert replies
+    assert replies[0]["address"] == "sim://d0"
+    assert group_obj.activity_id in replies[0]["activities"]
+
+
+def test_status_without_gossip_layer():
+    from repro.soap.runtime import SoapRuntime
+    from repro.transport.base import LoopbackTransport
+
+    runtime = SoapRuntime("test://plain", LoopbackTransport())
+    service = install_status(runtime)
+    status = service.snapshot()
+    assert "activities" not in status
+    assert status["services"] == ["/status"]

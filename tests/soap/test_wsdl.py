@@ -1,0 +1,99 @@
+"""Tests for WSDL generation and parsing."""
+
+import pytest
+
+from repro.soap.runtime import SoapRuntime
+from repro.soap.service import Service, operation
+from repro.soap.wsdl import (
+    WsdlDescription,
+    describe_runtime,
+    generate_wsdl,
+    parse_wsdl,
+)
+from repro.transport.base import LoopbackTransport
+
+
+class Quotes(Service):
+    @operation("urn:stock/GetQuote")
+    def get_quote(self, context, value):
+        return {"px": 1.0}
+
+    @operation("urn:stock/Subscribe")
+    def subscribe(self, context, value):
+        return None
+
+
+@pytest.fixture
+def runtime():
+    runtime = SoapRuntime("http://host:80/base", LoopbackTransport())
+    runtime.add_service("/quotes", Quotes())
+    return runtime
+
+
+def test_round_trip(runtime):
+    data = generate_wsdl(runtime, "/quotes")
+    assert data.startswith(b"<?xml")
+    description = parse_wsdl(data)
+    assert description.service_name == "Quotes"
+    assert description.endpoint == "http://host:80/base/quotes"
+    assert sorted(description.actions()) == [
+        "urn:stock/GetQuote",
+        "urn:stock/Subscribe",
+    ]
+    assert sorted(op.name for op in description.operations) == [
+        "GetQuote",
+        "Subscribe",
+    ]
+
+
+def test_custom_service_name(runtime):
+    description = parse_wsdl(
+        generate_wsdl(runtime, "/quotes", service_name="QuoteFeed")
+    )
+    assert description.service_name == "QuoteFeed"
+
+
+def test_unknown_path_rejected(runtime):
+    with pytest.raises(ValueError):
+        generate_wsdl(runtime, "/nowhere")
+
+
+def test_parse_rejects_non_wsdl():
+    with pytest.raises(ValueError):
+        parse_wsdl(b"<not-wsdl/>")
+
+
+def test_describe_runtime_covers_all_services(runtime):
+    runtime.add_service("/more", Quotes())
+    descriptions = describe_runtime(runtime)
+    assert set(descriptions) == {"/quotes", "/more"}
+    assert all(isinstance(d, WsdlDescription) for d in descriptions.values())
+
+
+def test_gossip_service_description():
+    """The gossip port type itself is describable -- the paper's stack
+    would publish this WSDL for Disseminators."""
+    import random
+
+    from repro.core.handler import GossipLayer
+    from repro.core.service import GossipService
+
+    class NullScheduler:
+        now = 0.0
+
+        def call_after(self, delay, callback):
+            return self
+
+        def cancel(self):
+            pass
+
+    runtime = SoapRuntime("sim://node", LoopbackTransport())
+    layer = GossipLayer(runtime, NullScheduler(), "sim://node/app",
+                        rng=random.Random(1))
+    runtime.add_service("/gossip", GossipService(layer))
+    description = parse_wsdl(generate_wsdl(runtime, "/gossip"))
+    actions = description.actions()
+    assert any(action.endswith("/Pull") for action in actions)
+    assert any(action.endswith("/Deliver") for action in actions)
+    assert any(action.endswith("/Advertise") for action in actions)
+    assert any(action.endswith("/Fetch") for action in actions)

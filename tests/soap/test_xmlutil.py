@@ -1,0 +1,63 @@
+"""Tests for the XML utility helpers."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.xmlutil import canonical_bytes, indent, parse_bytes
+from repro.xmlutil.text import XmlParseError
+
+
+class TestParseBytes:
+    def test_parses_well_formed(self):
+        root = parse_bytes(b"<a><b>text</b></a>")
+        assert root.tag == "a"
+        assert root.find("b").text == "text"
+
+    def test_malformed_raises_wrapped_error(self):
+        with pytest.raises(XmlParseError):
+            parse_bytes(b"<a><b></a>")
+
+    def test_xmlparseerror_is_valueerror(self):
+        assert issubclass(XmlParseError, ValueError)
+
+
+class TestCanonicalBytes:
+    def test_declaration_and_round_trip(self):
+        root = ET.Element("{urn:x}root")
+        child = ET.SubElement(root, "{urn:x}child")
+        child.text = "v"
+        data = canonical_bytes(root)
+        assert data.startswith(b"<?xml")
+        reparsed = parse_bytes(data)
+        assert reparsed.tag == "{urn:x}root"
+        assert reparsed[0].text == "v"
+
+    def test_stable_for_same_tree(self):
+        root = ET.Element("a")
+        ET.SubElement(root, "b")
+        assert canonical_bytes(root) == canonical_bytes(root)
+
+
+class TestIndent:
+    def test_adds_newlines(self):
+        root = ET.Element("a")
+        ET.SubElement(root, "b")
+        ET.SubElement(root, "c")
+        indent(root)
+        text = ET.tostring(root).decode()
+        assert "\n" in text
+
+    def test_leaf_untouched(self):
+        leaf = ET.Element("a")
+        leaf.text = "payload"
+        indent(leaf)
+        assert leaf.text == "payload"
+
+    def test_nested_indentation_is_parseable(self):
+        root = ET.Element("a")
+        middle = ET.SubElement(root, "b")
+        ET.SubElement(middle, "c")
+        indent(root)
+        reparsed = parse_bytes(ET.tostring(root))
+        assert reparsed.find("b/c") is not None

@@ -1,0 +1,52 @@
+"""Tests for transport address helpers and the loopback transport."""
+
+import pytest
+
+from repro.soap.runtime import SoapRuntime
+from repro.soap.service import Service, operation
+from repro.transport.base import LoopbackTransport, split_address
+
+
+class TestSplitAddress:
+    def test_full_address(self):
+        assert split_address("sim://node-1/gossip") == ("sim", "node-1", "/gossip")
+
+    def test_nested_path(self):
+        assert split_address("http://h:80/a/b") == ("http", "h:80", "/a/b")
+
+    def test_no_path(self):
+        assert split_address("sim://node-1") == ("sim", "node-1", "")
+
+    def test_trailing_slash(self):
+        assert split_address("sim://node-1/") == ("sim", "node-1", "/")
+
+    def test_relative_rejected(self):
+        with pytest.raises(ValueError):
+            split_address("/just/a/path")
+
+
+class TestLoopbackTransport:
+    def test_unknown_destination_counted_as_dropped(self):
+        transport = LoopbackTransport()
+        transport.send("test://ghost/svc", b"<xml/>")
+        assert transport.dropped == 1
+        assert transport.delivered == 0
+
+    def test_registered_runtime_receives(self):
+        transport = LoopbackTransport()
+        received = {}
+
+        class Sink(Service):
+            @operation("urn:t/Take")
+            def take(self, context, value):
+                received["value"] = value
+                return None
+
+        runtime = SoapRuntime("test://sink", transport)
+        runtime.add_service("/svc", Sink())
+        transport.register(runtime)
+
+        sender = SoapRuntime("test://sender", transport)
+        sender.send("test://sink/svc", "urn:t/Take", value=99)
+        assert received["value"] == 99
+        assert transport.delivered == 1

@@ -1,0 +1,78 @@
+"""Tests for the real localhost HTTP binding."""
+
+import threading
+import time
+
+import pytest
+
+from repro.soap.service import Service, operation
+from repro.transport.http import HttpNode
+
+
+class EchoService(Service):
+    def __init__(self):
+        super().__init__()
+        self.one_way = []
+
+    @operation("urn:t/Echo")
+    def echo(self, context, value):
+        return {"echo": value}
+
+    @operation("urn:t/OneWay")
+    def take(self, context, value):
+        self.one_way.append(value)
+        return None
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+@pytest.fixture
+def nodes():
+    with HttpNode() as server, HttpNode() as client:
+        server.runtime.add_service("/svc", EchoService())
+        yield server, client
+
+
+def test_one_way_over_http(nodes):
+    server, client = nodes
+    client.runtime.send(f"{server.base_address}/svc", "urn:t/OneWay", value="hello")
+    assert wait_for(lambda: server.runtime.service_at("/svc").one_way == ["hello"])
+
+
+def test_request_reply_over_http(nodes):
+    server, client = nodes
+    replies = []
+    client.runtime.send(
+        f"{server.base_address}/svc", "urn:t/Echo", value={"n": 7},
+        on_reply=lambda context, value: replies.append(value),
+    )
+    assert wait_for(lambda: replies == [{"echo": {"n": 7}}])
+
+
+def test_send_to_dead_port_is_best_effort(nodes):
+    server, client = nodes
+    before = client.transport.send_errors
+    client.runtime.send("http://127.0.0.1:1/nowhere", "urn:t/OneWay", value=1)
+    assert wait_for(lambda: client.transport.send_errors == before + 1)
+
+
+def test_context_manager_stops_server():
+    node = HttpNode()
+    node.start()
+    address = node.base_address
+    node.stop()
+    other = HttpNode()
+    other.start()
+    try:
+        before = other.transport.send_errors
+        other.runtime.send(f"{address}/svc", "urn:t/OneWay", value=1)
+        assert wait_for(lambda: other.transport.send_errors == before + 1)
+    finally:
+        other.stop()

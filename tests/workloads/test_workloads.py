@@ -1,0 +1,105 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.simnet.events import Simulator
+from repro.simnet.network import Network
+from repro.simnet.process import Process
+from repro.workloads import SensorField, StockFeed, churn_plan, crash_fraction_plan
+
+
+class TestStockFeed:
+    def test_deterministic_by_seed(self):
+        first = [tick.to_value() for tick in StockFeed(seed=5).ticks(2.0)]
+        second = [tick.to_value() for tick in StockFeed(seed=5).ticks(2.0)]
+        assert first == second
+        assert first != [tick.to_value() for tick in StockFeed(seed=6).ticks(2.0)]
+
+    def test_rate_roughly_holds(self):
+        ticks = list(StockFeed(rate=50.0, seed=1).ticks(20.0))
+        assert 800 <= len(ticks) <= 1200
+
+    def test_times_ordered_and_bounded(self):
+        ticks = list(StockFeed(seed=2).ticks(5.0))
+        times = [tick.time for tick in ticks]
+        assert times == sorted(times)
+        assert all(0 <= time < 5.0 for time in times)
+
+    def test_sequences_are_consecutive(self):
+        ticks = list(StockFeed(seed=3).ticks(5.0))
+        assert [tick.sequence for tick in ticks] == list(
+            range(1, len(ticks) + 1)
+        )
+
+    def test_zipf_skew(self):
+        from collections import Counter
+
+        ticks = list(StockFeed(rate=200.0, seed=4).ticks(20.0))
+        counts = Counter(tick.symbol for tick in ticks)
+        ranked = counts.most_common()
+        # Hot symbol clearly beats the tail.
+        assert ranked[0][1] > 3 * ranked[-1][1]
+
+    def test_bursts_multiply_rate(self):
+        feed = StockFeed(rate=20.0, seed=5, bursts=[(5.0, 10.0, 10.0)])
+        ticks = list(feed.ticks(15.0))
+        quiet = sum(1 for tick in ticks if tick.time < 5.0)
+        burst = sum(1 for tick in ticks if 5.0 <= tick.time < 10.0)
+        assert burst > 4 * quiet
+
+    def test_prices_positive_and_walk(self):
+        ticks = list(StockFeed(seed=6).ticks(10.0))
+        assert all(tick.price > 0 for tick in ticks)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StockFeed(rate=0.0)
+        with pytest.raises(ValueError):
+            StockFeed(symbols=[])
+
+
+class TestSensorField:
+    def test_truth_matches_readings(self):
+        field = SensorField(50, seed=1)
+        truth = field.truth()
+        assert truth["mean"] == pytest.approx(sum(field.readings) / 50)
+        assert truth["min"] == min(field.readings)
+        assert truth["max"] == max(field.readings)
+        assert truth["count"] == 50.0
+
+    def test_deterministic(self):
+        assert SensorField(10, seed=2).readings == SensorField(10, seed=2).readings
+
+    def test_resample_changes_readings_not_biases(self):
+        field = SensorField(10, seed=3)
+        before = list(field.readings)
+        biases = list(field.biases)
+        field.resample()
+        assert field.readings != before
+        assert field.biases == biases
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SensorField(0)
+
+
+class TestFaultHelpers:
+    def test_crash_fraction_plan_applies(self):
+        sim = Simulator(seed=1)
+        network = Network(sim)
+        nodes = [Process(f"n{index}", network) for index in range(10)]
+        for node in nodes:
+            node.start()
+        crash_fraction_plan(network, [node.name for node in nodes], 0.5, at=1.0)
+        sim.run_until(2.0)
+        assert sum(1 for node in nodes if not node.is_running) == 5
+
+    def test_churn_plan_starts(self):
+        sim = Simulator(seed=2)
+        network = Network(sim)
+        nodes = [Process(f"n{index}", network) for index in range(5)]
+        for node in nodes:
+            node.start()
+        churn_plan(network, [node.name for node in nodes], rate=10.0, until=5.0)
+        sim.run_until(5.0)
+        assert sim.events_executed > 0

@@ -1,0 +1,93 @@
+"""Tests for WS-Addressing headers and endpoint references."""
+
+import pytest
+
+from repro.soap.envelope import Envelope
+from repro.wsa.addressing import (
+    AddressingHeaders,
+    EndpointReference,
+    new_message_id,
+)
+
+
+def test_new_message_id_format_and_uniqueness():
+    first = new_message_id()
+    second = new_message_id()
+    assert first.startswith("urn:uuid:")
+    assert first != second
+
+
+class TestEndpointReference:
+    def test_round_trip_plain(self):
+        epr = EndpointReference("sim://node/app")
+        element = epr.to_element("{urn:t}EPR")
+        assert EndpointReference.from_element(element) == epr
+
+    def test_round_trip_with_reference_parameters(self):
+        epr = EndpointReference(
+            "sim://node/reg", {"ActivityId": "a-1", "Shard": "7"}
+        )
+        parsed = EndpointReference.from_element(epr.to_element("{urn:t}EPR"))
+        assert parsed.address == "sim://node/reg"
+        assert parsed.reference_parameters == {"ActivityId": "a-1", "Shard": "7"}
+
+    def test_missing_address_rejected(self):
+        import xml.etree.ElementTree as ET
+
+        with pytest.raises(ValueError):
+            EndpointReference.from_element(ET.Element("{urn:t}EPR"))
+
+    def test_hashable(self):
+        a = EndpointReference("x", {"k": "v"})
+        b = EndpointReference("x", {"k": "v"})
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestAddressingHeaders:
+    def test_apply_and_extract_round_trip(self):
+        headers = AddressingHeaders(
+            to="sim://dst/app",
+            action="urn:t/Do",
+            message_id="urn:uuid:1",
+            relates_to="urn:uuid:0",
+            reply_to=EndpointReference("sim://src/replies"),
+            from_=EndpointReference("sim://src"),
+        )
+        envelope = Envelope()
+        headers.apply(envelope)
+        extracted = AddressingHeaders.extract(envelope)
+        assert extracted.to == "sim://dst/app"
+        assert extracted.action == "urn:t/Do"
+        assert extracted.message_id == "urn:uuid:1"
+        assert extracted.relates_to == "urn:uuid:0"
+        assert extracted.reply_to.address == "sim://src/replies"
+        assert extracted.from_.address == "sim://src"
+
+    def test_absent_headers_stay_none(self):
+        extracted = AddressingHeaders.extract(Envelope())
+        assert extracted.to is None
+        assert extracted.action is None
+        assert extracted.message_id is None
+        assert extracted.relates_to is None
+        assert extracted.reply_to is None
+        assert extracted.from_ is None
+
+    def test_apply_replaces_existing(self):
+        envelope = Envelope()
+        AddressingHeaders(to="first", action="urn:a").apply(envelope)
+        AddressingHeaders(to="second").apply(envelope)
+        extracted = AddressingHeaders.extract(envelope)
+        assert extracted.to == "second"
+        assert extracted.action is None  # replaced wholesale
+
+    def test_survives_wire_round_trip(self):
+        headers = AddressingHeaders(
+            to="sim://dst/app", action="urn:t/Do", message_id="urn:uuid:1"
+        )
+        envelope = Envelope()
+        headers.apply(envelope)
+        parsed = Envelope.from_bytes(envelope.to_bytes())
+        extracted = AddressingHeaders.extract(parsed)
+        assert extracted.to == "sim://dst/app"
+        assert extracted.action == "urn:t/Do"

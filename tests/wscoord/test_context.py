@@ -1,0 +1,72 @@
+"""Tests for the CoordinationContext header block."""
+
+import pytest
+
+from repro.soap.envelope import Envelope
+from repro.wsa.addressing import EndpointReference
+from repro.wscoord.context import (
+    CoordinationContext,
+    new_context_identifier,
+)
+
+
+def make_context(**overrides):
+    defaults = dict(
+        identifier="urn:wscoord:activity:test",
+        coordination_type="urn:ws-gossip:2008:coordination",
+        registration_service=EndpointReference(
+            "sim://coord/registration", {"ActivityId": "urn:wscoord:activity:test"}
+        ),
+        expires=None,
+    )
+    defaults.update(overrides)
+    return CoordinationContext(**defaults)
+
+
+def test_identifier_uniqueness():
+    assert new_context_identifier() != new_context_identifier()
+
+
+def test_round_trip_minimal():
+    context = make_context()
+    parsed = CoordinationContext.from_element(context.to_element())
+    assert parsed == context
+
+
+def test_round_trip_with_expires():
+    context = make_context(expires=30.5)
+    parsed = CoordinationContext.from_element(context.to_element())
+    assert parsed.expires == 30.5
+
+
+def test_reference_parameters_survive():
+    context = make_context()
+    parsed = CoordinationContext.from_element(context.to_element())
+    assert parsed.registration_service.reference_parameters == {
+        "ActivityId": "urn:wscoord:activity:test"
+    }
+
+
+def test_from_envelope_present_and_absent():
+    envelope = Envelope()
+    assert CoordinationContext.from_envelope(envelope) is None
+    envelope.add_header(make_context().to_element())
+    parsed = CoordinationContext.from_envelope(envelope)
+    assert parsed is not None
+    assert parsed.identifier == "urn:wscoord:activity:test"
+
+
+def test_survives_wire_round_trip():
+    envelope = Envelope()
+    envelope.add_header(make_context(expires=9.0).to_element())
+    parsed_envelope = Envelope.from_bytes(envelope.to_bytes())
+    parsed = CoordinationContext.from_envelope(parsed_envelope)
+    assert parsed.expires == 9.0
+    assert parsed.registration_service.address == "sim://coord/registration"
+
+
+def test_malformed_element_rejected():
+    import xml.etree.ElementTree as ET
+
+    with pytest.raises(ValueError):
+        CoordinationContext.from_element(ET.Element("{urn:x}NotAContext"))

@@ -1,0 +1,128 @@
+"""Tests for the coordinator's activity and protocol management."""
+
+import pytest
+
+from repro.soap.fault import SoapFault
+from repro.wsa.addressing import EndpointReference
+from repro.wscoord.coordinator import (
+    Activity,
+    CoordinationProtocol,
+    Coordinator,
+    Participant,
+)
+
+
+class FakeProtocol(CoordinationProtocol):
+    coordination_type = "urn:test:proto"
+
+    def __init__(self):
+        self.created = []
+        self.registered = []
+
+    def on_create(self, activity, parameters):
+        self.created.append((activity.context.identifier, parameters))
+
+    def on_register(self, activity, participant):
+        self.registered.append(participant.endpoint.address)
+        return {"count": len(activity.participants)}
+
+
+def make_coordinator():
+    coordinator = Coordinator(
+        lambda activity_id: EndpointReference(
+            "sim://coord/registration", {"ActivityId": activity_id}
+        )
+    )
+    protocol = FakeProtocol()
+    coordinator.add_protocol(protocol)
+    return coordinator, protocol
+
+
+def test_create_context_invokes_protocol():
+    coordinator, protocol = make_coordinator()
+    context = coordinator.create_context("urn:test:proto", parameters={"k": 1})
+    assert context.coordination_type == "urn:test:proto"
+    assert context.identifier in coordinator
+    assert protocol.created == [(context.identifier, {"k": 1})]
+
+
+def test_registration_epr_carries_activity_id():
+    coordinator, protocol = make_coordinator()
+    context = coordinator.create_context("urn:test:proto")
+    assert context.registration_service.reference_parameters == {
+        "ActivityId": context.identifier
+    }
+
+
+def test_unknown_coordination_type_faults():
+    coordinator, protocol = make_coordinator()
+    with pytest.raises(SoapFault):
+        coordinator.create_context("urn:unknown")
+
+
+def test_register_adds_participant_and_returns_extras():
+    coordinator, protocol = make_coordinator()
+    context = coordinator.create_context("urn:test:proto")
+    extras = coordinator.register(
+        context.identifier, "p1", EndpointReference("sim://a/app")
+    )
+    assert extras == {"count": 1}
+    activity = coordinator.activity(context.identifier)
+    assert activity.participant_addresses() == ["sim://a/app"]
+
+
+def test_register_is_idempotent_per_address_protocol():
+    coordinator, protocol = make_coordinator()
+    context = coordinator.create_context("urn:test:proto")
+    epr = EndpointReference("sim://a/app")
+    coordinator.register(context.identifier, "p1", epr, metadata={"v": 1})
+    coordinator.register(context.identifier, "p1", epr, metadata={"v": 2})
+    activity = coordinator.activity(context.identifier)
+    assert len(activity.participants) == 1
+    assert activity.participants[0].metadata == {"v": 2}
+
+
+def test_same_address_different_protocols_are_distinct():
+    coordinator, protocol = make_coordinator()
+    context = coordinator.create_context("urn:test:proto")
+    epr = EndpointReference("sim://a/app")
+    coordinator.register(context.identifier, "p1", epr)
+    coordinator.register(context.identifier, "p2", epr)
+    activity = coordinator.activity(context.identifier)
+    assert len(activity.participants) == 2
+
+
+def test_register_unknown_activity_faults():
+    coordinator, protocol = make_coordinator()
+    with pytest.raises(SoapFault):
+        coordinator.register("urn:nope", "p1", EndpointReference("sim://a"))
+
+
+def test_duplicate_protocol_rejected():
+    coordinator, protocol = make_coordinator()
+    with pytest.raises(ValueError):
+        coordinator.add_protocol(FakeProtocol())
+
+
+def test_protocol_without_type_rejected():
+    coordinator, protocol = make_coordinator()
+    with pytest.raises(ValueError):
+        coordinator.add_protocol(CoordinationProtocol())
+
+
+def test_activity_participant_queries():
+    activity = Activity(context=None)
+    activity.participants.append(Participant("p1", EndpointReference("sim://a")))
+    activity.participants.append(Participant("p2", EndpointReference("sim://b")))
+    assert activity.participant_addresses() == ["sim://a", "sim://b"]
+    assert activity.participant_addresses("p1") == ["sim://a"]
+    assert activity.is_registered("sim://a")
+    assert activity.is_registered("sim://a", "p1")
+    assert not activity.is_registered("sim://a", "p2")
+
+
+def test_activities_listing():
+    coordinator, protocol = make_coordinator()
+    coordinator.create_context("urn:test:proto")
+    coordinator.create_context("urn:test:proto")
+    assert len(coordinator.activities()) == 2

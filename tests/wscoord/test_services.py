@@ -1,0 +1,158 @@
+"""Tests for the Activation and Registration SOAP port types."""
+
+import pytest
+
+from repro.soap.fault import SoapFault
+from repro.soap.runtime import SoapRuntime
+from repro.transport.base import LoopbackTransport
+from repro.wsa.addressing import EndpointReference
+from repro.wscoord.activation import CREATE_ACTION, ActivationService
+from repro.wscoord.context import CoordinationContext
+from repro.wscoord.coordinator import CoordinationProtocol, Coordinator
+from repro.wscoord.registration import REGISTER_ACTION, RegistrationService
+
+
+class GreetingProtocol(CoordinationProtocol):
+    coordination_type = "urn:test:greet"
+
+    def on_register(self, activity, participant):
+        return {"greeting": f"hello {participant.endpoint.address}"}
+
+
+@pytest.fixture
+def env():
+    transport = LoopbackTransport()
+    coordinator_runtime = SoapRuntime("test://coord", transport)
+    client_runtime = SoapRuntime("test://client", transport)
+    transport.register(coordinator_runtime)
+    transport.register(client_runtime)
+
+    coordinator = Coordinator(
+        lambda activity_id: EndpointReference(
+            "test://coord/registration", {"ActivityId": activity_id}
+        )
+    )
+    coordinator.add_protocol(GreetingProtocol())
+    coordinator_runtime.add_service("/activation", ActivationService(coordinator))
+    coordinator_runtime.add_service("/registration", RegistrationService(coordinator))
+    return transport, coordinator, coordinator_runtime, client_runtime
+
+
+def create_context(client_runtime):
+    contexts = []
+
+    def on_reply(context, value):
+        contexts.append(CoordinationContext.from_element(context.envelope.body))
+
+    client_runtime.send(
+        "test://coord/activation",
+        CREATE_ACTION,
+        value={"coordination_type": "urn:test:greet"},
+        on_reply=on_reply,
+    )
+    assert contexts, "activation did not reply"
+    return contexts[0]
+
+
+def test_activation_returns_context(env):
+    transport, coordinator, coordinator_runtime, client_runtime = env
+    context = create_context(client_runtime)
+    assert context.coordination_type == "urn:test:greet"
+    assert context.registration_service.address == "test://coord/registration"
+    assert context.identifier in coordinator
+
+
+def test_activation_with_expires(env):
+    transport, coordinator, coordinator_runtime, client_runtime = env
+    replies = []
+    client_runtime.send(
+        "test://coord/activation",
+        CREATE_ACTION,
+        value={"coordination_type": "urn:test:greet", "expires": 60},
+        on_reply=lambda context, value: replies.append(
+            CoordinationContext.from_element(context.envelope.body)
+        ),
+    )
+    assert replies[0].expires == 60.0
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        None,
+        {},
+        {"coordination_type": 42},
+        {"coordination_type": "urn:test:greet", "expires": "soon"},
+        {"coordination_type": "urn:test:greet", "parameters": "not-a-map"},
+        {"coordination_type": "urn:unknown"},
+    ],
+)
+def test_activation_faults_on_bad_requests(env, payload):
+    transport, coordinator, coordinator_runtime, client_runtime = env
+    replies = []
+    client_runtime.send(
+        "test://coord/activation",
+        CREATE_ACTION,
+        value=payload,
+        on_reply=lambda context, value: replies.append(value),
+    )
+    assert isinstance(replies[0], SoapFault)
+
+
+def test_register_via_context_epr(env):
+    transport, coordinator, coordinator_runtime, client_runtime = env
+    context = create_context(client_runtime)
+    replies = []
+    # Send to the EPR from the context: the ActivityId rides as a header.
+    client_runtime.send(
+        context.registration_service,
+        REGISTER_ACTION,
+        value={"protocol": "p1", "participant": "test://client/app"},
+        on_reply=lambda reply_context, value: replies.append(value),
+    )
+    assert replies[0]["activity"] == context.identifier
+    assert replies[0]["greeting"] == "hello test://client/app"
+    activity = coordinator.activity(context.identifier)
+    assert activity.participant_addresses() == ["test://client/app"]
+
+
+def test_register_with_payload_activity_fallback(env):
+    transport, coordinator, coordinator_runtime, client_runtime = env
+    context = create_context(client_runtime)
+    replies = []
+    client_runtime.send(
+        "test://coord/registration",  # plain address: no header parameter
+        REGISTER_ACTION,
+        value={
+            "protocol": "p1",
+            "participant": "test://client/app",
+            "activity": context.identifier,
+        },
+        on_reply=lambda reply_context, value: replies.append(value),
+    )
+    assert replies[0]["activity"] == context.identifier
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        None,
+        {},
+        {"protocol": "p1"},
+        {"participant": "x"},
+        {"protocol": "p1", "participant": "x"},  # no activity anywhere
+        {"protocol": "p1", "participant": "x", "activity": "urn:nope"},
+        {"protocol": "p1", "participant": "x", "metadata": "bad", "activity": "a"},
+    ],
+)
+def test_register_faults_on_bad_requests(env, payload):
+    transport, coordinator, coordinator_runtime, client_runtime = env
+    create_context(client_runtime)
+    replies = []
+    client_runtime.send(
+        "test://coord/registration",
+        REGISTER_ACTION,
+        value=payload,
+        on_reply=lambda context, value: replies.append(value),
+    )
+    assert isinstance(replies[0], SoapFault)

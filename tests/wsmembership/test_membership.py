@@ -1,0 +1,118 @@
+"""Integration tests for WS-Membership over the simulator."""
+
+import pytest
+
+from repro.simnet.events import Simulator
+from repro.simnet.latency import FixedLatency
+from repro.simnet.network import Network
+from repro.wsmembership import MemberStatus, MembershipNode
+
+
+def build_cluster(count, seed=1, period=0.5, t_fail=3.0, t_cleanup=None, loss_rate=0.0):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=FixedLatency(0.005), loss_rate=loss_rate)
+    nodes = [
+        MembershipNode(
+            f"m{index}", network, period=period, t_fail=t_fail, t_cleanup=t_cleanup
+        )
+        for index in range(count)
+    ]
+    for node in nodes:
+        node.start()
+    # Sparse bootstrap: each node knows only node 0 (plus node 0 knows 1).
+    anchor = nodes[0].runtime.base_address
+    for node in nodes[1:]:
+        node.bootstrap([anchor])
+    nodes[0].bootstrap([nodes[1].runtime.base_address])
+    return sim, network, nodes
+
+
+def address(node):
+    return node.runtime.base_address
+
+
+def test_views_converge_to_full_membership():
+    sim, network, nodes = build_cluster(12)
+    sim.run_until(15.0)
+    for node in nodes:
+        assert len(node.membership.view) == 12
+
+
+def test_all_alive_without_faults():
+    sim, network, nodes = build_cluster(8)
+    sim.run_until(15.0)
+    for node in nodes:
+        assert len(node.membership.alive_members()) == 7
+
+
+def test_crashed_node_detected_and_removed():
+    sim, network, nodes = build_cluster(10, t_fail=3.0, t_cleanup=6.0)
+    sim.run_until(15.0)
+    victim = nodes[4]
+    victim.crash()
+    sim.run_until(19.5)  # past t_fail: suspected
+    suspects = [
+        node
+        for node in nodes
+        if node is not victim
+        and node.membership.view.status_of(address(victim)) is MemberStatus.SUSPECT
+    ]
+    assert len(suspects) >= 7
+    sim.run_until(30.0)  # past t_cleanup: failed everywhere
+    for node in nodes:
+        if node is victim:
+            continue
+        assert node.membership.view.status_of(address(victim)) is MemberStatus.FAILED
+
+
+def test_recovered_node_rejoins():
+    sim, network, nodes = build_cluster(8, t_fail=3.0, t_cleanup=60.0)
+    sim.run_until(10.0)
+    victim = nodes[2]
+    victim.crash()
+    sim.run_until(16.0)
+    observer = nodes[0]
+    assert observer.membership.view.status_of(address(victim)) is MemberStatus.SUSPECT
+    victim.start()
+    sim.run_until(25.0)
+    assert observer.membership.view.status_of(address(victim)) is MemberStatus.ALIVE
+
+
+def test_detection_time_scales_with_t_fail():
+    def detection_time(t_fail):
+        sim, network, nodes = build_cluster(8, t_fail=t_fail, t_cleanup=200.0)
+        sim.run_until(10.0)
+        victim = nodes[3]
+        victim.crash()
+        observer = nodes[0]
+        step = 0.25
+        now = 10.0
+        while now < 200.0:
+            now += step
+            sim.run_until(now)
+            if (
+                observer.membership.view.status_of(address(victim))
+                is MemberStatus.SUSPECT
+            ):
+                return now - 10.0
+        return float("inf")
+
+    fast = detection_time(2.0)
+    slow = detection_time(8.0)
+    assert fast < slow
+
+
+def test_membership_survives_message_loss():
+    sim, network, nodes = build_cluster(10, loss_rate=0.2, t_fail=4.0)
+    sim.run_until(30.0)
+    for node in nodes:
+        assert len(node.membership.view) == 10
+        # Nobody falsely failed despite 20% loss: heartbeats are gossiped
+        # redundantly.
+        assert len(node.membership.view.members(MemberStatus.FAILED)) == 0
+
+
+def test_engine_parameter_validation():
+    sim, network, nodes = build_cluster(2)
+    with pytest.raises(ValueError):
+        MembershipNode("bad", network, period=2.0, t_fail=1.0)

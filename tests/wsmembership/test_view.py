@@ -1,0 +1,101 @@
+"""Tests for the membership table."""
+
+import pytest
+
+from repro.wsmembership.view import MemberStatus, MembershipView
+
+
+def test_self_record_exists():
+    view = MembershipView("sim://me")
+    assert "sim://me" in view
+    assert view.status_of("sim://me") is MemberStatus.ALIVE
+
+
+def test_beat_advances_heartbeat():
+    view = MembershipView("sim://me")
+    view.beat(1.0)
+    view.beat(2.0)
+    assert view.record("sim://me").heartbeat == 2
+    assert view.record("sim://me").last_update == 2.0
+
+
+def test_merge_adds_new_members():
+    view = MembershipView("sim://me")
+    progressed = view.merge(
+        [{"address": "sim://a", "heartbeat": 3}, {"address": "sim://b", "heartbeat": 0}],
+        now=1.0,
+    )
+    assert progressed == 2
+    assert view.status_of("sim://a") is MemberStatus.ALIVE
+
+
+def test_merge_takes_larger_heartbeat_only():
+    view = MembershipView("sim://me")
+    view.merge([{"address": "sim://a", "heartbeat": 5}], now=1.0)
+    assert view.merge([{"address": "sim://a", "heartbeat": 4}], now=2.0) == 0
+    assert view.record("sim://a").last_update == 1.0
+    assert view.merge([{"address": "sim://a", "heartbeat": 6}], now=3.0) == 1
+    assert view.record("sim://a").last_update == 3.0
+
+
+def test_merge_ignores_malformed_rows():
+    view = MembershipView("sim://me")
+    progressed = view.merge(
+        ["junk", {"address": 5, "heartbeat": 1}, {"address": "sim://a"}], now=1.0
+    )
+    assert progressed == 0
+
+
+def test_merge_unsuspects_on_progress():
+    view = MembershipView("sim://me")
+    view.merge([{"address": "sim://a", "heartbeat": 1}], now=0.0)
+    view.sweep(now=6.0, t_fail=5.0, t_cleanup=100.0)
+    assert view.status_of("sim://a") is MemberStatus.SUSPECT
+    view.merge([{"address": "sim://a", "heartbeat": 2}], now=6.5)
+    assert view.status_of("sim://a") is MemberStatus.ALIVE
+
+
+def test_sweep_suspects_then_fails():
+    view = MembershipView("sim://me")
+    view.merge([{"address": "sim://a", "heartbeat": 1}], now=0.0)
+    assert view.sweep(now=5.0, t_fail=4.0, t_cleanup=10.0) == []
+    assert view.status_of("sim://a") is MemberStatus.SUSPECT
+    newly_failed = view.sweep(now=11.0, t_fail=4.0, t_cleanup=10.0)
+    assert newly_failed == ["sim://a"]
+    assert view.status_of("sim://a") is MemberStatus.FAILED
+    # Already failed: not reported twice.
+    assert view.sweep(now=12.0, t_fail=4.0, t_cleanup=10.0) == []
+
+
+def test_sweep_never_touches_self():
+    view = MembershipView("sim://me")
+    view.beat(0.0)
+    view.sweep(now=1000.0, t_fail=1.0, t_cleanup=2.0)
+    assert view.status_of("sim://me") is MemberStatus.ALIVE
+
+
+def test_sweep_validates_thresholds():
+    view = MembershipView("sim://me")
+    with pytest.raises(ValueError):
+        view.sweep(now=0.0, t_fail=5.0, t_cleanup=1.0)
+
+
+def test_snapshot_excludes_failed():
+    view = MembershipView("sim://me")
+    view.merge([{"address": "sim://a", "heartbeat": 1}], now=0.0)
+    view.sweep(now=100.0, t_fail=1.0, t_cleanup=2.0)
+    addresses = [row["address"] for row in view.snapshot()]
+    assert "sim://a" not in addresses
+    assert "sim://me" in addresses
+
+
+def test_members_queries():
+    view = MembershipView("sim://me")
+    view.merge(
+        [{"address": "sim://a", "heartbeat": 1}, {"address": "sim://b", "heartbeat": 1}],
+        now=0.0,
+    )
+    view.sweep(now=5.0, t_fail=4.0, t_cleanup=100.0)
+    assert set(view.members()) == {"sim://me", "sim://a", "sim://b"}
+    assert set(view.members(MemberStatus.SUSPECT)) == {"sim://a", "sim://b"}
+    assert view.alive_members() == ["sim://me"]

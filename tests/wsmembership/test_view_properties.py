@@ -1,0 +1,75 @@
+"""Property tests: the membership merge behaves like a state-based CRDT.
+
+Merging tables must be idempotent, commutative in effect, and monotone
+(heartbeats never regress) -- the properties that make heartbeat gossip
+converge regardless of delivery order or duplication.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.wsmembership.view import MembershipView
+
+addresses = st.sampled_from([f"sim://m{index}" for index in range(6)])
+rows = st.lists(
+    st.fixed_dictionaries(
+        {"address": addresses, "heartbeat": st.integers(min_value=0, max_value=50)}
+    ),
+    max_size=12,
+)
+
+
+def heartbeats(view: MembershipView) -> dict:
+    return {
+        address: view.record(address).heartbeat
+        for address in view.members()
+        if view.record(address) is not None
+    }
+
+
+@given(rows)
+def test_merge_is_idempotent(table):
+    view = MembershipView("sim://self")
+    view.merge(table, now=1.0)
+    snapshot = heartbeats(view)
+    progressed = view.merge(table, now=2.0)
+    assert progressed == 0
+    assert heartbeats(view) == snapshot
+
+
+@given(rows, rows)
+def test_merge_order_does_not_matter(table_a, table_b):
+    left = MembershipView("sim://self")
+    left.merge(table_a, now=1.0)
+    left.merge(table_b, now=2.0)
+    right = MembershipView("sim://self")
+    right.merge(table_b, now=1.0)
+    right.merge(table_a, now=2.0)
+    assert heartbeats(left) == heartbeats(right)
+
+
+@given(rows, rows)
+def test_heartbeats_are_monotone(table_a, table_b):
+    view = MembershipView("sim://self")
+    view.merge(table_a, now=1.0)
+    before = heartbeats(view)
+    view.merge(table_b, now=2.0)
+    after = heartbeats(view)
+    for address, heartbeat in before.items():
+        assert after[address] >= heartbeat
+
+
+@given(rows)
+def test_snapshot_merge_round_trip(table):
+    """Merging a snapshot into a fresh view reproduces the heartbeats."""
+    source = MembershipView("sim://self")
+    source.merge(table, now=1.0)
+    source.beat(1.5)
+    target = MembershipView("sim://other")
+    target.merge(source.snapshot(), now=2.0)
+    source_beats = heartbeats(source)
+    target_beats = heartbeats(target)
+    for address, heartbeat in source_beats.items():
+        if address == "sim://other":
+            continue
+        assert target_beats.get(address) == heartbeat

@@ -1,0 +1,114 @@
+"""Tests for the WS-Notification broker baseline."""
+
+import pytest
+
+from repro.baselines.common import BASELINE_ACTION, RecordingNode
+from repro.simnet.events import Simulator
+from repro.simnet.network import Network
+from repro.soap.fault import SoapFault
+from repro.transport.inmem import WsProcess
+from repro.wsn.broker import BrokerNode, NOTIFY_ACTION, SUBSCRIBE_ACTION
+from repro.wsn.client import notify, subscribe
+
+
+@pytest.fixture
+def env():
+    sim = Simulator(seed=31)
+    network = Network(sim)
+    broker = BrokerNode("broker", network)
+    publisher = WsProcess("publisher", network)
+    consumers = [RecordingNode(f"c{index}", network) for index in range(4)]
+    for node in (broker, publisher, *consumers):
+        node.start()
+    return sim, network, broker, publisher, consumers
+
+
+def test_subscribe_then_notify_reaches_all(env):
+    sim, network, broker, publisher, consumers = env
+    for consumer in consumers:
+        subscribe(
+            consumer.runtime, broker.broker_address, "ticks", consumer.app_address
+        )
+    sim.run_until(1.0)
+    notify(
+        publisher.runtime, broker.broker_address, "ticks", BASELINE_ACTION,
+        payload={"mid": "m1", "data": 1},
+    )
+    sim.run_until(2.0)
+    assert all(consumer.has_delivered("m1") for consumer in consumers)
+    assert network.metrics.counter("wsn.fanout").value == 4
+
+
+def test_topics_are_isolated(env):
+    sim, network, broker, publisher, consumers = env
+    subscribe(consumers[0].runtime, broker.broker_address, "a", consumers[0].app_address)
+    subscribe(consumers[1].runtime, broker.broker_address, "b", consumers[1].app_address)
+    sim.run_until(1.0)
+    notify(publisher.runtime, broker.broker_address, "a", BASELINE_ACTION,
+           payload={"mid": "m1"})
+    sim.run_until(2.0)
+    assert consumers[0].has_delivered("m1")
+    assert not consumers[1].has_delivered("m1")
+
+
+def test_duplicate_subscription_ignored(env):
+    sim, network, broker, publisher, consumers = env
+    for _ in range(3):
+        subscribe(
+            consumers[0].runtime, broker.broker_address, "t", consumers[0].app_address
+        )
+    sim.run_until(1.0)
+    assert broker.broker.subscribers("t") == [consumers[0].app_address]
+
+
+def test_subscribe_reply_reports_count(env):
+    sim, network, broker, publisher, consumers = env
+    replies = []
+    subscribe(
+        consumers[0].runtime, broker.broker_address, "t", consumers[0].app_address,
+        on_reply=lambda context, value: replies.append(value),
+    )
+    sim.run_until(1.0)
+    assert replies == [{"topic": "t", "subscribers": 1}]
+
+
+def test_notify_unknown_topic_is_noop(env):
+    sim, network, broker, publisher, consumers = env
+    notify(publisher.runtime, broker.broker_address, "ghost", BASELINE_ACTION,
+           payload={"mid": "m1"})
+    sim.run_until(1.0)
+    assert network.metrics.counter("wsn.fanout").value == 0
+
+
+@pytest.mark.parametrize(
+    "action,payload",
+    [
+        (SUBSCRIBE_ACTION, None),
+        (SUBSCRIBE_ACTION, {"topic": "t"}),
+        (SUBSCRIBE_ACTION, {"consumer": "c"}),
+        (NOTIFY_ACTION, None),
+        (NOTIFY_ACTION, {"topic": "t"}),  # no consumer action
+        (NOTIFY_ACTION, {"action": "urn:a"}),  # no topic
+    ],
+)
+def test_malformed_requests_fault(env, action, payload):
+    sim, network, broker, publisher, consumers = env
+    replies = []
+    publisher.runtime.send(
+        broker.broker_address, action, value=payload,
+        on_reply=lambda context, value: replies.append(value),
+    )
+    sim.run_until(1.0)
+    assert isinstance(replies[0], SoapFault)
+
+
+def test_broker_crash_silences_everything(env):
+    sim, network, broker, publisher, consumers = env
+    for consumer in consumers:
+        subscribe(consumer.runtime, broker.broker_address, "t", consumer.app_address)
+    sim.run_until(1.0)
+    broker.crash()
+    notify(publisher.runtime, broker.broker_address, "t", BASELINE_ACTION,
+           payload={"mid": "m1"})
+    sim.run_until(2.0)
+    assert not any(consumer.has_delivered("m1") for consumer in consumers)

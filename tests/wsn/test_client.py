@@ -1,0 +1,55 @@
+"""Tests for the WS-Notification client helpers."""
+
+import pytest
+
+from repro.baselines.common import BASELINE_ACTION, RecordingNode
+from repro.simnet.events import Simulator
+from repro.simnet.network import Network
+from repro.transport.inmem import WsProcess
+from repro.wsn.broker import BrokerNode
+from repro.wsn.client import notify, subscribe
+
+
+@pytest.fixture
+def env():
+    sim = Simulator(seed=51)
+    network = Network(sim)
+    broker = BrokerNode("broker", network)
+    publisher = WsProcess("publisher", network)
+    consumer = RecordingNode("consumer", network)
+    for node in (broker, publisher, consumer):
+        node.start()
+    return sim, broker, publisher, consumer
+
+
+def test_subscribe_returns_message_id(env):
+    sim, broker, publisher, consumer = env
+    message_id = subscribe(
+        consumer.runtime, broker.broker_address, "t", consumer.app_address
+    )
+    assert message_id.startswith("urn:uuid:")
+    sim.run_until(1.0)
+    assert broker.broker.subscribers("t") == [consumer.app_address]
+
+
+def test_notify_delivers_payload(env):
+    sim, broker, publisher, consumer = env
+    subscribe(consumer.runtime, broker.broker_address, "t", consumer.app_address)
+    sim.run_until(1.0)
+    notify(
+        publisher.runtime, broker.broker_address, "t", BASELINE_ACTION,
+        payload={"mid": "m1", "data": [1, 2]},
+    )
+    sim.run_until(2.0)
+    assert consumer.has_delivered("m1")
+
+
+def test_subscribe_reply_callback(env):
+    sim, broker, publisher, consumer = env
+    acks = []
+    subscribe(
+        consumer.runtime, broker.broker_address, "t", consumer.app_address,
+        on_reply=lambda context, value: acks.append(value),
+    )
+    sim.run_until(1.0)
+    assert acks == [{"topic": "t", "subscribers": 1}]
