@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples clean coverage
+.PHONY: install test bench bench-smoke bench-core examples clean coverage
 
 install:
 	pip install -e . || pip install -e . --no-build-isolation
@@ -12,6 +12,16 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Fast wire-path regression gate: N=100 run compared against the
+# checked-in BENCH_core.json; fails on a >20% envelopes-parsed-per-
+# delivery regression.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_core.py --smoke
+
+# Regenerate the BENCH_core.json baseline (N=100/1000/5000; minutes).
+bench-core:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_core.py
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script || exit 1; done

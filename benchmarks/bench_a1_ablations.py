@@ -11,8 +11,8 @@
 
 from _tables import emit, mean
 
+from repro import GossipConfig
 from repro.core.analysis import expected_rounds
-from repro.core.api import GossipGroup
 from repro.core.peers import RoundRobinSelector
 
 SEEDS = [1, 2, 3]
@@ -21,12 +21,12 @@ SEEDS = [1, 2, 3]
 def selection_run(selector_factory, seed, crash_fraction=0.25, n=24):
     from repro.simnet.faults import FaultPlan
 
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=n - 1,
         seed=seed,
         params={"fanout": 4, "rounds": 7, "peer_sample_size": 12},
         auto_tune=False,
-    )
+    ).build()
     if selector_factory is not None:
         for node in [group.initiator, *group.disseminators]:
             node.gossip_layer.selector = selector_factory()
@@ -69,12 +69,12 @@ def test_a1_peer_selection(benchmark):
 
 
 def rounds_run(rounds, seed, n=32):
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=n - 1,
         seed=seed,
         params={"fanout": 4, "rounds": rounds, "peer_sample_size": 12},
         auto_tune=False,
-    )
+    ).build()
     group.setup(settle=1.0, eager_join=True)
     gossip_id = group.publish({"a": 1})
     group.run_for(10.0)
@@ -101,12 +101,12 @@ def test_a2_rounds_budget(benchmark):
 
 
 def autotune_run(auto_tune, n, seed):
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=n - 1,
         seed=seed,
         params={"fanout": 3, "rounds": 5},
         auto_tune=auto_tune,
-    )
+    ).build()
     group.setup(settle=1.0, eager_join=True)
     gossip_id = group.publish({"a": 1})
     group.run_for(10.0)

@@ -10,24 +10,21 @@
 """
 
 from _tables import emit, mean
+from repro import DecentralizedGroup, GossipConfig, GossipParams, GossipStyle
 
-from repro.core.api import GossipGroup
-from repro.core.decentralized import DecentralizedGroup
-from repro.core.params import GossipParams
-from repro.core.message import GossipStyle
 
 SEEDS = [1, 2]
 
 
 def ordered_run(ordered, seed, loss_rate=0.15, n=16, publications=8):
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=n - 1,
         seed=seed,
         loss_rate=loss_rate,
         params={"style": "push-pull", "fanout": 4, "rounds": 6,
                 "period": 0.4, "ordered": ordered, "peer_sample_size": 12},
         auto_tune=False,
-    )
+    ).build()
     group.setup(settle=1.5)
     latencies = []
     publish_times = {}
@@ -70,13 +67,13 @@ def test_a4_ordering_cost(benchmark):
 
 
 def centralized_run(seed, n=20):
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=n - 1,
         seed=seed,
         params={"style": "push-pull", "fanout": 4, "rounds": 7,
                 "period": 0.5, "peer_sample_size": 14},
         auto_tune=False,
-    )
+    ).build()
     group.setup(settle=1.0)
     before = group.message_counts().get("net.sent", 0)
     gossip_id = group.publish({"a": 1})

@@ -10,7 +10,7 @@ styles" extension point.
 
 from _tables import emit
 
-from repro.core.api import GossipGroup
+from repro import GossipConfig
 from repro.simnet.latency import FixedLatency
 
 N = 16
@@ -19,14 +19,14 @@ PAYLOAD_SIZES = [100, 2_000, 16_000]
 
 
 def run_once(style, payload_bytes, seed=3):
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=N - 1,
         seed=seed,
         latency=FixedLatency(0.002),
         params={"style": style, "fanout": 5, "rounds": 7, "period": 2.0,
                 "peer_sample_size": 12},
         auto_tune=False,
-    )
+    ).build()
     group.setup(settle=1.0)
     for node in group.app_nodes():
         group.network.set_egress_bandwidth(node.name, BANDWIDTH)

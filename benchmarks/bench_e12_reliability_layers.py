@@ -14,9 +14,8 @@ it with gossip on a lossy, crashy fabric:
 
 from _tables import emit, mean
 
-from repro.core.api import GossipGroup
+from repro import GossipConfig, Simulator
 from repro.core.scheduling import ProcessScheduler
-from repro.simnet.events import Simulator
 from repro.simnet.faults import FaultPlan
 from repro.simnet.latency import FixedLatency
 from repro.simnet.network import Network
@@ -70,14 +69,14 @@ def rm_unicast_run(loss_rate, crash_fraction, seed):
 
 
 def gossip_run(loss_rate, crash_fraction, seed):
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=N,
         seed=seed,
         latency=FixedLatency(0.005),
         loss_rate=loss_rate,
         params={"fanout": 6, "rounds": 8, "peer_sample_size": 16},
         auto_tune=False,
-    )
+    ).build()
     group.setup(settle=1.5, eager_join=True)
     plan = FaultPlan(group.network)
     plan.crash_fraction_at(

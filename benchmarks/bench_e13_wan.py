@@ -10,7 +10,7 @@ time to cover.
 
 from _tables import emit, mean
 
-from repro.core.api import GossipGroup
+from repro import GossipConfig
 from repro.core.peers import LocalityAwareSelector
 from repro.simnet.latency import FixedLatency
 from repro.workloads.topology import (
@@ -26,13 +26,13 @@ CROSS = FixedLatency(0.080)
 
 
 def build_group(seed):
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=N - 1,
         seed=seed,
         params={"fanout": 5, "rounds": 7, "peer_sample_size": 31},
         auto_tune=False,
         trace=True,
-    )
+    ).build()
     names = [node.name for node in group.app_nodes()]
     sites = {"dc-east": names[: N // 2], "dc-west": names[N // 2:]}
     site_map = apply_site_latency(group.network, sites, LOCAL, CROSS)

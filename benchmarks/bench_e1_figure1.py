@@ -11,13 +11,13 @@ table, and times the full flow.
 
 from _tables import emit
 
+from repro import Simulator
 from repro.core.roles import (
     ConsumerNode,
     CoordinatorNode,
     DisseminatorNode,
     InitiatorNode,
 )
-from repro.simnet.events import Simulator
 from repro.simnet.latency import FixedLatency
 from repro.simnet.network import Network
 from repro.simnet.trace import TraceLog

@@ -10,6 +10,7 @@ Eugster et al. analysis implemented in :mod:`repro.core.analysis`.
 
 from _tables import emit, mean
 
+from repro import GossipConfig
 from repro.stats import summarize
 
 from repro.core.analysis import (
@@ -18,7 +19,6 @@ from repro.core.analysis import (
     fanout_for_atomicity,
     rounds_for_coverage,
 )
-from repro.core.api import GossipGroup
 
 POPULATIONS = [32, 64, 128]
 FANOUTS = [1, 2, 3, 5, 7]
@@ -27,7 +27,7 @@ SEEDS = [1, 2, 3, 4, 5]
 
 def run_once(n: int, fanout: int, seed: int) -> float:
     rounds = rounds_for_coverage(n, max(fanout, 2)) + 2
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=n - 1,
         seed=seed,
         params={
@@ -36,7 +36,7 @@ def run_once(n: int, fanout: int, seed: int) -> float:
             "peer_sample_size": max(2 * fanout, 12),
         },
         auto_tune=False,
-    )
+    ).build()
     group.setup(settle=1.0, eager_join=True)
     gossip_id = group.publish({"exp": "e2"})
     group.run_for(rounds * 0.5 + 5.0)

@@ -11,8 +11,8 @@ import math
 
 from _tables import emit, mean
 
+from repro import GossipConfig
 from repro.core.analysis import expected_rounds, fanout_for_atomicity
-from repro.core.api import GossipGroup
 from repro.simnet.latency import FixedLatency
 
 POPULATIONS = [16, 32, 64, 128, 256]
@@ -26,7 +26,7 @@ def tuned_fanout(n: int) -> int:
 
 def run_once(n: int, seed: int):
     fanout = tuned_fanout(n)
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=n - 1,
         seed=seed,
         latency=FixedLatency(HOP_LATENCY),
@@ -36,7 +36,7 @@ def run_once(n: int, seed: int):
             "peer_sample_size": 2 * fanout,
         },
         auto_tune=False,
-    )
+    ).build()
     group.setup(settle=1.0, eager_join=True)
     start = group.sim.now
     gossip_id = group.publish({"exp": "e3"})

@@ -10,9 +10,9 @@ within a deadline).
 
 from _tables import emit, mean
 
+from repro import GossipConfig
 from repro.baselines.common import BASELINE_ACTION
 from repro.baselines.tree import TreeGroup
-from repro.core.api import GossipGroup
 from repro.simnet.latency import FixedLatency
 from repro.workloads import StockFeed
 
@@ -48,13 +48,13 @@ def run_tree(seed=3):
 
 
 def run_gossip(seed=3):
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=N - 1,
         seed=seed,
         latency=FixedLatency(BASE_LATENCY),
         params={"fanout": 5, "rounds": 7, "peer_sample_size": 14},
         auto_tune=False,
-    )
+    ).build()
     group.setup(settle=1.0, eager_join=True)
     victim = "d0"
     names = [node.name for node in group.app_nodes()]

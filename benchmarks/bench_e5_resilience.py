@@ -9,9 +9,9 @@ tree, and the WS-Notification broker.
 
 from _tables import emit, mean
 
+from repro import GossipConfig
 from repro.baselines.centralnotify import CentralNotifyGroup
 from repro.baselines.tree import TreeGroup
-from repro.core.api import GossipGroup
 from repro.simnet.faults import FaultPlan
 
 N = 32
@@ -21,13 +21,13 @@ LOSS_RATES = [0.0, 0.1, 0.3]
 
 
 def gossip_run(crash_fraction=0.0, loss_rate=0.0, seed=1):
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=N - 1,
         seed=seed,
         loss_rate=loss_rate,
         params={"fanout": 6, "rounds": 8, "peer_sample_size": 16},
         auto_tune=False,
-    )
+    ).build()
     group.setup(settle=1.5, eager_join=True)
     plan = FaultPlan(group.network)
     plan.crash_fraction_at(

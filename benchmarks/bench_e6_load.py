@@ -9,8 +9,8 @@ one dissemination.
 
 from _tables import emit
 
+from repro import GossipConfig
 from repro.baselines.centralnotify import CentralNotifyGroup
-from repro.core.api import GossipGroup
 
 POPULATIONS = [16, 32, 64, 128]
 
@@ -25,13 +25,13 @@ def broker_load(n, seed=1):
 
 
 def gossip_loads(n, seed=1):
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=n - 1,
         seed=seed,
         params={"fanout": 4, "rounds": 7, "peer_sample_size": 12},
         auto_tune=False,
         trace=True,
-    )
+    ).build()
     group.setup(settle=1.0, eager_join=True)
     sends_before = group.metrics.counter("net.sent").value
     forwards_before = group.metrics.counter("gossip.forward").value

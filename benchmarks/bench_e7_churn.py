@@ -9,8 +9,7 @@ Two measurements:
 
 from _tables import emit, mean
 
-from repro.core.api import GossipGroup
-from repro.simnet.events import Simulator
+from repro import GossipConfig, Simulator
 from repro.simnet.latency import FixedLatency
 from repro.simnet.network import Network
 from repro.wsmembership import MemberStatus, MembershipNode
@@ -74,13 +73,13 @@ def detection_rows():
 
 
 def churn_delivery(rate, seed=5):
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=24,
         seed=seed,
         params={"fanout": 4, "rounds": 7, "style": "push-pull", "period": 0.5,
                 "peer_sample_size": 14},
         auto_tune=False,
-    )
+    ).build()
     group.setup(settle=1.5, eager_join=True)
     if rate > 0:
         churn_plan(

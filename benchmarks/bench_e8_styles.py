@@ -9,8 +9,8 @@ overhead anchor.
 
 from _tables import emit
 
+from repro import GossipConfig
 from repro.baselines.flooding import FloodGroup
-from repro.core.api import GossipGroup
 from repro.simnet.latency import FixedLatency
 
 N = 24
@@ -18,14 +18,14 @@ STYLES = ["push", "lazy-push", "feedback", "push-pull", "pull", "anti-entropy"]
 
 
 def style_run(style, seed=2):
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=N - 1,
         seed=seed,
         latency=FixedLatency(0.005),
         params={"style": style, "fanout": 6, "rounds": 8, "period": 0.4,
                 "peer_sample_size": 12},
         auto_tune=False,
-    )
+    ).build()
     group.setup(settle=1.0)
     before = group.metrics.counter("net.sent").value
     start = group.sim.now

@@ -8,6 +8,7 @@ truth from the synthetic sensor field.
 
 from _tables import emit, mean
 
+from repro import Simulator
 from repro.core.aggregation import (
     AGGREGATION_SERVICE_PATH,
     AggregateKind,
@@ -16,7 +17,6 @@ from repro.core.aggregation import (
     initial_weight,
 )
 from repro.core.scheduling import ProcessScheduler
-from repro.simnet.events import Simulator
 from repro.simnet.network import Network
 from repro.transport.inmem import WsProcess
 from repro.workloads import SensorField

@@ -1,0 +1,246 @@
+"""Core wire-path performance: encodes, parses, and publish throughput.
+
+Measures the zero-copy fast path end to end at N in {100, 1000, 5000}
+endpoints: how many XML encodes (``Envelope.to_bytes``) and parses
+(``Envelope.from_bytes``) a dissemination actually pays, how many the
+pre-parse dedup gate avoided, and wall-clock publish throughput.
+
+The headline ratios:
+
+* ``naive_to_bytes_ratio`` -- wire sends per actual encode.  The
+  pre-optimization path encoded one copy per send (every forward built its
+  own envelope via ``from_bytes(to_bytes())``), so this is the factor by
+  which ``to_bytes`` calls dropped.
+* ``parses_per_delivery`` -- envelopes parsed per application delivery;
+  the pre-parse gate keeps duplicate copies away from the XML parser.
+
+Run directly to (re)generate ``BENCH_core.json``::
+
+    PYTHONPATH=src python benchmarks/bench_perf_core.py
+
+or ``--smoke`` (used by ``make bench-smoke``) to run N=100 only and fail
+when ``parses_per_delivery`` regresses more than 20% against the
+checked-in baseline.  Under pytest only the N=100 row runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _tables import emit
+
+from repro import GossipConfig
+from repro.simnet.metrics import WIRE_STATS
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_core.json"
+)
+SIZES = [100, 1000, 5000]
+SMOKE_SIZE = 100
+REGRESSION_TOLERANCE = 0.20
+PUBLICATIONS = 5
+
+
+def run_size(n: int, seed: int = 3, publications: int = PUBLICATIONS) -> dict:
+    """One measured dissemination run with ``n`` application endpoints."""
+    group = GossipConfig(
+        n_disseminators=n - 1,
+        seed=seed,
+        # Pure push: the dissemination wire path is the thing measured, so
+        # periodic digest styles (whose control traffic would swamp the
+        # encode/parse counts) stay out of the picture.  Fixed-fanout push
+        # is probabilistic -- the occasional run tops out at 99% coverage,
+        # which the checks below tolerate.
+        params={"fanout": 6, "rounds": 9, "peer_sample_size": 14},
+        auto_tune=False,
+    ).build()
+    group.setup(settle=1.0)
+
+    # Measure the dissemination phase only: setup control traffic
+    # (activation, subscription, registration) is not the wire path
+    # under test.
+    WIRE_STATS.reset()
+    sent_at_setup = group.metrics.counter("soap.sent").value
+    shared_at_setup = group.metrics.counter("soap.sent-shared").value
+
+    started = time.perf_counter()
+    message_ids = []
+    for index in range(publications):
+        message_ids.append(group.publish({"tick": index}))
+        group.run_for(3.0)
+    group.run_for(5.0)
+    wall_clock = time.perf_counter() - started
+
+    fractions = [group.delivered_fraction(mid) for mid in message_ids]
+    deliveries = sum(round(fraction * (n - 1)) for fraction in fractions)
+    stats = WIRE_STATS.snapshot()
+    counts = group.message_counts()
+    sent = counts.get("soap.sent", 0) - sent_at_setup
+    shared = counts.get("soap.sent-shared", 0) - shared_at_setup
+    serialize = max(stats["serialize_count"], 1)
+    return {
+        "n": n,
+        "publications": publications,
+        "wall_clock_s": round(wall_clock, 4),
+        "publishes_per_s": round(publications / wall_clock, 2) if wall_clock else None,
+        "delivered_fraction": min(fractions),
+        "deliveries": deliveries,
+        "serialize_count": stats["serialize_count"],
+        "serialize_reused": stats["serialize_reused"],
+        "parse_count": stats["parse_count"],
+        "dedup_preparse_hits": stats["dedup_preparse_hits"],
+        "soap_sent": sent,
+        "soap_sent_shared": shared,
+        "naive_to_bytes_ratio": round(sent / serialize, 2),
+        "parses_per_delivery": round(stats["parse_count"] / max(deliveries, 1), 3),
+    }
+
+
+def run_all(sizes=SIZES) -> dict:
+    rows = [run_size(n) for n in sizes]
+    emit(
+        "perf_core",
+        "Core wire path: encodes / parses / throughput",
+        [
+            "N",
+            "publishes/s",
+            "wall s",
+            "delivered",
+            "encodes",
+            "reused",
+            "parses",
+            "preparse hits",
+            "sent",
+            "sent/encode",
+            "parses/delivery",
+        ],
+        [
+            [
+                row["n"],
+                row["publishes_per_s"],
+                row["wall_clock_s"],
+                row["delivered_fraction"],
+                row["serialize_count"],
+                row["serialize_reused"],
+                row["parse_count"],
+                row["dedup_preparse_hits"],
+                row["soap_sent"],
+                row["naive_to_bytes_ratio"],
+                row["parses_per_delivery"],
+            ]
+            for row in rows
+        ],
+    )
+    return {
+        "benchmark": "bench_perf_core",
+        "description": (
+            "Zero-copy gossip wire path: XML encodes/parses per dissemination "
+            "and publish throughput at several population sizes"
+        ),
+        "config": {
+            "params": {"fanout": 6, "rounds": 9, "peer_sample_size": 14},
+            "publications_per_run": PUBLICATIONS,
+            "seed": 3,
+        },
+        "runs": rows,
+    }
+
+
+def baseline_row(n: int) -> dict:
+    with open(BASELINE_PATH) as handle:
+        baseline = json.load(handle)
+    for row in baseline.get("runs", []):
+        if row["n"] == n:
+            return row
+    raise SystemExit(f"no N={n} row in baseline {BASELINE_PATH}")
+
+
+def smoke() -> int:
+    """N=100 regression check against the checked-in baseline."""
+    reference = baseline_row(SMOKE_SIZE)
+    current = run_size(SMOKE_SIZE)
+    budget = reference["parses_per_delivery"] * (1.0 + REGRESSION_TOLERANCE)
+    print(
+        f"parses/delivery: current {current['parses_per_delivery']} vs "
+        f"baseline {reference['parses_per_delivery']} "
+        f"(budget {budget:.3f}, tolerance {REGRESSION_TOLERANCE:.0%})"
+    )
+    failures = []
+    if current["parses_per_delivery"] > budget:
+        failures.append(
+            "parses_per_delivery regressed "
+            f"{current['parses_per_delivery']} > {budget:.3f}"
+        )
+    if current["dedup_preparse_hits"] <= 0:
+        failures.append("pre-parse dedup gate never fired")
+    floor = reference["delivered_fraction"] - 0.02
+    if current["delivered_fraction"] < floor:
+        failures.append(
+            f"delivery regressed: {current['delivered_fraction']} < {floor:.3f}"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("OK: wire path within budget")
+    return 1 if failures else 0
+
+
+def test_perf_core_smoke():
+    """Pytest entry point: the N=100 row only, asserting the fast path."""
+    row = run_size(SMOKE_SIZE)
+    emit(
+        "perf_core_smoke",
+        "Core wire path (smoke, N=100)",
+        ["N", "encodes", "parses", "preparse hits", "sent/encode", "parses/delivery"],
+        [[
+            row["n"],
+            row["serialize_count"],
+            row["parse_count"],
+            row["dedup_preparse_hits"],
+            row["naive_to_bytes_ratio"],
+            row["parses_per_delivery"],
+        ]],
+    )
+    assert row["delivered_fraction"] >= 0.98
+    assert row["dedup_preparse_hits"] > 0
+    assert row["naive_to_bytes_ratio"] >= 3.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run N=100 only and compare against the checked-in baseline",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=SIZES,
+        help="population sizes to measure",
+    )
+    parser.add_argument(
+        "--output",
+        default=BASELINE_PATH,
+        help="where to write the JSON results",
+    )
+    arguments = parser.parse_args()
+    if arguments.smoke:
+        return smoke()
+    results = run_all(arguments.sizes)
+    with open(arguments.output, "w") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {arguments.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,7 @@ prove it).
 Run:  python examples/decentralized_mesh.py
 """
 
-from repro.core.decentralized import DecentralizedGroup
+from repro import DecentralizedGroup
 from repro.simnet.faults import FaultPlan
 
 N = 24

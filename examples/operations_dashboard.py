@@ -9,19 +9,19 @@ Run:  python examples/operations_dashboard.py
 
 import io
 
-from repro.core.api import GossipGroup
+from repro import GossipConfig
 from repro.simnet.traceio import dump_jsonl, top_talkers, traffic_matrix
 from repro.soap.status import STATUS_ACTION, install_status
 
 
 def main() -> None:
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=10,
         n_consumers=4,
         seed=19,
         params={"fanout": 3, "rounds": 5},
         trace=True,
-    )
+    ).build()
     # Mount the status port on every gossip-capable node.
     for node in [group.initiator, *group.disseminators]:
         install_status(node.runtime, gossip_layer=node.gossip_layer)

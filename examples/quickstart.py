@@ -3,18 +3,19 @@
 Run:  python examples/quickstart.py
 """
 
-from repro import GossipGroup
+from repro import GossipConfig, GossipGroup
 
 
 def main() -> None:
     # One coordinator, one initiator, 39 disseminators, 10 unchanged
     # consumers -- the paper's Figure 1 at 50-service scale.
-    group = GossipGroup(
+    config = GossipConfig(
         n_disseminators=39,
         n_consumers=10,
         seed=7,
         params={"fanout": 4, "rounds": 7},
     )
+    group = GossipGroup(config=config)
     activity_id = group.setup()
     print(f"activity created: {activity_id}")
     print(f"population: {group.population} application endpoints")

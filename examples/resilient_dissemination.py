@@ -4,8 +4,8 @@ crashes mid-run.
 Run:  python examples/resilient_dissemination.py
 """
 
+from repro import GossipConfig
 from repro.baselines.tree import TreeGroup
-from repro.core.api import GossipGroup
 from repro.simnet.faults import FaultPlan
 
 N = 36
@@ -13,12 +13,12 @@ CRASH_FRACTION = 0.33
 
 
 def run_gossip():
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=N - 1,
         seed=9,
         params={"fanout": 6, "rounds": 8, "peer_sample_size": 16},
         auto_tune=False,
-    )
+    ).build()
     group.setup(settle=1.0, eager_join=True)
     plan = FaultPlan(group.network)
     plan.crash_fraction_at(

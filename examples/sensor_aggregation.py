@@ -7,6 +7,7 @@ converging toward the exact field mean.
 Run:  python examples/sensor_aggregation.py
 """
 
+from repro import Simulator
 from repro.core.aggregation import (
     AGGREGATION_SERVICE_PATH,
     AggregateKind,
@@ -15,7 +16,6 @@ from repro.core.aggregation import (
     initial_weight,
 )
 from repro.core.scheduling import ProcessScheduler
-from repro.simnet.events import Simulator
 from repro.simnet.network import Network
 from repro.transport.inmem import WsProcess
 from repro.workloads import SensorField

@@ -8,8 +8,8 @@ path degrade while gossip stays stable.
 Run:  python examples/stock_market.py
 """
 
+from repro import GossipConfig
 from repro.baselines.centralnotify import CentralNotifyGroup
-from repro.core.api import GossipGroup
 from repro.simnet.latency import FixedLatency
 from repro.workloads import StockFeed
 
@@ -20,13 +20,13 @@ DEADLINE = 0.5
 
 
 def run_gossip(feed: StockFeed):
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=N_RECEIVERS,
         seed=1,
         latency=FixedLatency(BASE_LATENCY),
         params={"fanout": 5, "rounds": 7, "peer_sample_size": 14},
         auto_tune=False,
-    )
+    ).build()
     group.setup(settle=1.0, eager_join=True)
     slow = "d0"
     for node in group.app_nodes():

@@ -7,13 +7,13 @@ directory.  The ordered feed topic demonstrates per-origin FIFO delivery.
 Run:  python examples/topic_feeds.py
 """
 
+from repro import Simulator
 from repro.core.roles import (
     ConsumerNode,
     CoordinatorNode,
     DisseminatorNode,
     InitiatorNode,
 )
-from repro.simnet.events import Simulator
 from repro.simnet.network import Network
 from repro.workloads import StockFeed
 

@@ -7,9 +7,10 @@ localhost HTTP.
 
 Quickstart::
 
-    from repro import GossipGroup
+    from repro import GossipConfig, GossipGroup
 
-    group = GossipGroup(n_disseminators=32, n_consumers=16, seed=7)
+    config = GossipConfig(n_disseminators=32, n_consumers=16, seed=7)
+    group = GossipGroup(config=config)
     group.setup()
     message_id = group.publish({"symbol": "ACME", "price": 101.5})
     group.run_for(5.0)
@@ -21,22 +22,31 @@ paper-versus-measured record.
 
 from repro.core import (
     DecentralizedGroup,
+    GossipConfig,
     GossipGroup,
     GossipParams,
     GossipStyle,
+    ParamError,
     atomic_delivery_probability,
     expected_rounds,
     fanout_for_atomicity,
 )
+from repro.simnet.events import Simulator
+from repro.simnet.metrics import WIRE_STATS, WireStats
 from repro.stats import summarize
 
 __version__ = "1.0.0"
 
 __all__ = [
     "DecentralizedGroup",
+    "GossipConfig",
     "GossipGroup",
     "GossipParams",
     "GossipStyle",
+    "ParamError",
+    "Simulator",
+    "WIRE_STATS",
+    "WireStats",
     "atomic_delivery_probability",
     "expected_rounds",
     "fanout_for_atomicity",

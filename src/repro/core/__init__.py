@@ -38,11 +38,11 @@ from repro.core.analysis import (
     fanout_for_atomicity_under_faults,
     rounds_for_coverage,
 )
-from repro.core.api import GossipGroup
+from repro.core.api import GossipConfig, GossipGroup
 from repro.core.decentralized import DecentralizedGossipNode, DecentralizedGroup
 from repro.core.engine import GossipEngine
 from repro.core.message import GossipHeader, GossipStyle
-from repro.core.params import GossipParams
+from repro.core.params import GossipParams, ParamError
 from repro.core.roles import (
     ConsumerNode,
     CoordinatorNode,
@@ -56,12 +56,14 @@ __all__ = [
     "DecentralizedGossipNode",
     "DecentralizedGroup",
     "DisseminatorNode",
+    "GossipConfig",
     "GossipEngine",
     "GossipGroup",
     "GossipHeader",
     "GossipParams",
     "GossipStyle",
     "InitiatorNode",
+    "ParamError",
     "atomic_delivery_probability",
     "effective_fanout",
     "expected_final_fraction",

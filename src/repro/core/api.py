@@ -1,26 +1,34 @@
 """High-level facade: build and drive a complete WS-Gossip deployment.
 
-:class:`GossipGroup` wires up the Figure-1 topology at any scale -- one
-coordinator, one initiator, N disseminators, M consumers -- orchestrates
-activation / subscription / registration, and exposes the measurements the
-experiments need (delivery fraction, latency, message counts).
+:class:`GossipConfig` is the one immutable description of a deployment;
+:class:`GossipGroup` takes a config and wires up the Figure-1 topology at
+any scale -- one coordinator, one initiator, N disseminators, M consumers
+-- orchestrates activation / subscription / registration, and exposes the
+measurements the experiments need (delivery fraction, latency, message
+counts).
 
 Example:
-    >>> group = GossipGroup(n_disseminators=16, n_consumers=8, seed=42)
+    >>> group = GossipGroup(config=GossipConfig(n_disseminators=16, seed=42))
     >>> group.setup()
     >>> message_id = group.publish({"symbol": "QIM", "price": 13.37})
     >>> group.run_for(5.0)
     >>> group.delivered_fraction(message_id)  # doctest: +SKIP
     1.0
+
+The pre-config keyword soup (``GossipGroup(n_disseminators=16, seed=42)``)
+still works through a deprecation shim that forwards into the config.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+import dataclasses
+import warnings
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.core.engine import PROTOCOL_DISSEMINATOR
 from repro.core.message import GossipStyle
-from repro.core.params import GossipParams
+from repro.core.params import GossipParams, ParamError
 from repro.core.roles import (
     AppNode,
     ConsumerNode,
@@ -37,10 +45,11 @@ from repro.simnet.trace import TraceLog
 DEFAULT_ACTION = "urn:ws-gossip:example/Event"
 
 
-class GossipGroup:
-    """One complete, simulated WS-Gossip deployment.
+@dataclass(frozen=True)
+class GossipConfig:
+    """Immutable description of one simulated WS-Gossip deployment.
 
-    Args:
+    Attributes:
         n_disseminators: gossip-capable nodes besides the initiator.
         n_consumers: completely unchanged nodes (push styles only -- pull
             styles spread between gossip-capable nodes).
@@ -55,47 +64,180 @@ class GossipGroup:
         trace: record a full event trace (memory-heavy at large N).
     """
 
+    n_disseminators: int = 8
+    n_consumers: int = 0
+    seed: int = 0
+    latency: Optional[LatencyModel] = None
+    loss_rate: float = 0.0
+    params: Mapping[str, Any] = field(default_factory=dict)
+    auto_tune: bool = True
+    target_reliability: float = 0.99
+    action: str = DEFAULT_ACTION
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_disseminators < 0:
+            raise ParamError(
+                "n_disseminators",
+                f"n_disseminators must be non-negative: {self.n_disseminators!r}",
+            )
+        if self.n_consumers < 0:
+            raise ParamError(
+                "n_consumers",
+                f"n_consumers must be non-negative: {self.n_consumers!r}",
+            )
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ParamError(
+                "loss_rate", f"loss_rate must be in [0, 1): {self.loss_rate!r}"
+            )
+        if not 0.0 < self.target_reliability < 1.0:
+            raise ParamError(
+                "target_reliability",
+                f"target_reliability must be in (0, 1): {self.target_reliability!r}",
+            )
+        # Freeze the activation parameters into a private copy so a caller
+        # mutating the dict they passed cannot alter this config.
+        object.__setattr__(self, "params", dict(self.params))
+
+    @classmethod
+    def field_names(cls) -> List[str]:
+        """The configurable field names, declaration order."""
+        return [f.name for f in fields(cls)]
+
+    @classmethod
+    def from_dict(cls, value: Mapping[str, Any]) -> "GossipConfig":
+        """Build a config from a plain mapping (e.g. parsed JSON/TOML).
+
+        Raises:
+            ParamError: naming any unknown key.
+        """
+        known = set(cls.field_names())
+        unknown = sorted(set(value) - known)
+        if unknown:
+            raise ParamError(
+                unknown[0], f"unknown GossipConfig key(s): {', '.join(unknown)}"
+            )
+        return cls(**dict(value))
+
+    def with_overrides(self, **overrides: Any) -> "GossipConfig":
+        """A copy with the given fields replaced.
+
+        Raises:
+            ParamError: naming any unknown key.
+        """
+        known = set(self.field_names())
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise ParamError(
+                unknown[0], f"unknown GossipConfig key(s): {', '.join(unknown)}"
+            )
+        return dataclasses.replace(self, **overrides)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The config as a plain dict (``params`` copied)."""
+        result = {name: getattr(self, name) for name in self.field_names()}
+        result["params"] = dict(self.params)
+        return result
+
+    def gossip_params(self, base: Optional[GossipParams] = None) -> GossipParams:
+        """The validated :class:`GossipParams` the activation will produce
+        (useful for inspecting a config before running it)."""
+        return GossipParams.from_activation(
+            {
+                key: value
+                for key, value in self.params.items()
+                if key in {f.name for f in fields(GossipParams)}
+            },
+            base=base,
+        )
+
+    def build(self) -> "GossipGroup":
+        """Construct a :class:`GossipGroup` from this config."""
+        return GossipGroup(config=self)
+
+
+# Sentinel distinguishing "kwarg not passed" from an explicit None/False.
+_UNSET: Any = object()
+
+
+class GossipGroup:
+    """One complete, simulated WS-Gossip deployment.
+
+    Args:
+        config: the deployment description (see :class:`GossipConfig`).
+        **legacy: the pre-config keyword soup (``n_disseminators=...`` and
+            friends) is still accepted, deprecated, and forwarded into the
+            config via :meth:`GossipConfig.with_overrides`.
+    """
+
     def __init__(
         self,
-        n_disseminators: int = 8,
-        n_consumers: int = 0,
-        seed: int = 0,
-        latency: Optional[LatencyModel] = None,
-        loss_rate: float = 0.0,
-        params: Optional[Dict[str, Any]] = None,
-        auto_tune: bool = True,
-        target_reliability: float = 0.99,
-        action: str = DEFAULT_ACTION,
-        trace: bool = False,
+        n_disseminators: int = _UNSET,
+        n_consumers: int = _UNSET,
+        seed: int = _UNSET,
+        latency: Optional[LatencyModel] = _UNSET,
+        loss_rate: float = _UNSET,
+        params: Optional[Dict[str, Any]] = _UNSET,
+        auto_tune: bool = _UNSET,
+        target_reliability: float = _UNSET,
+        action: str = _UNSET,
+        trace: bool = _UNSET,
+        config: Optional[GossipConfig] = None,
     ) -> None:
-        if n_disseminators < 0 or n_consumers < 0:
-            raise ValueError("node counts must be non-negative")
-        self.sim = Simulator(seed=seed)
-        self.trace = TraceLog(enabled=trace)
+        legacy = {
+            name: value
+            for name, value in {
+                "n_disseminators": n_disseminators,
+                "n_consumers": n_consumers,
+                "seed": seed,
+                "latency": latency,
+                "loss_rate": loss_rate,
+                "params": params if params is not _UNSET and params is not None else _UNSET,
+                "auto_tune": auto_tune,
+                "target_reliability": target_reliability,
+                "action": action,
+                "trace": trace,
+            }.items()
+            if value is not _UNSET
+        }
+        if legacy:
+            warnings.warn(
+                "passing GossipGroup settings as keyword arguments is "
+                "deprecated; build a GossipConfig and pass config=... "
+                f"(got: {', '.join(sorted(legacy))})",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        base = config if config is not None else GossipConfig()
+        self.config = base.with_overrides(**legacy) if legacy else base
+
+        self.sim = Simulator(seed=self.config.seed)
+        self.trace = TraceLog(enabled=self.config.trace)
         self.metrics = MetricsRegistry()
         self.network = Network(
             self.sim,
-            latency=latency,
-            loss_rate=loss_rate,
+            latency=self.config.latency,
+            loss_rate=self.config.loss_rate,
             trace=self.trace,
             metrics=self.metrics,
         )
-        self.action = action
-        self.activation_parameters = dict(params or {})
+        self.action = self.config.action
+        self.activation_parameters = dict(self.config.params)
 
         self.coordinator = CoordinatorNode(
             "coordinator",
             self.network,
-            auto_tune=auto_tune,
-            target_reliability=target_reliability,
+            auto_tune=self.config.auto_tune,
+            target_reliability=self.config.target_reliability,
         )
         self.initiator = InitiatorNode("initiator", self.network)
         self.disseminators: List[DisseminatorNode] = [
             DisseminatorNode(f"d{index}", self.network)
-            for index in range(n_disseminators)
+            for index in range(self.config.n_disseminators)
         ]
         self.consumers: List[ConsumerNode] = [
-            ConsumerNode(f"c{index}", self.network) for index in range(n_consumers)
+            ConsumerNode(f"c{index}", self.network)
+            for index in range(self.config.n_consumers)
         ]
         for node in self.app_nodes():
             node.bind(self.action)

@@ -23,8 +23,7 @@ from repro.core.analysis import (
     fanout_for_atomicity_under_faults,
     rounds_for_coverage,
 )
-from repro.core.message import GossipStyle
-from repro.core.params import GossipParams
+from repro.core.params import GossipParams, ParamError
 from repro.soap import namespaces as ns
 from repro.soap.fault import sender_fault
 from repro.wscoord.coordinator import Activity, CoordinationProtocol, Participant
@@ -123,26 +122,14 @@ class GossipCoordinationProtocol(CoordinationProtocol):
         return tuned
 
     def _params_from(self, parameters: Dict[str, Any]) -> GossipParams:
-        base = self.defaults
-        style = parameters.get("style")
         try:
-            return GossipParams(
-                fanout=int(parameters.get("fanout", base.fanout)),
-                rounds=int(parameters.get("rounds", base.rounds)),
-                style=GossipStyle(style) if style is not None else base.style,
-                period=float(parameters.get("period", base.period)),
-                peer_sample_size=int(
-                    parameters.get("peer_sample_size", base.peer_sample_size)
-                ),
-                buffer_capacity=int(
-                    parameters.get("buffer_capacity", base.buffer_capacity)
-                ),
-                jitter=float(parameters.get("jitter", base.jitter)),
-                ordered=bool(parameters.get("ordered", base.ordered)),
-                stop_probability=float(
-                    parameters.get("stop_probability", base.stop_probability)
-                ),
-            )
+            return GossipParams.from_activation(parameters, base=self.defaults)
+        except ParamError as exc:
+            # The fault names the offending key, so a misconfigured
+            # activation is diagnosable from the initiator side.
+            raise sender_fault(
+                f"invalid gossip parameter {exc.key!r}: {exc}"
+            ) from exc
         except (TypeError, ValueError) as exc:
             raise sender_fault(f"invalid gossip parameters: {exc}") from exc
 

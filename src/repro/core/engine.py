@@ -254,18 +254,15 @@ class GossipEngine:
             # peers pull digests or fetch advertised identifiers.
             targets = []
         self.metrics.counter("gossip.publish").inc()
+        # Encode the invocation once; every fanout target and the message
+        # store share the same wire bytes (the zero-copy fast path).
+        data = self._publication_envelope(action, value, tag, header).to_bytes()
         for target in targets:
-            self.runtime.send(
-                target,
-                action,
-                value=value,
-                tag=tag,
-                extra_headers=[self.context.to_element(), header.to_element()],
-            )
+            self.runtime.send_bytes(target, data)
             self.metrics.counter("gossip.fanout-send").inc()
-        # Remember our own message so an echo is not treated as fresh.
-        self.store.add(message_id, b"", self.scheduler.now, self.app_address)
-        self._remember_publication(message_id, action, value, tag, header)
+        # Remember our own message (so an echo is not treated as fresh) and
+        # retain the wire bytes for pull serving.
+        self.store.add(message_id, data, self.scheduler.now, self.app_address)
         if self.params.style is GossipStyle.LAZY_PUSH:
             self._advertise([message_id], self.params.rounds)
         elif self.params.style is GossipStyle.FEEDBACK:
@@ -276,14 +273,20 @@ class GossipEngine:
             self._fifo.offer(self.app_address, sequence, b"")
         return message_id
 
-    def _remember_publication(self, message_id, action, value, tag, header) -> None:
-        """Store the published message as wire bytes so pull styles can
-        serve it to peers."""
+    def _publication_envelope(self, action, value, tag, header) -> Envelope:
+        """Build the disseminated invocation envelope (encoded exactly once
+        by the caller; the ``To`` names our own endpoint, and receivers
+        dispatch by service path)."""
+        import xml.etree.ElementTree as ET
+
         from repro.soap.serializer import to_element
         from repro.soap.runtime import _default_tag
-        from repro.wsa.addressing import AddressingHeaders, new_message_id
+        from repro.wsa.addressing import new_message_id
 
-        body = to_element(tag or _default_tag(action), value)
+        if isinstance(value, ET.Element):
+            body = value
+        else:
+            body = to_element(tag or _default_tag(action), value)
         envelope = Envelope(body=body)
         envelope.add_header(self.context.to_element())
         envelope.add_header(header.to_element())
@@ -291,10 +294,7 @@ class GossipEngine:
             to=self.app_address, action=action, message_id=new_message_id()
         )
         addressing.apply(envelope)
-        # Overwrite the placeholder entry with real bytes.
-        stored = self.store.get(message_id)
-        if stored is not None:
-            stored.data = envelope.to_bytes()
+        return envelope
 
     # -- receiving -------------------------------------------------------------------
 
@@ -318,10 +318,24 @@ class GossipEngine:
                 self._send_feedback(header.message_id, source)
             return False
         self.metrics.counter("gossip.fresh").inc()
+        # (duplicates that never reach here are dropped pre-parse by
+        # on_duplicate_preparse -- keep the two paths in sync)
         self._propagate(envelope, header, source)
         if self.params.ordered and header.sequence is not None:
             return self._offer_ordered(envelope, header)
         return True
+
+    def on_duplicate_preparse(self, message_id: str, source: Optional[str]) -> None:
+        """Handle a duplicate identified by the pre-parse byte scan.
+
+        Mirrors the duplicate branch of :meth:`on_gossip` exactly -- the
+        message was consumed before any XML parse, but the observable
+        protocol behaviour (duplicate accounting, feedback) is identical.
+        """
+        self._pending_fetch.discard(message_id)
+        self.metrics.counter("gossip.duplicate").inc()
+        if self.params.style is GossipStyle.FEEDBACK and source is not None:
+            self._send_feedback(message_id, source)
 
     def _propagate(self, envelope: Envelope, header: GossipHeader, source: Optional[str]) -> None:
         """Run the style's forwarding step for a fresh message."""
@@ -387,11 +401,17 @@ class GossipEngine:
         if source is not None:
             exclude.append(source)
         targets = self._select_targets(exclude=exclude)
-        decremented = header.decremented()
+        if not targets:
+            return
+        # Swap in the decremented header and encode once; every target
+        # receives the same bytes object.  The stale per-hop WS-A headers
+        # are deliberately kept: receivers dispatch by service path and
+        # dedup by the gossip MessageId, so rewriting To / MessageID per
+        # copy would buy nothing but an XML encode per target.
+        header.decremented().replace_in(envelope)
+        data = envelope.to_bytes()
         for target in targets:
-            copy = Envelope.from_bytes(envelope.to_bytes())
-            decremented.replace_in(copy)
-            self.runtime.forward_envelope(target, copy)
+            self.runtime.send_bytes(target, data)
             self.metrics.counter("gossip.forward").inc()
 
     def _select_targets(self, exclude: Sequence[str]) -> List[str]:
@@ -469,19 +489,13 @@ class GossipEngine:
         if stored is None or not stored.data:
             self._hot.pop(message_id, None)
             return
-        envelope = Envelope.from_bytes(stored.data)
-        try:
-            header = GossipHeader.from_envelope(envelope)
-        except ValueError:
-            header = None
-        exclude = [self.app_address]
-        if header is not None:
-            exclude.append(header.origin)
+        # The store remembers the origin, so re-forwarding needs neither a
+        # parse nor a re-encode: the retained wire bytes go out as-is.
+        exclude = [self.app_address, stored.origin]
         if source is not None:
             exclude.append(source)
         for target in self._select_targets(exclude):
-            copy = Envelope.from_bytes(stored.data)
-            self.runtime.forward_envelope(target, copy)
+            self.runtime.send_bytes(target, stored.data)
             self.metrics.counter("gossip.feedback-forward").inc()
 
     def _feedback_round(self) -> None:

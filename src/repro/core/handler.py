@@ -20,10 +20,11 @@ import random
 from typing import Callable, Dict, List, Optional
 
 from repro.core.engine import PROTOCOL_DISSEMINATOR, GossipEngine
-from repro.core.message import GossipHeader
+from repro.core.message import GossipHeader, scan_gossip_message_id
 from repro.core.params import GossipParams
 from repro.core.peers import PeerSelector
 from repro.core.scheduling import Scheduler
+from repro.simnet.metrics import WIRE_STATS
 from repro.soap.handler import Handler, MessageContext
 from repro.soap.runtime import SoapRuntime
 from repro.wscoord.context import CoordinationContext
@@ -70,6 +71,9 @@ class GossipLayer(Handler):
         # coordinator's RegisterResponse.
         self.view_provider = view_provider
         self._engines: Dict[str, GossipEngine] = {}
+        # Receive-side fast path: drop already-seen gossip messages with a
+        # byte scan, before the runtime pays for the full XML parse.
+        runtime.add_preparse_gate(self.preparse_gate)
 
     # -- engine registry ------------------------------------------------------
 
@@ -123,6 +127,28 @@ class GossipLayer(Handler):
         else:
             engine.start_periodic_rounds()
         return engine
+
+    # -- the pre-parse dedup gate ---------------------------------------------------
+
+    def preparse_gate(self, data: bytes, source: Optional[str]) -> bool:
+        """Drop wire bytes whose gossip message id we have already seen.
+
+        A cheap byte scan extracts the ``Gossip`` header's ``MessageId``;
+        if any engine's store knows the identity, the message is consumed
+        here -- no XML parse, no handler chain -- with the same observable
+        behaviour as the post-parse duplicate branch.  A failed scan (no
+        gossip header, unusual id) always passes the message through.
+        """
+        message_id = scan_gossip_message_id(data)
+        if message_id is None:
+            return True
+        for engine in self._engines.values():
+            if message_id in engine.store:
+                WIRE_STATS.dedup_preparse_hits += 1
+                self.runtime.metrics.counter("gossip.dedup-preparse").inc()
+                engine.on_duplicate_preparse(message_id, source)
+                return False
+        return True
 
     # -- the intercept hook --------------------------------------------------------
 

@@ -53,6 +53,39 @@ def new_gossip_message_id() -> str:
     return f"urn:ws-gossip:msg:{uuid.uuid4()}"
 
 
+# The wire form of the header's MessageId child is always
+# ``<prefix:MessageId>urn:ws-gossip:msg:...</prefix:MessageId>`` -- the tag
+# suffix below can only occur in markup (ElementTree escapes ``>`` in text),
+# and the urn prefix pins it to this header (ids embedded in *payloads* ride
+# base64-encoded or under different tags).
+_MID_TAG_SUFFIX = b":MessageId>"
+_MID_URN_PREFIX = b"urn:ws-gossip:msg:"
+
+
+def scan_gossip_message_id(data: bytes) -> Optional[str]:
+    """Extract the gossip message id from wire bytes without parsing.
+
+    A cheap byte scan for the ``Gossip`` header's ``MessageId`` child,
+    used by the receive-side dedup gate to drop duplicates *before* the
+    full XML parse.  Returns ``None`` when the bytes carry no scannable
+    gossip identity (the message then takes the normal parse path, so a
+    miss is always safe).
+    """
+    position = data.find(_MID_TAG_SUFFIX)
+    while position != -1:
+        start = position + len(_MID_TAG_SUFFIX)
+        if data.startswith(_MID_URN_PREFIX, start):
+            end = data.find(b"<", start)
+            if end == -1:
+                return None
+            try:
+                return data[start:end].decode("ascii")
+            except UnicodeDecodeError:
+                return None
+        position = data.find(_MID_TAG_SUFFIX, start)
+    return None
+
+
 @dataclass(frozen=True)
 class GossipHeader:
     """Parsed ``Gossip`` header block.

@@ -19,6 +19,34 @@ from typing import Any, Dict, Optional
 from repro.core.message import GossipStyle
 
 
+class ParamError(ValueError):
+    """A gossip parameter is missing or malformed.
+
+    Subclasses :class:`ValueError` so existing broad handlers keep
+    working; carries the offending ``key`` so callers (coordinator faults,
+    error messages) can name it.
+    """
+
+    def __init__(self, key: str, message: str) -> None:
+        super().__init__(message)
+        self.key = key
+
+
+def _convert(value: Dict[str, Any], key: str, caster, *, required: bool = False, default: Any = None) -> Any:
+    """Pull ``key`` out of an activation/registration map, converting with
+    ``caster`` and raising :class:`ParamError` that names the key."""
+    if key not in value:
+        if required:
+            raise ParamError(key, f"missing gossip parameter {key!r}")
+        return default
+    try:
+        return caster(value[key])
+    except (TypeError, ValueError) as exc:
+        raise ParamError(
+            key, f"invalid gossip parameter {key!r}: {value[key]!r} ({exc})"
+        ) from exc
+
+
 @dataclass(frozen=True)
 class GossipParams:
     """Validated gossip configuration.
@@ -55,23 +83,28 @@ class GossipParams:
 
     def __post_init__(self) -> None:
         if self.fanout < 1:
-            raise ValueError(f"fanout must be >= 1: {self.fanout!r}")
+            raise ParamError("fanout", f"fanout must be >= 1: {self.fanout!r}")
         if self.rounds < 1:
-            raise ValueError(f"rounds must be >= 1: {self.rounds!r}")
+            raise ParamError("rounds", f"rounds must be >= 1: {self.rounds!r}")
         if self.period <= 0:
-            raise ValueError(f"period must be positive: {self.period!r}")
+            raise ParamError("period", f"period must be positive: {self.period!r}")
         if self.peer_sample_size < self.fanout:
-            raise ValueError(
+            raise ParamError(
+                "peer_sample_size",
                 f"peer_sample_size ({self.peer_sample_size}) must be >= "
-                f"fanout ({self.fanout})"
+                f"fanout ({self.fanout})",
             )
         if self.buffer_capacity < 1:
-            raise ValueError(f"buffer_capacity must be >= 1: {self.buffer_capacity!r}")
+            raise ParamError(
+                "buffer_capacity",
+                f"buffer_capacity must be >= 1: {self.buffer_capacity!r}",
+            )
         if self.jitter < 0:
-            raise ValueError(f"jitter must be non-negative: {self.jitter!r}")
+            raise ParamError("jitter", f"jitter must be non-negative: {self.jitter!r}")
         if not 0.0 < self.stop_probability <= 1.0:
-            raise ValueError(
-                f"stop_probability must be in (0, 1]: {self.stop_probability!r}"
+            raise ParamError(
+                "stop_probability",
+                f"stop_probability must be in (0, 1]: {self.stop_probability!r}",
             )
 
     # -- wire form (serializer maps, exchanged with the coordinator) --------
@@ -95,19 +128,55 @@ class GossipParams:
         """Parse from a RegisterResponse payload.
 
         Raises:
-            ValueError / KeyError: on malformed maps (callers translate to
-            faults where appropriate).
+            ParamError: naming the missing/malformed key (a
+                :class:`ValueError` subclass, so broad handlers still work).
         """
+        if not isinstance(value, dict):
+            raise ParamError("params", f"parameter map expected, got {value!r}")
         return cls(
-            fanout=int(value["fanout"]),
-            rounds=int(value["rounds"]),
-            style=GossipStyle(value["style"]),
-            period=float(value["period"]),
-            peer_sample_size=int(value["peer_sample_size"]),
-            buffer_capacity=int(value["buffer_capacity"]),
-            jitter=float(value["jitter"]),
-            ordered=bool(value.get("ordered", False)),
-            stop_probability=float(value.get("stop_probability", 0.5)),
+            fanout=_convert(value, "fanout", int, required=True),
+            rounds=_convert(value, "rounds", int, required=True),
+            style=_convert(value, "style", GossipStyle, required=True),
+            period=_convert(value, "period", float, required=True),
+            peer_sample_size=_convert(value, "peer_sample_size", int, required=True),
+            buffer_capacity=_convert(value, "buffer_capacity", int, required=True),
+            jitter=_convert(value, "jitter", float, required=True),
+            ordered=_convert(value, "ordered", bool, default=False),
+            stop_probability=_convert(value, "stop_probability", float, default=0.5),
+        )
+
+    @classmethod
+    def from_activation(
+        cls, parameters: Dict[str, Any], base: Optional["GossipParams"] = None
+    ) -> "GossipParams":
+        """Build parameters from a (partial) activation dict over ``base``.
+
+        Every key is optional; the base (default-constructed when omitted)
+        supplies the rest.  Raises :class:`ParamError` naming the offending
+        key on any malformed entry -- never a bare ``KeyError`` or
+        context-free ``ValueError``.
+        """
+        if not isinstance(parameters, dict):
+            raise ParamError(
+                "parameters", f"activation parameter map expected, got {parameters!r}"
+            )
+        base = base if base is not None else cls()
+        return cls(
+            fanout=_convert(parameters, "fanout", int, default=base.fanout),
+            rounds=_convert(parameters, "rounds", int, default=base.rounds),
+            style=_convert(parameters, "style", GossipStyle, default=base.style),
+            period=_convert(parameters, "period", float, default=base.period),
+            peer_sample_size=_convert(
+                parameters, "peer_sample_size", int, default=base.peer_sample_size
+            ),
+            buffer_capacity=_convert(
+                parameters, "buffer_capacity", int, default=base.buffer_capacity
+            ),
+            jitter=_convert(parameters, "jitter", float, default=base.jitter),
+            ordered=_convert(parameters, "ordered", bool, default=base.ordered),
+            stop_probability=_convert(
+                parameters, "stop_probability", float, default=base.stop_probability
+            ),
         )
 
     def with_style(self, style: GossipStyle) -> "GossipParams":

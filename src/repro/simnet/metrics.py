@@ -149,6 +149,64 @@ class TimeSeries:
         return len(self._samples)
 
 
+class WireStats:
+    """Process-wide wire-path cost counters.
+
+    The SOAP encode/parse hot path is exercised by every simulated node in
+    the process, so these live at module level (:data:`WIRE_STATS`) rather
+    than in a per-node :class:`MetricsRegistry`:
+
+    * ``serialize_count`` -- actual XML encodes performed by
+      :meth:`repro.soap.envelope.Envelope.to_bytes` (cache misses).
+    * ``serialize_reused`` -- ``to_bytes()`` calls answered from the
+      memoized wire bytes (cache hits -- the zero-copy fast path).
+    * ``parse_count`` -- actual XML parses performed by
+      :meth:`repro.soap.envelope.Envelope.from_bytes`.
+    * ``dedup_preparse_hits`` -- duplicate gossip messages dropped by the
+      byte-scan gate *before* any XML parse.
+
+    Benchmarks snapshot/reset around a scenario; concurrent scenarios in
+    one process would share the counters (the benchmarks run serially).
+    """
+
+    __slots__ = (
+        "serialize_count",
+        "serialize_reused",
+        "parse_count",
+        "dedup_preparse_hits",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (benchmarks call this between scenarios)."""
+        self.serialize_count = 0
+        self.serialize_reused = 0
+        self.parse_count = 0
+        self.dedup_preparse_hits = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Current counter values as a plain dict."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @property
+    def serialize_calls(self) -> int:
+        """Total ``to_bytes()`` invocations, cached or not."""
+        return self.serialize_count + self.serialize_reused
+
+    def __repr__(self) -> str:
+        return (
+            f"WireStats(serialize={self.serialize_count}, "
+            f"reused={self.serialize_reused}, parse={self.parse_count}, "
+            f"preparse_hits={self.dedup_preparse_hits})"
+        )
+
+
+#: The process-wide wire-path counters (see :class:`WireStats`).
+WIRE_STATS = WireStats()
+
+
 class MetricsRegistry:
     """Named registry so components can share one sink.
 

@@ -4,6 +4,15 @@ Supports both SOAP 1.1 (the 2008-era default the paper's stack would have
 used) and SOAP 1.2.  An :class:`Envelope` owns a list of header blocks and a
 single body element; serialization produces real on-the-wire XML, and
 parsing round-trips it.
+
+Serialization is **memoized**: ``to_bytes()`` encodes once and returns the
+cached wire bytes until the envelope is mutated through its own API
+(``add_header`` / ``remove_header`` / assigning ``body``), and
+``from_bytes()`` seeds the cache with the original wire bytes -- so a
+message that is received, stored and forwarded unchanged never pays a
+second XML encode.  Code that mutates a header *element* in place (rather
+than replacing it) must call :meth:`Envelope.invalidate`; nothing in this
+repository does.
 """
 
 from __future__ import annotations
@@ -11,6 +20,7 @@ from __future__ import annotations
 import xml.etree.ElementTree as ET
 from typing import List, Optional
 
+from repro.simnet.metrics import WIRE_STATS
 from repro.soap import namespaces as ns
 from repro.xmlutil import canonical_bytes, local_name, parse_bytes, qname
 from repro.xmlutil.text import XmlParseError
@@ -43,35 +53,67 @@ class Envelope:
         if version not in _ENVELOPE_NS:
             raise ValueError(f"unsupported SOAP version: {version!r}")
         self.version = version
-        self.headers: List[ET.Element] = list(headers) if headers else []
-        self.body = body
+        self._headers: List[ET.Element] = list(headers) if headers else []
+        self._body = body
+        self._wire: Optional[bytes] = None
 
     @property
     def envelope_namespace(self) -> str:
         return _ENVELOPE_NS[self.version]
 
+    # -- memoization ---------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop the cached wire bytes; the next ``to_bytes()`` re-encodes."""
+        self._wire = None
+
+    @property
+    def body(self) -> Optional[ET.Element]:
+        return self._body
+
+    @body.setter
+    def body(self, element: Optional[ET.Element]) -> None:
+        self._body = element
+        self._wire = None
+
+    @property
+    def headers(self) -> List[ET.Element]:
+        """The header-block list.  Replace blocks via ``add_header`` /
+        ``remove_header``; mutating the list (or a block) directly requires
+        an explicit :meth:`invalidate`."""
+        return self._headers
+
+    @headers.setter
+    def headers(self, elements: List[ET.Element]) -> None:
+        self._headers = elements
+        self._wire = None
+
     # -- header access ------------------------------------------------------
 
     def add_header(self, element: ET.Element) -> None:
         """Append a header block."""
-        self.headers.append(element)
+        self._headers.append(element)
+        self._wire = None
 
     def header(self, tag: str) -> Optional[ET.Element]:
         """First header block with the given ElementTree tag, or ``None``."""
-        for element in self.headers:
+        for element in self._headers:
             if element.tag == tag:
                 return element
         return None
 
     def headers_named(self, tag: str) -> List[ET.Element]:
         """All header blocks with the given tag."""
-        return [element for element in self.headers if element.tag == tag]
+        return [element for element in self._headers if element.tag == tag]
 
     def remove_header(self, tag: str) -> int:
         """Remove all header blocks with the given tag; returns how many."""
-        before = len(self.headers)
-        self.headers = [element for element in self.headers if element.tag != tag]
-        return before - len(self.headers)
+        before = len(self._headers)
+        self._headers = [element for element in self._headers if element.tag != tag]
+        removed = before - len(self._headers)
+        if removed:
+            self._wire = None
+        return removed
 
     def header_text(self, tag: str) -> Optional[str]:
         """Text content of the first matching header, or ``None``."""
@@ -83,7 +125,7 @@ class Envelope:
     @property
     def is_fault(self) -> bool:
         """True when the body is a SOAP Fault element."""
-        return self.body is not None and local_name(self.body.tag) == "Fault"
+        return self._body is not None and local_name(self._body.tag) == "Fault"
 
     # -- serialization ---------------------------------------------------------
 
@@ -91,17 +133,26 @@ class Envelope:
         """Build the ``Envelope`` element tree."""
         env_ns = self.envelope_namespace
         root = ET.Element(qname(env_ns, "Envelope"))
-        if self.headers:
+        if self._headers:
             header = ET.SubElement(root, qname(env_ns, "Header"))
-            header.extend(self.headers)
+            header.extend(self._headers)
         body = ET.SubElement(root, qname(env_ns, "Body"))
-        if self.body is not None:
-            body.append(self.body)
+        if self._body is not None:
+            body.append(self._body)
         return root
 
     def to_bytes(self) -> bytes:
-        """Serialize to UTF-8 XML bytes with declaration."""
-        return canonical_bytes(self.to_element())
+        """Serialize to UTF-8 XML bytes with declaration.
+
+        Memoized: returns the same ``bytes`` object until the envelope is
+        mutated, so fan-out sends and store retention share one buffer.
+        """
+        if self._wire is not None:
+            WIRE_STATS.serialize_reused += 1
+            return self._wire
+        WIRE_STATS.serialize_count += 1
+        self._wire = canonical_bytes(self.to_element())
+        return self._wire
 
     @classmethod
     def from_element(cls, root: ET.Element) -> "Envelope":
@@ -135,6 +186,9 @@ class Envelope:
     def from_bytes(cls, data: bytes) -> "Envelope":
         """Parse wire bytes into an envelope.
 
+        The original bytes seed the serialization cache, so an envelope
+        that is parsed and re-sent unmodified is never re-encoded.
+
         Raises:
             EnvelopeError: malformed XML or not an envelope.
         """
@@ -142,11 +196,14 @@ class Envelope:
             root = parse_bytes(data)
         except XmlParseError as exc:
             raise EnvelopeError(str(exc)) from exc
-        return cls.from_element(root)
+        WIRE_STATS.parse_count += 1
+        envelope = cls.from_element(root)
+        envelope._wire = data if isinstance(data, bytes) else bytes(data)
+        return envelope
 
     def __repr__(self) -> str:
-        body_tag = self.body.tag if self.body is not None else None
+        body_tag = self._body.tag if self._body is not None else None
         return (
-            f"Envelope(version={self.version!r}, headers={len(self.headers)}, "
+            f"Envelope(version={self.version!r}, headers={len(self._headers)}, "
             f"body={body_tag!r})"
         )

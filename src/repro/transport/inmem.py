@@ -68,4 +68,8 @@ class WsProcess(Process):
                 f"WsProcess {self.name!r} expects wire bytes, got "
                 f"{type(payload).__name__}"
             )
-        self.runtime.receive(bytes(payload), source=sim_address(source))
+        # Hand `bytes` payloads through untouched: with fan-out sharing one
+        # buffer, copying here would re-introduce a per-delivery allocation.
+        if not isinstance(payload, bytes):
+            payload = bytes(payload)
+        self.runtime.receive(payload, source=sim_address(source))

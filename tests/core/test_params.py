@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.message import GossipStyle
-from repro.core.params import GossipParams
+from repro.core.params import GossipParams, ParamError
 
 
 def test_defaults_are_valid():
@@ -72,3 +72,72 @@ def test_frozen():
     params = GossipParams()
     with pytest.raises(AttributeError):
         params.fanout = 9
+
+
+# -- ParamError names the offending key ---------------------------------------
+
+
+def test_param_error_is_a_value_error():
+    assert issubclass(ParamError, ValueError)
+
+
+@pytest.mark.parametrize(
+    "kwargs, key",
+    [
+        ({"fanout": 0}, "fanout"),
+        ({"rounds": 0}, "rounds"),
+        ({"period": 0.0}, "period"),
+        ({"fanout": 5, "peer_sample_size": 4}, "peer_sample_size"),
+        ({"buffer_capacity": 0}, "buffer_capacity"),
+        ({"jitter": -0.1}, "jitter"),
+        ({"stop_probability": 0.0}, "stop_probability"),
+    ],
+)
+def test_constructor_errors_name_key(kwargs, key):
+    with pytest.raises(ParamError) as excinfo:
+        GossipParams(**kwargs)
+    assert excinfo.value.key == key
+    assert key in str(excinfo.value)
+
+
+def test_from_value_missing_key_named():
+    value = GossipParams().to_value()
+    del value["rounds"]
+    with pytest.raises(ParamError) as excinfo:
+        GossipParams.from_value(value)
+    assert excinfo.value.key == "rounds"
+
+
+def test_from_value_malformed_key_named():
+    value = GossipParams().to_value()
+    value["period"] = "soonish"
+    with pytest.raises(ParamError) as excinfo:
+        GossipParams.from_value(value)
+    assert excinfo.value.key == "period"
+
+
+def test_from_value_unknown_style_named():
+    value = GossipParams().to_value()
+    value["style"] = "telepathy"
+    with pytest.raises(ParamError) as excinfo:
+        GossipParams.from_value(value)
+    assert excinfo.value.key == "style"
+
+
+def test_from_activation_overlays_base():
+    base = GossipParams(fanout=4, rounds=6, peer_sample_size=9)
+    params = GossipParams.from_activation({"rounds": 8}, base=base)
+    assert params.rounds == 8
+    assert params.fanout == 4
+    assert params.peer_sample_size == 9
+
+
+def test_from_activation_names_bad_key():
+    with pytest.raises(ParamError) as excinfo:
+        GossipParams.from_activation({"fanout": "many"})
+    assert excinfo.value.key == "fanout"
+
+
+def test_from_activation_rejects_non_mapping():
+    with pytest.raises(ParamError):
+        GossipParams.from_activation(["fanout", 3])

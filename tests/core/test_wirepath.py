@@ -1,0 +1,204 @@
+"""The zero-copy wire fast path: shared fan-out buffers and pre-parse dedup.
+
+Covers the three legs of the optimization:
+
+* a publication / forward encodes exactly one payload and every target
+  receives the *same* ``bytes`` object (byte identity, not just equality);
+* ``scan_gossip_message_id`` extracts the gossip id from raw wire bytes
+  without parsing, and never misfires on non-gossip traffic;
+* the runtime's pre-parse gate consumes duplicates before the XML parse,
+  with the same observable protocol behaviour as the post-parse branch.
+"""
+
+import random
+
+import pytest
+
+from repro.core.engine import GossipEngine
+from repro.core.message import (
+    GossipHeader,
+    GossipStyle,
+    new_gossip_message_id,
+    scan_gossip_message_id,
+)
+from repro.core.params import GossipParams
+from repro.simnet.metrics import WIRE_STATS
+from repro.soap.envelope import Envelope
+from repro.soap.runtime import SoapRuntime
+from repro.wsa.addressing import AddressingHeaders, EndpointReference
+from repro.wscoord.context import CoordinationContext
+
+from tests.core.test_engine import FakeScheduler, make_context, make_gossip_envelope
+
+
+class RecordingTransport:
+    """Captures the exact payload objects handed to the wire."""
+
+    def __init__(self):
+        self.sent = []
+
+    def send(self, address, data):
+        self.sent.append((address, data))
+
+
+@pytest.fixture
+def recording_engine():
+    transport = RecordingTransport()
+    runtime = SoapRuntime("test://node", transport)
+    scheduler = FakeScheduler()
+    engine = GossipEngine(
+        runtime=runtime,
+        scheduler=scheduler,
+        context=make_context(),
+        app_address="test://node/app",
+        params=GossipParams(fanout=3, rounds=4),
+        rng=random.Random(7),
+    )
+    engine.registered = True
+    engine.view = [f"test://peer{index}/app" for index in range(8)]
+    return transport, runtime, engine
+
+
+# -- shared-buffer fan-out ----------------------------------------------------
+
+
+def test_publish_fanout_shares_one_buffer(recording_engine):
+    transport, runtime, engine = recording_engine
+    WIRE_STATS.reset()
+    engine.publish("urn:app/Event", {"price": 42})
+    payloads = [data for _address, data in transport.sent]
+    assert len(payloads) == engine.params.fanout
+    assert all(data is payloads[0] for data in payloads)
+    # One encode serves the whole fan-out.
+    assert WIRE_STATS.serialize_count == 1
+
+
+def test_forward_fanout_shares_one_buffer(recording_engine):
+    transport, runtime, engine = recording_engine
+    envelope, header = make_gossip_envelope(hops=3)
+    engine.on_gossip(envelope, header, source=None)
+    payloads = [data for _address, data in transport.sent]
+    assert len(payloads) == engine.params.fanout
+    assert all(data is payloads[0] for data in payloads)
+    assert runtime.metrics.counter("soap.sent-shared").value == len(payloads)
+
+
+def test_forwarded_buffer_carries_decremented_hops(recording_engine):
+    transport, _runtime, engine = recording_engine
+    envelope, header = make_gossip_envelope(hops=3)
+    engine.on_gossip(envelope, header, source=None)
+    _, data = transport.sent[0]
+    parsed = GossipHeader.from_envelope(Envelope.from_bytes(data))
+    assert parsed.hops == 2
+
+
+# -- the byte scan ------------------------------------------------------------
+
+
+def test_scan_finds_gossip_message_id():
+    envelope, header = make_gossip_envelope(message_id=new_gossip_message_id())
+    assert scan_gossip_message_id(envelope.to_bytes()) == header.message_id
+
+
+def test_scan_ignores_non_gossip_envelopes():
+    envelope = Envelope()
+    AddressingHeaders(
+        to="test://node/app", action="urn:app/Event", message_id="urn:uuid:y"
+    ).apply(envelope)
+    assert scan_gossip_message_id(envelope.to_bytes()) is None
+    assert scan_gossip_message_id(b"not xml at all") is None
+
+
+def test_scan_ignores_gossip_ids_in_payload_text():
+    # A gossip-id *mentioned* in application data must not trigger the
+    # gate: the scan is anchored on the Gossip header's MessageId element.
+    import xml.etree.ElementTree as ET
+
+    body = ET.Element("{urn:test}op")
+    body.text = "urn:ws-gossip:msg:someone-elses-id"
+    envelope = Envelope(body=body)
+    assert scan_gossip_message_id(envelope.to_bytes()) is None
+
+
+# -- the pre-parse gate -------------------------------------------------------
+
+
+def _install_layer(runtime, engine):
+    from repro.core.handler import GossipLayer
+
+    layer = GossipLayer(
+        runtime,
+        engine.scheduler,
+        "test://node/app",
+        rng=random.Random(3),
+        default_params=engine.params,
+    )
+    layer._engines[engine.activity_id] = engine
+    runtime.chain.add(layer)
+    return layer
+
+
+def test_preparse_gate_drops_known_duplicates(recording_engine):
+    transport, runtime, engine = recording_engine
+    _install_layer(runtime, engine)
+
+    envelope, header = make_gossip_envelope(message_id=new_gossip_message_id())
+    data = envelope.to_bytes()
+
+    WIRE_STATS.reset()
+    runtime.receive(data, source="test://peer0/app")  # fresh: full parse
+    assert WIRE_STATS.parse_count >= 1
+    duplicates_before = runtime.metrics.counter("gossip.duplicate").value
+
+    parses_after_first = WIRE_STATS.parse_count
+    runtime.receive(data, source="test://peer1/app")  # duplicate: gate drops
+    assert WIRE_STATS.parse_count == parses_after_first  # no second parse
+    assert WIRE_STATS.dedup_preparse_hits == 1
+    assert runtime.metrics.counter("soap.preparse-dropped").value == 1
+    # Same observable accounting as the post-parse duplicate branch.
+    assert runtime.metrics.counter("gossip.duplicate").value == duplicates_before + 1
+
+
+def test_preparse_gate_passes_unknown_messages(recording_engine):
+    transport, runtime, engine = recording_engine
+    _install_layer(runtime, engine)
+    envelope, _header = make_gossip_envelope(message_id=new_gossip_message_id())
+    WIRE_STATS.reset()
+    runtime.receive(envelope.to_bytes(), source=None)
+    assert WIRE_STATS.dedup_preparse_hits == 0
+    assert WIRE_STATS.parse_count >= 1
+
+
+# -- end-to-end ---------------------------------------------------------------
+
+
+def test_simulated_run_exercises_fast_path():
+    from repro import GossipConfig
+
+    WIRE_STATS.reset()
+    group = GossipConfig(
+        n_disseminators=11,
+        seed=3,
+        params={"fanout": 3, "rounds": 5, "peer_sample_size": 8},
+        auto_tune=False,
+    ).build()
+    group.setup(settle=1.0)
+    message_id = group.publish({"tick": 1})
+    group.run_for(5.0)
+
+    assert group.delivered_fraction(message_id) == 1.0
+    stats = WIRE_STATS.snapshot()
+    counts = group.message_counts()
+    # Every gossip copy rides the shared-buffer path ...
+    assert (
+        counts["soap.sent-shared"]
+        == counts["gossip.fanout-send"] + counts["gossip.forward"]
+    )
+    # ... fanning each encode out to multiple targets (more copies sent
+    # than gossip hops that could have encoded) ...
+    assert counts["soap.sent-shared"] > counts["gossip.publish"] + counts["gossip.fresh"]
+    assert stats["serialize_reused"] > 0
+    # ... and duplicates die before the parser sees them.
+    assert stats["dedup_preparse_hits"] > 0
+    assert counts["soap.preparse-dropped"] == stats["dedup_preparse_hits"]
+    assert counts["gossip.dedup-preparse"] == stats["dedup_preparse_hits"]

@@ -126,3 +126,74 @@ def test_unicode_payload_round_trip():
     body = make_body(text="café € 中文")
     parsed = Envelope.from_bytes(Envelope(body=body).to_bytes())
     assert parsed.body.text == "café € 中文"
+
+
+# -- wire-bytes memoization ---------------------------------------------------
+
+
+def test_to_bytes_memoized():
+    envelope = Envelope(body=make_body())
+    first = envelope.to_bytes()
+    assert envelope.to_bytes() is first  # cached, not re-encoded
+
+
+def test_from_bytes_seeds_cache_with_original_wire():
+    data = Envelope(body=make_body()).to_bytes()
+    parsed = Envelope.from_bytes(data)
+    # Receive -> store -> forward is zero-copy: the parsed envelope hands
+    # back the exact bytes object it was parsed from.
+    assert parsed.to_bytes() is data
+
+
+def test_add_header_invalidates_cache():
+    envelope = Envelope(body=make_body())
+    stale = envelope.to_bytes()
+    envelope.add_header(ET.Element("{urn:h}Late"))
+    fresh = envelope.to_bytes()
+    assert fresh is not stale
+    assert b"Late" in fresh
+    assert b"Late" not in stale
+    # And the re-encoded form is itself memoized again.
+    assert envelope.to_bytes() is fresh
+
+
+def test_body_assignment_invalidates_cache():
+    envelope = Envelope(body=make_body(text="before"))
+    stale = envelope.to_bytes()
+    envelope.body = make_body(text="after")
+    fresh = envelope.to_bytes()
+    assert fresh is not stale
+    assert b"after" in fresh and b"before" not in fresh
+
+
+def test_remove_header_invalidates_only_on_removal():
+    envelope = Envelope(body=make_body())
+    envelope.add_header(ET.Element("{urn:h}A"))
+    cached = envelope.to_bytes()
+    envelope.remove_header("{urn:h}Missing")  # removed nothing
+    assert envelope.to_bytes() is cached
+    envelope.remove_header("{urn:h}A")
+    assert envelope.to_bytes() is not cached
+
+
+def test_invalidate_forces_re_encode():
+    envelope = Envelope(body=make_body())
+    cached = envelope.to_bytes()
+    envelope.invalidate()
+    again = envelope.to_bytes()
+    assert again is not cached
+    assert again == cached  # same content, fresh encode
+
+
+def test_memoization_counters():
+    from repro.simnet.metrics import WIRE_STATS
+
+    WIRE_STATS.reset()
+    envelope = Envelope(body=make_body())
+    envelope.to_bytes()
+    envelope.to_bytes()
+    envelope.to_bytes()
+    assert WIRE_STATS.serialize_count == 1
+    assert WIRE_STATS.serialize_reused == 2
+    Envelope.from_bytes(envelope.to_bytes())
+    assert WIRE_STATS.parse_count == 1
