@@ -2,13 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-core examples clean coverage
+.PHONY: install test test-chaos bench bench-smoke bench-core examples clean coverage
 
 install:
 	pip install -e . || pip install -e . --no-build-isolation
 
-test:
+test: test-chaos
 	$(PYTHON) -m pytest tests/
+
+# Seeded chaos gate: 30% crashes + 10% link loss at N=500 must still
+# deliver to >= 99% of survivors with the peer-health layer on, and
+# beat the same seed with it off (see docs/RESILIENCE.md).
+test-chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/integration/test_chaos.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -35,8 +35,9 @@ class _Receiver(WsProcess):
         self.runtime.add_service("/app", self.app)
         self.delivery_time = None
         self.app.add_operation("urn:t/Event", self._handle)
-        install_reliability(self.runtime, ProcessScheduler(self),
-                            retry_interval=RETRY_INTERVAL, max_retries=12)
+        self.rm = install_reliability(self.runtime, ProcessScheduler(self),
+                                      retry_interval=RETRY_INTERVAL,
+                                      max_retries=12)
 
     def _handle(self, context, value):
         if self.delivery_time is None:
@@ -65,7 +66,8 @@ def rm_unicast_run(loss_rate, crash_fraction, seed):
     latencies = sorted(node.delivery_time - start for node in delivered)
     p95 = latencies[int(0.95 * (len(latencies) - 1))] if latencies else float("nan")
     messages = network.metrics.counter("net.sent").value
-    return len(delivered) / max(1, len(survivors)), p95, messages
+    abandoned = publisher.rm.dead_letters
+    return len(delivered) / max(1, len(survivors)), p95, messages, abandoned
 
 
 def gossip_run(loss_rate, crash_fraction, seed):
@@ -115,7 +117,7 @@ def scenario_rows():
             (
                 label,
                 mean(r[0] for r in rm), mean(r[1] for r in rm),
-                mean(r[2] for r in rm),
+                mean(r[2] for r in rm), mean(r[3] for r in rm),
                 mean(g[0] for g in gossip), mean(g[1] for g in gossip),
                 mean(g[2] for g in gossip),
             )
@@ -128,23 +130,24 @@ def test_e12_reliability_layers(benchmark):
     emit(
         "e12_reliability",
         f"E12: WS-RM reliable unicast vs WS-Gossip (N={N}; delivery to "
-        "survivors, p95 latency s, wire msgs)",
-        ["scenario", "RM del", "RM p95", "RM msgs",
+        "survivors, p95 latency s, wire msgs, abandoned msgs)",
+        ["scenario", "RM del", "RM p95", "RM msgs", "RM dead",
          "gossip del", "gossip p95", "gossip msgs"],
         rows,
     )
     by_label = {row[0]: row for row in rows}
     # Both repair pure loss...
     assert by_label["20% loss"][1] >= 0.99
-    assert by_label["20% loss"][4] >= 0.99
+    assert by_label["20% loss"][5] >= 0.99
     # ...but RM pays a latency tail that grows with loss (retry timers),
     # while gossip stays an order of magnitude faster at moderate loss.
     assert by_label["40% loss"][2] > by_label["20% loss"][2]
-    assert by_label["20% loss"][5] < by_label["20% loss"][2] / 5
+    assert by_label["20% loss"][6] < by_label["20% loss"][2] / 5
     # Crashes: gossip still covers survivors; RM wastes retransmissions on
-    # the dead (counted in its message bill) though survivors are reached
-    # directly.
-    assert by_label["25% crashes"][4] >= 0.95
+    # the dead, then abandons those messages (visible as dead letters).
+    assert by_label["25% crashes"][5] >= 0.95
+    assert by_label["25% crashes"][4] > 0
+    assert by_label["20% loss"][4] == 0
     benchmark.pedantic(lambda: gossip_run(0.2, 0.0, 1), rounds=1, iterations=1)
 
 
@@ -152,7 +155,7 @@ if __name__ == "__main__":
     emit(
         "e12_reliability",
         "E12: WS-RM reliable unicast vs WS-Gossip",
-        ["scenario", "RM del", "RM p95", "RM msgs",
+        ["scenario", "RM del", "RM p95", "RM msgs", "RM dead",
          "gossip del", "gossip p95", "gossip msgs"],
         scenario_rows(),
     )

@@ -18,6 +18,13 @@ N = 32
 SEEDS = [1, 2]
 CRASH_FRACTIONS = [0.0, 0.1, 0.3, 0.5]
 LOSS_RATES = [0.0, 0.1, 0.3]
+HEALTH_POLICY = {
+    "suspicion_threshold": 0.9,
+    "half_life": 60.0,
+    "max_retries": 1,
+    "breaker_threshold": 2,
+    "breaker_reset": 5.0,
+}
 
 
 def gossip_run(crash_fraction=0.0, loss_rate=0.0, seed=1):
@@ -47,6 +54,55 @@ def gossip_run(crash_fraction=0.0, loss_rate=0.0, seed=1):
     return mean(
         1.0 if node.has_delivered(gossip_id) else 0.0 for node in survivors
     )
+
+
+def health_run(health, crash_fraction=0.3, loss_rate=0.1, seed=1):
+    """Combined crash + loss run with the peer-health layer on or off."""
+    group = GossipConfig(
+        n_disseminators=N - 1,
+        seed=seed,
+        loss_rate=loss_rate,
+        params={"fanout": 6, "rounds": 8, "peer_sample_size": 16},
+        auto_tune=False,
+        health=health,
+        health_policy=HEALTH_POLICY if health else None,
+    ).build()
+    group.setup(settle=1.5, eager_join=True)
+    plan = FaultPlan(group.network)
+    plan.crash_fraction_at(
+        group.sim.now, crash_fraction, [node.name for node in group.disseminators]
+    )
+    plan.apply()
+    group.run_for(0.05)
+    # Warmup traffic teaches the health layer who is down before measuring.
+    for _ in range(2):
+        group.publish({"warmup": True})
+        group.run_for(3.0)
+    gossip_id = group.publish({"exp": "e5-health"})
+    group.run_for(10.0)
+    survivors = [
+        node
+        for node in group.disseminators
+        if group.network.process(node.name).is_running
+    ]
+    if not survivors:
+        return 1.0
+    return mean(
+        1.0 if node.has_delivered(gossip_id) else 0.0 for node in survivors
+    )
+
+
+def health_rows():
+    rows = []
+    for label, crashes, loss in (
+        ("30% crashes", 0.3, 0.0),
+        ("10% loss", 0.0, 0.1),
+        ("30% crashes + 10% loss", 0.3, 0.1),
+    ):
+        on = mean(health_run(True, crashes, loss, seed=s) for s in SEEDS)
+        off = mean(health_run(False, crashes, loss, seed=s) for s in SEEDS)
+        rows.append((label, on, off))
+    return rows
 
 
 def tree_run(crash_fraction=0.0, loss_rate=0.0, seed=1):
@@ -126,6 +182,22 @@ def test_e5_crash_resilience(benchmark):
     benchmark.pedantic(lambda: gossip_run(crash_fraction=0.3), rounds=1, iterations=1)
 
 
+def test_e5_health_ablation(benchmark):
+    rows = health_rows()
+    emit(
+        "e5_health",
+        "E5d: delivery to survivors, peer-health layer on vs off (N=32)",
+        ["faults", "health on", "health off"],
+        rows,
+    )
+    # Suspicion + degraded-mode selection never hurts and helps under
+    # combined faults, where dead peers waste a fixed fanout budget.
+    for label, on, off in rows:
+        assert on >= off - 1e-9, f"health layer regressed delivery: {label}"
+        assert on >= 0.95
+    benchmark.pedantic(lambda: health_run(True), rounds=1, iterations=1)
+
+
 def test_e5_loss_resilience(benchmark):
     rows = loss_rows()
     emit(
@@ -146,3 +218,5 @@ if __name__ == "__main__":
          ["crashed", "WS-Gossip", "tree", "broker"], crash_rows())
     emit("e5_loss", "E5c: delivery vs loss",
          ["loss", "WS-Gossip", "tree", "broker"], loss_rows())
+    emit("e5_health", "E5d: delivery, health layer on vs off",
+         ["faults", "health on", "health off"], health_rows())

@@ -26,13 +26,15 @@ from repro.core import (
     GossipGroup,
     GossipParams,
     GossipStyle,
+    HealthPolicy,
     ParamError,
+    PeerHealth,
     atomic_delivery_probability,
     expected_rounds,
     fanout_for_atomicity,
 )
 from repro.simnet.events import Simulator
-from repro.simnet.metrics import WIRE_STATS, WireStats
+from repro.simnet.metrics import HEALTH_STATS, WIRE_STATS, HealthStats, WireStats
 from repro.stats import summarize
 
 __version__ = "1.0.0"
@@ -43,7 +45,11 @@ __all__ = [
     "GossipGroup",
     "GossipParams",
     "GossipStyle",
+    "HEALTH_STATS",
+    "HealthPolicy",
+    "HealthStats",
     "ParamError",
+    "PeerHealth",
     "Simulator",
     "WIRE_STATS",
     "WireStats",

@@ -9,6 +9,8 @@ The framework layers epidemic dissemination over the SOAP stack:
 * :mod:`repro.core.message`      -- the ``Gossip`` SOAP header block.
 * :mod:`repro.core.buffer`       -- per-activity message store and dedup.
 * :mod:`repro.core.peers`        -- peer-selection strategies.
+* :mod:`repro.core.health`       -- per-peer failure suspicion feeding
+  degraded-mode selection and fanout compensation (docs/RESILIENCE.md).
 * :mod:`repro.core.engine`       -- node-local protocol engine implementing
   the gossip styles (push, pull, push-pull, anti-entropy).
 * :mod:`repro.core.handler`      -- the gossip layer as a SOAP handler
@@ -41,8 +43,10 @@ from repro.core.analysis import (
 from repro.core.api import GossipConfig, GossipGroup
 from repro.core.decentralized import DecentralizedGossipNode, DecentralizedGroup
 from repro.core.engine import GossipEngine
+from repro.core.health import HealthPolicy, PeerHealth
 from repro.core.message import GossipHeader, GossipStyle
 from repro.core.params import GossipParams, ParamError
+from repro.core.peers import HealthAwareSelector
 from repro.core.roles import (
     ConsumerNode,
     CoordinatorNode,
@@ -62,8 +66,11 @@ __all__ = [
     "GossipHeader",
     "GossipParams",
     "GossipStyle",
+    "HealthAwareSelector",
+    "HealthPolicy",
     "InitiatorNode",
     "ParamError",
+    "PeerHealth",
     "atomic_delivery_probability",
     "effective_fanout",
     "expected_final_fraction",

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Mapping, Optional
 
 from repro.core.engine import PROTOCOL_DISSEMINATOR
+from repro.core.health import HealthPolicy, PeerHealth
 from repro.core.message import GossipStyle
 from repro.core.params import GossipParams, ParamError
 from repro.core.roles import (
@@ -62,6 +63,13 @@ class GossipConfig:
         target_reliability: auto-tune goal for atomic delivery.
         action: the application action disseminated invocations use.
         trace: record a full event trace (memory-heavy at large N).
+        health: enable the peer-health layer on every gossip-capable
+            node -- retrying transports with per-destination circuit
+            breakers, failure suspicion, and degraded-mode peer
+            selection (see :mod:`repro.core.health`).
+        health_policy: knobs for the health layer; a plain dict is
+            accepted and validated via
+            :meth:`~repro.core.health.HealthPolicy.from_value`.
     """
 
     n_disseminators: int = 8
@@ -74,6 +82,8 @@ class GossipConfig:
     target_reliability: float = 0.99
     action: str = DEFAULT_ACTION
     trace: bool = False
+    health: bool = False
+    health_policy: Optional[HealthPolicy] = None
 
     def __post_init__(self) -> None:
         if self.n_disseminators < 0:
@@ -98,6 +108,10 @@ class GossipConfig:
         # Freeze the activation parameters into a private copy so a caller
         # mutating the dict they passed cannot alter this config.
         object.__setattr__(self, "params", dict(self.params))
+        if isinstance(self.health_policy, dict):
+            object.__setattr__(
+                self, "health_policy", HealthPolicy.from_value(self.health_policy)
+            )
 
     @classmethod
     def field_names(cls) -> List[str]:
@@ -239,6 +253,22 @@ class GossipGroup:
             ConsumerNode(f"c{index}", self.network)
             for index in range(self.config.n_consumers)
         ]
+        if self.config.health:
+            policy = (
+                self.config.health_policy
+                if self.config.health_policy is not None
+                else HealthPolicy()
+            )
+            for node in [self.initiator, *self.disseminators]:
+                health = PeerHealth(policy, clock=lambda: self.sim.now)
+                node.runtime.transport.configure_resilience(
+                    retry=policy.retry_policy(),
+                    breaker=policy.breaker_policy(),
+                )
+                node.runtime.transport.add_outcome_listener(health.record_outcome)
+                node.gossip_layer.health = health
+                node.health = health
+
         for node in self.app_nodes():
             node.bind(self.action)
         for node in self.all_nodes():

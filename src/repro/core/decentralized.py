@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.engine import GossipEngine, gossip_address_of
 from repro.core.handler import GossipLayer
+from repro.core.health import HealthPolicy, PeerHealth
 from repro.core.message import GossipStyle
 from repro.core.params import GossipParams
 from repro.core.peersampling import (
@@ -79,9 +80,21 @@ class DecentralizedGossipNode(AppNode):
         sampling_period: float = 0.5,
         t_fail: float = 4.0,
         view_capacity: int = 16,
+        health_policy: Optional[HealthPolicy] = None,
     ) -> None:
         super().__init__(name, network, app_path=APP_PATH)
         scheduler = ProcessScheduler(self)
+        # Optional peer-health layer: retrying/breaker-guarded transport
+        # plus degraded-mode gossip, fed by send outcomes AND the
+        # membership detector's verdicts.
+        self.health: Optional[PeerHealth] = None
+        if health_policy is not None:
+            self.health = PeerHealth(health_policy, clock=lambda: self.sim.now)
+            self.runtime.transport.configure_resilience(
+                retry=health_policy.retry_policy(),
+                breaker=health_policy.breaker_policy(),
+            )
+            self.runtime.transport.add_outcome_listener(self.health.record_outcome)
         self.membership = MembershipEngine(
             runtime=self.runtime,
             scheduler=scheduler,
@@ -89,6 +102,7 @@ class DecentralizedGossipNode(AppNode):
             period=membership_period,
             t_fail=t_fail,
             rng=self.sim.rng.get(f"membership:{name}"),
+            on_failure=self.health.mark_failed if self.health else None,
         )
         self.runtime.add_service("/membership", MembershipService(self.membership))
         self.sampling = PeerSamplingEngine(
@@ -110,6 +124,7 @@ class DecentralizedGossipNode(AppNode):
             rng=self.sim.rng.get(f"gossip:{name}"),
             default_params=params,
             view_provider=self._gossip_view,
+            health=self.health,
         )
         self.runtime.chain.add_first(self.gossip_layer)
         self.runtime.add_service("/gossip", GossipService(self.gossip_layer))
@@ -157,6 +172,7 @@ class DecentralizedGroup:
         seeds_per_node: int = 2,
         action: str = DEFAULT_ACTION,
         trace: bool = False,
+        health_policy: Optional[HealthPolicy] = None,
     ) -> None:
         if n_nodes < 2:
             raise ValueError(f"need at least two nodes: {n_nodes!r}")
@@ -172,7 +188,10 @@ class DecentralizedGroup:
             fanout=4, rounds=7, style=GossipStyle.PUSH_PULL, period=0.5,
         )
         self.nodes: List[DecentralizedGossipNode] = [
-            DecentralizedGossipNode(f"n{index}", self.network, params=self.params)
+            DecentralizedGossipNode(
+                f"n{index}", self.network, params=self.params,
+                health_policy=health_policy,
+            )
             for index in range(n_nodes)
         ]
         addresses = [node.app_address for node in self.nodes]

@@ -35,7 +35,7 @@ from repro.core.buffer import MessageStore
 from repro.core.message import GossipHeader, GossipStyle, new_gossip_message_id
 from repro.core.ordering import FifoBuffer
 from repro.core.params import GossipParams
-from repro.core.peers import PeerSelector, UniformSelector
+from repro.core.peers import HealthAwareSelector, PeerSelector, UniformSelector
 from repro.core.scheduling import Scheduler
 from repro.soap import namespaces as ns
 from repro.soap.envelope import Envelope
@@ -90,6 +90,11 @@ class GossipEngine:
             when set it replaces the coordinator-supplied ``view`` entirely
             -- this is the distributed-coordinator mode, fed by peer
             sampling or WS-Membership.
+        health: optional :class:`~repro.core.health.PeerHealth`.  When
+            set the engine gossips in degraded mode: target selection
+            down-weights suspected peers, the effective fanout grows as
+            the healthy pool shrinks, and inbound gossip counts as proof
+            of life for its sender.
     """
 
     def __init__(
@@ -103,6 +108,7 @@ class GossipEngine:
         selector: Optional[PeerSelector] = None,
         on_params: Optional[Callable[[GossipParams], None]] = None,
         view_provider: Optional[Callable[[], Sequence[str]]] = None,
+        health=None,
     ) -> None:
         self.runtime = runtime
         self.scheduler = scheduler
@@ -110,7 +116,12 @@ class GossipEngine:
         self.app_address = app_address
         self.params = params if params is not None else GossipParams()
         self.rng = rng if rng is not None else random.Random()
+        self.health = health
         self.selector = selector if selector is not None else UniformSelector()
+        if health is not None and not isinstance(self.selector, HealthAwareSelector):
+            # Degraded-mode gossip: prefer unsuspected peers, whatever the
+            # underlying strategy.
+            self.selector = HealthAwareSelector(health, self.selector)
         self.store = MessageStore(self.params.buffer_capacity)
         self.view: List[str] = []
         self.view_provider = view_provider
@@ -305,6 +316,8 @@ class GossipEngine:
         False when it is consumed (duplicate, or held back for ordering --
         held messages are re-dispatched by the engine once in order).
         """
+        if self.health is not None and source is not None:
+            self.health.observe_alive(source)
         self._pending_fetch.discard(header.message_id)
         fresh = self.store.add(
             header.message_id,
@@ -332,6 +345,8 @@ class GossipEngine:
         message was consumed before any XML parse, but the observable
         protocol behaviour (duplicate accounting, feedback) is identical.
         """
+        if self.health is not None and source is not None:
+            self.health.observe_alive(source)
         self._pending_fetch.discard(message_id)
         self.metrics.counter("gossip.duplicate").inc()
         if self.params.style is GossipStyle.FEEDBACK and source is not None:
@@ -415,9 +430,11 @@ class GossipEngine:
             self.metrics.counter("gossip.forward").inc()
 
     def _select_targets(self, exclude: Sequence[str]) -> List[str]:
-        return self.selector.select(
-            self.current_view(), self.params.fanout, self.rng, exclude=exclude
-        )
+        view = self.current_view()
+        fanout = self.params.fanout
+        if self.health is not None:
+            fanout = self.health.effective_fanout(fanout, view)
+        return self.selector.select(view, fanout, self.rng, exclude=exclude)
 
     # -- lazy push (Advertise / Fetch) ---------------------------------------------
 

@@ -58,6 +58,7 @@ class GossipLayer(Handler):
         default_params: Optional[GossipParams] = None,
         selector: Optional[PeerSelector] = None,
         view_provider=None,
+        health=None,
     ) -> None:
         self.runtime = runtime
         self.scheduler = scheduler
@@ -66,6 +67,9 @@ class GossipLayer(Handler):
         self.auto_join = auto_join
         self.default_params = default_params
         self.selector = selector
+        # Optional node-wide peer-health record; engines created by this
+        # layer gossip in degraded mode when it is set.
+        self.health = health
         # Optional decentralized mode: engines draw their peer view from
         # this callable (peer sampling / WS-Membership) instead of the
         # coordinator's RegisterResponse.
@@ -103,6 +107,7 @@ class GossipLayer(Handler):
             rng=self.rng,
             selector=self.selector,
             view_provider=self.view_provider,
+            health=self.health,
         )
         self._engines[context.identifier] = engine
         return engine

@@ -1,0 +1,360 @@
+"""Peer-health: adaptive failure suspicion feeding degraded-mode gossip.
+
+The epidemic analysis (paper, Section 2) assumes every selected target is
+a live process; fanout spent on crashed peers is silently wasted and the
+effective infection rate drops below the configured ``f``.  This module
+closes that gap with a lightweight phi-accrual-style detector:
+
+* every failed send adds ``failure_weight`` to the destination's
+  *suspicion score*;
+* the score decays exponentially with half-life ``half_life`` (absence of
+  evidence slowly restores trust);
+* any positive evidence -- a successful send, or gossip *received from*
+  the peer -- subtracts ``success_relief`` immediately;
+* the membership detector's verdict (:class:`~repro.wsmembership.engine.
+  MembershipEngine` ``on_failure``) pins the score above threshold at
+  once (hard evidence beats accrual).
+
+A peer whose score exceeds ``suspicion_threshold`` is *suspected*.
+Degraded-mode gossip then (a) prefers unsuspected peers when selecting
+targets (:class:`HealthAwareSelector`) and (b) raises the effective
+fanout in proportion to the suspected fraction of the view, capped at
+``boost_cap`` (:meth:`PeerHealth.effective_fanout`) -- so the *expected
+number of live infections per round* stays close to the configured
+fanout even while a third of the population is down.
+
+Scores are keyed by node base address (``scheme://authority``), the same
+key the transport circuit breakers use: all services of one node share
+one health record.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.params import ParamError, _convert
+from repro.simnet.metrics import HEALTH_STATS
+from repro.transport.base import (
+    BreakerPolicy,
+    RetryPolicy,
+    SendOutcome,
+    split_address,
+)
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Validated knobs of the peer-health layer.
+
+    Attributes:
+        suspicion_threshold: score above which a peer counts as suspected.
+        failure_weight: score added per observed send failure.
+        success_relief: score subtracted per positive observation.
+        half_life: seconds for an untouched score to halve.
+        boost_cap: maximum multiplier applied to the configured fanout
+            when the healthy pool shrinks (bounds the traffic blow-up).
+        max_retries: transport-level resend attempts per message.
+        retry_backoff: initial backoff before the first retry (seconds).
+        breaker_threshold: consecutive failures that open a destination's
+            circuit breaker.
+        breaker_reset: seconds an open breaker waits before the half-open
+            probe that tests recovery.
+    """
+
+    suspicion_threshold: float = 1.5
+    failure_weight: float = 1.0
+    success_relief: float = 1.0
+    half_life: float = 10.0
+    boost_cap: float = 2.0
+    max_retries: int = 1
+    retry_backoff: float = 0.05
+    breaker_threshold: int = 3
+    breaker_reset: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.suspicion_threshold <= 0:
+            raise ParamError(
+                "suspicion_threshold",
+                f"suspicion_threshold must be positive: {self.suspicion_threshold!r}",
+            )
+        if self.failure_weight <= 0:
+            raise ParamError(
+                "failure_weight",
+                f"failure_weight must be positive: {self.failure_weight!r}",
+            )
+        if self.success_relief < 0:
+            raise ParamError(
+                "success_relief",
+                f"success_relief must be non-negative: {self.success_relief!r}",
+            )
+        if self.half_life <= 0:
+            raise ParamError(
+                "half_life", f"half_life must be positive: {self.half_life!r}"
+            )
+        if self.boost_cap < 1.0:
+            raise ParamError(
+                "boost_cap", f"boost_cap must be >= 1: {self.boost_cap!r}"
+            )
+        if self.max_retries < 0:
+            raise ParamError(
+                "max_retries",
+                f"max_retries must be non-negative: {self.max_retries!r}",
+            )
+        if self.retry_backoff <= 0:
+            raise ParamError(
+                "retry_backoff",
+                f"retry_backoff must be positive: {self.retry_backoff!r}",
+            )
+        if self.breaker_threshold < 1:
+            raise ParamError(
+                "breaker_threshold",
+                f"breaker_threshold must be >= 1: {self.breaker_threshold!r}",
+            )
+        if self.breaker_reset <= 0:
+            raise ParamError(
+                "breaker_reset",
+                f"breaker_reset must be positive: {self.breaker_reset!r}",
+            )
+
+    # -- wire/config form ----------------------------------------------------
+
+    def to_value(self) -> Dict[str, Any]:
+        """Serialize to a plain mapping."""
+        return {
+            "suspicion_threshold": self.suspicion_threshold,
+            "failure_weight": self.failure_weight,
+            "success_relief": self.success_relief,
+            "half_life": self.half_life,
+            "boost_cap": self.boost_cap,
+            "max_retries": self.max_retries,
+            "retry_backoff": self.retry_backoff,
+            "breaker_threshold": self.breaker_threshold,
+            "breaker_reset": self.breaker_reset,
+        }
+
+    @classmethod
+    def from_value(cls, value: Dict[str, Any]) -> "HealthPolicy":
+        """Parse from a (partial) mapping over the defaults.
+
+        Raises:
+            ParamError: naming the malformed or unknown key.
+        """
+        if not isinstance(value, dict):
+            raise ParamError("health", f"health policy map expected, got {value!r}")
+        known = set(cls().to_value())
+        unknown = sorted(set(value) - known)
+        if unknown:
+            raise ParamError(
+                unknown[0], f"unknown health policy key(s): {', '.join(unknown)}"
+            )
+        base = cls()
+        return cls(
+            suspicion_threshold=_convert(
+                value, "suspicion_threshold", float,
+                default=base.suspicion_threshold,
+            ),
+            failure_weight=_convert(
+                value, "failure_weight", float, default=base.failure_weight
+            ),
+            success_relief=_convert(
+                value, "success_relief", float, default=base.success_relief
+            ),
+            half_life=_convert(value, "half_life", float, default=base.half_life),
+            boost_cap=_convert(value, "boost_cap", float, default=base.boost_cap),
+            max_retries=_convert(
+                value, "max_retries", int, default=base.max_retries
+            ),
+            retry_backoff=_convert(
+                value, "retry_backoff", float, default=base.retry_backoff
+            ),
+            breaker_threshold=_convert(
+                value, "breaker_threshold", int, default=base.breaker_threshold
+            ),
+            breaker_reset=_convert(
+                value, "breaker_reset", float, default=base.breaker_reset
+            ),
+        )
+
+    # -- derived transport policies -----------------------------------------
+
+    def retry_policy(self) -> RetryPolicy:
+        """The transport retry policy this health policy implies."""
+        return RetryPolicy(max_retries=self.max_retries, backoff=self.retry_backoff)
+
+    def breaker_policy(self) -> BreakerPolicy:
+        """The per-destination circuit-breaker policy this implies."""
+        return BreakerPolicy(
+            failure_threshold=self.breaker_threshold,
+            reset_timeout=self.breaker_reset,
+        )
+
+    def with_overrides(self, **overrides: Any) -> "HealthPolicy":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+def key_of(address: str) -> str:
+    """Normalize any peer address to its health key.
+
+    Full endpoint addresses collapse to the node base
+    (``scheme://authority``); bare names pass through -- so membership
+    addresses, gossip ports and app endpoints of one node all share one
+    health record.
+    """
+    if "://" not in address:
+        return address
+    scheme, authority, _ = split_address(address)
+    return f"{scheme}://{authority}"
+
+
+class PeerHealth:
+    """Per-peer suspicion scores with exponential decay.
+
+    One instance per node.  Evidence flows in from three sources:
+
+    * the transport's structured send outcomes
+      (:meth:`record_outcome`, registered via
+      ``transport.add_outcome_listener``);
+    * any inbound gossip traffic (:meth:`observe_alive` -- hearing from a
+      peer is proof of life);
+    * the WS-Membership failure detector (:meth:`mark_failed`, wired to
+      ``MembershipEngine.on_failure``).
+
+    Args:
+        policy: the knobs (defaults used when omitted).
+        clock: monotonic time source; inject the simulator clock inside
+            experiments (defaults to :func:`time.monotonic`).
+    """
+
+    def __init__(
+        self,
+        policy: Optional[HealthPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.policy = policy if policy is not None else HealthPolicy()
+        self._clock = clock if clock is not None else time.monotonic
+        # key -> (score at `stamp`, stamp)
+        self._scores: Dict[str, Tuple[float, float]] = {}
+        self._suspected: set = set()
+
+    # -- evidence in ---------------------------------------------------------
+
+    def record_outcome(self, outcome: SendOutcome) -> None:
+        """Transport listener: fold one send outcome into the score."""
+        if outcome.ok:
+            self.observe_alive(outcome.destination)
+        else:
+            self._add(key_of(outcome.destination), self.policy.failure_weight)
+
+    def observe_alive(self, peer: str) -> None:
+        """Positive evidence: a send succeeded or the peer was heard from."""
+        if self.policy.success_relief > 0:
+            self._add(key_of(peer), -self.policy.success_relief)
+
+    def mark_failed(self, peer: str) -> None:
+        """Hard verdict from a failure detector: suspect immediately."""
+        key = key_of(peer)
+        now = self._clock()
+        floor = self.policy.suspicion_threshold + self.policy.failure_weight
+        score = max(self._decayed(key, now), floor)
+        self._scores[key] = (score, now)
+        self._reclassify(key, score)
+
+    def forget(self, peer: str) -> None:
+        """Drop all state about a peer (it left the system for good)."""
+        key = key_of(peer)
+        self._scores.pop(key, None)
+        self._suspected.discard(key)
+
+    # -- queries -------------------------------------------------------------
+
+    def suspicion(self, peer: str) -> float:
+        """The peer's current (decayed) suspicion score."""
+        return self._decayed(key_of(peer), self._clock())
+
+    def is_suspected(self, peer: str) -> bool:
+        """True when the score exceeds the policy threshold."""
+        return self.suspicion(peer) > self.policy.suspicion_threshold
+
+    def partition(
+        self, view: Sequence[str]
+    ) -> Tuple[List[str], List[str]]:
+        """Split a peer view into (healthy, suspected) sublists."""
+        healthy: List[str] = []
+        suspected: List[str] = []
+        for peer in view:
+            (suspected if self.is_suspected(peer) else healthy).append(peer)
+        return healthy, suspected
+
+    def effective_fanout(self, fanout: int, view: Sequence[str]) -> int:
+        """Fanout compensated for the suspected fraction of the view.
+
+        With ``s`` of ``n`` view members suspected, scaling fanout by
+        ``n / (n - s)`` keeps the expected number of *live* targets per
+        round at the configured ``f``; the multiplier is capped at
+        ``boost_cap`` so a mostly-dead view cannot cause a send storm.
+        """
+        if not view:
+            return fanout
+        healthy, suspected = self.partition(view)
+        if not suspected or not healthy:
+            # Nothing to compensate -- or nothing healthy to compensate
+            # *with* (the selector will fall back to suspected peers).
+            return fanout
+        multiplier = min(self.policy.boost_cap, len(view) / len(healthy))
+        boosted = int(round(fanout * multiplier))
+        if boosted > fanout:
+            HEALTH_STATS.fanout_boosts += 1
+        return max(fanout, boosted)
+
+    def suspected_peers(self) -> List[str]:
+        """Every key currently over threshold (refreshes decayed entries)."""
+        now = self._clock()
+        for key in list(self._scores):
+            self._reclassify(key, self._decayed(key, now))
+        return sorted(self._suspected)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Current decayed score per known peer (diagnostics)."""
+        now = self._clock()
+        return {key: self._decayed(key, now) for key in self._scores}
+
+    # -- internals -----------------------------------------------------------
+
+    def _decayed(self, key: str, now: float) -> float:
+        entry = self._scores.get(key)
+        if entry is None:
+            return 0.0
+        score, stamp = entry
+        elapsed = max(0.0, now - stamp)
+        if elapsed == 0.0:
+            return score
+        return score * 0.5 ** (elapsed / self.policy.half_life)
+
+    def _add(self, key: str, delta: float) -> None:
+        now = self._clock()
+        score = max(0.0, self._decayed(key, now) + delta)
+        if score == 0.0 and key not in self._suspected:
+            # Keep the table tight: fully-recovered unsuspected peers need
+            # no entry (absence already means "score 0").
+            self._scores.pop(key, None)
+        else:
+            self._scores[key] = (score, now)
+        self._reclassify(key, score)
+
+    def _reclassify(self, key: str, score: float) -> None:
+        suspected = score > self.policy.suspicion_threshold
+        if suspected and key not in self._suspected:
+            self._suspected.add(key)
+            HEALTH_STATS.peers_suspected += 1
+        elif not suspected and key in self._suspected:
+            self._suspected.discard(key)
+            HEALTH_STATS.peers_restored += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"PeerHealth(known={len(self._scores)}, "
+            f"suspected={len(self._suspected)})"
+        )

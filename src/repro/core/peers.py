@@ -100,6 +100,42 @@ class LocalityAwareSelector(PeerSelector):
         return chosen
 
 
+class HealthAwareSelector(PeerSelector):
+    """Down-weight suspected peers: healthy targets first, suspects last.
+
+    Wraps any inner selector (uniform by default).  Slots are filled from
+    the unsuspected part of the view; only when the healthy pool cannot
+    satisfy the fanout are suspected peers admitted -- which doubles as
+    the re-admission path: a recovered peer's score decays below the
+    threshold and it silently rejoins the healthy pool.
+
+    Args:
+        health: the node's :class:`~repro.core.health.PeerHealth`.
+        inner: the strategy applied within each pool.
+    """
+
+    def __init__(self, health, inner: Optional[PeerSelector] = None) -> None:
+        self._health = health
+        self._inner = inner if inner is not None else UniformSelector()
+
+    def select(
+        self,
+        view: Sequence[str],
+        fanout: int,
+        rng: random.Random,
+        exclude: Iterable[str] = (),
+    ) -> List[str]:
+        """Fill from healthy peers; top up from suspected ones if short."""
+        excluded = set(exclude)
+        candidates = [peer for peer in view if peer not in excluded]
+        healthy, suspected = self._health.partition(candidates)
+        chosen = self._inner.select(healthy, fanout, rng)
+        shortfall = fanout - len(chosen)
+        if shortfall > 0 and suspected:
+            chosen.extend(self._inner.select(suspected, shortfall, rng))
+        return chosen
+
+
 class RoundRobinSelector(PeerSelector):
     """Deterministic rotation through the view.
 

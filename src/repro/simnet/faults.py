@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.simnet.events import Simulator
+from repro.simnet.latency import FixedLatency
 from repro.simnet.network import Network
 
 
@@ -74,6 +75,65 @@ class FaultPlan:
         self._schedule.append((time, "heal", ()))
         return self
 
+    def loss_at(self, time: float, rate: float) -> "FaultPlan":
+        """Set the network-wide loss rate at ``time`` (0 restores health)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1]: {rate!r}")
+        self._schedule.append((time, "loss", (rate,)))
+        return self
+
+    def lossy_link_at(
+        self, time: float, source: str, destination: str, rate: float
+    ) -> "FaultPlan":
+        """Degrade one directed link to ``rate`` loss at ``time``."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1]: {rate!r}")
+        self._schedule.append((time, "link-loss", (source, destination, rate)))
+        return self
+
+    def slow_link_at(
+        self, time: float, source: str, destination: str, latency
+    ) -> "FaultPlan":
+        """Slow one directed link at ``time``.
+
+        ``latency`` is a :class:`~repro.simnet.latency.LatencyModel` or a
+        plain float (seconds, fixed).
+        """
+        model = FixedLatency(latency) if isinstance(latency, (int, float)) else latency
+        self._schedule.append((time, "slow-link", (source, destination, model)))
+        return self
+
+    def corrupt_at(self, time: float, rate: float) -> "FaultPlan":
+        """Flip one byte of delivered payloads with probability ``rate``
+        from ``time`` on (0 restores clean delivery)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"corruption rate must be in [0, 1]: {rate!r}")
+        self._schedule.append((time, "corrupt", (rate,)))
+        return self
+
+    def flaky_sends_at(
+        self,
+        time: float,
+        names: Sequence[str],
+        rate: float,
+        until: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Make the named nodes' *transports* fail sends with probability
+        ``rate`` starting at ``time`` (cleared at ``until`` when given).
+
+        This is a transport-level fault -- the failure is synchronously
+        observable at the sender (as reason ``"flaky"``), exercising the
+        retry/breaker/suspicion machinery rather than the network fabric.
+        Nodes must host a :class:`~repro.transport.base.ResilientTransport`
+        (every :class:`~repro.transport.inmem.WsProcess` does).
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1]: {rate!r}")
+        self._schedule.append((time, "flaky", (list(names), rate)))
+        if until is not None:
+            self._schedule.append((until, "unflaky", (list(names),)))
+        return self
+
     def apply(self) -> None:
         """Schedule every fault on the simulator.  May only be called once."""
         if self._applied:
@@ -93,6 +153,59 @@ class FaultPlan:
                 )
             elif action == "heal":
                 self.sim.call_at(time, self.network.heal)
+            elif action == "loss":
+                (rate,) = args
+                self.sim.call_at(
+                    time, lambda rate=rate: setattr(self.network, "loss_rate", rate)
+                )
+            elif action == "link-loss":
+                source, destination, rate = args
+                self.sim.call_at(
+                    time,
+                    lambda s=source, d=destination, r=rate: (
+                        self.network.set_link_loss(s, d, r)
+                    ),
+                )
+            elif action == "slow-link":
+                source, destination, model = args
+                self.sim.call_at(
+                    time,
+                    lambda s=source, d=destination, m=model: (
+                        self.network.set_link_latency(s, d, m)
+                    ),
+                )
+            elif action == "corrupt":
+                (rate,) = args
+                self.sim.call_at(
+                    time, lambda rate=rate: self.network.set_corruption_rate(rate)
+                )
+            elif action == "flaky":
+                names, rate = args
+                self.sim.call_at(
+                    time, lambda n=names, r=rate: self._set_flaky(n, r)
+                )
+            elif action == "unflaky":
+                (names,) = args
+                self.sim.call_at(time, lambda n=names: self._set_flaky(n, 0.0))
+
+    def _set_flaky(self, names: Sequence[str], rate: float) -> None:
+        rng = self.sim.rng.get("faults")
+        for name in names:
+            if name not in self.network:
+                continue
+            transport = getattr(
+                getattr(self.network.process(name), "runtime", None),
+                "transport",
+                None,
+            )
+            if transport is None or not hasattr(transport, "inject_fault"):
+                continue
+            if rate <= 0.0:
+                transport.inject_fault(None)
+            else:
+                transport.inject_fault(
+                    lambda address, r=rate: "flaky" if rng.random() < r else None
+                )
 
     def _crash_callback(self, name: str):
         def crash() -> None:

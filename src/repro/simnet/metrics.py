@@ -84,7 +84,10 @@ class Histogram:
         if low == high:
             return ordered[low]
         fraction = rank - low
-        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+        value = ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+        # Interpolating subnormal floats can underflow below ordered[low];
+        # clamp so the percentile always lies between its neighbours.
+        return min(max(value, ordered[low]), ordered[high])
 
     def min(self) -> float:
         """Smallest observation (ValueError when empty)."""
@@ -205,6 +208,70 @@ class WireStats:
 
 #: The process-wide wire-path counters (see :class:`WireStats`).
 WIRE_STATS = WireStats()
+
+
+class HealthStats:
+    """Process-wide peer-health counters (the resilience twin of
+    :class:`WireStats`).
+
+    Fed by the resilient transports (:mod:`repro.transport.base`) and the
+    suspicion tracker (:mod:`repro.core.health`); benchmark E5 snapshots
+    them to show what the health layer actually did during a chaos run:
+
+    * ``send_failures`` -- individual send attempts that failed (every
+      retry counts separately).
+    * ``retries`` -- failed attempts that were retried with backoff.
+    * ``sends_suppressed`` -- sends refused locally by an open circuit
+      breaker (never reached the wire).
+    * ``breaker_opened`` / ``breaker_probes`` / ``breaker_closed`` --
+      circuit-breaker state transitions (closed->open, half-open probe
+      admitted, probe succeeded -> closed).
+    * ``peers_suspected`` / ``peers_restored`` -- suspicion-score
+      threshold crossings in either direction.
+    * ``fanout_boosts`` -- gossip rounds where the degraded-mode fanout
+      exceeded the configured one because the healthy pool had shrunk.
+    * ``dead_letters`` -- messages abandoned by the WS-RM reliability
+      layer after ``max_retries`` (see :mod:`repro.soap.reliable`).
+
+    Benchmarks snapshot/reset around a scenario; the counters are shared
+    process-wide exactly like :data:`WIRE_STATS`.
+    """
+
+    __slots__ = (
+        "send_failures",
+        "retries",
+        "sends_suppressed",
+        "breaker_opened",
+        "breaker_probes",
+        "breaker_closed",
+        "peers_suspected",
+        "peers_restored",
+        "fanout_boosts",
+        "dead_letters",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (benchmarks call this between scenarios)."""
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Current counter values as a plain dict."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return (
+            f"HealthStats(failures={self.send_failures}, "
+            f"retries={self.retries}, suppressed={self.sends_suppressed}, "
+            f"opened={self.breaker_opened}, dead_letters={self.dead_letters})"
+        )
+
+
+#: The process-wide peer-health counters (see :class:`HealthStats`).
+HEALTH_STATS = HealthStats()
 
 
 class MetricsRegistry:

@@ -33,6 +33,7 @@ class NetworkMessage:
     deliver_time: Optional[float] = None
     dropped: bool = False
     drop_reason: Optional[str] = None
+    corrupted: bool = False
 
 
 class Network:
@@ -65,6 +66,9 @@ class Network:
         self._link_latency: Dict[Tuple[str, str], LatencyModel] = {}
         self._link_loss: Dict[Tuple[str, str], float] = {}
         self._partition_of: Dict[str, int] = {}
+        # Wire corruption: probability that a delivered payload has one
+        # byte flipped (fault injection for parser robustness).
+        self.corruption_rate = 0.0
         # Optional egress bandwidth (bytes/second) per node: messages
         # serialize onto the wire, so a busy sender delays later sends.
         self._egress_bandwidth: Dict[str, float] = {}
@@ -123,6 +127,25 @@ class Network:
                 f"bytes_per_second must be positive: {bytes_per_second!r}"
             )
         self._egress_bandwidth[name] = bytes_per_second
+
+    def set_corruption_rate(self, rate: float) -> None:
+        """Flip one byte of a delivered payload with probability ``rate``.
+
+        Corruption happens at delivery on a private copy -- fan-out sends
+        share one buffer, and the other recipients must see clean bytes.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"corruption rate must be in [0, 1]: {rate!r}")
+        self.corruption_rate = rate
+
+    def _corrupt(self, payload: Any) -> Any:
+        """One byte of ``payload`` flipped, on a copy (bytes only)."""
+        if not isinstance(payload, (bytes, bytearray)) or len(payload) == 0:
+            return payload
+        mutated = bytearray(payload)
+        index = self._rng.randrange(len(mutated))
+        mutated[index] ^= 0xFF
+        return bytes(mutated)
 
     def _transmission_delay(self, source: str, size: int) -> float:
         """Queueing + serialization delay at the sender (0 when unbounded)."""
@@ -188,6 +211,14 @@ class Network:
         if loss > 0.0 and self._rng.random() < loss:
             self._drop(message, "loss")
             return message
+        # A dead destination refuses synchronously: SOAP-over-HTTP rides
+        # TCP, so a crashed host means connection-refused at the sender --
+        # observable failure evidence the health layer feeds on.  (A crash
+        # while the message is in flight is still caught at delivery.)
+        process = self._processes.get(destination)
+        if process is None or not process.is_running:
+            self._drop(message, "dead-destination")
+            return message
 
         model = self._link_latency.get((source, destination), self.latency)
         delay = self._transmission_delay(source, size) + model.sample(self._rng)
@@ -216,6 +247,10 @@ class Network:
         if self.partitioned(message.source, message.destination):
             self._drop(message, "partition")
             return
+        if self.corruption_rate > 0.0 and self._rng.random() < self.corruption_rate:
+            message.payload = self._corrupt(message.payload)
+            message.corrupted = True
+            self.metrics.counter("net.corrupted").inc()
         message.deliver_time = self.sim.now
         self.metrics.counter("net.delivered").inc()
         self.metrics.histogram("net.latency").observe(

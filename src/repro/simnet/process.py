@@ -93,11 +93,17 @@ class Process:
 
     # -- communication -----------------------------------------------------------
 
-    def send(self, destination: str, payload: Any, size: int = 0) -> None:
+    def send(self, destination: str, payload: Any, size: int = 0):
         """Send a message; silently ignored unless RUNNING (a crashed node
-        cannot transmit)."""
+        cannot transmit).
+
+        Returns the :class:`~repro.simnet.network.NetworkMessage` (which
+        records synchronously-known drops -- loss, partition, dead
+        destination), or ``None`` when this process is not running.
+        """
         if self.is_running:
-            self.network.send(self.name, destination, payload, size=size)
+            return self.network.send(self.name, destination, payload, size=size)
+        return None
 
     def deliver(self, source: str, payload: Any) -> None:
         """Called by the network; routes to :meth:`on_message` when alive."""

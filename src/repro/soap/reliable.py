@@ -25,9 +25,10 @@ from __future__ import annotations
 
 import uuid
 import xml.etree.ElementTree as ET
-from typing import Dict, Optional, Set, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.core.scheduling import Scheduler
+from repro.simnet.metrics import HEALTH_STATS
 from repro.soap import namespaces as ns
 from repro.soap.envelope import Envelope
 from repro.soap.handler import Direction, Handler, MessageContext
@@ -78,6 +79,9 @@ class ReliableLayer(Handler):
         scheduler: timers for retransmission.
         retry_interval: seconds between retransmissions.
         max_retries: attempts before giving up (counted per message).
+        on_dead_letter: optional callback ``(destination, number, data)``
+            invoked when a message exhausts its retries unacked -- the
+            abandonment is no longer silent (experiment E12 counts it).
     """
 
     def __init__(
@@ -86,6 +90,7 @@ class ReliableLayer(Handler):
         scheduler: Scheduler,
         retry_interval: float = 0.5,
         max_retries: int = 8,
+        on_dead_letter: Optional[Callable[[str, int, bytes], None]] = None,
     ) -> None:
         if retry_interval <= 0:
             raise ValueError(f"retry_interval must be positive: {retry_interval!r}")
@@ -95,6 +100,9 @@ class ReliableLayer(Handler):
         self.scheduler = scheduler
         self.retry_interval = retry_interval
         self.max_retries = max_retries
+        self.on_dead_letter = on_dead_letter
+        #: Messages abandoned after ``max_retries`` without an ack.
+        self.dead_letters = 0
         self.channel_id = f"urn:ws-rm:channel:{uuid.uuid4()}"
         self._next_number = 0
         # In-flight: (destination, number) -> [bytes, retries_left]
@@ -139,7 +147,12 @@ class ReliableLayer(Handler):
         data, retries_left = entry
         if retries_left <= 0:
             del self._unacked[key]
+            self.dead_letters += 1
+            HEALTH_STATS.dead_letters += 1
             self.runtime.metrics.counter("rm.gave-up").inc()
+            if self.on_dead_letter is not None:
+                destination, number = key
+                self.on_dead_letter(destination, number, data)
             return
         entry[1] = retries_left - 1
         self.runtime.metrics.counter("rm.retransmit").inc()
@@ -219,8 +232,12 @@ def install_reliability(
     scheduler: Scheduler,
     retry_interval: float = 0.5,
     max_retries: int = 8,
+    on_dead_letter: Optional[Callable[[str, int, bytes], None]] = None,
 ) -> ReliableLayer:
     """Install a :class:`ReliableLayer` at the transport end of the stack."""
-    layer = ReliableLayer(runtime, scheduler, retry_interval, max_retries)
+    layer = ReliableLayer(
+        runtime, scheduler, retry_interval, max_retries,
+        on_dead_letter=on_dead_letter,
+    )
     runtime.chain.add_first(layer)
     return layer

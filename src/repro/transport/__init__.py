@@ -6,10 +6,34 @@
   ``http://host:port/path``), used by the examples.
 * :class:`LoopbackTransport`   -- delivers straight back to a registry of
   runtimes with no latency; used by unit tests.
+* :mod:`repro.transport.base`  -- the shared resilient send path: bounded
+  retry (:class:`RetryPolicy`), per-destination circuit breakers
+  (:class:`BreakerPolicy`, :class:`CircuitBreaker`), and structured
+  :class:`SendOutcome` callbacks (see docs/RESILIENCE.md).
 """
 
-from repro.transport.base import LoopbackTransport
+from repro.transport.base import (
+    BreakerPolicy,
+    CircuitBreaker,
+    LoopbackTransport,
+    ResilientTransport,
+    RetryPolicy,
+    SendError,
+    SendOutcome,
+)
 from repro.transport.inmem import SimTransport, WsProcess, sim_address
 from repro.transport.http import HttpNode
 
-__all__ = ["HttpNode", "LoopbackTransport", "SimTransport", "WsProcess", "sim_address"]
+__all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "HttpNode",
+    "LoopbackTransport",
+    "ResilientTransport",
+    "RetryPolicy",
+    "SendError",
+    "SendOutcome",
+    "SimTransport",
+    "WsProcess",
+    "sim_address",
+]

@@ -9,46 +9,85 @@ its own server thread.
 
 from __future__ import annotations
 
+import random
 import threading
+import time
 import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.soap.runtime import SoapRuntime
+from repro.transport.base import BreakerPolicy, ResilientTransport, RetryPolicy
 
 
-class HttpTransport:
-    """POSTs envelope bytes to ``http://...`` addresses."""
+class HttpTransport(ResilientTransport):
+    """POSTs envelope bytes to ``http://...`` addresses.
 
-    def __init__(self, max_workers: int = 8, timeout: float = 5.0) -> None:
+    Rides the shared resilient send path: a failed POST is reported as a
+    structured :class:`~repro.transport.base.SendOutcome` naming the
+    exception class and destination (register a listener with
+    ``add_outcome_listener``), optionally retried with backoff, and
+    repeated failures open a per-destination circuit breaker.  The legacy
+    ``send_errors`` counter still counts terminal failures.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 8,
+        timeout: float = 5.0,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[BreakerPolicy] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(retry=retry, breaker=breaker, rng=rng)
         self._pool = ThreadPoolExecutor(max_workers=max_workers)
         self._timeout = timeout
+        self._closed = False
         self.send_errors = 0
 
     def send(self, address: str, data: bytes) -> None:
         """POST asynchronously from the worker pool (best effort)."""
-        self._pool.submit(self._post, address, data)
+        if self._closed:
+            return  # shutting down: drop, exactly like a lost datagram
+        try:
+            self._pool.submit(self._start_send, address, data)
+        except RuntimeError:
+            # The pool was shut down between the flag check and submit.
+            pass
 
-    def _post(self, address: str, data: bytes) -> None:
+    def _send_once(self, address: str, data: bytes) -> None:
+        """One POST attempt (runs on a worker thread); raises on failure."""
         request = urllib.request.Request(
             address,
             data=data,
             headers={"Content-Type": "text/xml; charset=utf-8"},
             method="POST",
         )
-        try:
-            with urllib.request.urlopen(request, timeout=self._timeout):
-                pass
-        except (urllib.error.URLError, OSError):
+        with urllib.request.urlopen(request, timeout=self._timeout):
+            pass
+
+    def _defer(self, delay: float, callback: Callable[[], None]) -> None:
+        """Backoff on the worker thread we already occupy, then retry."""
+        time.sleep(delay)
+        callback()
+
+    def _emit(self, outcome) -> None:
+        if not outcome.ok:
             # One-way messaging is best effort, exactly like the simulated
             # datagram fabric: the gossip layer's redundancy covers losses.
             self.send_errors += 1
+        super()._emit(outcome)
 
-    def close(self) -> None:
-        """Shut the outbound worker pool down."""
-        self._pool.shutdown(wait=False)
+    def close(self, wait: bool = True) -> None:
+        """Shut the outbound worker pool down.
+
+        ``wait=True`` (the default) joins the worker threads, so no send
+        is still running at interpreter exit -- deterministic shutdown.
+        """
+        self._closed = True
+        self._pool.shutdown(wait=wait)
 
 
 class HttpNode:

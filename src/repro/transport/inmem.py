@@ -11,12 +11,18 @@ Addresses take the form ``sim://<node-name>/<service-path>``.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.simnet.network import Network
 from repro.simnet.process import Process
 from repro.soap.runtime import SoapRuntime
-from repro.transport.base import split_address
+from repro.transport.base import (
+    BreakerPolicy,
+    ResilientTransport,
+    RetryPolicy,
+    SendError,
+    split_address,
+)
 
 
 def sim_address(node_name: str, path: str = "") -> str:
@@ -26,18 +32,50 @@ def sim_address(node_name: str, path: str = "") -> str:
     return f"sim://{node_name}{path}"
 
 
-class SimTransport:
-    """Sends envelope bytes from one simulated node over the network."""
+class SimTransport(ResilientTransport):
+    """Sends envelope bytes from one simulated node over the network.
 
-    def __init__(self, node: Process) -> None:
+    Rides the shared resilient send path.  Synchronously observable
+    failures -- a dead destination (connection refused in the real world)
+    or a partition (no route) -- raise and feed retries, breakers and
+    outcome listeners.  A random in-flight *loss* stays invisible to the
+    sender, exactly like a datagram: gossip's redundancy covers it.
+
+    Retry timers run on the node's simulated process, so pending retries
+    die with the node on crash -- the right fault semantics for free.
+    """
+
+    #: Drop reasons a sender cannot observe synchronously.
+    UNOBSERVABLE_DROPS = frozenset({"loss"})
+
+    def __init__(
+        self,
+        node: Process,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[BreakerPolicy] = None,
+    ) -> None:
+        super().__init__(
+            retry=retry,
+            breaker=breaker,
+            clock=lambda: node.sim.now,
+            rng=node.sim.rng.get(f"transport:{node.name}"),
+        )
         self._node = node
 
-    def send(self, address: str, data: bytes) -> None:
+    def _send_once(self, address: str, data: bytes) -> None:
         """Send envelope bytes over the simulated network."""
         scheme, authority, _ = split_address(address)
         if scheme != "sim":
             raise ValueError(f"SimTransport cannot reach {address!r}")
-        self._node.send(authority, data, size=len(data))
+        message = self._node.send(authority, data, size=len(data))
+        if message is None:
+            return  # we are crashed; no one to report to
+        if message.dropped and message.drop_reason not in self.UNOBSERVABLE_DROPS:
+            raise SendError(message.drop_reason, address)
+
+    def _defer(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule the retry on the node (timer dies with a crash)."""
+        self._node.set_timer(delay, callback)
 
 
 class WsProcess(Process):

@@ -5,6 +5,7 @@ from __future__ import annotations
 import random
 from typing import Callable, List, Optional, Sequence
 
+from repro.core.params import ParamError
 from repro.core.scheduling import Scheduler
 from repro.soap import namespaces as ns
 from repro.soap.runtime import SoapRuntime
@@ -50,13 +51,21 @@ class MembershipEngine:
         on_failure: Optional[Callable[[str], None]] = None,
     ) -> None:
         if period <= 0:
-            raise ValueError(f"period must be positive: {period!r}")
+            raise ParamError("period", f"period must be positive: {period!r}")
         if fanout < 1:
-            raise ValueError(f"fanout must be >= 1: {fanout!r}")
+            raise ParamError("fanout", f"fanout must be >= 1: {fanout!r}")
         if t_fail <= period:
-            raise ValueError(
-                f"t_fail ({t_fail}) must exceed the gossip period ({period})"
+            raise ParamError(
+                "t_fail",
+                f"t_fail ({t_fail}) must exceed the gossip period ({period})",
             )
+        if t_cleanup is not None and t_cleanup < t_fail:
+            raise ParamError(
+                "t_cleanup",
+                f"t_cleanup ({t_cleanup}) must be >= t_fail ({t_fail})",
+            )
+        if jitter < 0:
+            raise ParamError("jitter", f"jitter must be non-negative: {jitter!r}")
         self.runtime = runtime
         self.scheduler = scheduler
         self.view = MembershipView(self_address)

@@ -85,6 +85,23 @@ def test_gives_up_after_max_retries():
     assert network.metrics.counter("rm.retransmit").value == 3
 
 
+def test_give_up_emits_dead_letter():
+    sim, network, a, b = make_pair(seed=5, max_retries=2, retry_interval=0.2)
+    dead = []
+    a.rm.on_dead_letter = lambda destination, number, data: dead.append(
+        (destination, number, data)
+    )
+    network.set_link_loss("a", "b", 1.0)
+    a.runtime.send("sim://b/app", "urn:t/Event", value={"n": 1})
+    sim.run_until(10.0)
+    assert a.rm.dead_letters == 1
+    assert len(dead) == 1
+    destination, number, data = dead[0]
+    assert destination == "sim://b/app"
+    assert number == 0
+    assert data.startswith(b"<")  # the abandoned wire bytes, recoverable
+
+
 def test_reliability_does_not_survive_receiver_crash():
     """RM repairs loss, not failure -- the E12 distinction."""
     sim, network, a, b = make_pair(seed=6, max_retries=4, retry_interval=0.2)

@@ -1,0 +1,266 @@
+"""The shared resilient send path: retries, breakers, outcomes."""
+
+import random
+
+import pytest
+
+from repro.simnet.metrics import HEALTH_STATS
+from repro.transport.base import (
+    BreakerPolicy,
+    CircuitBreaker,
+    ResilientTransport,
+    RetryPolicy,
+    SendError,
+    SendOutcome,
+)
+
+
+@pytest.fixture(autouse=True)
+def reset_health_stats():
+    HEALTH_STATS.reset()
+    yield
+    HEALTH_STATS.reset()
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class FlakyTransport(ResilientTransport):
+    """Fails the first ``fail_first`` attempts per destination."""
+
+    def __init__(self, fail_first=0, **kwargs):
+        super().__init__(**kwargs)
+        self.fail_first = fail_first
+        self.attempts = []
+        self.deferred_delays = []
+
+    def _send_once(self, address, data):
+        self.attempts.append(address)
+        if len(self.attempts) <= self.fail_first:
+            raise SendError("injected", address)
+
+    def _defer(self, delay, callback):
+        self.deferred_delays.append(delay)
+        callback()
+
+
+# -- RetryPolicy -----------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_schedule_is_deterministic_without_rng(self):
+        policy = RetryPolicy(max_retries=4, backoff=0.1, multiplier=2.0,
+                             backoff_cap=0.5, jitter=0.5)
+        assert policy.schedule() == [0.1, 0.2, 0.4, 0.5]
+        assert policy.schedule() == policy.schedule()
+
+    def test_delay_jitter_is_bounded(self):
+        policy = RetryPolicy(max_retries=3, backoff=0.1, multiplier=2.0,
+                             backoff_cap=10.0, jitter=0.5)
+        rng = random.Random(7)
+        for attempt in (1, 2, 3):
+            base = 0.1 * 2.0 ** (attempt - 1)
+            for _ in range(50):
+                delay = policy.delay(attempt, rng)
+                assert base <= delay <= base * 1.5
+
+    def test_cap_bounds_the_backoff(self):
+        policy = RetryPolicy(max_retries=10, backoff=1.0, multiplier=4.0,
+                             backoff_cap=3.0, jitter=0.0)
+        assert policy.schedule()[-1] == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+
+# -- CircuitBreaker --------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=3,
+                                               reset_timeout=5.0))
+        for _ in range(2):
+            breaker.record_failure(0.0)
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure(0.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow(1.0)
+
+    def test_success_resets_the_failure_count(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=2,
+                                               reset_timeout=5.0))
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        breaker.record_failure(0.0)
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_after_reset_timeout(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=1,
+                                               reset_timeout=5.0))
+        breaker.record_failure(0.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow(4.9)
+        assert breaker.allow(5.1)  # the probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow(5.2)  # only one probe at a time
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=1,
+                                               reset_timeout=1.0))
+        breaker.record_failure(0.0)
+        assert breaker.allow(2.0)
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow(2.1)
+
+    def test_probe_failure_reopens(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=1,
+                                               reset_timeout=1.0))
+        breaker.record_failure(0.0)
+        assert breaker.allow(2.0)
+        breaker.record_failure(2.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow(2.5)
+        assert breaker.allow(3.1)  # re-armed from the probe failure time
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(reset_timeout=0.0)
+
+
+# -- ResilientTransport ----------------------------------------------------
+
+
+class TestResilientTransport:
+    def test_success_emits_ok_outcome(self):
+        transport = FlakyTransport()
+        outcomes = []
+        transport.add_outcome_listener(outcomes.append)
+        transport.send("sim://a/x", b"data")
+        assert [o.ok for o in outcomes] == [True]
+        assert outcomes[0].destination == "sim://a/x"
+        assert outcomes[0].attempts == 1
+
+    def test_retries_then_succeeds(self):
+        transport = FlakyTransport(
+            fail_first=2, retry=RetryPolicy(max_retries=3, backoff=0.1,
+                                            jitter=0.0),
+        )
+        outcomes = []
+        transport.add_outcome_listener(outcomes.append)
+        transport.send("sim://a/x", b"data")
+        assert len(transport.attempts) == 3
+        assert transport.deferred_delays == [0.1, 0.2]
+        assert [o.ok for o in outcomes] == [True]
+        assert outcomes[0].attempts == 3
+        assert HEALTH_STATS.retries == 2
+
+    def test_exhausted_retries_emit_failure_with_reason(self):
+        transport = FlakyTransport(
+            fail_first=99, retry=RetryPolicy(max_retries=1, jitter=0.0),
+        )
+        outcomes = []
+        transport.add_outcome_listener(outcomes.append)
+        transport.send("sim://a/x", b"data")
+        assert len(transport.attempts) == 2
+        assert [o.ok for o in outcomes] == [False]
+        assert outcomes[0].error == "injected"
+        assert outcomes[0].attempts == 2
+
+    def test_breaker_suppresses_sends_within_threshold_failures(self):
+        clock = FakeClock()
+        transport = FlakyTransport(
+            fail_first=99, clock=clock,
+            breaker=BreakerPolicy(failure_threshold=3, reset_timeout=5.0),
+        )
+        outcomes = []
+        transport.add_outcome_listener(outcomes.append)
+        for _ in range(5):
+            transport.send("sim://dead/x", b"data")
+        # Exactly K attempts hit the wire; the rest were suppressed.
+        assert len(transport.attempts) == 3
+        suppressed = [o for o in outcomes if o.error == "circuit-open"]
+        assert len(suppressed) == 2
+        assert all(o.attempts == 0 for o in suppressed)
+        assert HEALTH_STATS.sends_suppressed == 2
+        assert HEALTH_STATS.breaker_opened == 1
+
+    def test_breaker_readmits_after_recovery(self):
+        clock = FakeClock()
+        transport = FlakyTransport(
+            fail_first=1, clock=clock,
+            breaker=BreakerPolicy(failure_threshold=1, reset_timeout=5.0),
+        )
+        outcomes = []
+        transport.add_outcome_listener(outcomes.append)
+        transport.send("sim://a/x", b"data")  # fails; breaker opens
+        transport.send("sim://a/x", b"data")  # suppressed
+        assert len(transport.attempts) == 1
+        clock.advance(6.0)
+        transport.send("sim://a/x", b"data")  # half-open probe succeeds
+        assert len(transport.attempts) == 2
+        assert outcomes[-1].ok
+        transport.send("sim://a/x", b"data")  # breaker closed again
+        assert len(transport.attempts) == 3
+        assert HEALTH_STATS.breaker_probes == 1
+        assert HEALTH_STATS.breaker_closed == 1
+
+    def test_breakers_are_per_destination_base(self):
+        clock = FakeClock()
+        transport = FlakyTransport(
+            fail_first=1, clock=clock,
+            breaker=BreakerPolicy(failure_threshold=1, reset_timeout=5.0),
+        )
+        transport.send("sim://a/x", b"data")  # fails; opens sim://a
+        transport.send("sim://a/y", b"data")  # same node: suppressed
+        transport.send("sim://b/x", b"data")  # other node: goes through
+        assert transport.attempts == ["sim://a/x", "sim://b/x"]
+
+    def test_fault_hook_injects_failures(self):
+        transport = FlakyTransport()
+        outcomes = []
+        transport.add_outcome_listener(outcomes.append)
+        transport.inject_fault(lambda address: "flaky")
+        transport.send("sim://a/x", b"data")
+        assert [o.error for o in outcomes] == ["flaky"]
+        transport.inject_fault(None)
+        transport.send("sim://a/x", b"data")
+        assert outcomes[-1].ok
+
+    def test_configure_resilience_after_construction(self):
+        transport = FlakyTransport(fail_first=99)
+        transport.send("sim://a/x", b"data")
+        assert len(transport.attempts) == 1  # no retries by default
+        transport.configure_resilience(
+            retry=RetryPolicy(max_retries=2, jitter=0.0)
+        )
+        transport.send("sim://a/x", b"data")
+        assert len(transport.attempts) == 4  # 1 + (1 initial + 2 retries)
+
+    def test_no_retry_while_breaker_open(self):
+        clock = FakeClock()
+        transport = FlakyTransport(
+            fail_first=99, clock=clock,
+            retry=RetryPolicy(max_retries=5, jitter=0.0),
+            breaker=BreakerPolicy(failure_threshold=2, reset_timeout=5.0),
+        )
+        transport.send("sim://a/x", b"data")
+        # The second attempt trips the breaker; retries stop there instead
+        # of hammering a destination already judged dead.
+        assert len(transport.attempts) == 2

@@ -116,3 +116,18 @@ def test_engine_parameter_validation():
     sim, network, nodes = build_cluster(2)
     with pytest.raises(ValueError):
         MembershipNode("bad", network, period=2.0, t_fail=1.0)
+
+
+def test_engine_validation_names_the_offending_key():
+    from repro.core.params import ParamError
+
+    sim, network, nodes = build_cluster(2)
+    cases = [
+        ({"period": 0.0}, "period"),
+        ({"t_fail": 0.5}, "t_fail"),  # default period is larger
+        ({"t_fail": 3.0, "t_cleanup": 1.0}, "t_cleanup"),
+    ]
+    for index, (kwargs, key) in enumerate(cases):
+        with pytest.raises(ParamError) as exc:
+            MembershipNode(f"bad{index}", network, **kwargs)
+        assert exc.value.key == key
