@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-chaos bench bench-smoke bench-core examples clean coverage
+.PHONY: install test test-chaos test-recovery bench bench-smoke bench-core examples clean coverage
 
 install:
 	pip install -e . || pip install -e . --no-build-isolation
 
-test: test-chaos
+test: test-chaos test-recovery
 	$(PYTHON) -m pytest tests/
 
 # Seeded chaos gate: 30% crashes + 10% link loss at N=500 must still
@@ -15,6 +15,14 @@ test: test-chaos
 # beat the same seed with it off (see docs/RESILIENCE.md).
 test-chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/integration/test_chaos.py -q
+
+# Seeded recovery gate: 20% crash-restart with amnesia plus one
+# partition/heal cycle at N=500 must still deliver to >= 99% of the
+# group with durability + catch-up, and the amnesia-without-catch-up
+# ablation on the same seed must be demonstrably worse
+# (see docs/RESILIENCE.md, "Crash-recovery and rejoin").
+test-recovery:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/integration/test_recovery.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -9,7 +9,7 @@ tree, and the WS-Notification broker.
 
 from _tables import emit, mean
 
-from repro import GossipConfig
+from repro import DurabilityPolicy, GossipConfig
 from repro.baselines.centralnotify import CentralNotifyGroup
 from repro.baselines.tree import TreeGroup
 from repro.simnet.faults import FaultPlan
@@ -102,6 +102,51 @@ def health_rows():
         on = mean(health_run(True, crashes, loss, seed=s) for s in SEEDS)
         off = mean(health_run(False, crashes, loss, seed=s) for s in SEEDS)
         rows.append((label, on, off))
+    return rows
+
+
+def recovery_run(amnesia, catch_up, crash_fraction=0.2, seed=1):
+    """Crash-restart run: delivery over the WHOLE group, restarted nodes
+    included.  Push style so no periodic repair masks the recovery path:
+    a restarted node gets old messages back from its WAL (durable), from
+    rejoin catch-up (amnesia + catch-up), or never (the ablation arm)."""
+    group = GossipConfig(
+        n_disseminators=N - 1,
+        seed=seed,
+        durability=DurabilityPolicy(catch_up=catch_up),
+        params={"style": "push", "fanout": 6, "rounds": 8, "peer_sample_size": 16},
+        auto_tune=False,
+    ).build()
+    group.setup(settle=1.5, eager_join=True)
+    gossip_id = group.publish({"exp": "e5-recovery"})
+    group.run_for(5.0)
+    plan = FaultPlan(group.network)
+    plan.crash_fraction_at(
+        group.sim.now,
+        crash_fraction,
+        [node.name for node in group.disseminators],
+        restart_after=2.0,
+        amnesia=amnesia,
+    )
+    plan.apply()
+    group.run_for(12.0)
+    return mean(
+        1.0 if node.has_delivered(gossip_id) else 0.0
+        for node in group.disseminators
+    )
+
+
+def recovery_rows():
+    rows = []
+    for label, amnesia, catch_up in (
+        ("durable replay (WAL)", False, True),
+        ("amnesia + catch-up", True, True),
+        ("amnesia, no catch-up", True, False),
+    ):
+        delivery = mean(
+            recovery_run(amnesia, catch_up, seed=s) for s in SEEDS
+        )
+        rows.append((label, delivery))
     return rows
 
 
@@ -198,6 +243,25 @@ def test_e5_health_ablation(benchmark):
     benchmark.pedantic(lambda: health_run(True), rounds=1, iterations=1)
 
 
+def test_e5_crash_recovery(benchmark):
+    rows = recovery_rows()
+    emit(
+        "e5_recovery",
+        "E5e: delivery across 20% crash-restart, by recovery path (N=32)",
+        ["recovery path", "delivery"],
+        rows,
+    )
+    by_label = dict(rows)
+    # Both recovery paths restore full (or near-full) delivery; the
+    # ablation arm loses roughly the crashed fraction for good.
+    assert by_label["durable replay (WAL)"] >= 0.99
+    assert by_label["amnesia + catch-up"] >= 0.99
+    assert by_label["amnesia, no catch-up"] < 0.9
+    benchmark.pedantic(
+        lambda: recovery_run(amnesia=True, catch_up=True), rounds=1, iterations=1
+    )
+
+
 def test_e5_loss_resilience(benchmark):
     rows = loss_rows()
     emit(
@@ -220,3 +284,5 @@ if __name__ == "__main__":
          ["loss", "WS-Gossip", "tree", "broker"], loss_rows())
     emit("e5_health", "E5d: delivery, health layer on vs off",
          ["faults", "health on", "health off"], health_rows())
+    emit("e5_recovery", "E5e: delivery across 20% crash-restart, by recovery path",
+         ["recovery path", "delivery"], recovery_rows())

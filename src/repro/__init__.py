@@ -22,8 +22,10 @@ paper-versus-measured record.
 
 from repro.core import (
     DecentralizedGroup,
+    DurabilityPolicy,
     GossipConfig,
     GossipGroup,
+    GossipLog,
     GossipParams,
     GossipStyle,
     HealthPolicy,
@@ -34,15 +36,24 @@ from repro.core import (
     fanout_for_atomicity,
 )
 from repro.simnet.events import Simulator
-from repro.simnet.metrics import HEALTH_STATS, WIRE_STATS, HealthStats, WireStats
+from repro.simnet.metrics import (
+    HEALTH_STATS,
+    RECOVERY_STATS,
+    WIRE_STATS,
+    HealthStats,
+    RecoveryStats,
+    WireStats,
+)
 from repro.stats import summarize
 
 __version__ = "1.0.0"
 
 __all__ = [
     "DecentralizedGroup",
+    "DurabilityPolicy",
     "GossipConfig",
     "GossipGroup",
+    "GossipLog",
     "GossipParams",
     "GossipStyle",
     "HEALTH_STATS",
@@ -50,6 +61,8 @@ __all__ = [
     "HealthStats",
     "ParamError",
     "PeerHealth",
+    "RECOVERY_STATS",
+    "RecoveryStats",
     "Simulator",
     "WIRE_STATS",
     "WireStats",

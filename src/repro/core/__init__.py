@@ -53,6 +53,13 @@ from repro.core.roles import (
     DisseminatorNode,
     InitiatorNode,
 )
+from repro.core.store import (
+    DurabilityPolicy,
+    FileGossipLog,
+    GossipLog,
+    MemoryGossipLog,
+    ReplayResult,
+)
 
 __all__ = [
     "ConsumerNode",
@@ -60,8 +67,13 @@ __all__ = [
     "DecentralizedGossipNode",
     "DecentralizedGroup",
     "DisseminatorNode",
+    "DurabilityPolicy",
+    "FileGossipLog",
     "GossipConfig",
     "GossipEngine",
+    "GossipLog",
+    "MemoryGossipLog",
+    "ReplayResult",
     "GossipGroup",
     "GossipHeader",
     "GossipParams",

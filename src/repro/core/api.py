@@ -37,6 +37,7 @@ from repro.core.roles import (
     DisseminatorNode,
     InitiatorNode,
 )
+from repro.core.store import DurabilityPolicy
 from repro.simnet.events import Simulator
 from repro.simnet.latency import LatencyModel
 from repro.simnet.metrics import MetricsRegistry
@@ -70,6 +71,14 @@ class GossipConfig:
         health_policy: knobs for the health layer; a plain dict is
             accepted and validated via
             :meth:`~repro.core.health.HealthPolicy.from_value`.
+        durability: enable the crash-recovery subsystem on every
+            gossip-capable node -- each engine keeps a
+            :class:`~repro.core.store.GossipLog` (WAL + snapshots) and
+            restarted nodes rejoin via the bounded catch-up protocol.
+            Accepts a :class:`~repro.core.store.DurabilityPolicy`, a plain
+            dict (validated via
+            :meth:`~repro.core.store.DurabilityPolicy.from_value`), or
+            ``True`` for the defaults.
     """
 
     n_disseminators: int = 8
@@ -84,6 +93,7 @@ class GossipConfig:
     trace: bool = False
     health: bool = False
     health_policy: Optional[HealthPolicy] = None
+    durability: Optional[DurabilityPolicy] = None
 
     def __post_init__(self) -> None:
         if self.n_disseminators < 0:
@@ -111,6 +121,20 @@ class GossipConfig:
         if isinstance(self.health_policy, dict):
             object.__setattr__(
                 self, "health_policy", HealthPolicy.from_value(self.health_policy)
+            )
+        if self.durability is True:
+            object.__setattr__(self, "durability", DurabilityPolicy())
+        elif isinstance(self.durability, dict):
+            object.__setattr__(
+                self, "durability", DurabilityPolicy.from_value(self.durability)
+            )
+        elif self.durability is not None and not isinstance(
+            self.durability, DurabilityPolicy
+        ):
+            raise ParamError(
+                "durability",
+                "durability must be a DurabilityPolicy, a dict of its "
+                f"fields, True, or None: {self.durability!r}",
             )
 
     @classmethod
@@ -244,9 +268,13 @@ class GossipGroup:
             auto_tune=self.config.auto_tune,
             target_reliability=self.config.target_reliability,
         )
-        self.initiator = InitiatorNode("initiator", self.network)
+        self.initiator = InitiatorNode(
+            "initiator", self.network, durability=self.config.durability
+        )
         self.disseminators: List[DisseminatorNode] = [
-            DisseminatorNode(f"d{index}", self.network)
+            DisseminatorNode(
+                f"d{index}", self.network, durability=self.config.durability
+            )
             for index in range(self.config.n_disseminators)
         ]
         self.consumers: List[ConsumerNode] = [

@@ -5,13 +5,22 @@ anti-entropy styles can re-transmit the *original* envelope (headers and
 all) to lagging peers.  Capacity-bounded with FIFO eviction -- evicted
 identities are remembered in the seen-set so re-receipt of an old message
 does not count as fresh.
+
+The seen-set itself is bounded by generation rotation: identities live in
+a *current* set until it fills to ``seen_capacity``, then the whole set is
+demoted to *previous* and a fresh current set starts; the demoted set is
+dropped on the next rotation.  Membership checks consult both sets, so an
+identity is remembered for at least ``seen_capacity`` further distinct
+identities after it was recorded -- the retention window.  Anything still
+retained as a payload is re-pinned into the new current set on rotation,
+so a retained message can never be mistaken for new.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Set
 
 
 @dataclass
@@ -27,30 +36,73 @@ class StoredMessage:
 class MessageStore:
     """Seen-set plus bounded payload retention for one activity.
 
-    ``capacity`` bounds only the retained payloads; the seen-set of
-    identities is unbounded by design (identities are small and forgetting
-    one would re-trigger dissemination of an old message).
+    ``capacity`` bounds the retained payloads; ``seen_capacity`` bounds the
+    dedup memory via two-set generation rotation (default
+    ``max(1024, 4 * capacity)``, so small stores still remember identities
+    long past eviction).  An identity is guaranteed to be remembered while
+    fewer than ``seen_capacity`` *newer* distinct identities have been
+    recorded -- outside that window, epidemic dedup upstream (peers that
+    still remember) is the backstop, matching Demers-style death
+    certificates aging out.
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(self, capacity: int = 1024, seen_capacity: Optional[int] = None) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1: {capacity!r}")
+        if seen_capacity is None:
+            seen_capacity = max(1024, 4 * capacity)
+        if seen_capacity < capacity:
+            raise ValueError(
+                f"seen_capacity must be >= capacity ({capacity}): {seen_capacity!r}"
+            )
         self.capacity = capacity
+        self.seen_capacity = seen_capacity
         self._messages: "OrderedDict[str, StoredMessage]" = OrderedDict()
-        self._seen: Set[str] = set()
+        self._seen_current: Set[str] = set()
+        self._seen_previous: Set[str] = set()
+        self.rotations = 0
+
+    # -- dedup --------------------------------------------------------------
 
     def is_new(self, message_id: str) -> bool:
-        """True when this identity has never been seen."""
-        return message_id not in self._seen
+        """True when this identity is not remembered (either generation)."""
+        return (
+            message_id not in self._seen_current
+            and message_id not in self._seen_previous
+        )
+
+    def mark_seen(self, message_id: str) -> None:
+        """Remember an identity without retaining a payload.
+
+        Used by replay to restore dedup knowledge for messages whose
+        payloads had already been evicted before the crash.
+        """
+        if not self.is_new(message_id):
+            return
+        self._rotate_if_full()
+        self._seen_current.add(message_id)
+
+    def _rotate_if_full(self) -> None:
+        if len(self._seen_current) < self.seen_capacity:
+            return
+        self._seen_previous = self._seen_current
+        self._seen_current = set()
+        # Retained payloads must never be mistaken for new: re-pin them
+        # into the fresh generation immediately.
+        self._seen_current.update(self._messages)
+        self.rotations += 1
+
+    # -- retention ----------------------------------------------------------
 
     def add(self, message_id: str, data: bytes, received_at: float, origin: str) -> bool:
         """Record a message; returns True when it was new.
 
         Duplicate adds are no-ops (the first-received bytes are kept).
         """
-        if message_id in self._seen:
+        if not self.is_new(message_id):
             return False
-        self._seen.add(message_id)
+        self._rotate_if_full()
+        self._seen_current.add(message_id)
         self._messages[message_id] = StoredMessage(
             message_id=message_id,
             data=data,
@@ -65,6 +117,10 @@ class MessageStore:
         """The retained message, or ``None`` if never seen or evicted."""
         return self._messages.get(message_id)
 
+    def messages(self) -> Iterator[StoredMessage]:
+        """Retained messages, oldest first (snapshot source for the WAL)."""
+        return iter(self._messages.values())
+
     def digest(self) -> List[str]:
         """Identities currently retained, oldest first.
 
@@ -74,20 +130,27 @@ class MessageStore:
         return list(self._messages)
 
     def missing_from(self, remote_digest: Iterable[str]) -> List[str]:
-        """Identities in ``remote_digest`` that this store has never seen."""
-        return [message_id for message_id in remote_digest if message_id not in self._seen]
+        """Identities in ``remote_digest`` that this store does not remember."""
+        return [message_id for message_id in remote_digest if self.is_new(message_id)]
 
     def not_in(self, remote_digest: Iterable[str]) -> List[str]:
         """Retained identities absent from ``remote_digest``."""
         remote = set(remote_digest)
         return [message_id for message_id in self._messages if message_id not in remote]
 
+    def seen_identities(self) -> List[str]:
+        """Every identity currently remembered (both generations)."""
+        return sorted(self._seen_current | self._seen_previous)
+
     @property
     def seen_count(self) -> int:
-        return len(self._seen)
+        # The generations are kept disjoint (an identity is only added to
+        # current when absent from both), except for retained payloads
+        # re-pinned across a rotation.
+        return len(self._seen_current | self._seen_previous)
 
     def __len__(self) -> int:
         return len(self._messages)
 
     def __contains__(self, message_id: str) -> bool:
-        return message_id in self._seen
+        return not self.is_new(message_id)

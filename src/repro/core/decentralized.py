@@ -81,6 +81,7 @@ class DecentralizedGossipNode(AppNode):
         t_fail: float = 4.0,
         view_capacity: int = 16,
         health_policy: Optional[HealthPolicy] = None,
+        durability=None,
     ) -> None:
         super().__init__(name, network, app_path=APP_PATH)
         scheduler = ProcessScheduler(self)
@@ -125,9 +126,13 @@ class DecentralizedGossipNode(AppNode):
             default_params=params,
             view_provider=self._gossip_view,
             health=self.health,
+            durability=durability,
         )
         self.runtime.chain.add_first(self.gossip_layer)
         self.runtime.add_service("/gossip", GossipService(self.gossip_layer))
+        self._seeds: List[str] = []
+        #: Messages restored from the WAL by the most recent durable restart.
+        self.replayed_messages = 0
 
     def _gossip_view(self) -> List[str]:
         """Alive members first; fall back to the sampling view while the
@@ -139,12 +144,33 @@ class DecentralizedGossipNode(AppNode):
 
     def bootstrap(self, seeds: Sequence[str]) -> None:
         """Introduce a few known peers (both protocols share the seeds)."""
+        self._seeds = [seed for seed in seeds if seed]
         self.membership.bootstrap(seeds)
         self.sampling.bootstrap(seeds)
 
     def on_start(self) -> None:
         self.membership.start()
         self.sampling.start()
+
+    def reset_state(self, amnesia: bool) -> None:
+        """Crash-faithful restart: wipe (or replay) the gossip engines and
+        drop in-memory health scores.  Membership/sampling views are
+        rebuilt from the original seed list in :meth:`on_restart` -- the
+        seeds model the node's static introducer configuration, the one
+        thing that survives any restart."""
+        super().reset_state(amnesia)
+        self.replayed_messages = self.gossip_layer.prepare_restart(
+            amnesia=amnesia, on_replayed=self._delivered_ids.add
+        )
+        if self.health is not None:
+            self.health.reset()
+
+    def on_restart(self, amnesia: bool) -> None:
+        """Rejoin: restart membership and sampling from the seed list,
+        then run the gossip catch-up protocol."""
+        self.membership.rejoin(self._seeds)
+        self.sampling.rejoin(self._seeds)
+        self.gossip_layer.rejoin()
 
     def join(self, context: CoordinationContext) -> GossipEngine:
         """Join an activity without any coordinator round trip."""

@@ -37,6 +37,8 @@ from repro.core.ordering import FifoBuffer
 from repro.core.params import GossipParams
 from repro.core.peers import HealthAwareSelector, PeerSelector, UniformSelector
 from repro.core.scheduling import Scheduler
+from repro.core.store import DurabilityPolicy, GossipLog
+from repro.simnet.metrics import RECOVERY_STATS
 from repro.soap import namespaces as ns
 from repro.soap.envelope import Envelope
 from repro.soap.handler import Direction, MessageContext
@@ -95,6 +97,13 @@ class GossipEngine:
             down-weights suspected peers, the effective fanout grows as
             the healthy pool shrinks, and inbound gossip counts as proof
             of life for its sender.
+        log: optional :class:`~repro.core.store.GossipLog`.  When set the
+            engine appends gossip-critical state changes to the WAL so a
+            crashed node can be restarted without amnesia
+            (docs/RESILIENCE.md, "Crash-recovery and rejoin").
+        durability: the :class:`~repro.core.store.DurabilityPolicy`
+            governing snapshot cadence and the rejoin catch-up bounds;
+            defaults apply when a ``log`` is given without a policy.
     """
 
     def __init__(
@@ -109,6 +118,8 @@ class GossipEngine:
         on_params: Optional[Callable[[GossipParams], None]] = None,
         view_provider: Optional[Callable[[], Sequence[str]]] = None,
         health=None,
+        log: Optional[GossipLog] = None,
+        durability: Optional[DurabilityPolicy] = None,
     ) -> None:
         self.runtime = runtime
         self.scheduler = scheduler
@@ -146,6 +157,18 @@ class GossipEngine:
         # FIFO ordered mode: per-origin holdback and publication counter.
         self._fifo = FifoBuffer()
         self._publish_sequence = 0
+        # Crash recovery: optional WAL + policy, and the rejoin state.
+        # While ``_recovering`` the engine ingests and delivers but does
+        # not eagerly forward -- it first catches up with healthy peers.
+        self.log = log
+        self.durability = (
+            durability
+            if durability is not None
+            else (DurabilityPolicy() if log is not None else None)
+        )
+        self._recovering = False
+        self._catch_up_rounds_left = 0
+        self._last_protocol = PROTOCOL_DISSEMINATOR
 
     @property
     def activity_id(self) -> str:
@@ -172,6 +195,7 @@ class GossipEngine:
         must survive the same lossy fabric the gossip rides on.
         """
         self.register_pending = True
+        self._last_protocol = protocol
         attempt_state = {"sent": 0, "answered": False, "last_id": None}
 
         def on_reply(reply_context, value) -> None:
@@ -274,14 +298,18 @@ class GossipEngine:
         # Remember our own message (so an echo is not treated as fresh) and
         # retain the wire bytes for pull serving.
         self.store.add(message_id, data, self.scheduler.now, self.app_address)
+        self._log_message(message_id, data, self.app_address)
         if self.params.style is GossipStyle.LAZY_PUSH:
             self._advertise([message_id], self.params.rounds)
         elif self.params.style is GossipStyle.FEEDBACK:
             self._hot[message_id] = self.params.rounds
             self._forward_hot(message_id)
+            self._log_append({"type": "hot", "id": message_id, "rounds": self.params.rounds})
         if self.params.ordered:
             # Our own publication counts toward the origin's sequence.
             self._fifo.offer(self.app_address, sequence, b"")
+            self._log_append({"type": "pub_seq", "value": self._publish_sequence})
+            self._log_fifo(self.app_address)
         return message_id
 
     def _publication_envelope(self, action, value, tag, header) -> Envelope:
@@ -327,10 +355,21 @@ class GossipEngine:
         )
         if not fresh:
             self.metrics.counter("gossip.duplicate").inc()
+            if self._recovering:
+                RECOVERY_STATS.redelivered_suppressed += 1
             if self.params.style is GossipStyle.FEEDBACK and source is not None:
                 self._send_feedback(header.message_id, source)
             return False
         self.metrics.counter("gossip.fresh").inc()
+        self._log_message(header.message_id, envelope.to_bytes(), header.origin)
+        if self._recovering:
+            RECOVERY_STATS.fetched += 1
+        if header.origin == self.app_address and header.sequence is not None:
+            # Our own pre-crash publication came back via catch-up: never
+            # reuse a sequence number the group may already have delivered.
+            self._publish_sequence = max(
+                self._publish_sequence, header.sequence + 1
+            )
         # (duplicates that never reach here are dropped pre-parse by
         # on_duplicate_preparse -- keep the two paths in sync)
         self._propagate(envelope, header, source)
@@ -349,11 +388,19 @@ class GossipEngine:
             self.health.observe_alive(source)
         self._pending_fetch.discard(message_id)
         self.metrics.counter("gossip.duplicate").inc()
+        if self._recovering:
+            RECOVERY_STATS.redelivered_suppressed += 1
         if self.params.style is GossipStyle.FEEDBACK and source is not None:
             self._send_feedback(message_id, source)
 
     def _propagate(self, envelope: Envelope, header: GossipHeader, source: Optional[str]) -> None:
         """Run the style's forwarding step for a fresh message."""
+        if self._recovering:
+            # A rejoining node first reconciles with healthy peers; eager
+            # forwarding resumes once catch-up finishes (the catch-up
+            # fetches would otherwise echo stale hops around the group).
+            self.metrics.counter("gossip.forward-during-recovery-skipped").inc()
+            return
         if self.params.style in (GossipStyle.PUSH, GossipStyle.PUSH_PULL):
             if self.has_view:
                 self._forward(envelope, header, source)
@@ -369,6 +416,9 @@ class GossipEngine:
             # Become hot: forward now and keep re-forwarding each period
             # until feedback (or the rounds cap) cools the rumor.
             self._hot[header.message_id] = self.params.rounds
+            self._log_append(
+                {"type": "hot", "id": header.message_id, "rounds": self.params.rounds}
+            )
             if self.has_view:
                 self._forward_hot(header.message_id, source)
 
@@ -379,10 +429,19 @@ class GossipEngine:
             header.origin, header.sequence, envelope.to_bytes()
         )
         if not released:
-            self.metrics.counter("gossip.held-back").inc()
+            if header.sequence < self._fifo.next_expected(header.origin):
+                # Below the delivered watermark: a pre-crash delivery came
+                # around again; swallowing it is the whole point of the
+                # durable FIFO counters.
+                self.metrics.counter("gossip.fifo-suppressed").inc()
+                RECOVERY_STATS.redelivered_suppressed += 1
+            else:
+                self.metrics.counter("gossip.held-back").inc()
         for data in released:
             self.metrics.counter("gossip.released-in-order").inc()
             self._dispatch_stored(data)
+        if released:
+            self._log_fifo(header.origin)
         return False
 
     def _dispatch_stored(self, data: bytes) -> None:
@@ -523,6 +582,7 @@ class GossipEngine:
             if remaining <= 0:
                 self._hot.pop(message_id, None)
                 self.metrics.counter("gossip.cooled.cap").inc()
+                self._log_append({"type": "cooled", "id": message_id})
             else:
                 self._hot[message_id] = remaining
 
@@ -542,6 +602,7 @@ class GossipEngine:
                 if self.rng.random() < self.params.stop_probability:
                     self._hot.pop(message_id, None)
                     self.metrics.counter("gossip.cooled.feedback").inc()
+                    self._log_append({"type": "cooled", "id": message_id})
 
     @property
     def hot_count(self) -> int:
@@ -672,6 +733,306 @@ class GossipEngine:
             "peer": gossip_address_of(self.app_address),
         }
         return response
+
+    # -- durability (WAL + snapshot) ----------------------------------------------------
+
+    def _log_append(self, record: dict) -> None:
+        """Append one WAL record; snapshot-compact at the policy cadence."""
+        if self.log is None:
+            return
+        self.log.append(record)
+        snapshot_every = (
+            self.durability.snapshot_every if self.durability is not None else 256
+        )
+        if self.log.appends_since_snapshot >= snapshot_every:
+            self.log.write_snapshot(self.snapshot_state())
+
+    def _log_message(self, message_id: str, data: bytes, origin: str) -> None:
+        if self.log is None:
+            return
+        self._log_append(
+            {
+                "type": "msg",
+                "id": message_id,
+                "data": data,
+                "at": self.scheduler.now,
+                "origin": origin,
+            }
+        )
+
+    def _log_fifo(self, origin: str) -> None:
+        if self.log is None:
+            return
+        self._log_append(
+            {
+                "type": "fifo",
+                "origin": origin,
+                "next": self._fifo.next_expected(origin),
+            }
+        )
+
+    def snapshot_state(self) -> dict:
+        """The gossip-critical state a snapshot must capture: retained
+        messages, dedup identities, FIFO watermarks, publication counter,
+        and the feedback hot-rumor set."""
+        return {
+            "messages": [
+                {
+                    "id": stored.message_id,
+                    "data": stored.data,
+                    "at": stored.received_at,
+                    "origin": stored.origin,
+                }
+                for stored in self.store.messages()
+            ],
+            "seen": self.store.seen_identities(),
+            "pub_seq": self._publish_sequence,
+            "fifo": self._fifo.counters(),
+            "hot": dict(self._hot),
+        }
+
+    # -- crash recovery -----------------------------------------------------------------
+
+    @property
+    def recovering(self) -> bool:
+        """True between a restart and the end of catch-up (eager
+        forwarding is suppressed while this holds)."""
+        return self._recovering
+
+    def prepare_restart(
+        self,
+        amnesia: bool = True,
+        on_replayed: Optional[Callable[[str], None]] = None,
+    ) -> int:
+        """Reset the engine to post-crash state, replaying the WAL unless
+        ``amnesia``.
+
+        Called by the host node while the process restarts (before
+        :meth:`rejoin`).  With ``amnesia`` the durable log is discarded
+        too -- the node truly forgets, modelling a lost disk.  Otherwise
+        the snapshot and WAL rebuild the store, dedup identities, FIFO
+        watermarks, publication counter and hot set; ``on_replayed`` is
+        invoked with each recovered message identity so the host can
+        restore its own delivered-set.
+
+        Returns the number of messages restored into the store.
+        """
+        self.store = MessageStore(self.params.buffer_capacity)
+        self.view = []
+        self.registered = False
+        self.register_pending = False
+        self._periodic_started = False
+        self._stopped = False
+        self._recovering = False
+        self._catch_up_rounds_left = 0
+        self._pending_forwards = []
+        self._ad_hops = {}
+        self._pending_fetch = set()
+        self._hot = {}
+        self._fifo = FifoBuffer()
+        self._publish_sequence = 0
+        RECOVERY_STATS.restarts += 1
+        self.metrics.counter("gossip.restart").inc()
+        if amnesia:
+            RECOVERY_STATS.amnesia_restarts += 1
+            if self.log is not None:
+                self.log.clear()
+            return 0
+        if self.log is None:
+            return 0
+        return self._restore_from_log(on_replayed)
+
+    def _restore_from_log(
+        self, on_replayed: Optional[Callable[[str], None]]
+    ) -> int:
+        result = self.log.replay()
+        replayed = 0
+        snapshot = result.snapshot
+        if isinstance(snapshot, dict):
+            replayed += self._apply_replay_state(snapshot, on_replayed)
+        for record in result.records:
+            replayed += self._apply_replay_record(record, on_replayed)
+        RECOVERY_STATS.replayed_messages += replayed
+        self.metrics.counter("gossip.replayed").inc(replayed)
+        if self.params.ordered:
+            self._reoffer_replayed()
+        return replayed
+
+    def _apply_replay_state(
+        self, state: dict, on_replayed: Optional[Callable[[str], None]]
+    ) -> int:
+        replayed = 0
+        messages = state.get("messages")
+        if isinstance(messages, list):
+            for entry in messages:
+                if isinstance(entry, dict):
+                    replayed += self._restore_message(entry, on_replayed)
+        seen = state.get("seen")
+        if isinstance(seen, list):
+            for message_id in seen:
+                if isinstance(message_id, str) and self.store.is_new(message_id):
+                    # Payload evicted pre-crash; the identity alone keeps
+                    # re-receipt from counting as fresh.
+                    self.store.mark_seen(message_id)
+                    if on_replayed is not None:
+                        on_replayed(message_id)
+        pub_seq = state.get("pub_seq")
+        if isinstance(pub_seq, int):
+            self._publish_sequence = max(self._publish_sequence, pub_seq)
+        fifo = state.get("fifo")
+        if isinstance(fifo, dict):
+            for origin, next_expected in fifo.items():
+                if isinstance(origin, str) and isinstance(next_expected, int):
+                    self._fifo.restore_counter(origin, next_expected)
+        hot = state.get("hot")
+        if isinstance(hot, dict):
+            for message_id, rounds in hot.items():
+                if isinstance(message_id, str) and isinstance(rounds, int):
+                    self._hot[message_id] = rounds
+        return replayed
+
+    def _apply_replay_record(
+        self, record: dict, on_replayed: Optional[Callable[[str], None]]
+    ) -> int:
+        kind = record.get("type")
+        if kind == "msg":
+            return self._restore_message(record, on_replayed)
+        if kind == "pub_seq" and isinstance(record.get("value"), int):
+            self._publish_sequence = max(self._publish_sequence, record["value"])
+        elif kind == "fifo":
+            origin, next_expected = record.get("origin"), record.get("next")
+            if isinstance(origin, str) and isinstance(next_expected, int):
+                self._fifo.restore_counter(origin, next_expected)
+        elif kind == "hot":
+            message_id, rounds = record.get("id"), record.get("rounds")
+            if isinstance(message_id, str) and isinstance(rounds, int):
+                self._hot[message_id] = rounds
+        elif kind == "cooled":
+            self._hot.pop(record.get("id"), None)
+        return 0
+
+    def _restore_message(
+        self, entry: dict, on_replayed: Optional[Callable[[str], None]]
+    ) -> int:
+        message_id = entry.get("id")
+        data = entry.get("data")
+        origin = entry.get("origin")
+        if not isinstance(message_id, str) or not isinstance(data, (bytes, bytearray)):
+            return 0
+        received_at = entry.get("at")
+        if not isinstance(received_at, (int, float)):
+            received_at = self.scheduler.now
+        fresh = self.store.add(
+            message_id,
+            bytes(data),
+            float(received_at),
+            origin if isinstance(origin, str) else "",
+        )
+        if fresh and on_replayed is not None:
+            on_replayed(message_id)
+        return int(fresh)
+
+    def _reoffer_replayed(self) -> None:
+        """FIFO mode: re-arm the holdback buffer with replayed messages.
+
+        Messages at or past an origin's watermark were received but not
+        yet delivered when the node crashed -- they go back into holdback
+        (and anything now in order is dispatched).  Messages below the
+        watermark were already delivered pre-crash and stay suppressed.
+        """
+        for stored in list(self.store.messages()):
+            if not stored.data:
+                continue
+            try:
+                envelope = Envelope.from_bytes(stored.data)
+            except Exception:
+                continue
+            header = GossipHeader.from_envelope(envelope)
+            if header is None or header.sequence is None:
+                continue
+            if header.sequence >= self._fifo.next_expected(header.origin):
+                self._offer_ordered(envelope, header)
+
+    def rejoin(self, protocol: Optional[str] = None) -> None:
+        """Resume participation after a restart.
+
+        The node re-registers (or restarts its periodic rounds in
+        decentralized mode), marks *itself* suspect in its own health view
+        (its pre-crash picture of the group is stale), and runs a bounded
+        anti-entropy catch-up with ``catch_up_peers`` healthy peers per
+        round before resuming eager forwarding.  ``protocol`` defaults to
+        whatever this engine registered as before the crash.
+        """
+        if self._stopped:
+            return
+        if protocol is None:
+            protocol = self._last_protocol
+        policy = self.durability if self.durability is not None else DurabilityPolicy()
+        if self.health is not None:
+            # Conservative rejoin: our own liveness record is the stalest
+            # thing in the room right after a crash.
+            self.health.mark_failed(self.app_address)
+        if policy.catch_up:
+            self._recovering = True
+            self._catch_up_rounds_left = policy.catch_up_rounds
+            self._catch_up_wait_budget = 24
+        if self.view_provider is not None:
+            self._start_periodic_rounds()
+        else:
+            self.register(protocol)
+        if policy.catch_up:
+            self.metrics.counter("gossip.rejoin").inc()
+            self.scheduler.call_after(0.0, self._catch_up_round)
+
+    def _catch_up_round(self) -> None:
+        if self._stopped or not self._recovering:
+            return
+        view = self.current_view() if self.has_view else []
+        if not view:
+            # Registration has not answered yet; wait a period, bounded so
+            # a dead coordinator cannot leave us muted forever.
+            self._catch_up_wait_budget -= 1
+            if self._catch_up_wait_budget <= 0:
+                self._finish_catch_up()
+                return
+            self.scheduler.call_after(self.params.period, self._catch_up_round)
+            return
+        policy = self.durability if self.durability is not None else DurabilityPolicy()
+        self._catch_up_rounds_left -= 1
+        RECOVERY_STATS.catch_up_rounds += 1
+        self.metrics.counter("gossip.catch-up-round").inc()
+        targets = self.selector.select(
+            view, policy.catch_up_peers, self.rng, exclude=[self.app_address]
+        )
+        digest = self.store.digest()
+        for target in targets:
+            self.runtime.send(
+                gossip_address_of(target),
+                PULL_ACTION,
+                value={"activity": self.activity_id, "digest": digest},
+                on_reply=self._on_pull_reply,
+            )
+        before = self.store.seen_count
+        self.scheduler.call_after(
+            self.params.period, lambda: self._catch_up_check(before)
+        )
+
+    def _catch_up_check(self, before: int) -> None:
+        if self._stopped or not self._recovering:
+            return
+        if self._catch_up_rounds_left <= 0 or self.store.seen_count <= before:
+            # Bounded: out of rounds, or a full round learned nothing new
+            # (we have converged with the sampled peers).
+            self._finish_catch_up()
+        else:
+            self._catch_up_round()
+
+    def _finish_catch_up(self) -> None:
+        if not self._recovering:
+            return
+        self._recovering = False
+        RECOVERY_STATS.catch_ups_completed += 1
+        self.metrics.counter("gossip.catch-up-complete").inc()
 
     # -- lifecycle ----------------------------------------------------------------------
 

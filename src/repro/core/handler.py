@@ -59,6 +59,7 @@ class GossipLayer(Handler):
         selector: Optional[PeerSelector] = None,
         view_provider=None,
         health=None,
+        durability=None,
     ) -> None:
         self.runtime = runtime
         self.scheduler = scheduler
@@ -74,6 +75,10 @@ class GossipLayer(Handler):
         # this callable (peer sampling / WS-Membership) instead of the
         # coordinator's RegisterResponse.
         self.view_provider = view_provider
+        # Optional crash recovery: a DurabilityPolicy makes every engine
+        # keep a GossipLog, and prepare_restart/rejoin drive the
+        # crash-recovery protocol (docs/RESILIENCE.md).
+        self.durability = durability
         self._engines: Dict[str, GossipEngine] = {}
         # Receive-side fast path: drop already-seen gossip messages with a
         # byte scan, before the runtime pays for the full XML parse.
@@ -98,6 +103,11 @@ class GossipLayer(Handler):
         existing = self._engines.get(context.identifier)
         if existing is not None:
             return existing
+        log = None
+        if self.durability is not None:
+            log = self.durability.make_log(
+                f"{self.app_address}:{context.identifier}"
+            )
         engine = GossipEngine(
             runtime=self.runtime,
             scheduler=self.scheduler,
@@ -108,6 +118,8 @@ class GossipLayer(Handler):
             selector=self.selector,
             view_provider=self.view_provider,
             health=self.health,
+            log=log,
+            durability=self.durability,
         )
         self._engines[context.identifier] = engine
         return engine
@@ -132,6 +144,30 @@ class GossipLayer(Handler):
         else:
             engine.start_periodic_rounds()
         return engine
+
+    # -- crash recovery -------------------------------------------------------
+
+    def prepare_restart(
+        self,
+        amnesia: bool = True,
+        on_replayed: Optional[Callable[[str], None]] = None,
+    ) -> int:
+        """Reset every engine to post-crash state (see
+        :meth:`GossipEngine.prepare_restart`); returns total messages
+        replayed from durable logs."""
+        replayed = 0
+        for engine in self._engines.values():
+            replayed += engine.prepare_restart(
+                amnesia=amnesia, on_replayed=on_replayed
+            )
+        return replayed
+
+    def rejoin(self, protocol: Optional[str] = None) -> None:
+        """Run the rejoin protocol on every engine after a restart.  Each
+        engine re-registers as whatever it was before the crash unless
+        ``protocol`` overrides that."""
+        for engine in self._engines.values():
+            engine.rejoin(protocol)
 
     # -- the pre-parse dedup gate ---------------------------------------------------
 

@@ -268,6 +268,12 @@ class PeerHealth:
         self._scores.pop(key, None)
         self._suspected.discard(key)
 
+    def reset(self) -> None:
+        """Drop every score (an amnesia restart forgets its suspicions;
+        see the crash-recovery section of docs/RESILIENCE.md)."""
+        self._scores.clear()
+        self._suspected.clear()
+
     # -- queries -------------------------------------------------------------
 
     def suspicion(self, peer: str) -> float:

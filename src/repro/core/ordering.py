@@ -85,6 +85,24 @@ class FifoBuffer:
         state = self._origins.get(origin)
         return state.next_expected if state else 0
 
+    def counters(self) -> Dict[str, int]:
+        """Per-origin ``next_expected`` counters (the durable part of the
+        FIFO state; held items are recovered via the message store)."""
+        return {
+            origin: state.next_expected
+            for origin, state in self._origins.items()
+        }
+
+    def restore_counter(self, origin: str, next_expected: int) -> None:
+        """Restore a delivered-watermark after a crash: sequences below
+        ``next_expected`` were already delivered and must be suppressed."""
+        state = self._origins.setdefault(origin, _OriginState())
+        if next_expected <= state.next_expected:
+            return
+        state.next_expected = next_expected
+        for sequence in [s for s in state.held if s < next_expected]:
+            del state.held[sequence]
+
     def __repr__(self) -> str:
         return (
             f"FifoBuffer(origins={len(self._origins)}, "

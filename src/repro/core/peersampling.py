@@ -193,6 +193,15 @@ class PeerSamplingEngine:
         """Stop shuffling."""
         self._running = False
 
+    def rejoin(self, seeds: Sequence[str]) -> None:
+        """Restart sampling after a crash-faithful process restart: the
+        pre-crash partial view is discarded and rebuilt from ``seeds``
+        through ordinary shuffles."""
+        self._running = False
+        self.view = PartialView(self.view.capacity, self.view.self_address)
+        self.bootstrap(seeds)
+        self.start()
+
     def _schedule(self) -> None:
         delay = self.period + self.rng.uniform(0.0, self.jitter)
         self.scheduler.call_after(delay, self._round)

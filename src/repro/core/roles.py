@@ -125,6 +125,15 @@ class AppNode(WsProcess):
         self.deliveries: List[Delivery] = []
         self._delivered_ids: set = set()
 
+    def reset_state(self, amnesia: bool) -> None:
+        """Crash-faithful restart: the app's delivery record is process
+        state and dies with the process.  A durable gossip layer (see
+        :class:`DisseminatorNode`) repopulates the delivered-set from its
+        WAL replay."""
+        super().reset_state(amnesia)
+        self.deliveries = []
+        self._delivered_ids = set()
+
     @property
     def app_address(self) -> str:
         return self.runtime.address_of(self.app_path)
@@ -191,6 +200,7 @@ class DisseminatorNode(AppNode):
         app_path: str = APP_PATH,
         params: Optional[GossipParams] = None,
         auto_join: bool = True,
+        durability=None,
     ) -> None:
         super().__init__(name, network, app_path=app_path)
         self.gossip_layer = GossipLayer(
@@ -200,9 +210,32 @@ class DisseminatorNode(AppNode):
             rng=self.sim.rng.get(f"gossip:{name}"),
             auto_join=auto_join,
             default_params=params,
+            durability=durability,
         )
         self.runtime.chain.add_first(self.gossip_layer)
         self.runtime.add_service("/gossip", GossipService(self.gossip_layer))
+        #: Messages restored from the WAL by the most recent durable restart.
+        self.replayed_messages = 0
+
+    def reset_state(self, amnesia: bool) -> None:
+        """Restart: wipe (or replay) the gossip layer's engines.
+
+        Durable replay re-marks recovered identities as delivered so the
+        experiment accounting matches what the pre-crash process had
+        handed its application.
+        """
+        super().reset_state(amnesia)
+        self.replayed_messages = self.gossip_layer.prepare_restart(
+            amnesia=amnesia, on_replayed=self._delivered_ids.add
+        )
+        if self.gossip_layer.health is not None:
+            # Suspicion scores live in process memory either way.
+            self.gossip_layer.health.reset()
+
+    def on_restart(self, amnesia: bool) -> None:
+        """Rejoin the gossip group: re-register, then catch up with
+        healthy peers before forwarding eagerly again."""
+        self.gossip_layer.rejoin()
 
 
 class InitiatorNode(DisseminatorNode):
@@ -216,8 +249,11 @@ class InitiatorNode(DisseminatorNode):
         network: Network,
         app_path: str = APP_PATH,
         params: Optional[GossipParams] = None,
+        durability=None,
     ) -> None:
-        super().__init__(name, network, app_path=app_path, params=params)
+        super().__init__(
+            name, network, app_path=app_path, params=params, durability=durability
+        )
         self.activities: Dict[str, GossipEngine] = {}
 
     def activate(

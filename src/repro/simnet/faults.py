@@ -8,6 +8,7 @@ oblivious to why a node crashed.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -34,6 +35,8 @@ class FaultPlan:
         self.sim = network.sim
         self._schedule: List[Tuple[float, str, tuple]] = []
         self._applied = False
+        #: Victims of the most recent :meth:`crash_fraction_at` draw.
+        self.last_victims: List[str] = []
 
     def crash_at(self, time: float, name: str) -> "FaultPlan":
         """Crash process ``name`` at simulated ``time``."""
@@ -41,25 +44,72 @@ class FaultPlan:
         return self
 
     def recover_at(self, time: float, name: str) -> "FaultPlan":
-        """Restart a crashed process at ``time``."""
+        """Resume a crashed process at ``time`` with its pre-crash
+        in-memory state intact.
+
+        .. deprecated::
+            This models a *pause*, not a crash: the resurrected node keeps
+            its full message store, dedup set and FIFO counters, which no
+            real restart does.  Use :meth:`restart_at` and say what the
+            state semantics are (``amnesia=True`` to forget, ``False`` to
+            replay durable storage).
+        """
+        warnings.warn(
+            "FaultPlan.recover_at resurrects a node with its in-memory "
+            "state intact (a pause, not a crash); use "
+            "FaultPlan.restart_at(time, name, amnesia=...) to make the "
+            "state semantics explicit",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._schedule.append((time, "recover", (name,)))
         return self
 
+    def restart_at(
+        self, time: float, name: str, amnesia: bool = True
+    ) -> "FaultPlan":
+        """Restart process ``name`` at ``time`` with faithful crash
+        semantics: the process image is lost.
+
+        With ``amnesia=True`` the node restarts from nothing (durable
+        storage is discarded too -- a lost disk).  With ``amnesia=False``
+        the node replays whatever durable state it kept (a
+        :class:`~repro.core.store.GossipLog` when configured) and rejoins
+        via the catch-up protocol.  Either way, this composes with
+        :meth:`crash_at` / :meth:`crash_fraction_at`: a restart of a node
+        that is still RUNNING crashes it first.
+        """
+        self._schedule.append((time, "restart", (name, amnesia)))
+        return self
+
     def crash_fraction_at(
-        self, time: float, fraction: float, candidates: Sequence[str]
+        self,
+        time: float,
+        fraction: float,
+        candidates: Sequence[str],
+        restart_after: Optional[float] = None,
+        amnesia: bool = True,
     ) -> "FaultPlan":
         """Crash a random ``fraction`` of ``candidates`` at ``time``.
 
-        The victim set is drawn from the ``faults`` RNG stream at apply
-        time, so it is deterministic per seed.
+        The victim set is drawn from the ``faults`` RNG stream at call
+        time, so it is deterministic per seed and recorded in
+        :attr:`last_victims` -- schedule follow-up faults (e.g. a
+        :meth:`restart_at` of the same nodes) against it.  With
+        ``restart_after`` the same victims are restarted
+        ``restart_after`` seconds later with the given ``amnesia``
+        semantics, making crash+restart a single composable step.
         """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1]: {fraction!r}")
         rng = self.sim.rng.get("faults")
         count = int(round(fraction * len(candidates)))
         victims = rng.sample(list(candidates), count)
+        self.last_victims = list(victims)
         for victim in victims:
             self.crash_at(time, victim)
+            if restart_after is not None:
+                self.restart_at(time + restart_after, victim, amnesia=amnesia)
         return self
 
     def partition_at(
@@ -146,6 +196,9 @@ class FaultPlan:
             elif action == "recover":
                 (name,) = args
                 self.sim.call_at(time, self._recover_callback(name))
+            elif action == "restart":
+                name, amnesia = args
+                self.sim.call_at(time, self._restart_callback(name, amnesia))
             elif action == "partition":
                 (groups,) = args
                 self.sim.call_at(
@@ -220,6 +273,13 @@ class FaultPlan:
                 self.network.process(name).start()
 
         return recover
+
+    def _restart_callback(self, name: str, amnesia: bool):
+        def restart() -> None:
+            if name in self.network:
+                self.network.process(name).restart(amnesia=amnesia)
+
+        return restart
 
 
 @dataclass

@@ -274,6 +274,73 @@ class HealthStats:
 HEALTH_STATS = HealthStats()
 
 
+class RecoveryStats:
+    """Process-wide crash-recovery counters (the restart twin of
+    :class:`HealthStats`).
+
+    Fed by the durability layer (:mod:`repro.core.store`), the engine's
+    restart/rejoin path, and :meth:`FaultPlan.restart_at
+    <repro.simnet.faults.FaultPlan.restart_at>`; benchmark E5 and the
+    ``make test-recovery`` gate snapshot them to show what recovery did:
+
+    * ``restarts`` / ``amnesia_restarts`` -- engine restarts total and the
+      subset that discarded durable state too.
+    * ``replayed_messages`` -- messages restored into the store from the
+      WAL/snapshot during a durable restart.
+    * ``log_appends`` / ``snapshots`` -- WAL traffic and compactions.
+    * ``corrupt_records`` / ``truncated_tails`` / ``corrupt_snapshots`` --
+      damage tolerated (skipped, never fatal) during replay.
+    * ``fetched`` -- messages obtained via the rejoin catch-up exchange.
+    * ``redelivered_suppressed`` -- duplicate arrivals (including FIFO
+      sequence numbers already delivered before the crash) swallowed
+      during recovery instead of re-delivered.
+    * ``catch_up_rounds`` / ``catch_ups_completed`` -- bounded anti-entropy
+      rounds run after restart, and rejoins that finished them.
+
+    Benchmarks snapshot/reset around a scenario; the counters are shared
+    process-wide exactly like :data:`WIRE_STATS`.
+    """
+
+    __slots__ = (
+        "restarts",
+        "amnesia_restarts",
+        "replayed_messages",
+        "log_appends",
+        "snapshots",
+        "corrupt_records",
+        "truncated_tails",
+        "corrupt_snapshots",
+        "fetched",
+        "redelivered_suppressed",
+        "catch_up_rounds",
+        "catch_ups_completed",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (benchmarks call this between scenarios)."""
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Current counter values as a plain dict."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return (
+            f"RecoveryStats(restarts={self.restarts}, "
+            f"replayed={self.replayed_messages}, fetched={self.fetched}, "
+            f"suppressed={self.redelivered_suppressed}, "
+            f"rounds={self.catch_up_rounds})"
+        )
+
+
+#: The process-wide crash-recovery counters (see :class:`RecoveryStats`).
+RECOVERY_STATS = RecoveryStats()
+
+
 class MetricsRegistry:
     """Named registry so components can share one sink.
 

@@ -82,6 +82,28 @@ class Process:
         self.network.trace.record(self.now, "proc.crash", self.name)
         self.on_crash()
 
+    def restart(self, amnesia: bool = True) -> None:
+        """Crash-faithful restart: discard (or replay) state, then resume.
+
+        Unlike the legacy recover path (:meth:`start` after a crash, which
+        resumes with the full pre-crash in-memory state intact), a restart
+        actually loses the process image: :meth:`reset_state` rebuilds the
+        subclass's volatile state -- from durable storage when
+        ``amnesia=False`` and the subclass has any, from nothing otherwise
+        -- and :meth:`on_restart` then runs the rejoin path.  A RUNNING
+        process is crashed first so a restart is never a silent pause.
+        """
+        if self.state is ProcessState.STOPPED:
+            raise RuntimeError(f"process {self.name!r} was stopped; cannot restart")
+        if self.state is ProcessState.RUNNING:
+            self.crash()
+        self.reset_state(amnesia)
+        self.state = ProcessState.RUNNING
+        self.network.trace.record(
+            self.now, "proc.restart", self.name, amnesia=amnesia
+        )
+        self.on_restart(amnesia)
+
     def stop(self) -> None:
         """Orderly permanent shutdown."""
         if self.state is ProcessState.STOPPED:
@@ -177,6 +199,21 @@ class Process:
 
     def on_recover(self) -> None:
         """Called when the process restarts after a crash."""
+
+    def reset_state(self, amnesia: bool) -> None:
+        """Rebuild volatile state for :meth:`restart`.
+
+        Called while the process is still down.  Subclasses discard
+        everything the crash destroyed; with ``amnesia=False`` they may
+        replay whatever durable storage they keep.  The base class holds
+        no subclass state, so the default is a no-op.
+        """
+
+    def on_restart(self, amnesia: bool) -> None:
+        """Called after :meth:`restart` brings the process back RUNNING
+        (the rejoin hook).  Defaults to :meth:`on_recover` so subclasses
+        predating the crash-recovery subsystem keep working."""
+        self.on_recover()
 
     def on_stop(self) -> None:
         """Called on orderly shutdown."""

@@ -71,6 +71,16 @@ class SoapRuntime:
         self._reply_callbacks: Dict[str, ReplyCallback] = {}
         self._preparse_gates: list = []
 
+    def reset_volatile(self) -> None:
+        """Drop in-flight conversational state (pending reply callbacks).
+
+        Part of a crash-faithful process restart: the services, handler
+        chain and preparse gates are configuration and survive, but a
+        reply to a request sent before the crash must find no callback
+        waiting -- the restarted process never sent it.
+        """
+        self._reply_callbacks.clear()
+
     # -- service hosting ------------------------------------------------------
 
     def add_service(self, path: str, service: Service) -> None:

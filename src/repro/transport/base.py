@@ -272,6 +272,12 @@ class ResilientTransport:
         """
         self._fault_hook = hook
 
+    def reset(self) -> None:
+        """Drop all per-destination breaker state (a restarted process has
+        no memory of which destinations were failing)."""
+        with self._breaker_lock:
+            self._breakers.clear()
+
     # -- breaker access -----------------------------------------------------
 
     @staticmethod

@@ -100,6 +100,14 @@ class WsProcess(Process):
     def configure(self) -> None:
         """Mount services / install handlers.  Default: nothing."""
 
+    def reset_state(self, amnesia: bool) -> None:
+        """Crash-faithful restart support: drop the middleware stack's
+        volatile state (pending reply callbacks, breaker memory).  The
+        mounted services and handler chain are configuration, not state.
+        Subclasses extend this with their own application state."""
+        self.runtime.reset_volatile()
+        self.runtime.transport.reset()
+
     def on_message(self, source: str, payload: bytes) -> None:
         if not isinstance(payload, (bytes, bytearray)):
             raise TypeError(

@@ -100,6 +100,21 @@ class MembershipEngine:
         """Stop heartbeating."""
         self._running = False
 
+    def rejoin(self, seeds: Sequence[str]) -> None:
+        """Restart membership after a crash-faithful process restart.
+
+        The pre-crash table is process state and is discarded: the node
+        comes back with a fresh view seeded only by ``seeds``, announces
+        itself through normal heartbeat gossip, and relearns the group --
+        peers meanwhile resolve the node's old incarnation through the
+        ordinary SUSPECT/FAILED sweep and its new heartbeats.
+        """
+        self._running = False
+        self.view = MembershipView(self.view.self_address)
+        self.bootstrap(seeds)
+        self.runtime.metrics.counter("membership.rejoin").inc()
+        self.start()
+
     def _schedule(self) -> None:
         delay = self.period + self.rng.uniform(0.0, self.jitter)
         self.scheduler.call_after(delay, self._round)

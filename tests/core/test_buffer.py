@@ -78,6 +78,67 @@ def test_invalid_capacity():
         MessageStore(capacity=0)
 
 
+def test_seen_capacity_bounds_dedup_memory():
+    store = MessageStore(capacity=4, seen_capacity=8)
+    for index in range(100):
+        store.add(f"m{index}", b"", 0.0, "o")
+    # Rotation keeps the seen-set bounded by two generations.
+    assert store.seen_count <= 2 * store.seen_capacity
+    assert store.rotations > 0
+
+
+def test_rotation_never_forgets_retained_payloads():
+    store = MessageStore(capacity=4, seen_capacity=8)
+    for index in range(1000):
+        store.add(f"m{index}", b"", 0.0, "o")
+        # Regression: a message whose payload is still retained must never
+        # be treated as new again, no matter how many rotations happened.
+        for retained_id in store.digest():
+            assert retained_id in store
+            assert not store.add(retained_id, b"again", 1.0, "o")
+
+
+def test_identity_remembered_within_retention_window():
+    store = MessageStore(capacity=2, seen_capacity=8)
+    store.add("old", b"", 0.0, "o")
+    # Fewer than seen_capacity newer identities: "old" must still dedup
+    # even though its payload was evicted long ago.
+    for index in range(7):
+        store.add(f"new{index}", b"", 0.0, "o")
+    assert store.get("old") is None
+    assert not store.is_new("old")
+    assert not store.add("old", b"", 1.0, "o")
+
+
+def test_mark_seen_remembers_without_retaining():
+    store = MessageStore(capacity=2)
+    store.mark_seen("ghost")
+    assert not store.is_new("ghost")
+    assert store.get("ghost") is None
+    assert store.missing_from(["ghost", "other"]) == ["other"]
+    store.mark_seen("ghost")  # idempotent
+    assert store.seen_count == 1
+
+
+def test_seen_identities_lists_both_generations():
+    store = MessageStore(capacity=2, seen_capacity=2)
+    store.add("a", b"", 0.0, "o")
+    store.add("b", b"", 0.0, "o")
+    store.add("c", b"", 0.0, "o")  # rotates
+    assert store.rotations == 1
+    assert set(store.seen_identities()) >= {"a", "b", "c"}
+
+
+def test_seen_capacity_must_cover_capacity():
+    with pytest.raises(ValueError):
+        MessageStore(capacity=10, seen_capacity=5)
+
+
+def test_default_seen_capacity_scales_with_capacity():
+    assert MessageStore(capacity=4).seen_capacity == 1024
+    assert MessageStore(capacity=1000).seen_capacity == 4000
+
+
 @given(st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=60),
        st.integers(min_value=1, max_value=10))
 def test_invariants_under_arbitrary_adds(message_ids, capacity):

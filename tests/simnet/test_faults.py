@@ -20,12 +20,104 @@ def make_cluster(count, seed=1):
 def test_crash_and_recover_schedule():
     sim, network, nodes = make_cluster(2)
     plan = FaultPlan(network)
-    plan.crash_at(1.0, "n0").recover_at(2.0, "n0")
+    with pytest.warns(DeprecationWarning):
+        plan.crash_at(1.0, "n0").recover_at(2.0, "n0")
     plan.apply()
     sim.run_until(1.5)
     assert not nodes[0].is_running
     sim.run_until(2.5)
     assert nodes[0].is_running
+
+
+def test_recover_at_deprecation_points_at_restart_at():
+    sim, network, nodes = make_cluster(1)
+    plan = FaultPlan(network)
+    with pytest.warns(DeprecationWarning, match="restart_at"):
+        plan.recover_at(1.0, "n0")
+
+
+class StatefulNode(Process):
+    """A node with volatile state, for crash-semantics assertions."""
+
+    def __init__(self, name, network):
+        super().__init__(name, network)
+        self.memory = []
+        self.restarts = []
+
+    def reset_state(self, amnesia):
+        if amnesia:
+            self.memory = []
+
+    def on_restart(self, amnesia):
+        self.restarts.append((round(self.sim.now, 9), amnesia))
+
+
+def test_restart_at_amnesia_discards_state():
+    sim = Simulator(seed=1)
+    network = Network(sim)
+    node = StatefulNode("n0", network)
+    node.start()
+    node.memory.append("precious")
+    plan = FaultPlan(network)
+    plan.crash_at(1.0, "n0").restart_at(2.0, "n0", amnesia=True)
+    plan.apply()
+    sim.run_until(2.5)
+    assert node.is_running
+    assert node.memory == []  # crash, not pause
+    assert node.restarts == [(2.0, True)]
+
+
+def test_restart_at_durable_keeps_state():
+    sim = Simulator(seed=1)
+    network = Network(sim)
+    node = StatefulNode("n0", network)
+    node.start()
+    node.memory.append("precious")
+    plan = FaultPlan(network)
+    plan.crash_at(1.0, "n0").restart_at(2.0, "n0", amnesia=False)
+    plan.apply()
+    sim.run_until(2.5)
+    assert node.memory == ["precious"]
+    assert node.restarts == [(2.0, False)]
+
+
+def test_restart_of_running_node_crashes_it_first():
+    sim = Simulator(seed=1)
+    network = Network(sim)
+    node = StatefulNode("n0", network)
+    node.start()
+    node.memory.append("precious")
+    node.restart(amnesia=True)
+    assert node.is_running
+    assert node.memory == []
+
+
+def test_crash_fraction_composes_with_restart_after():
+    sim, network, nodes = make_cluster(10, seed=2)
+    plan = FaultPlan(network)
+    plan.crash_fraction_at(
+        1.0, 0.3, [node.name for node in nodes], restart_after=1.5
+    )
+    victims = plan.last_victims
+    assert len(victims) == 3
+    plan.apply()
+    sim.run_until(2.0)
+    assert sum(1 for node in nodes if not node.is_running) == 3
+    assert all(not network.process(name).is_running for name in victims)
+    sim.run_until(3.0)
+    # Every victim restarted at crash time + restart_after.
+    assert all(node.is_running for node in nodes)
+
+
+def test_crash_fraction_victims_deterministic_per_seed():
+    def victims(seed):
+        sim, network, nodes = make_cluster(10, seed=seed)
+        plan = FaultPlan(network)
+        plan.crash_fraction_at(1.0, 0.5, [node.name for node in nodes])
+        return plan.last_victims
+
+    assert victims(11) == victims(11)
+    assert victims(11) != victims(12)
 
 
 def test_crash_fraction_picks_expected_count():
