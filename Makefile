@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-chaos test-recovery bench bench-smoke bench-core examples clean coverage
+.PHONY: install test test-chaos test-recovery bench bench-smoke bench-core profile examples clean coverage
 
 install:
 	pip install -e . || pip install -e . --no-build-isolation
@@ -27,15 +27,20 @@ test-recovery:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Fast wire-path regression gate: N=100 run compared against the
-# checked-in BENCH_core.json; fails on a >20% envelopes-parsed-per-
-# delivery regression.
+# Fast wire-path regression gate: a live N=100 batched run (delivery,
+# batch traffic, pre-parse dedup) plus the checked-in BENCH_core.json
+# scaling headline: envelope reduction >= 5x at N=1000, 5k/1k drain
+# wall ratio <= 3, delivered_fraction >= 0.99 on every row.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_core.py --smoke
 
 # Regenerate the BENCH_core.json baseline (N=100/1000/5000; minutes).
 bench-core:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_core.py
+
+# cProfile one batched N=1000 burst; top 25 functions by cumulative time.
+profile:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_core.py --profile
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script || exit 1; done

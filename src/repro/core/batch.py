@@ -1,0 +1,363 @@
+"""The multi-rumor batched gossip frame (lpbcast-style piggybacking).
+
+The paper's scalability story leans on epidemic exchanges that amortize
+per-message cost; Eugster et al.'s lightweight probabilistic broadcast gets
+there by piggybacking many rumor ids/payloads per gossip exchange.  This
+module is the wire codec for that: one ``GossipBatch`` envelope carries
+
+* a sequence of complete legacy single-rumor frames (their wire bytes
+  embedded verbatim, XML declarations stripped), plus
+* optional piggybacked *control* sections -- lazy-push advertisements,
+  feedback ids, and pull digests -- that would otherwise each cost their
+  own envelope.
+
+The frame is valid XML, but it is **assembled and split at the byte
+level**: a ``Sizes`` element lists the byte length of every embedded rumor
+frame, so a receiver slices the batch into the original single-rumor wire
+bytes without parsing anything.  Each slice then rides the existing
+receive path (pre-parse dedup gate, XML parse, gossip layer) unchanged --
+which is also what makes old and new nodes interoperate: a batch is just
+an alternative carrier for ordinary legacy frames.
+
+Layout (see docs/WIRE.md, "Batched frames")::
+
+    <?xml version='1.0' encoding='utf-8'?>
+    <soap:Envelope ...>
+      <soap:Header><wsa:To>sender-gossip-address</wsa:To>
+                   <wsa:Action>urn:ws-gossip:2008:core/Batch</wsa:Action></soap:Header>
+      <soap:Body>
+        <g:GossipBatch activity="..." holder="sender-gossip-address" [ctl="1"]>
+          <g:Sizes>len1 len2 ...</g:Sizes>
+          <g:Rumors><!-- legacy frames, concatenated verbatim --></g:Rumors>
+          [<g:Ads hops="H"><g:Id>...</g:Id>...</g:Ads>]
+          [<g:Feedback><g:Id>...</g:Id>...</g:Feedback>]
+          [<g:Digest kind="req|rsp"><g:Id>...</g:Id>...</g:Digest>]
+        </g:GossipBatch>
+      </soap:Body>
+    </soap:Envelope>
+
+The ``wsa:To`` is the *sender's* gossip address -- constant across a
+fan-out, so every target shares one encoded buffer; receivers dispatch by
+service path, exactly like forwarded legacy frames with their stale WS-A
+headers.  It also routes the fallback: a batch that survives to a full XML
+parse dispatches to the gossip service's ``Batch`` operation.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape, quoteattr, unescape
+
+from repro.soap import namespaces as ns
+from repro.xmlutil import canonical_bytes, qname
+
+BATCH_ACTION = f"{ns.WSGOSSIP}/Batch"
+
+#: Cheap batch detection: hand-assembled frames always use this prefix
+#: (ElementTree-serialized legacy frames use ``ns0:``-style prefixes, and
+#: any occurrence inside payload *text* would be entity-escaped).
+BATCH_MARKER = b"<g:GossipBatch"
+
+BATCH_TAG = qname(ns.WSGOSSIP, "GossipBatch")
+_SIZES_TAG = qname(ns.WSGOSSIP, "Sizes")
+_RUMORS_TAG = qname(ns.WSGOSSIP, "Rumors")
+_ADS_TAG = qname(ns.WSGOSSIP, "Ads")
+_FEEDBACK_TAG = qname(ns.WSGOSSIP, "Feedback")
+_DIGEST_TAG = qname(ns.WSGOSSIP, "Digest")
+_ID_TAG = qname(ns.WSGOSSIP, "Id")
+
+_PREFIX = (
+    b"<?xml version='1.0' encoding='utf-8'?>\n"
+    b'<soap:Envelope xmlns:soap="' + ns.SOAP11_ENV.encode("ascii") + b'"'
+    b' xmlns:wsa="' + ns.WSA.encode("ascii") + b'"'
+    b' xmlns:g="' + ns.WSGOSSIP.encode("ascii") + b'">'
+    b"<soap:Header>"
+)
+_ACTION_HEADER = (
+    b"<wsa:Action>" + BATCH_ACTION.encode("ascii") + b"</wsa:Action>"
+)
+_SUFFIX = b"</g:GossipBatch></soap:Body></soap:Envelope>"
+
+_XML_DECL = b"<?xml"
+
+
+class BatchError(ValueError):
+    """Raised when bytes claiming to be a batch frame cannot be split."""
+
+
+@dataclass
+class BatchControl:
+    """Piggybacked control traffic for one destination.
+
+    Attributes:
+        ads: lazy-push advertisements as ``(message_ids, hops)`` entries.
+        feedback: message ids the sender reports as duplicates.
+        digest: a pull digest as ``(message_ids, kind)``; ``kind`` is
+            ``"req"`` (answer with missing frames *and* a counter-digest)
+            or ``"rsp"`` (answer with missing frames only -- terminates
+            the exchange).
+    """
+
+    ads: List[Tuple[List[str], int]] = field(default_factory=list)
+    feedback: List[str] = field(default_factory=list)
+    digest: Optional[Tuple[List[str], str]] = None
+
+    def empty(self) -> bool:
+        return not self.ads and not self.feedback and self.digest is None
+
+    def section_count(self) -> int:
+        return len(self.ads) + bool(self.feedback) + (self.digest is not None)
+
+
+def strip_declaration(frame: bytes) -> bytes:
+    """Drop a leading XML declaration (plus trailing whitespace) so the
+    frame can be embedded as element content."""
+    if not frame.startswith(_XML_DECL):
+        return frame
+    end = frame.find(b"?>")
+    if end == -1:
+        return frame
+    return frame[end + 2 :].lstrip()
+
+
+def _ids_xml(ids: Sequence[str]) -> str:
+    return "".join(f"<g:Id>{escape(i)}</g:Id>" for i in ids)
+
+
+def build_batch(
+    activity: str,
+    holder: str,
+    frames: Sequence[bytes],
+    control: Optional[BatchControl] = None,
+) -> bytes:
+    """Assemble a batch frame from legacy single-rumor wire bytes.
+
+    ``holder`` is the sender's gossip address (the batch's ``wsa:To`` and
+    the address control responses go back to).  The declaration-stripped
+    frames are embedded verbatim; no inner XML is parsed or re-encoded.
+    """
+    stripped = [strip_declaration(frame) for frame in frames]
+    has_control = control is not None and not control.empty()
+    parts = [
+        _PREFIX,
+        b"<wsa:To>" + escape(holder).encode("utf-8") + b"</wsa:To>",
+        _ACTION_HEADER,
+        b"</soap:Header><soap:Body>",
+        b"<g:GossipBatch activity=%s holder=%s%s>"
+        % (
+            quoteattr(activity).encode("utf-8"),
+            quoteattr(holder).encode("utf-8"),
+            b' ctl="1"' if has_control else b"",
+        ),
+        b"<g:Sizes>" + " ".join(str(len(f)) for f in stripped).encode("ascii") + b"</g:Sizes>",
+        b"<g:Rumors>",
+    ]
+    parts.extend(stripped)
+    parts.append(b"</g:Rumors>")
+    if has_control:
+        for ids, hops in control.ads:
+            parts.append(
+                b"<g:Ads hops=%s>%s</g:Ads>"
+                % (quoteattr(str(hops)).encode("ascii"), _ids_xml(ids).encode("utf-8"))
+            )
+        if control.feedback:
+            parts.append(
+                b"<g:Feedback>%s</g:Feedback>" % _ids_xml(control.feedback).encode("utf-8")
+            )
+        if control.digest is not None:
+            ids, kind = control.digest
+            parts.append(
+                b"<g:Digest kind=%s>%s</g:Digest>"
+                % (quoteattr(kind).encode("ascii"), _ids_xml(ids).encode("utf-8"))
+            )
+    parts.append(_SUFFIX)
+    return b"".join(parts)
+
+
+def is_batch_frame(data: bytes) -> bool:
+    """True when the wire bytes are a hand-assembled batch frame."""
+    return data.find(BATCH_MARKER) != -1
+
+
+def _batch_tag_bytes(data: bytes) -> bytes:
+    """The ``<g:GossipBatch ...>`` open tag's attribute region."""
+    start = data.find(BATCH_MARKER)
+    if start == -1:
+        raise BatchError("not a batch frame")
+    end = data.find(b">", start)
+    if end == -1:
+        raise BatchError("unterminated batch tag")
+    return data[start + len(BATCH_MARKER) : end]
+
+
+def _scan_attr(tag: bytes, name: bytes) -> Optional[str]:
+    marker = b" " + name + b'="'
+    start = tag.find(marker)
+    if start == -1:
+        return None
+    start += len(marker)
+    end = tag.find(b'"', start)
+    if end == -1:
+        return None
+    return unescape(tag[start:end].decode("utf-8"))
+
+
+def scan_batch_activity(data: bytes) -> Optional[str]:
+    """The batch's activity id, by byte scan (no parse)."""
+    try:
+        return _scan_attr(_batch_tag_bytes(data), b"activity")
+    except BatchError:
+        return None
+
+
+def scan_batch_holder(data: bytes) -> Optional[str]:
+    """The sender's gossip address, by byte scan (no parse)."""
+    try:
+        return _scan_attr(_batch_tag_bytes(data), b"holder")
+    except BatchError:
+        return None
+
+
+def batch_has_control(data: bytes) -> bool:
+    """True when the batch carries piggybacked control sections."""
+    try:
+        return _scan_attr(_batch_tag_bytes(data), b"ctl") == "1"
+    except BatchError:
+        return False
+
+
+def split_batch(data: bytes) -> List[bytes]:
+    """Slice a batch into its embedded legacy frames -- pure byte math.
+
+    Raises:
+        BatchError: when the ``Sizes`` bookkeeping and the ``Rumors``
+            content disagree (the caller falls back to a full XML parse).
+    """
+    sizes_start = data.find(b"<g:Sizes>")
+    if sizes_start == -1:
+        raise BatchError("batch frame has no Sizes element")
+    sizes_start += len(b"<g:Sizes>")
+    sizes_end = data.find(b"</g:Sizes>", sizes_start)
+    if sizes_end == -1:
+        raise BatchError("unterminated Sizes element")
+    try:
+        sizes = [int(token) for token in data[sizes_start:sizes_end].split()]
+    except ValueError as exc:
+        raise BatchError(f"malformed Sizes content: {exc}") from exc
+    rumors_start = data.find(b"<g:Rumors>", sizes_end)
+    if rumors_start == -1:
+        raise BatchError("batch frame has no Rumors element")
+    position = rumors_start + len(b"<g:Rumors>")
+    slices: List[bytes] = []
+    for size in sizes:
+        if size < 0 or position + size > len(data):
+            raise BatchError("Sizes overrun the Rumors content")
+        slices.append(data[position : position + size])
+        position += size
+    if not data.startswith(b"</g:Rumors>", position):
+        raise BatchError("Sizes do not cover the Rumors content exactly")
+    return slices
+
+
+def _scan_ids_region(region: bytes) -> List[str]:
+    ids: List[str] = []
+    position = 0
+    while True:
+        start = region.find(b"<g:Id>", position)
+        if start == -1:
+            return ids
+        start += len(b"<g:Id>")
+        end = region.find(b"</g:Id>", start)
+        if end == -1:
+            return ids
+        ids.append(unescape(region[start:end].decode("utf-8")))
+        position = end + len(b"</g:Id>")
+
+
+def scan_batch_control(data: bytes) -> Optional[BatchControl]:
+    """Recover the piggybacked control sections by byte scan (no parse).
+
+    Returns ``None`` when the control region does not have the expected
+    hand-assembled shape -- the caller then falls back to a full XML parse.
+    """
+    tail_start = data.find(b"</g:Rumors>")
+    if tail_start == -1:
+        return None
+    tail = data[tail_start + len(b"</g:Rumors>") :]
+    end = tail.find(b"</g:GossipBatch>")
+    if end == -1:
+        return None
+    tail = tail[:end]
+    control = BatchControl()
+    position = 0
+    while position < len(tail):
+        if tail.startswith(b"<g:Ads ", position):
+            tag_end = tail.find(b">", position)
+            close = tail.find(b"</g:Ads>", position)
+            if tag_end == -1 or close == -1:
+                return None
+            hops_text = _scan_attr(tail[position + len(b"<g:Ads") : tag_end], b"hops")
+            try:
+                hops = int(hops_text) if hops_text is not None else 0
+            except ValueError:
+                hops = 0
+            control.ads.append((_scan_ids_region(tail[tag_end + 1 : close]), hops))
+            position = close + len(b"</g:Ads>")
+        elif tail.startswith(b"<g:Feedback>", position):
+            close = tail.find(b"</g:Feedback>", position)
+            if close == -1:
+                return None
+            control.feedback.extend(
+                _scan_ids_region(tail[position + len(b"<g:Feedback>") : close])
+            )
+            position = close + len(b"</g:Feedback>")
+        elif tail.startswith(b"<g:Digest ", position):
+            tag_end = tail.find(b">", position)
+            close = tail.find(b"</g:Digest>", position)
+            if tag_end == -1 or close == -1:
+                return None
+            kind = (
+                _scan_attr(tail[position + len(b"<g:Digest") : tag_end], b"kind")
+                or "req"
+            )
+            control.digest = (_scan_ids_region(tail[tag_end + 1 : close]), kind)
+            position = close + len(b"</g:Digest>")
+        else:
+            return None
+    return control
+
+
+# -- the parsed-XML fallback (malformed splits, foreign serializers) ----------
+
+
+def _ids_from_element(element: ET.Element) -> List[str]:
+    return [child.text or "" for child in element if child.tag == _ID_TAG]
+
+
+def control_from_element(batch_element: ET.Element) -> BatchControl:
+    """Recover the control sections from a parsed ``GossipBatch`` element."""
+    control = BatchControl()
+    for child in batch_element:
+        if child.tag == _ADS_TAG:
+            try:
+                hops = int(child.get("hops", "0"))
+            except ValueError:
+                hops = 0
+            control.ads.append((_ids_from_element(child), hops))
+        elif child.tag == _FEEDBACK_TAG:
+            control.feedback.extend(_ids_from_element(child))
+        elif child.tag == _DIGEST_TAG:
+            kind = child.get("kind", "req")
+            control.digest = (_ids_from_element(child), kind)
+    return control
+
+
+def frames_from_element(batch_element: ET.Element) -> List[bytes]:
+    """Recover the embedded frames from a parsed ``GossipBatch`` element
+    by re-serializing each child of ``Rumors`` (the slow, robust path)."""
+    rumors = batch_element.find(_RUMORS_TAG)
+    if rumors is None:
+        return []
+    return [canonical_bytes(child) for child in rumors]

@@ -131,7 +131,13 @@ class MessageStore:
 
     def missing_from(self, remote_digest: Iterable[str]) -> List[str]:
         """Identities in ``remote_digest`` that this store does not remember."""
-        return [message_id for message_id in remote_digest if self.is_new(message_id)]
+        current = self._seen_current
+        previous = self._seen_previous
+        return [
+            message_id
+            for message_id in remote_digest
+            if message_id not in current and message_id not in previous
+        ]
 
     def not_in(self, remote_digest: Iterable[str]) -> List[str]:
         """Retained identities absent from ``remote_digest``."""

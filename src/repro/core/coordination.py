@@ -136,14 +136,24 @@ class GossipCoordinationProtocol(CoordinationProtocol):
     def _peer_sample(
         self, activity: Activity, participant: Participant, params: GossipParams
     ) -> list:
-        """Uniform sample of other participants' application addresses."""
-        view = sorted(
-            {
-                other.endpoint.address
-                for other in activity.participants
-                if other.endpoint.address != participant.endpoint.address
-            }
-        )
-        if len(view) <= params.peer_sample_size:
-            return view
-        return self.rng.sample(view, params.peer_sample_size)
+        """Uniform sample of other participants' application addresses.
+
+        Uses the activity's distinct-address index: registration happens
+        per node, so materializing and sorting the full address set here
+        would make N registrations cost O(N^2) overall.
+        """
+        me = participant.endpoint.address
+        addresses = activity.distinct_addresses()
+        size = params.peer_sample_size
+        if len(addresses) <= 256:
+            # Small activity: sort the filtered view and sample from it --
+            # bit-identical to the historical behaviour (seeded runs keep
+            # their outcomes) and cheap at this scale.
+            view = sorted(address for address in addresses if address != me)
+            if len(view) <= size:
+                return view
+            return self.rng.sample(view, size)
+        # Sample one extra so dropping ourselves still leaves `size` picks.
+        sample = self.rng.sample(addresses, size + 1)
+        view = [address for address in sample if address != me]
+        return view[:size]

@@ -31,14 +31,20 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.core.batch import BatchControl, build_batch
 from repro.core.buffer import MessageStore
-from repro.core.message import GossipHeader, GossipStyle, new_gossip_message_id
+from repro.core.message import (
+    GossipHeader,
+    GossipStyle,
+    new_gossip_message_id,
+    splice_hops,
+)
 from repro.core.ordering import FifoBuffer
 from repro.core.params import GossipParams
 from repro.core.peers import HealthAwareSelector, PeerSelector, UniformSelector
 from repro.core.scheduling import Scheduler
 from repro.core.store import DurabilityPolicy, GossipLog
-from repro.simnet.metrics import RECOVERY_STATS
+from repro.simnet.metrics import BATCH_STATS, RECOVERY_STATS
 from repro.soap import namespaces as ns
 from repro.soap.envelope import Envelope
 from repro.soap.handler import Direction, MessageContext
@@ -169,6 +175,17 @@ class GossipEngine:
         self._recovering = False
         self._catch_up_rounds_left = 0
         self._last_protocol = PROTOCOL_DISSEMINATOR
+        # Multi-rumor batching (params.max_batch_rumors > 1): outgoing
+        # traffic is parked here and coalesced by a zero-delay flush event,
+        # so everything a node emits within one simulated instant -- eager
+        # payloads, advertisements, feedback, pull digests -- shares one
+        # envelope per destination.  Fan-out entries are grouped by their
+        # exclusion key and resolve to concrete targets at flush time, so
+        # a whole burst shares one peer selection.
+        self._outbox_fanout: Dict[tuple, List[bytes]] = {}
+        self._outbox_direct: Dict[str, List[bytes]] = {}
+        self._outbox_control: Dict[str, BatchControl] = {}
+        self._flush_scheduled = False
 
     @property
     def activity_id(self) -> str:
@@ -282,19 +299,22 @@ class GossipEngine:
             style=self.params.style,
             sequence=sequence,
         )
-        if self.params.style in (GossipStyle.PUSH, GossipStyle.PUSH_PULL):
-            targets = self._select_targets(exclude=[self.app_address])
-        else:
-            # Pull-family and lazy styles: the payload waits at the origin;
-            # peers pull digests or fetch advertised identifiers.
-            targets = []
         self.metrics.counter("gossip.publish").inc()
         # Encode the invocation once; every fanout target and the message
         # store share the same wire bytes (the zero-copy fast path).
         data = self._publication_envelope(action, value, tag, header).to_bytes()
-        for target in targets:
-            self.runtime.send_bytes(target, data)
-            self.metrics.counter("gossip.fanout-send").inc()
+        if self.params.style in (GossipStyle.PUSH, GossipStyle.PUSH_PULL):
+            if self.batching:
+                # Park the frame; a burst of publications flushes as one
+                # batched envelope per destination.
+                self._enqueue_fanout(data, self.app_address, None)
+            else:
+                targets = self._select_targets(exclude=[self.app_address])
+                for target in targets:
+                    self.runtime.send_bytes(target, data)
+                    self.metrics.counter("gossip.fanout-send").inc()
+        # Pull-family and lazy styles: the payload waits at the origin;
+        # peers pull digests or fetch advertised identifiers.
         # Remember our own message (so an echo is not treated as fresh) and
         # retain the wire bytes for pull serving.
         self.store.add(message_id, data, self.scheduler.now, self.app_address)
@@ -471,6 +491,16 @@ class GossipEngine:
         if header.hops <= 0:
             self.metrics.counter("gossip.hops-exhausted").inc()
             return
+        if self.batching:
+            # Hop decrement by byte splice -- no parse, no re-encode; the
+            # flush resolves targets and folds the frame into its batches.
+            data = splice_hops(envelope.to_bytes(), header.hops - 1)
+            if data is None:
+                header.decremented().replace_in(envelope)
+                data = envelope.to_bytes()
+            self._enqueue_fanout(data, header.origin, source)
+            self.metrics.counter("gossip.forward").inc()
+            return
         exclude = [self.app_address, header.origin]
         if source is not None:
             exclude.append(source)
@@ -495,6 +525,172 @@ class GossipEngine:
             fanout = self.health.effective_fanout(fanout, view)
         return self.selector.select(view, fanout, self.rng, exclude=exclude)
 
+    # -- batched outbox (multi-rumor envelopes) -----------------------------------
+
+    @property
+    def batching(self) -> bool:
+        """True when multi-rumor batching is enabled for this activity."""
+        return self.params.max_batch_rumors > 1
+
+    def _enqueue_fanout(
+        self, data: bytes, origin: Optional[str], source: Optional[str]
+    ) -> None:
+        """Park a frame for fan-out; targets resolve at flush time, so one
+        burst shares a single peer selection per exclusion key."""
+        self._outbox_fanout.setdefault((origin, source), []).append(data)
+        self._schedule_flush()
+
+    def _enqueue_direct(self, gossip_address: str, data: bytes) -> None:
+        """Park a frame addressed to one specific peer's gossip port."""
+        self._outbox_direct.setdefault(gossip_address, []).append(data)
+        self._schedule_flush()
+
+    def _outbox_control_for(self, gossip_address: str) -> BatchControl:
+        """The control sections accumulating for one destination."""
+        control = self._outbox_control.get(gossip_address)
+        if control is None:
+            control = self._outbox_control[gossip_address] = BatchControl()
+        self._schedule_flush()
+        return control
+
+    def _schedule_flush(self) -> None:
+        # A zero-delay event runs after every same-instant delivery already
+        # scheduled (FIFO tie-breaking), so the whole burst lands in the
+        # outbox before it is coalesced.
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.scheduler.call_after(0.0, self._flush_outbox)
+
+    def _flush_outbox(self) -> None:
+        """Coalesce everything parked this instant into one envelope per
+        destination (splitting only at the batch caps)."""
+        self._flush_scheduled = False
+        fanout, self._outbox_fanout = self._outbox_fanout, {}
+        direct, self._outbox_direct = self._outbox_direct, {}
+        control, self._outbox_control = self._outbox_control, {}
+        if self._stopped:
+            return
+        BATCH_STATS.flushes += 1
+        per_destination: Dict[str, List[bytes]] = {}
+        for destination, frames in direct.items():
+            per_destination.setdefault(destination, []).extend(frames)
+        for (origin, source), frames in fanout.items():
+            exclude = [self.app_address]
+            if origin:
+                exclude.append(origin)
+            if source is not None:
+                exclude.append(source)
+            for target in self._select_targets(exclude=exclude):
+                per_destination.setdefault(
+                    gossip_address_of(target), []
+                ).extend(frames)
+        destinations = list(per_destination)
+        for destination in control:
+            if destination not in per_destination:
+                destinations.append(destination)
+        shared: Dict[tuple, bytes] = {}
+        holder = gossip_address_of(self.app_address)
+        for destination in destinations:
+            self._send_batches(
+                destination,
+                per_destination.get(destination, ()),
+                control.get(destination),
+                holder,
+                shared,
+            )
+
+    def _send_batches(
+        self,
+        destination: str,
+        frames: Sequence[bytes],
+        control: Optional[BatchControl],
+        holder: str,
+        shared: Dict[tuple, bytes],
+    ) -> None:
+        if control is not None and control.empty():
+            control = None
+        chunks = self._chunk_frames(frames)
+        if not chunks:
+            if control is None:
+                return
+            chunks = [[]]
+        for index, chunk in enumerate(chunks):
+            chunk_control = control if index == len(chunks) - 1 else None
+            if len(chunk) == 1 and chunk_control is None:
+                # A lone rumor needs no carrier: ship the legacy frame, so
+                # batching-unaware peers stay fully interoperable.
+                BATCH_STATS.legacy_singletons += 1
+                self.runtime.send_bytes(destination, chunk[0])
+                self.metrics.counter("gossip.fanout-send").inc()
+                continue
+            if chunk_control is None:
+                # Fan-out twins share one encode: an identical frame run
+                # resolves to the same buffer (the zero-copy batch path).
+                key = tuple(map(id, chunk))
+                data = shared.get(key)
+                if data is None:
+                    data = build_batch(self.activity_id, holder, chunk)
+                    shared[key] = data
+                    BATCH_STATS.batches_built += 1
+            else:
+                data = build_batch(self.activity_id, holder, chunk, chunk_control)
+                BATCH_STATS.batches_built += 1
+                BATCH_STATS.control_piggybacked += chunk_control.section_count()
+            BATCH_STATS.batches_sent += 1
+            BATCH_STATS.rumors_batched += len(chunk)
+            self.runtime.send_bytes(destination, data)
+            self.metrics.counter("gossip.batch-send").inc()
+
+    def _chunk_frames(self, frames: Sequence[bytes]) -> List[List[bytes]]:
+        """Split a frame run at the batch caps (count and bytes); an
+        oversized single frame still ships, alone."""
+        max_rumors = self.params.max_batch_rumors
+        max_bytes = self.params.max_batch_bytes
+        chunks: List[List[bytes]] = []
+        current: List[bytes] = []
+        size = 0
+        for frame in frames:
+            if current and (
+                len(current) >= max_rumors or size + len(frame) > max_bytes
+            ):
+                chunks.append(current)
+                current, size = [], 0
+            current.append(frame)
+            size += len(frame)
+        if current:
+            chunks.append(current)
+        return chunks
+
+    def on_batch_control(
+        self, control: BatchControl, holder: str, source: Optional[str]
+    ) -> None:
+        """Apply the piggybacked control sections of a received batch."""
+        for message_ids, hops in control.ads:
+            self.on_advertise(message_ids, hops, holder)
+        if control.feedback:
+            self.on_feedback(control.feedback)
+        if control.digest is not None:
+            message_ids, kind = control.digest
+            self._serve_batch_digest(message_ids, kind, holder)
+
+    def _serve_batch_digest(
+        self, remote_digest: List[str], kind: str, holder: str
+    ) -> None:
+        """Answer a piggybacked pull digest: missing frames go back as
+        batched rumors (no request/response correlation needed) and a
+        ``req`` earns a counter-digest, so one exchange repairs both
+        directions; the ``rsp`` digest terminates it."""
+        served = 0
+        for message_id in self.store.not_in(remote_digest):
+            stored = self.store.get(message_id)
+            if stored is not None and stored.data:
+                self._enqueue_direct(holder, stored.data)
+                served += 1
+        if served:
+            self.metrics.counter("gossip.pull-served").inc()
+        if kind == "req":
+            self._outbox_control_for(holder).digest = (self.store.digest(), "rsp")
+
     # -- lazy push (Advertise / Fetch) ---------------------------------------------
 
     def _advertise(self, message_ids: List[str], hops: int) -> None:
@@ -504,6 +700,13 @@ class GossipEngine:
             return
         targets = self._select_targets(exclude=[self.app_address])
         holder = gossip_address_of(self.app_address)
+        if self.batching:
+            for target in targets:
+                self.metrics.counter("gossip.advertise").inc()
+                self._outbox_control_for(gossip_address_of(target)).ads.append(
+                    (list(message_ids), hops)
+                )
+            return
         for target in targets:
             self.metrics.counter("gossip.advertise").inc()
             self.runtime.send(
@@ -567,6 +770,10 @@ class GossipEngine:
             return
         # The store remembers the origin, so re-forwarding needs neither a
         # parse nor a re-encode: the retained wire bytes go out as-is.
+        if self.batching:
+            self._enqueue_fanout(stored.data, stored.origin, source)
+            self.metrics.counter("gossip.feedback-forward").inc()
+            return
         exclude = [self.app_address, stored.origin]
         if source is not None:
             exclude.append(source)
@@ -589,6 +796,11 @@ class GossipEngine:
     def _send_feedback(self, message_id: str, source: str) -> None:
         """Tell the sender we already had this rumor."""
         self.metrics.counter("gossip.feedback-sent").inc()
+        if self.batching:
+            self._outbox_control_for(gossip_address_of(source)).feedback.append(
+                message_id
+            )
+            return
         self.runtime.send(
             gossip_address_of(source),
             FEEDBACK_ACTION,
@@ -655,6 +867,16 @@ class GossipEngine:
         """Send our digest to ``fanout`` peers; they reply with what we lack."""
         targets = self._select_targets(exclude=[self.app_address])
         digest = self.store.digest()
+        if self.batching:
+            # The digest piggybacks on whatever batch flushes next; the
+            # answer arrives as batched rumors, not a correlated reply.
+            for target in targets:
+                self.metrics.counter("gossip.pull-request").inc()
+                self._outbox_control_for(gossip_address_of(target)).digest = (
+                    digest,
+                    "req",
+                )
+            return
         for target in targets:
             self.metrics.counter("gossip.pull-request").inc()
             self.runtime.send(
@@ -672,6 +894,12 @@ class GossipEngine:
         if not targets:
             return
         self.metrics.counter("gossip.anti-entropy").inc()
+        if self.batching:
+            self._outbox_control_for(gossip_address_of(targets[0])).digest = (
+                self.store.digest(),
+                "req",
+            )
+            return
         self.runtime.send(
             gossip_address_of(targets[0]),
             PULL_ACTION,
@@ -710,6 +938,12 @@ class GossipEngine:
         if not payload:
             return
         self.metrics.counter("gossip.deliver-sent").inc()
+        if self.batching:
+            # The frames ride the outbox instead of a base64 Deliver body:
+            # no re-wrapping, and they coalesce with anything else pending.
+            for data in payload:
+                self._enqueue_direct(gossip_address, data)
+            return
         self.runtime.send(
             gossip_address,
             DELIVER_ACTION,
@@ -831,6 +1065,10 @@ class GossipEngine:
         self._hot = {}
         self._fifo = FifoBuffer()
         self._publish_sequence = 0
+        self._outbox_fanout = {}
+        self._outbox_direct = {}
+        self._outbox_control = {}
+        self._flush_scheduled = False
         RECOVERY_STATS.restarts += 1
         self.metrics.counter("gossip.restart").inc()
         if amnesia:

@@ -19,12 +19,25 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional
 
+from repro.core.batch import (
+    BatchError,
+    batch_has_control,
+    is_batch_frame,
+    scan_batch_activity,
+    scan_batch_control,
+    scan_batch_holder,
+    split_batch,
+)
 from repro.core.engine import PROTOCOL_DISSEMINATOR, GossipEngine
-from repro.core.message import GossipHeader, scan_gossip_message_id
+from repro.core.message import (
+    GossipHeader,
+    scan_gossip_message_id,
+    scan_gossip_message_ids,
+)
 from repro.core.params import GossipParams
 from repro.core.peers import PeerSelector
 from repro.core.scheduling import Scheduler
-from repro.simnet.metrics import WIRE_STATS
+from repro.simnet.metrics import BATCH_STATS, WIRE_STATS
 from repro.soap.handler import Handler, MessageContext
 from repro.soap.runtime import SoapRuntime
 from repro.wscoord.context import CoordinationContext
@@ -179,7 +192,10 @@ class GossipLayer(Handler):
         here -- no XML parse, no handler chain -- with the same observable
         behaviour as the post-parse duplicate branch.  A failed scan (no
         gossip header, unusual id) always passes the message through.
+        Batch frames are unpacked here too -- see :meth:`_ingest_batch`.
         """
+        if is_batch_frame(data):
+            return self._ingest_batch(data, source)
         message_id = scan_gossip_message_id(data)
         if message_id is None:
             return True
@@ -190,6 +206,68 @@ class GossipLayer(Handler):
                 engine.on_duplicate_preparse(message_id, source)
                 return False
         return True
+
+    def _ingest_batch(self, data: bytes, source: Optional[str]) -> bool:
+        """Unpack a batch frame at the byte level.
+
+        Fast paths, in order: drop the *whole* batch when every carried
+        rumor is already known (one scan, zero parses); otherwise slice it
+        into legacy frames and feed each through the normal receive path,
+        then apply any piggybacked control sections.  Returns False when
+        consumed here; True falls through to the full XML parse and the
+        gossip service's ``Batch`` operation (the robust fallback).
+        """
+        try:
+            frames = split_batch(data)
+        except BatchError:
+            self.runtime.metrics.counter("gossip.batch-unsplittable").inc()
+            return True
+        BATCH_STATS.batches_received += 1
+        has_control = batch_has_control(data)
+        if frames and not has_control:
+            message_ids = scan_gossip_message_ids(data)
+            if len(message_ids) == len(frames):
+                owners = []
+                for message_id in message_ids:
+                    owner = self._engine_knowing(message_id)
+                    if owner is None:
+                        break
+                    owners.append((message_id, owner))
+                if len(owners) == len(message_ids):
+                    BATCH_STATS.batches_skipped_preparse += 1
+                    WIRE_STATS.dedup_preparse_hits += len(message_ids)
+                    self.runtime.metrics.counter("gossip.dedup-preparse").inc(
+                        len(message_ids)
+                    )
+                    for message_id, owner in owners:
+                        owner.on_duplicate_preparse(message_id, source)
+                    return False
+        for frame in frames:
+            BATCH_STATS.rumors_unpacked += 1
+            self.runtime.receive(frame, source=source)
+        if has_control:
+            self._apply_batch_control(data, source)
+        return False
+
+    def _engine_knowing(self, message_id: str) -> Optional[GossipEngine]:
+        for engine in self._engines.values():
+            if message_id in engine.store:
+                return engine
+        return None
+
+    def _apply_batch_control(self, data: bytes, source: Optional[str]) -> None:
+        control = scan_batch_control(data)
+        if control is None or control.empty():
+            return
+        activity = scan_batch_activity(data)
+        holder = scan_batch_holder(data)
+        engine = self._engines.get(activity) if activity else None
+        if engine is None or holder is None:
+            # Control sections only matter between joined peers; a node
+            # that has not joined yet auto-joins via the rumor frames.
+            self.runtime.metrics.counter("gossip.batch-control-dropped").inc()
+            return
+        engine.on_batch_control(control, holder, source)
 
     # -- the intercept hook --------------------------------------------------------
 

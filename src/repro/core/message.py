@@ -14,7 +14,7 @@ import enum
 import uuid
 import xml.etree.ElementTree as ET
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import List, Optional
 
 from repro.soap import namespaces as ns
 from repro.soap.envelope import Envelope
@@ -84,6 +84,51 @@ def scan_gossip_message_id(data: bytes) -> Optional[str]:
                 return None
         position = data.find(_MID_TAG_SUFFIX, start)
     return None
+
+
+def scan_gossip_message_ids(data: bytes) -> List[str]:
+    """All gossip message ids in wire bytes, in order of appearance.
+
+    The batched-frame variant of :func:`scan_gossip_message_id`: a batch
+    envelope carries one ``Gossip`` header per inner rumor, so the dedup
+    gate needs every id to decide whether the *whole* batch can be skipped.
+    """
+    ids: List[str] = []
+    position = data.find(_MID_TAG_SUFFIX)
+    while position != -1:
+        start = position + len(_MID_TAG_SUFFIX)
+        if data.startswith(_MID_URN_PREFIX, start):
+            end = data.find(b"<", start)
+            if end == -1:
+                return ids
+            try:
+                ids.append(data[start:end].decode("ascii"))
+            except UnicodeDecodeError:
+                pass
+            start = end
+        position = data.find(_MID_TAG_SUFFIX, start)
+    return ids
+
+
+_HOPS_TAG_SUFFIX = b":Hops>"
+
+
+def splice_hops(data: bytes, hops: int) -> Optional[bytes]:
+    """Rewrite the ``Gossip`` header's ``Hops`` value directly in wire bytes.
+
+    The per-forward header update only changes the hop counter; splicing the
+    digits in place avoids a full XML parse + re-serialize on the hottest
+    path in the engine.  Returns ``None`` when the bytes do not contain
+    exactly the expected shape (caller falls back to the re-encode path).
+    """
+    position = data.find(_HOPS_TAG_SUFFIX)
+    if position == -1:
+        return None
+    start = position + len(_HOPS_TAG_SUFFIX)
+    end = data.find(b"<", start)
+    if end == -1 or not data[start:end].isdigit():
+        return None
+    return b"%s%d%s" % (data[:start], hops, data[end:])
 
 
 @dataclass(frozen=True)

@@ -69,6 +69,13 @@ class GossipParams:
             :mod:`repro.core.ordering`).
         stop_probability: feedback-style only -- probability of losing
             interest in a rumor per duplicate feedback received.
+        max_batch_rumors: upper bound on rumors/control entries coalesced
+            into one batched envelope (lpbcast-style piggybacking).  ``1``
+            (the default) disables batching entirely: every frame is a
+            legacy single-rumor envelope.
+        max_batch_bytes: upper bound on a batch's payload bytes; a batch
+            is cut when either cap is hit.  A single oversized rumor still
+            ships (alone) -- the cap bounds coalescing, not message size.
     """
 
     fanout: int = 3
@@ -80,6 +87,8 @@ class GossipParams:
     jitter: float = 0.1
     ordered: bool = False
     stop_probability: float = 0.5
+    max_batch_rumors: int = 1
+    max_batch_bytes: int = 262144
 
     def __post_init__(self) -> None:
         if self.fanout < 1:
@@ -106,6 +115,16 @@ class GossipParams:
                 "stop_probability",
                 f"stop_probability must be in (0, 1]: {self.stop_probability!r}",
             )
+        if self.max_batch_rumors < 1:
+            raise ParamError(
+                "max_batch_rumors",
+                f"max_batch_rumors must be >= 1: {self.max_batch_rumors!r}",
+            )
+        if self.max_batch_bytes < 1024:
+            raise ParamError(
+                "max_batch_bytes",
+                f"max_batch_bytes must be >= 1024: {self.max_batch_bytes!r}",
+            )
 
     # -- wire form (serializer maps, exchanged with the coordinator) --------
 
@@ -121,6 +140,8 @@ class GossipParams:
             "jitter": self.jitter,
             "ordered": self.ordered,
             "stop_probability": self.stop_probability,
+            "max_batch_rumors": self.max_batch_rumors,
+            "max_batch_bytes": self.max_batch_bytes,
         }
 
     @classmethod
@@ -143,6 +164,10 @@ class GossipParams:
             jitter=_convert(value, "jitter", float, required=True),
             ordered=_convert(value, "ordered", bool, default=False),
             stop_probability=_convert(value, "stop_probability", float, default=0.5),
+            # Optional with defaults: RegisterResponses from pre-batching
+            # coordinators simply leave batching off.
+            max_batch_rumors=_convert(value, "max_batch_rumors", int, default=1),
+            max_batch_bytes=_convert(value, "max_batch_bytes", int, default=262144),
         )
 
     @classmethod
@@ -176,6 +201,12 @@ class GossipParams:
             ordered=_convert(parameters, "ordered", bool, default=base.ordered),
             stop_probability=_convert(
                 parameters, "stop_probability", float, default=base.stop_probability
+            ),
+            max_batch_rumors=_convert(
+                parameters, "max_batch_rumors", int, default=base.max_batch_rumors
+            ),
+            max_batch_bytes=_convert(
+                parameters, "max_batch_bytes", int, default=base.max_batch_bytes
             ),
         )
 

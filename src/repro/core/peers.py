@@ -36,8 +36,31 @@ class UniformSelector(PeerSelector):
         rng: random.Random,
         exclude: Iterable[str] = (),
     ) -> List[str]:
-        """Sample ``fanout`` peers uniformly without replacement."""
+        """Sample ``fanout`` peers uniformly without replacement.
+
+        Large views take a rejection-sampling path: copying and filtering
+        a 10k-entry view to pick 6 peers would make every gossip round
+        O(N).  Both paths draw uniformly without replacement; they differ
+        only in rng consumption.
+        """
         excluded = set(exclude)
+        size = len(view)
+        if size >= 4 * (fanout + len(excluded)) and fanout > 0:
+            chosen: List[str] = []
+            seen = set(excluded)
+            # Each draw hits an unseen peer with probability > 3/4, so
+            # the attempt budget fails only with negligible probability;
+            # the filtering path below remains the correctness backstop.
+            attempts = 8 * fanout + 16
+            while len(chosen) < fanout and attempts > 0:
+                attempts -= 1
+                peer = view[rng.randrange(size)]
+                if peer in seen:
+                    continue
+                seen.add(peer)
+                chosen.append(peer)
+            if len(chosen) == fanout:
+                return chosen
         candidates = [peer for peer in view if peer not in excluded]
         if fanout >= len(candidates):
             return list(candidates)

@@ -52,10 +52,16 @@ class PartialView:
         self.capacity = capacity
         self.self_address = self_address
         self._entries: Dict[str, Descriptor] = {}
+        # The address list is consumed every gossip round (it is the
+        # engine's peer view) but membership changes only on shuffles, so
+        # it is cached until a mutation invalidates it.
+        self._addresses_cache: Optional[List[str]] = None
 
     def addresses(self) -> List[str]:
-        """Peer addresses currently in the view."""
-        return list(self._entries)
+        """Peer addresses currently in the view (cached; do not mutate)."""
+        if self._addresses_cache is None:
+            self._addresses_cache = list(self._entries)
+        return self._addresses_cache
 
     def descriptors(self) -> List[Descriptor]:
         """The raw (address, age) entries."""
@@ -67,6 +73,7 @@ class PartialView:
             return
         if len(self._entries) < self.capacity:
             self._entries[address] = Descriptor(address, 0)
+            self._addresses_cache = None
 
     def age_all(self) -> None:
         """Increment every descriptor age by one round."""
@@ -81,7 +88,8 @@ class PartialView:
 
     def remove(self, address: str) -> None:
         """Drop an address from the view (no-op if absent)."""
-        self._entries.pop(address, None)
+        if self._entries.pop(address, None) is not None:
+            self._addresses_cache = None
 
     def sample(self, count: int, rng: random.Random, exclude: Sequence[str] = ()) -> List[Descriptor]:
         """Uniform sample of up to ``count`` descriptors."""
@@ -93,6 +101,7 @@ class PartialView:
 
     def merge(self, incoming: List[Descriptor], sent: List[Descriptor]) -> None:
         """Cyclon merge: fill empty slots first, then replace what we sent."""
+        self._addresses_cache = None
         sent_addresses = [d.address for d in sent if d.address in self._entries]
         for descriptor in incoming:
             if descriptor.address == self.self_address:

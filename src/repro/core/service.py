@@ -15,6 +15,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+from repro.core.batch import (
+    BATCH_ACTION,
+    control_from_element,
+    frames_from_element,
+)
 from repro.core.engine import (
     ADVERTISE_ACTION,
     DELIVER_ACTION,
@@ -24,6 +29,7 @@ from repro.core.engine import (
     PULL_RESPONSE_ACTION,
 )
 from repro.core.handler import GossipLayer
+from repro.simnet.metrics import BATCH_STATS
 from repro.soap.fault import sender_fault
 from repro.soap.handler import MessageContext
 from repro.soap.service import Reply, Service, operation
@@ -100,6 +106,32 @@ class GossipService(Service):
         if engine is None:
             raise sender_fault(f"not participating in activity {activity!r}")
         return engine, [item for item in ids if isinstance(item, str)]
+
+    @operation(BATCH_ACTION)
+    def batch(self, context: MessageContext, value: Any) -> None:
+        """SOAP operation: parsed-XML fallback for batched frames.
+
+        Reached only when the byte-level split in the gossip layer's
+        pre-parse gate failed (or the node has no layer gate at all): the
+        embedded rumors are re-serialized from the parsed tree and fed
+        through the normal receive path.
+        """
+        body = context.envelope.body
+        if body is None:
+            raise sender_fault("Batch requires a GossipBatch body")
+        runtime = self._layer.runtime
+        for data in frames_from_element(body):
+            BATCH_STATS.rumors_unpacked += 1
+            runtime.receive(data, source=context.source)
+        control = control_from_element(body)
+        if control.empty():
+            return None
+        activity = body.get("activity")
+        holder = body.get("holder")
+        engine = self._layer.engine_for(activity) if activity else None
+        if engine is not None and holder:
+            engine.on_batch_control(control, holder, context.source)
+        return None
 
     @operation(DELIVER_ACTION)
     def deliver(

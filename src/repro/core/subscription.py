@@ -30,17 +30,49 @@ UNSUBSCRIBE_ACTION = f"{ns.WSGOSSIP}/Unsubscribe"
 
 LEASE_KEY = "lease_expires_at"
 
+# Activity property caching the earliest lease expiry across participants.
+# prune_expired runs on every subscribe -- without the early-out, N
+# subscriptions would each rescan the whole participant list (O(N^2) group
+# setup).
+_NEXT_EXPIRY_KEY = "lease_next_expiry"
+
+
+def note_lease(activity: Activity, expires_at: float) -> None:
+    """Record a new lease so the prune fast path stays conservative."""
+    current = activity.properties.get(_NEXT_EXPIRY_KEY)
+    if current is None or expires_at < current:
+        activity.properties[_NEXT_EXPIRY_KEY] = expires_at
+
 
 def prune_expired(activity: Activity, now: float) -> int:
-    """Drop participants whose lease has lapsed; returns how many."""
+    """Drop participants whose lease has lapsed; returns how many.
+
+    O(1) when no lease can have expired yet (the common case): the
+    earliest-expiry watermark is kept in the activity's properties and only
+    a watermark breach pays for the full scan.
+    """
+    next_expiry = activity.properties.get(_NEXT_EXPIRY_KEY)
+    if next_expiry is None or now < next_expiry:
+        return 0
     before = len(activity.participants)
-    activity.participants[:] = [
-        participant
-        for participant in activity.participants
-        if participant.metadata.get(LEASE_KEY) is None
-        or participant.metadata[LEASE_KEY] > now
-    ]
-    return before - len(activity.participants)
+    earliest: Optional[float] = None
+    kept = []
+    for participant in activity.participants:
+        expires_at = participant.metadata.get(LEASE_KEY)
+        if expires_at is not None and expires_at <= now:
+            continue
+        kept.append(participant)
+        if expires_at is not None and (earliest is None or expires_at < earliest):
+            earliest = expires_at
+    removed = before - len(kept)
+    if removed:
+        activity.participants[:] = kept
+        activity.invalidate_index()
+    if earliest is None:
+        activity.properties.pop(_NEXT_EXPIRY_KEY, None)
+    else:
+        activity.properties[_NEXT_EXPIRY_KEY] = earliest
+    return removed
 
 
 class SubscriptionService(Service):
@@ -93,6 +125,8 @@ class SubscriptionService(Service):
             EndpointReference(participant),
             metadata=metadata,
         )
+        if expires is not None:
+            note_lease(activity, metadata[LEASE_KEY])
         response: Dict[str, Any] = {"activity": activity_id, "subscribed": True}
         if expires is not None:
             response["expires_at"] = metadata[LEASE_KEY]
@@ -115,6 +149,8 @@ class SubscriptionService(Service):
                 and existing.protocol == PROTOCOL_SUBSCRIBER
             )
         ]
+        if len(activity.participants) != before:
+            activity.invalidate_index()
         return {
             "activity": activity_id,
             "subscribed": False,

@@ -9,42 +9,65 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Callable, List, Optional
 
 from repro.simnet.clock import VirtualClock
 from repro.simnet.rng import RngStreams
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
     Ordering is by ``(time, seq)``; the callback itself does not participate
-    in comparisons.
+    in comparisons.  Identity hashing/equality (the default) is intentional:
+    processes keep their pending timers in sets.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "cancelled", "_queue")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self._queue: Optional["EventQueue"] = None
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queue is not None:
+                self._queue._live -= 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time!r}, seq={self.seq!r}, "
+            f"cancelled={self.cancelled!r})"
+        )
 
 
 class EventQueue:
-    """A min-heap of :class:`Event` objects with stable FIFO tie-breaking."""
+    """A min-heap of :class:`Event` objects with stable FIFO tie-breaking.
+
+    Cancelled events stay in the heap (lazy deletion) but a live counter is
+    maintained on push/pop/cancel, so :meth:`__len__` is O(1) instead of a
+    full heap scan per call.
+    """
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def push(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at ``time``; returns the cancellable event."""
-        event = Event(time=time, seq=next(self._counter), callback=callback)
+        event = Event(time, next(self._counter), callback)
+        event._queue = self
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Event:
@@ -56,6 +79,8 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                event._queue = None
+                self._live -= 1
                 return event
         raise IndexError("pop from empty EventQueue")
 
@@ -66,7 +91,7 @@ class EventQueue:
         return self._heap[0].time if self._heap else None
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
         return self.peek_time() is not None

@@ -165,6 +165,9 @@ class WireStats:
       memoized wire bytes (cache hits -- the zero-copy fast path).
     * ``parse_count`` -- actual XML parses performed by
       :meth:`repro.soap.envelope.Envelope.from_bytes`.
+    * ``parse_reused`` -- ``from_bytes()`` calls answered from the shared
+      parse cache (identical wire bytes already parsed by another node in
+      this process -- the fan-out twin of ``serialize_reused``).
     * ``dedup_preparse_hits`` -- duplicate gossip messages dropped by the
       byte-scan gate *before* any XML parse.
 
@@ -176,6 +179,7 @@ class WireStats:
         "serialize_count",
         "serialize_reused",
         "parse_count",
+        "parse_reused",
         "dedup_preparse_hits",
     )
 
@@ -187,6 +191,7 @@ class WireStats:
         self.serialize_count = 0
         self.serialize_reused = 0
         self.parse_count = 0
+        self.parse_reused = 0
         self.dedup_preparse_hits = 0
 
     def snapshot(self) -> Dict[str, int]:
@@ -208,6 +213,66 @@ class WireStats:
 
 #: The process-wide wire-path counters (see :class:`WireStats`).
 WIRE_STATS = WireStats()
+
+
+class BatchStats:
+    """Process-wide batched-envelope counters (the coalescing twin of
+    :class:`WireStats`).
+
+    Fed by the engine's per-destination outbox and the batch codec
+    (:mod:`repro.core.batch`); benchmarks snapshot them to show how much
+    traffic the lpbcast-style piggybacking actually collapsed:
+
+    * ``batches_built`` -- batch frames encoded (one per unique
+      destination-set content per flush; fan-out shares the encode).
+    * ``batches_sent`` -- batch frames handed to a transport (>= built,
+      one per destination).
+    * ``rumors_batched`` -- inner rumor frames carried inside sent batches.
+    * ``control_piggybacked`` -- control sections (advertisements,
+      feedback, pull digests) that rode along instead of going out as
+      their own envelopes.
+    * ``batches_received`` / ``rumors_unpacked`` -- receive-side splits.
+    * ``batches_skipped_preparse`` -- whole batches dropped by the
+      byte-scan gate because every carried rumor was already known.
+    * ``flushes`` -- outbox flushes (each coalesces one burst of traffic).
+    * ``legacy_singletons`` -- flushed entries that went out as plain
+      single-rumor frames because batching them had no benefit.
+    """
+
+    __slots__ = (
+        "batches_built",
+        "batches_sent",
+        "rumors_batched",
+        "control_piggybacked",
+        "batches_received",
+        "rumors_unpacked",
+        "batches_skipped_preparse",
+        "flushes",
+        "legacy_singletons",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (benchmarks call this between scenarios)."""
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Current counter values as a plain dict."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchStats(built={self.batches_built}, "
+            f"sent={self.batches_sent}, rumors={self.rumors_batched}, "
+            f"skipped={self.batches_skipped_preparse})"
+        )
+
+
+#: The process-wide batched-envelope counters (see :class:`BatchStats`).
+BATCH_STATS = BatchStats()
 
 
 class HealthStats:

@@ -74,6 +74,14 @@ class Network:
         self._egress_bandwidth: Dict[str, float] = {}
         self._egress_busy_until: Dict[str, float] = {}
         self._rng = sim.rng.get("network")
+        # The per-message metric objects, bound once: send/_deliver run for
+        # every simulated message, and the registry's name lookup is
+        # measurable overhead at that call rate.
+        self._sent = self.metrics.counter("net.sent")
+        self._bytes = self.metrics.counter("net.bytes")
+        self._dropped = self.metrics.counter("net.dropped")
+        self._delivered = self.metrics.counter("net.delivered")
+        self._latency_hist = self.metrics.histogram("net.latency")
 
     # -- membership of the fabric ------------------------------------------
 
@@ -199,10 +207,13 @@ class Network:
             send_time=self.sim.now,
             size=size,
         )
-        self.metrics.counter("net.sent").inc()
+        self._sent.inc()
         if size > 0:
-            self.metrics.counter("net.bytes").inc(size)
-        self.trace.record(self.sim.now, "net.send", source, destination=destination)
+            self._bytes.inc(size)
+        if self.trace.enabled:
+            self.trace.record(
+                self.sim.now, "net.send", source, destination=destination
+            )
 
         if self.partitioned(source, destination):
             self._drop(message, "partition")
@@ -228,15 +239,16 @@ class Network:
     def _drop(self, message: NetworkMessage, reason: str) -> None:
         message.dropped = True
         message.drop_reason = reason
-        self.metrics.counter("net.dropped").inc()
+        self._dropped.inc()
         self.metrics.counter(f"net.dropped.{reason}").inc()
-        self.trace.record(
-            self.sim.now,
-            "net.drop",
-            message.source,
-            destination=message.destination,
-            reason=reason,
-        )
+        if self.trace.enabled:
+            self.trace.record(
+                self.sim.now,
+                "net.drop",
+                message.source,
+                destination=message.destination,
+                reason=reason,
+            )
 
     def _deliver(self, message: NetworkMessage) -> None:
         process = self._processes.get(message.destination)
@@ -252,11 +264,13 @@ class Network:
             message.corrupted = True
             self.metrics.counter("net.corrupted").inc()
         message.deliver_time = self.sim.now
-        self.metrics.counter("net.delivered").inc()
-        self.metrics.histogram("net.latency").observe(
-            message.deliver_time - message.send_time
-        )
-        self.trace.record(
-            self.sim.now, "net.deliver", message.destination, source=message.source
-        )
+        self._delivered.inc()
+        self._latency_hist.observe(message.deliver_time - message.send_time)
+        if self.trace.enabled:
+            self.trace.record(
+                self.sim.now,
+                "net.deliver",
+                message.destination,
+                source=message.source,
+            )
         process.deliver(message.source, message.payload)

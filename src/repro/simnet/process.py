@@ -43,7 +43,10 @@ class Process:
         self.network = network
         self.sim = network.sim
         self.state = ProcessState.NEW
-        self._timers: List[Event] = []
+        # A set, not a list: a busy node has thousands of pending timers
+        # and every firing removes itself -- list.remove would be an O(n)
+        # scan per event (Event hashes by identity for exactly this).
+        self._timers: set = set()
         network.attach(self)
 
     # -- queries --------------------------------------------------------------
@@ -140,20 +143,13 @@ class Process:
         The timer fires only if the process is still RUNNING at that moment;
         crash and stop cancel all pending timers.
         """
-        event_box: List[Event] = []
-
         def fire() -> None:
-            if event_box:
-                try:
-                    self._timers.remove(event_box[0])
-                except ValueError:
-                    pass
+            self._timers.discard(event)
             if self.is_running:
                 callback()
 
         event = self.sim.call_after(delay, fire)
-        event_box.append(event)
-        self._timers.append(event)
+        self._timers.add(event)
         return event
 
     def set_periodic_timer(

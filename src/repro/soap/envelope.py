@@ -18,7 +18,7 @@ repository does.
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.simnet.metrics import WIRE_STATS
 from repro.soap import namespaces as ns
@@ -31,6 +31,23 @@ _NS_TO_VERSION = {uri: version for version, uri in _ENVELOPE_NS.items()}
 
 class EnvelopeError(ValueError):
     """Raised when bytes are well-formed XML but not a SOAP envelope."""
+
+
+# Cross-envelope parse sharing: a gossip fan-out hands the *same* wire
+# bytes to several simulated receivers, and only the first one needs to
+# pay the XML parse -- later receivers of equal bytes reuse the element
+# tree.  Safe because nothing in this repository mutates a header/body
+# *element* in place (see the module docstring); envelopes built from a
+# shared tree still get their own header lists.  Bounded by wholesale
+# clearing: the cache is a throughput optimization, not a correctness
+# feature.
+_PARSE_CACHE: Dict[bytes, ET.Element] = {}
+_PARSE_CACHE_LIMIT = 2048
+
+
+def clear_parse_cache() -> None:
+    """Drop all shared parse-cache entries (tests/benchmarks call this)."""
+    _PARSE_CACHE.clear()
 
 
 class Envelope:
@@ -192,13 +209,21 @@ class Envelope:
         Raises:
             EnvelopeError: malformed XML or not an envelope.
         """
-        try:
-            root = parse_bytes(data)
-        except XmlParseError as exc:
-            raise EnvelopeError(str(exc)) from exc
-        WIRE_STATS.parse_count += 1
+        data = data if isinstance(data, bytes) else bytes(data)
+        root = _PARSE_CACHE.get(data)
+        if root is not None:
+            WIRE_STATS.parse_reused += 1
+        else:
+            try:
+                root = parse_bytes(data)
+            except XmlParseError as exc:
+                raise EnvelopeError(str(exc)) from exc
+            WIRE_STATS.parse_count += 1
+            if len(_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
+                _PARSE_CACHE.clear()
+            _PARSE_CACHE[data] = root
         envelope = cls.from_element(root)
-        envelope._wire = data if isinstance(data, bytes) else bytes(data)
+        envelope._wire = data
         return envelope
 
     def __repr__(self) -> str:

@@ -28,11 +28,25 @@ class Participant:
 
 @dataclass
 class Activity:
-    """Coordinator-side state for one activity."""
+    """Coordinator-side state for one activity.
+
+    ``participants`` stays a plain public list (tests and protocol plug-ins
+    append to it directly), so the lookup index below is maintained lazily:
+    :meth:`_sync_index` absorbs appended entries incrementally and rebuilds
+    from scratch only when the list shrank or was mutated out from under us
+    (:meth:`invalidate_index`).  With thousands of participants per
+    activity, register/peer-sample would otherwise scan the list per call.
+    """
 
     context: CoordinationContext
     participants: List[Participant] = field(default_factory=list)
     properties: Dict[str, Any] = field(default_factory=dict)
+    _index: Dict[Tuple[str, str], Participant] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _addresses: List[str] = field(default_factory=list, repr=False, compare=False)
+    _address_set: set = field(default_factory=set, repr=False, compare=False)
+    _indexed_count: int = field(default=0, repr=False, compare=False)
 
     def participant_addresses(self, protocol: Optional[str] = None) -> List[str]:
         """Addresses of registered participants, optionally by protocol."""
@@ -45,6 +59,51 @@ class Activity:
     def is_registered(self, address: str, protocol: Optional[str] = None) -> bool:
         """True when ``address`` is a participant (optionally by protocol)."""
         return address in self.participant_addresses(protocol)
+
+    # -- lookup index ---------------------------------------------------------
+
+    def _sync_index(self) -> None:
+        if self._indexed_count > len(self.participants):
+            # The list shrank (pruning, unsubscribe): rebuild.
+            self._index.clear()
+            self._addresses.clear()
+            self._address_set.clear()
+            self._indexed_count = 0
+        for participant in self.participants[self._indexed_count :]:
+            address = participant.endpoint.address
+            self._index[(address, participant.protocol)] = participant
+            if address not in self._address_set:
+                self._address_set.add(address)
+                self._addresses.append(address)
+        self._indexed_count = len(self.participants)
+
+    def invalidate_index(self) -> None:
+        """Force a rebuild after in-place mutation of ``participants``."""
+        self._indexed_count = len(self.participants) + 1
+
+    def find_participant(self, address: str, protocol: str) -> Optional[Participant]:
+        """O(1) lookup of a participant by (address, protocol)."""
+        self._sync_index()
+        return self._index.get((address, protocol))
+
+    def add_participant(self, participant: Participant) -> None:
+        """Append a participant, keeping the index current."""
+        self._sync_index()
+        self.participants.append(participant)
+        address = participant.endpoint.address
+        self._index[(address, participant.protocol)] = participant
+        if address not in self._address_set:
+            self._address_set.add(address)
+            self._addresses.append(address)
+        self._indexed_count = len(self.participants)
+
+    def distinct_addresses(self) -> List[str]:
+        """Distinct participant addresses in first-registration order.
+
+        The returned list is the live index -- callers must not mutate it.
+        """
+        self._sync_index()
+        return self._addresses
 
 
 class CoordinationProtocol:
@@ -151,22 +210,16 @@ class Coordinator:
         """
         activity = self.activity(activity_id)
         protocol = self.protocol_for(activity.context.coordination_type)
-        participant = None
-        for existing in activity.participants:
-            if (
-                existing.endpoint.address == participant_epr.address
-                and existing.protocol == protocol_id
-            ):
-                participant = existing
-                participant.metadata = dict(metadata or {})
-                break
-        if participant is None:
+        participant = activity.find_participant(participant_epr.address, protocol_id)
+        if participant is not None:
+            participant.metadata = dict(metadata or {})
+        else:
             participant = Participant(
                 protocol=protocol_id,
                 endpoint=participant_epr,
                 metadata=dict(metadata or {}),
             )
-            activity.participants.append(participant)
+            activity.add_participant(participant)
         return protocol.on_register(activity, participant)
 
     def activity(self, activity_id: str) -> Activity:

@@ -44,6 +44,28 @@ class TestEventQueue:
         event.cancel()
         assert len(queue) == 1
 
+    def test_len_stays_exact_through_cancel_and_pop(self):
+        # The live count is maintained incrementally (O(1) __len__), so it
+        # must track every combination of cancel and pop exactly.
+        queue = EventQueue()
+        events = [queue.push(float(index + 1), lambda: None) for index in range(5)]
+        assert len(queue) == 5
+        events[1].cancel()
+        events[3].cancel()
+        assert len(queue) == 3
+        # Double-cancel must not decrement twice.
+        events[1].cancel()
+        assert len(queue) == 3
+        assert queue.pop().time == 1.0
+        assert len(queue) == 2
+        # Cancelling an already-popped event must not decrement either.
+        events[0].cancel()
+        assert len(queue) == 2
+        remaining = [queue.pop().time for _ in range(2)]
+        assert remaining == [3.0, 5.0]
+        assert len(queue) == 0
+        assert not queue
+
     def test_peek_time(self):
         queue = EventQueue()
         assert queue.peek_time() is None

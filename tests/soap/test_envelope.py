@@ -187,8 +187,10 @@ def test_invalidate_forces_re_encode():
 
 def test_memoization_counters():
     from repro.simnet.metrics import WIRE_STATS
+    from repro.soap.envelope import clear_parse_cache
 
     WIRE_STATS.reset()
+    clear_parse_cache()
     envelope = Envelope(body=make_body())
     envelope.to_bytes()
     envelope.to_bytes()
