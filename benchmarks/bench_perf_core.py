@@ -52,7 +52,7 @@ sys.path.insert(0, os.path.dirname(__file__))
 from _tables import emit
 
 from repro import GossipConfig
-from repro.simnet.metrics import BATCH_STATS, WIRE_STATS
+from repro.obs.profiler import Profiler
 
 BASELINE_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_core.json"
@@ -94,23 +94,31 @@ def run_size(n: int, seed: int = 3, max_batch_rumors: int = MAX_BATCH_RUMORS) ->
         params=params,
         auto_tune=False,
     ).build()
+    profiler = Profiler(sim_clock=lambda: group.sim.now)
     # Eager join: every node registers during setup, so the burst measures
     # dissemination, not the one-time join handshake -- and no node parks
     # rumors in the bounded pending-forward buffer waiting for a view.
-    group.setup(settle=1.0, eager_join=True)
+    with profiler.section("setup"):
+        group.setup(settle=1.0, eager_join=True)
 
-    WIRE_STATS.reset()
-    BATCH_STATS.reset()
+    # The group owns its hub, so resetting the wire/batch groups after
+    # setup scopes the counts to the burst (and touches no other run).
+    group.hub.wire.reset()
+    group.hub.batch.reset()
     sent_at_setup = group.metrics.counter("soap.sent").value
     shared_at_setup = group.metrics.counter("soap.sent-shared").value
 
     publish_started = time.perf_counter()
     published_at = group.sim.now
-    message_ids = [group.publish({"tick": index}) for index in range(publications)]
+    with profiler.section("publish"):
+        message_ids = [
+            group.publish({"tick": index}) for index in range(publications)
+        ]
     publish_wall = time.perf_counter() - publish_started
 
     drain_started = time.perf_counter()
-    group.run_for(DRAIN_SIM_S)
+    with profiler.section("drain"):
+        group.run_for(DRAIN_SIM_S)
     drain_wall = time.perf_counter() - drain_started
 
     fractions = [group.delivered_fraction(mid) for mid in message_ids]
@@ -120,8 +128,8 @@ def run_size(n: int, seed: int = 3, max_batch_rumors: int = MAX_BATCH_RUMORS) ->
         for mid in message_ids
         for delivery_time in group.delivery_times(mid)
     )
-    stats = WIRE_STATS.snapshot()
-    batch = BATCH_STATS.snapshot()
+    stats = group.hub.wire.snapshot()
+    batch = group.hub.batch.snapshot()
     counts = group.message_counts()
     sent = counts.get("soap.sent", 0) - sent_at_setup
     shared = counts.get("soap.sent-shared", 0) - shared_at_setup
@@ -153,6 +161,7 @@ def run_size(n: int, seed: int = 3, max_batch_rumors: int = MAX_BATCH_RUMORS) ->
         "batches_sent": batch["batches_sent"],
         "rumors_batched": batch["rumors_batched"],
         "batches_skipped_preparse": batch["batches_skipped_preparse"],
+        "phases": profiler.report(),
     }
 
 

@@ -35,16 +35,22 @@ from repro.core import (
     expected_rounds,
     fanout_for_atomicity,
 )
+from repro.obs import MetricsHub, Profiler, RumorTracer, default_hub
 from repro.simnet.events import Simulator
-from repro.simnet.metrics import (
-    HEALTH_STATS,
-    RECOVERY_STATS,
-    WIRE_STATS,
-    HealthStats,
-    RecoveryStats,
-    WireStats,
-)
+from repro.simnet.metrics import HealthStats, RecoveryStats, WireStats
 from repro.stats import summarize
+
+#: Deprecated process-global stat aliases, resolved lazily so plain
+#: ``import repro`` never fires a DeprecationWarning.
+_DEPRECATED_STATS = ("BATCH_STATS", "HEALTH_STATS", "RECOVERY_STATS", "WIRE_STATS")
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_STATS:
+        from repro.simnet import metrics as _metrics
+
+        return getattr(_metrics, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __version__ = "1.0.0"
 
@@ -58,6 +64,10 @@ __all__ = [
     "GossipStyle",
     "HEALTH_STATS",
     "HealthPolicy",
+    "MetricsHub",
+    "Profiler",
+    "RumorTracer",
+    "default_hub",
     "HealthStats",
     "ParamError",
     "PeerHealth",

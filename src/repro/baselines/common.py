@@ -7,7 +7,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.simnet.events import Simulator
 from repro.simnet.latency import LatencyModel
-from repro.simnet.metrics import MetricsRegistry
+from repro.obs.hub import MetricsHub, default_hub, use_hub
 from repro.simnet.network import Network
 from repro.simnet.trace import TraceLog
 from repro.soap.handler import MessageContext
@@ -71,7 +71,9 @@ class BaselineGroup:
             raise ValueError(f"need at least one receiver: {n_receivers!r}")
         self.sim = Simulator(seed=seed)
         self.trace = TraceLog(enabled=trace)
-        self.metrics = MetricsRegistry()
+        # One hub per baseline deployment (chained to the default hub).
+        self.metrics = MetricsHub(parent=default_hub(), name="baseline-group")
+        self.hub = self.metrics
         self.network = Network(
             self.sim,
             latency=latency,
@@ -90,8 +92,10 @@ class BaselineGroup:
         return f"mid-{next(self._mid_counter)}"
 
     def run_for(self, duration: float) -> None:
-        """Advance simulated time by ``duration`` seconds."""
-        self.sim.run_until(self.sim.now + duration)
+        """Advance simulated time by ``duration`` seconds (under this
+        group's hub, so hub-less call sites attribute costs here)."""
+        with use_hub(self.hub):
+            self.sim.run_until(self.sim.now + duration)
 
     def setup(self, settle: float = 1.0) -> None:
         """Template method: subclasses wire their topology in

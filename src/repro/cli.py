@@ -7,6 +7,7 @@ Usage::
     python -m repro styles          # compare the gossip styles
     python -m repro analyze 1000    # fanout/rounds the coordinator picks
     python -m repro describe        # WSDL summary of a gossip node
+    python -m repro obs report      # observability report of a seeded run
 """
 
 from __future__ import annotations
@@ -145,6 +146,30 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.export import prometheus_text, write_jsonl
+    from repro.obs.report import run_seeded_report
+
+    group, text = run_seeded_report(
+        nodes=args.nodes,
+        consumers=args.consumers,
+        seed=args.seed,
+        style=args.style,
+        fanout=args.fanout,
+        rounds=args.rounds,
+        duration=args.duration,
+    )
+    print(text)
+    if args.jsonl:
+        count = write_jsonl(group.hub, args.jsonl)
+        print(f"wrote {count} metric records to {args.jsonl}")
+    if args.prometheus:
+        with open(args.prometheus, "w", encoding="utf-8") as stream:
+            stream.write(prometheus_text(group.hub))
+        print(f"wrote Prometheus text to {args.prometheus}")
+    return 0
+
+
 def _cmd_describe(args: argparse.Namespace) -> int:
     import random
 
@@ -211,6 +236,25 @@ def build_parser() -> argparse.ArgumentParser:
         "describe", help="WSDL summary of the gossip port type"
     )
     describe.set_defaults(handler=_cmd_describe)
+
+    obs = commands.add_parser(
+        "obs", help="observability: reports and metric exports"
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    report = obs_commands.add_parser(
+        "report", help="run a seeded dissemination and report its metrics"
+    )
+    report.add_argument("--nodes", type=int, default=50)
+    report.add_argument("--consumers", type=int, default=0)
+    report.add_argument("--style", default="push")
+    report.add_argument("--fanout", type=int, default=4)
+    report.add_argument("--rounds", type=int, default=7)
+    report.add_argument("--duration", type=float, default=10.0)
+    report.add_argument("--jsonl", help="also dump every metric as JSONL")
+    report.add_argument(
+        "--prometheus", help="also write Prometheus text format"
+    )
+    report.set_defaults(handler=_cmd_obs_report)
     return parser
 
 

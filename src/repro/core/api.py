@@ -38,9 +38,9 @@ from repro.core.roles import (
     InitiatorNode,
 )
 from repro.core.store import DurabilityPolicy
+from repro.obs.hub import MetricsHub, default_hub, use_hub
 from repro.simnet.events import Simulator
 from repro.simnet.latency import LatencyModel
-from repro.simnet.metrics import MetricsRegistry
 from repro.simnet.network import Network
 from repro.simnet.trace import TraceLog
 
@@ -79,6 +79,11 @@ class GossipConfig:
             dict (validated via
             :meth:`~repro.core.store.DurabilityPolicy.from_value`), or
             ``True`` for the defaults.
+        rumor_tracing: record a causal span per published rumor
+            (publish/forward/deliver hops with round attribution) on the
+            group's :class:`~repro.obs.hub.MetricsHub` -- the source of
+            the infection curve and rounds-to-delivery percentiles
+            (see docs/OBSERVABILITY.md).  Cheap; on by default.
     """
 
     n_disseminators: int = 8
@@ -94,6 +99,7 @@ class GossipConfig:
     health: bool = False
     health_policy: Optional[HealthPolicy] = None
     durability: Optional[DurabilityPolicy] = None
+    rumor_tracing: bool = True
 
     def __post_init__(self) -> None:
         if self.n_disseminators < 0:
@@ -251,7 +257,12 @@ class GossipGroup:
 
         self.sim = Simulator(seed=self.config.seed)
         self.trace = TraceLog(enabled=self.config.trace)
-        self.metrics = MetricsRegistry()
+        # One observability hub per group: chained to the default hub so
+        # process-wide aggregates (the deprecated *_STATS aliases) still
+        # see this simulation, but never shared with another group.
+        self.metrics = MetricsHub(parent=default_hub(), name="gossip-group")
+        self.hub = self.metrics
+        self.hub.tracer.enabled = self.config.rumor_tracing
         self.network = Network(
             self.sim,
             latency=self.config.latency,
@@ -288,7 +299,11 @@ class GossipGroup:
                 else HealthPolicy()
             )
             for node in [self.initiator, *self.disseminators]:
-                health = PeerHealth(policy, clock=lambda: self.sim.now)
+                health = PeerHealth(
+                    policy,
+                    clock=lambda: self.sim.now,
+                    stats=self.hub.health,
+                )
                 node.runtime.transport.configure_resilience(
                     retry=policy.retry_policy(),
                     breaker=policy.breaker_policy(),
@@ -395,11 +410,17 @@ class GossipGroup:
         """Disseminate one data item from the initiator."""
         if self.activity_id is None:
             raise RuntimeError("call setup() before publish()")
-        return self.initiator.publish(self.activity_id, self.action, value)
+        with use_hub(self.hub):
+            return self.initiator.publish(self.activity_id, self.action, value)
 
     def run_for(self, duration: float) -> None:
-        """Advance simulated time by ``duration`` seconds."""
-        self.sim.run_until(self.sim.now + duration)
+        """Advance simulated time by ``duration`` seconds.
+
+        Runs under :func:`~repro.obs.hub.use_hub` so hub-less call sites
+        (the envelope codec) attribute wire costs to this group's hub.
+        """
+        with use_hub(self.hub):
+            self.sim.run_until(self.sim.now + duration)
 
     # -- measurements -----------------------------------------------------------------
 

@@ -36,7 +36,7 @@ from repro.core.scheduling import ProcessScheduler
 from repro.core.service import GossipService
 from repro.simnet.events import Simulator
 from repro.simnet.latency import LatencyModel
-from repro.simnet.metrics import MetricsRegistry
+from repro.obs.hub import MetricsHub, default_hub, use_hub
 from repro.simnet.network import Network
 from repro.simnet.trace import TraceLog
 from repro.wsa.addressing import EndpointReference
@@ -90,7 +90,11 @@ class DecentralizedGossipNode(AppNode):
         # membership detector's verdicts.
         self.health: Optional[PeerHealth] = None
         if health_policy is not None:
-            self.health = PeerHealth(health_policy, clock=lambda: self.sim.now)
+            self.health = PeerHealth(
+                health_policy,
+                clock=lambda: self.sim.now,
+                stats=network.hub.health,
+            )
             self.runtime.transport.configure_resilience(
                 retry=health_policy.retry_policy(),
                 breaker=health_policy.breaker_policy(),
@@ -204,7 +208,10 @@ class DecentralizedGroup:
             raise ValueError(f"need at least two nodes: {n_nodes!r}")
         self.sim = Simulator(seed=seed)
         self.trace = TraceLog(enabled=trace)
-        self.metrics = MetricsRegistry()
+        # One hub per decentralized group (chained to the default hub),
+        # so concurrent simulations never share metric state.
+        self.metrics = MetricsHub(parent=default_hub(), name="decentralized-group")
+        self.hub = self.metrics
         self.network = Network(
             self.sim, latency=latency, loss_rate=loss_rate,
             trace=self.trace, metrics=self.metrics,
@@ -249,11 +256,16 @@ class DecentralizedGroup:
 
     def publish(self, value: Any, publisher_index: int = 0) -> str:
         """Disseminate one item from the chosen node."""
-        return self.nodes[publisher_index].publish(self.context, self.action, value)
+        with use_hub(self.hub):
+            return self.nodes[publisher_index].publish(
+                self.context, self.action, value
+            )
 
     def run_for(self, duration: float) -> None:
-        """Advance simulated time by ``duration`` seconds."""
-        self.sim.run_until(self.sim.now + duration)
+        """Advance simulated time by ``duration`` seconds (under this
+        group's hub, so hub-less call sites attribute costs here)."""
+        with use_hub(self.hub):
+            self.sim.run_until(self.sim.now + duration)
 
     def delivered_fraction(self, gossip_id: str, publisher_index: int = 0) -> float:
         """Fraction of other nodes that received the item."""

@@ -44,7 +44,7 @@ from repro.core.params import GossipParams
 from repro.core.peers import HealthAwareSelector, PeerSelector, UniformSelector
 from repro.core.scheduling import Scheduler
 from repro.core.store import DurabilityPolicy, GossipLog
-from repro.simnet.metrics import BATCH_STATS, RECOVERY_STATS
+from repro.obs.hub import hub_of
 from repro.soap import namespaces as ns
 from repro.soap.envelope import Envelope
 from repro.soap.handler import Direction, MessageContext
@@ -186,6 +186,12 @@ class GossipEngine:
         self._outbox_direct: Dict[str, List[bytes]] = {}
         self._outbox_control: Dict[str, BatchControl] = {}
         self._flush_scheduled = False
+        # Observability: the hub behind this node's metrics sink provides
+        # the batch/recovery stat groups and the causal rumor tracer.
+        obs = hub_of(runtime.metrics)
+        self._batch_stats = obs.batch
+        self._recovery_stats = obs.recovery
+        self._tracer = obs.tracer
 
     @property
     def activity_id(self) -> str:
@@ -300,6 +306,11 @@ class GossipEngine:
             sequence=sequence,
         )
         self.metrics.counter("gossip.publish").inc()
+        if self._tracer.enabled:
+            self._tracer.on_publish(
+                message_id, self.app_address, self.scheduler.now,
+                budget=self.params.rounds,
+            )
         # Encode the invocation once; every fanout target and the message
         # store share the same wire bytes (the zero-copy fast path).
         data = self._publication_envelope(action, value, tag, header).to_bytes()
@@ -376,14 +387,19 @@ class GossipEngine:
         if not fresh:
             self.metrics.counter("gossip.duplicate").inc()
             if self._recovering:
-                RECOVERY_STATS.redelivered_suppressed += 1
+                self._recovery_stats.redelivered_suppressed += 1
             if self.params.style is GossipStyle.FEEDBACK and source is not None:
                 self._send_feedback(header.message_id, source)
             return False
         self.metrics.counter("gossip.fresh").inc()
+        if self._tracer.enabled:
+            self._tracer.on_deliver(
+                header.message_id, self.app_address, self.scheduler.now,
+                hops_left=header.hops,
+            )
         self._log_message(header.message_id, envelope.to_bytes(), header.origin)
         if self._recovering:
-            RECOVERY_STATS.fetched += 1
+            self._recovery_stats.fetched += 1
         if header.origin == self.app_address and header.sequence is not None:
             # Our own pre-crash publication came back via catch-up: never
             # reuse a sequence number the group may already have delivered.
@@ -409,7 +425,7 @@ class GossipEngine:
         self._pending_fetch.discard(message_id)
         self.metrics.counter("gossip.duplicate").inc()
         if self._recovering:
-            RECOVERY_STATS.redelivered_suppressed += 1
+            self._recovery_stats.redelivered_suppressed += 1
         if self.params.style is GossipStyle.FEEDBACK and source is not None:
             self._send_feedback(message_id, source)
 
@@ -454,7 +470,7 @@ class GossipEngine:
                 # around again; swallowing it is the whole point of the
                 # durable FIFO counters.
                 self.metrics.counter("gossip.fifo-suppressed").inc()
-                RECOVERY_STATS.redelivered_suppressed += 1
+                self._recovery_stats.redelivered_suppressed += 1
             else:
                 self.metrics.counter("gossip.held-back").inc()
         for data in released:
@@ -500,6 +516,13 @@ class GossipEngine:
                 data = envelope.to_bytes()
             self._enqueue_fanout(data, header.origin, source)
             self.metrics.counter("gossip.forward").inc()
+            if self._tracer.enabled:
+                # Batched sends resolve targets at flush time; attribute
+                # the configured fanout as the intended spread.
+                self._tracer.on_forward(
+                    header.message_id, self.app_address, self.scheduler.now,
+                    targets=self.params.fanout,
+                )
             return
         exclude = [self.app_address, header.origin]
         if source is not None:
@@ -517,6 +540,11 @@ class GossipEngine:
         for target in targets:
             self.runtime.send_bytes(target, data)
             self.metrics.counter("gossip.forward").inc()
+        if self._tracer.enabled:
+            self._tracer.on_forward(
+                header.message_id, self.app_address, self.scheduler.now,
+                targets=len(targets),
+            )
 
     def _select_targets(self, exclude: Sequence[str]) -> List[str]:
         view = self.current_view()
@@ -570,7 +598,7 @@ class GossipEngine:
         control, self._outbox_control = self._outbox_control, {}
         if self._stopped:
             return
-        BATCH_STATS.flushes += 1
+        self._batch_stats.flushes += 1
         per_destination: Dict[str, List[bytes]] = {}
         for destination, frames in direct.items():
             per_destination.setdefault(destination, []).extend(frames)
@@ -619,7 +647,7 @@ class GossipEngine:
             if len(chunk) == 1 and chunk_control is None:
                 # A lone rumor needs no carrier: ship the legacy frame, so
                 # batching-unaware peers stay fully interoperable.
-                BATCH_STATS.legacy_singletons += 1
+                self._batch_stats.legacy_singletons += 1
                 self.runtime.send_bytes(destination, chunk[0])
                 self.metrics.counter("gossip.fanout-send").inc()
                 continue
@@ -631,13 +659,13 @@ class GossipEngine:
                 if data is None:
                     data = build_batch(self.activity_id, holder, chunk)
                     shared[key] = data
-                    BATCH_STATS.batches_built += 1
+                    self._batch_stats.batches_built += 1
             else:
                 data = build_batch(self.activity_id, holder, chunk, chunk_control)
-                BATCH_STATS.batches_built += 1
-                BATCH_STATS.control_piggybacked += chunk_control.section_count()
-            BATCH_STATS.batches_sent += 1
-            BATCH_STATS.rumors_batched += len(chunk)
+                self._batch_stats.batches_built += 1
+                self._batch_stats.control_piggybacked += chunk_control.section_count()
+            self._batch_stats.batches_sent += 1
+            self._batch_stats.rumors_batched += len(chunk)
             self.runtime.send_bytes(destination, data)
             self.metrics.counter("gossip.batch-send").inc()
 
@@ -1069,10 +1097,10 @@ class GossipEngine:
         self._outbox_direct = {}
         self._outbox_control = {}
         self._flush_scheduled = False
-        RECOVERY_STATS.restarts += 1
+        self._recovery_stats.restarts += 1
         self.metrics.counter("gossip.restart").inc()
         if amnesia:
-            RECOVERY_STATS.amnesia_restarts += 1
+            self._recovery_stats.amnesia_restarts += 1
             if self.log is not None:
                 self.log.clear()
             return 0
@@ -1090,7 +1118,7 @@ class GossipEngine:
             replayed += self._apply_replay_state(snapshot, on_replayed)
         for record in result.records:
             replayed += self._apply_replay_record(record, on_replayed)
-        RECOVERY_STATS.replayed_messages += replayed
+        self._recovery_stats.replayed_messages += replayed
         self.metrics.counter("gossip.replayed").inc(replayed)
         if self.params.ordered:
             self._reoffer_replayed()
@@ -1237,7 +1265,7 @@ class GossipEngine:
             return
         policy = self.durability if self.durability is not None else DurabilityPolicy()
         self._catch_up_rounds_left -= 1
-        RECOVERY_STATS.catch_up_rounds += 1
+        self._recovery_stats.catch_up_rounds += 1
         self.metrics.counter("gossip.catch-up-round").inc()
         targets = self.selector.select(
             view, policy.catch_up_peers, self.rng, exclude=[self.app_address]
@@ -1269,7 +1297,7 @@ class GossipEngine:
         if not self._recovering:
             return
         self._recovering = False
-        RECOVERY_STATS.catch_ups_completed += 1
+        self._recovery_stats.catch_ups_completed += 1
         self.metrics.counter("gossip.catch-up-complete").inc()
 
     # -- lifecycle ----------------------------------------------------------------------

@@ -37,7 +37,7 @@ from repro.core.message import (
 from repro.core.params import GossipParams
 from repro.core.peers import PeerSelector
 from repro.core.scheduling import Scheduler
-from repro.simnet.metrics import BATCH_STATS, WIRE_STATS
+from repro.obs.hub import hub_of
 from repro.soap.handler import Handler, MessageContext
 from repro.soap.runtime import SoapRuntime
 from repro.wscoord.context import CoordinationContext
@@ -93,6 +93,11 @@ class GossipLayer(Handler):
         # crash-recovery protocol (docs/RESILIENCE.md).
         self.durability = durability
         self._engines: Dict[str, GossipEngine] = {}
+        # Observability: wire/batch stat groups of the hub behind this
+        # node's metrics sink.
+        obs = hub_of(runtime.metrics)
+        self._wire_stats = obs.wire
+        self._batch_stats = obs.batch
         # Receive-side fast path: drop already-seen gossip messages with a
         # byte scan, before the runtime pays for the full XML parse.
         runtime.add_preparse_gate(self.preparse_gate)
@@ -119,7 +124,8 @@ class GossipLayer(Handler):
         log = None
         if self.durability is not None:
             log = self.durability.make_log(
-                f"{self.app_address}:{context.identifier}"
+                f"{self.app_address}:{context.identifier}",
+                stats=hub_of(self.runtime.metrics).recovery,
             )
         engine = GossipEngine(
             runtime=self.runtime,
@@ -201,7 +207,7 @@ class GossipLayer(Handler):
             return True
         for engine in self._engines.values():
             if message_id in engine.store:
-                WIRE_STATS.dedup_preparse_hits += 1
+                self._wire_stats.dedup_preparse_hits += 1
                 self.runtime.metrics.counter("gossip.dedup-preparse").inc()
                 engine.on_duplicate_preparse(message_id, source)
                 return False
@@ -222,7 +228,7 @@ class GossipLayer(Handler):
         except BatchError:
             self.runtime.metrics.counter("gossip.batch-unsplittable").inc()
             return True
-        BATCH_STATS.batches_received += 1
+        self._batch_stats.batches_received += 1
         has_control = batch_has_control(data)
         if frames and not has_control:
             message_ids = scan_gossip_message_ids(data)
@@ -234,8 +240,8 @@ class GossipLayer(Handler):
                         break
                     owners.append((message_id, owner))
                 if len(owners) == len(message_ids):
-                    BATCH_STATS.batches_skipped_preparse += 1
-                    WIRE_STATS.dedup_preparse_hits += len(message_ids)
+                    self._batch_stats.batches_skipped_preparse += 1
+                    self._wire_stats.dedup_preparse_hits += len(message_ids)
                     self.runtime.metrics.counter("gossip.dedup-preparse").inc(
                         len(message_ids)
                     )
@@ -243,7 +249,7 @@ class GossipLayer(Handler):
                         owner.on_duplicate_preparse(message_id, source)
                     return False
         for frame in frames:
-            BATCH_STATS.rumors_unpacked += 1
+            self._batch_stats.rumors_unpacked += 1
             self.runtime.receive(frame, source=source)
         if has_control:
             self._apply_batch_control(data, source)

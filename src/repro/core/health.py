@@ -35,7 +35,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.params import ParamError, _convert
-from repro.simnet.metrics import HEALTH_STATS
+from repro.simnet.metrics import HealthStats
 from repro.transport.base import (
     BreakerPolicy,
     RetryPolicy,
@@ -232,9 +232,15 @@ class PeerHealth:
         self,
         policy: Optional[HealthPolicy] = None,
         clock: Optional[Callable[[], float]] = None,
+        stats: Optional[HealthStats] = None,
     ) -> None:
         self.policy = policy if policy is not None else HealthPolicy()
         self._clock = clock if clock is not None else time.monotonic
+        if stats is None:
+            from repro.obs.hub import default_hub
+
+            stats = default_hub().health
+        self.stats = stats
         # key -> (score at `stamp`, stamp)
         self._scores: Dict[str, Tuple[float, float]] = {}
         self._suspected: set = set()
@@ -312,7 +318,7 @@ class PeerHealth:
         multiplier = min(self.policy.boost_cap, len(view) / len(healthy))
         boosted = int(round(fanout * multiplier))
         if boosted > fanout:
-            HEALTH_STATS.fanout_boosts += 1
+            self.stats.fanout_boosts += 1
         return max(fanout, boosted)
 
     def suspected_peers(self) -> List[str]:
@@ -354,10 +360,10 @@ class PeerHealth:
         suspected = score > self.policy.suspicion_threshold
         if suspected and key not in self._suspected:
             self._suspected.add(key)
-            HEALTH_STATS.peers_suspected += 1
+            self.stats.peers_suspected += 1
         elif not suspected and key in self._suspected:
             self._suspected.discard(key)
-            HEALTH_STATS.peers_restored += 1
+            self.stats.peers_restored += 1
 
     def __repr__(self) -> str:
         return (

@@ -29,7 +29,6 @@ from repro.core.engine import (
     PULL_RESPONSE_ACTION,
 )
 from repro.core.handler import GossipLayer
-from repro.simnet.metrics import BATCH_STATS
 from repro.soap.fault import sender_fault
 from repro.soap.handler import MessageContext
 from repro.soap.service import Reply, Service, operation
@@ -121,7 +120,7 @@ class GossipService(Service):
             raise sender_fault("Batch requires a GossipBatch body")
         runtime = self._layer.runtime
         for data in frames_from_element(body):
-            BATCH_STATS.rumors_unpacked += 1
+            self._layer._batch_stats.rumors_unpacked += 1
             runtime.receive(data, source=context.source)
         control = control_from_element(body)
         if control.empty():

@@ -39,7 +39,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, List, Optional
 
 from repro.core.params import ParamError, _convert
-from repro.simnet.metrics import RECOVERY_STATS
+from repro.simnet.metrics import RecoveryStats
 
 _HEADER = struct.Struct("<II")
 #: Upper bound on a single record; a corrupted length field larger than
@@ -106,24 +106,31 @@ class GossipLog:
     * :meth:`clear` -- discard everything (models losing the disk too).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, stats: Optional[RecoveryStats] = None) -> None:
         self.appends_since_snapshot = 0
+        # The recovery stat group this log reports into; logs created by a
+        # GossipLayer get their node's hub group, direct constructions
+        # fall back to the process-wide default hub.
+        if stats is None:
+            from repro.obs.hub import default_hub
+
+            stats = default_hub().recovery
+        self.stats = stats
 
     def append(self, record: Dict[str, Any]) -> None:
         self.appends_since_snapshot += 1
-        RECOVERY_STATS.log_appends += 1
+        self.stats.log_appends += 1
         self._append(record)
 
     def write_snapshot(self, state: Dict[str, Any]) -> None:
         self.appends_since_snapshot = 0
-        RECOVERY_STATS.snapshots += 1
+        self.stats.snapshots += 1
         self._write_snapshot(state)
 
-    @staticmethod
-    def _count_damage(result: "ReplayResult") -> "ReplayResult":
-        RECOVERY_STATS.corrupt_records += result.corrupt_records
-        RECOVERY_STATS.truncated_tails += int(result.truncated_tail)
-        RECOVERY_STATS.corrupt_snapshots += int(result.snapshot_corrupt)
+    def _count_damage(self, result: "ReplayResult") -> "ReplayResult":
+        self.stats.corrupt_records += result.corrupt_records
+        self.stats.truncated_tails += int(result.truncated_tail)
+        self.stats.corrupt_snapshots += int(result.snapshot_corrupt)
         return result
 
     def replay(self) -> ReplayResult:
@@ -152,8 +159,8 @@ class MemoryGossipLog(GossipLog):
     ``restart_at(..., amnesia=False)`` can replay it.
     """
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, stats: Optional[RecoveryStats] = None) -> None:
+        super().__init__(stats=stats)
         self._snapshot: Optional[Dict[str, Any]] = None
         self._records: List[Dict[str, Any]] = []
 
@@ -193,9 +200,13 @@ class FileGossipLog(GossipLog):
     """
 
     def __init__(
-        self, path: str, fsync: str = "batch", fsync_every: int = 64
+        self,
+        path: str,
+        fsync: str = "batch",
+        fsync_every: int = 64,
+        stats: Optional[RecoveryStats] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(stats=stats)
         if fsync not in FSYNC_POLICIES:
             raise ParamError(
                 "fsync",
@@ -433,13 +444,17 @@ class DurabilityPolicy:
             )
         return replace(self, **overrides)
 
-    def make_log(self, name: str) -> GossipLog:
+    def make_log(
+        self, name: str, stats: Optional[RecoveryStats] = None
+    ) -> GossipLog:
         """A fresh log for one (node, activity), named ``name``.
 
-        File mode places the WAL at ``<directory>/<slug>.wal``.
+        File mode places the WAL at ``<directory>/<slug>.wal``.  ``stats``
+        is the recovery stat group the log should report into (the node's
+        hub group; defaults to the process-wide default hub's).
         """
         if self.mode == "memory":
-            return MemoryGossipLog()
+            return MemoryGossipLog(stats=stats)
         slug = "".join(
             ch if ch.isalnum() or ch in "-_." else "_" for ch in name
         )
@@ -447,7 +462,18 @@ class DurabilityPolicy:
             os.path.join(self.directory, f"{slug}.wal"),
             fsync=self.fsync,
             fsync_every=self.fsync_every,
+            stats=stats,
         )
+
+
+def __getattr__(name: str):
+    # RECOVERY_STATS used to be re-exported here; delegate to the metrics
+    # module so the deprecation story is identical everywhere.
+    if name == "RECOVERY_STATS":
+        from repro.simnet import metrics
+
+        return metrics.RECOVERY_STATS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [

@@ -1,0 +1,297 @@
+"""The metrics hub: per-simulation, label-aware metric scoping.
+
+A :class:`MetricsHub` is a :class:`~repro.simnet.metrics.MetricsRegistry`
+that additionally owns the four wire/batch/health/recovery stat groups, a
+:class:`~repro.obs.tracing.RumorTracer`, labelled per-node counter views
+(:class:`NodeScope`), and gauges.  Every :class:`~repro.simnet.network.Network`
+(and therefore every :class:`~repro.core.api.GossipGroup` /
+:class:`~repro.core.decentralized.DecentralizedGroup`) gets its own hub, so
+two simulations in one process never share metric state.
+
+Hubs chain to the process-wide **default hub**: a child hub's stat-group
+writes propagate their deltas upward (see
+:class:`~repro.simnet.metrics.StatGroup`), which is what keeps the
+deprecated ``WIRE_STATS``-style aliases -- now bound to the default hub --
+reporting process-wide aggregates.
+
+Call sites that have no handle on a hub (the :mod:`repro.soap.envelope`
+codec, deep inside ``to_bytes``/``from_bytes``) use :func:`current_hub`,
+a thread-local stack pushed by :func:`use_hub`;
+:meth:`~repro.core.api.GossipGroup.run_for` wraps the simulation in it so
+wire-path costs land on the group's hub.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.simnet.metrics import (
+    BatchStats,
+    Counter,
+    Gauge,
+    HealthStats,
+    MetricsRegistry,
+    RecoveryStats,
+    WireStats,
+)
+from repro.obs.tracing import RumorTracer
+
+#: A label set in canonical form: sorted ``(key, value)`` pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class LabeledCounter(Counter):
+    """A counter carrying a label set, aggregating into its unlabelled twin.
+
+    Incrementing a labelled counter also bumps the hub's plain counter of
+    the same name, so existing group-level reads
+    (``hub.counter("soap.sent").value``) keep seeing the whole-simulation
+    total while per-node values stay attributable.
+    """
+
+    __slots__ = ("labels", "_aggregate")
+
+    def __init__(self, name: str, labels: LabelKey, aggregate: Counter) -> None:
+        super().__init__(name)
+        self.labels = labels
+        self._aggregate = aggregate
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be non-negative: {amount!r}")
+        self.value += amount
+        self._aggregate.value += amount
+
+    def __repr__(self) -> str:
+        rendered = ",".join(f"{k}={v}" for k, v in self.labels)
+        return f"LabeledCounter({self.name!r}, {{{rendered}}}, value={self.value})"
+
+
+class LabeledGauge(Gauge):
+    """A gauge carrying a label set (no aggregation -- sums of gauges lie)."""
+
+    __slots__ = ("labels",)
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        super().__init__(name)
+        self.labels = labels
+
+    def __repr__(self) -> str:
+        rendered = ",".join(f"{k}={v}" for k, v in self.labels)
+        return f"LabeledGauge({self.name!r}, {{{rendered}}}, value={self.value})"
+
+
+class MetricsHub(MetricsRegistry):
+    """A registry plus stat groups, labels, node scopes and a rumor tracer.
+
+    Args:
+        parent: hub to chain stat-group deltas into (normally the default
+            hub); ``None`` for a detached root hub.
+        name: optional human label used by exporters.
+    """
+
+    def __init__(self, parent: Optional["MetricsHub"] = None, name: str = "") -> None:
+        super().__init__()
+        self.parent = parent
+        self.name = name
+        self.wire = WireStats(parent=parent.wire if parent else None)
+        self.batch = BatchStats(parent=parent.batch if parent else None)
+        self.health = HealthStats(parent=parent.health if parent else None)
+        self.recovery = RecoveryStats(parent=parent.recovery if parent else None)
+        self.tracer = RumorTracer()
+        self._labeled_counters: Dict[Tuple[str, LabelKey], LabeledCounter] = {}
+        self._labeled_gauges: Dict[Tuple[str, LabelKey], LabeledGauge] = {}
+        self._nodes: Dict[str, "NodeScope"] = {}
+
+    # -- labelled metrics ---------------------------------------------------
+
+    def labeled_counter(self, name: str, labels: Dict[str, str]) -> LabeledCounter:
+        """The counter ``name{labels}`` (created on first use).
+
+        Its increments also feed the unlabelled :meth:`counter` of the
+        same name.
+        """
+        key = (name, _label_key(labels))
+        existing = self._labeled_counters.get(key)
+        if existing is None:
+            existing = LabeledCounter(name, key[1], self.counter(name))
+            self._labeled_counters[key] = existing
+        return existing
+
+    def labeled_gauge(self, name: str, labels: Dict[str, str]) -> LabeledGauge:
+        """The gauge ``name{labels}`` (created on first use)."""
+        key = (name, _label_key(labels))
+        existing = self._labeled_gauges.get(key)
+        if existing is None:
+            existing = LabeledGauge(name, key[1])
+            self._labeled_gauges[key] = existing
+        return existing
+
+    def labeled_counters(self) -> Dict[Tuple[str, LabelKey], int]:
+        """Snapshot of every labelled counter value."""
+        return {key: c.value for key, c in self._labeled_counters.items()}
+
+    def labeled_gauges(self) -> Dict[Tuple[str, LabelKey], float]:
+        """Snapshot of every labelled gauge value."""
+        return {key: g.value for key, g in self._labeled_gauges.items()}
+
+    # -- node scoping -------------------------------------------------------
+
+    def node(self, node_name: str) -> "NodeScope":
+        """A per-node view of this hub (cached per name).
+
+        Counters created through the scope carry a ``node`` label and
+        aggregate into the hub's unlabelled counters.
+        """
+        scope = self._nodes.get(node_name)
+        if scope is None:
+            scope = NodeScope(self, node_name)
+            self._nodes[node_name] = scope
+        return scope
+
+    def node_names(self) -> Tuple[str, ...]:
+        """Names of every node scope handed out so far."""
+        return tuple(self._nodes)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every metric *in place* (bound metric objects stay valid).
+
+        Stat-group resets do not propagate deltas to the parent chain; a
+        child hub resetting must not erase upstream history.
+        """
+        self.wire.reset()
+        self.batch.reset()
+        self.health.reset()
+        self.recovery.reset()
+        self.tracer.reset()
+        for counter in self._counters.values():
+            counter.value = 0
+        for gauge in self._gauges.values():
+            gauge.value = 0.0
+        for histogram in self._histograms.values():
+            histogram.clear()
+        for series in self._series.values():
+            series.clear()
+        for labeled in self._labeled_counters.values():
+            labeled.value = 0
+        for labeled in self._labeled_gauges.values():
+            labeled.value = 0.0
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"MetricsHub({label and label.strip()} counters={len(self._counters)}, "
+            f"labeled={len(self._labeled_counters)}, nodes={len(self._nodes)})"
+        )
+
+
+class NodeScope:
+    """A node's view of a hub: the registry protocol with a ``node`` label.
+
+    Quacks like :class:`~repro.simnet.metrics.MetricsRegistry` for the
+    operations production code uses (``counter``/``gauge``/``histogram``/
+    ``series``/``counters``), so a :class:`~repro.soap.runtime.SoapRuntime`
+    can take one as its ``metrics`` sink unchanged.
+    """
+
+    __slots__ = ("hub", "node_name")
+
+    def __init__(self, hub: MetricsHub, node_name: str) -> None:
+        self.hub = hub
+        self.node_name = node_name
+
+    def counter(self, name: str) -> LabeledCounter:
+        return self.hub.labeled_counter(name, {"node": self.node_name})
+
+    def gauge(self, name: str) -> LabeledGauge:
+        return self.hub.labeled_gauge(name, {"node": self.node_name})
+
+    def histogram(self, name: str):
+        # Histograms stay hub-wide: per-node latency populations are too
+        # small to be worth the memory, and nothing reads them per node.
+        return self.hub.histogram(name)
+
+    def series(self, name: str):
+        return self.hub.series(name)
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of this node's labelled counter values."""
+        key = (("node", self.node_name),)
+        return {
+            name: counter.value
+            for (name, labels), counter in self.hub._labeled_counters.items()
+            if labels == key
+        }
+
+    def __repr__(self) -> str:
+        return f"NodeScope({self.node_name!r} -> {self.hub!r})"
+
+
+# -- the default hub and the thread-local current hub -------------------------
+
+_DEFAULT_HUB: Optional[MetricsHub] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_hub() -> MetricsHub:
+    """The process-wide root hub (created on first use).
+
+    Per-simulation hubs chain to it, and the deprecated ``*_STATS`` module
+    aliases resolve to its stat groups.
+    """
+    global _DEFAULT_HUB
+    if _DEFAULT_HUB is None:
+        with _DEFAULT_LOCK:
+            if _DEFAULT_HUB is None:
+                _DEFAULT_HUB = MetricsHub(parent=None, name="default")
+    return _DEFAULT_HUB
+
+
+class _HubStack(threading.local):
+    def __init__(self) -> None:
+        self.stack = []
+
+
+_CURRENT = _HubStack()
+
+
+def current_hub() -> MetricsHub:
+    """The innermost hub pushed by :func:`use_hub`, else the default hub."""
+    stack = _CURRENT.stack
+    return stack[-1] if stack else default_hub()
+
+
+@contextmanager
+def use_hub(hub: MetricsHub) -> Iterator[MetricsHub]:
+    """Make ``hub`` the :func:`current_hub` for the dynamic extent.
+
+    The envelope codec has no argument path to a hub, so simulation entry
+    points (``GossipGroup.run_for``/``publish``) wrap themselves in this.
+    """
+    _CURRENT.stack.append(hub)
+    try:
+        yield hub
+    finally:
+        _CURRENT.stack.pop()
+
+
+def hub_of(metrics) -> MetricsHub:
+    """Resolve the hub behind any metrics sink a component was handed.
+
+    A :class:`MetricsHub` is itself; a :class:`NodeScope` unwraps to its
+    hub; anything else (a plain registry, ``None``) falls back to the
+    default hub -- the pre-hub behaviour.
+    """
+    if isinstance(metrics, MetricsHub):
+        return metrics
+    if isinstance(metrics, NodeScope):
+        return metrics.hub
+    return default_hub()

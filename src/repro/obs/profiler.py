@@ -1,0 +1,76 @@
+"""Section timers for benchmarks: wall-clock and simulated time together.
+
+The benchmark harness wraps its phases (setup / publish / drain) in
+:meth:`Profiler.section` so ``BENCH_core.json`` carries per-phase timings
+instead of a single opaque wall number.  Each section accumulates, so a
+phase entered in a loop reports its total.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional
+
+
+class Profiler:
+    """Named section timers over a wall clock and an optional sim clock.
+
+    Args:
+        wall_clock: returns wall seconds (defaults to
+            :func:`time.perf_counter`).
+        sim_clock: returns simulated seconds (e.g. ``lambda: sim.now``);
+            when omitted every section reports ``sim == 0.0``.
+    """
+
+    def __init__(
+        self,
+        wall_clock: Callable[[], float] = time.perf_counter,
+        sim_clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self._wall_clock = wall_clock
+        self._sim_clock = sim_clock
+        self._sections: Dict[str, Dict[str, float]] = {}
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name`` (accumulates on re-entry)."""
+        wall_start = self._wall_clock()
+        sim_start = self._sim_clock() if self._sim_clock is not None else 0.0
+        try:
+            yield
+        finally:
+            wall = self._wall_clock() - wall_start
+            sim = (
+                self._sim_clock() - sim_start
+                if self._sim_clock is not None
+                else 0.0
+            )
+            self.record(name, wall, sim)
+
+    def record(self, name: str, wall: float, sim: float = 0.0) -> None:
+        """Add one measurement to section ``name``."""
+        entry = self._sections.setdefault(
+            name, {"wall_s": 0.0, "sim_s": 0.0, "count": 0}
+        )
+        entry["wall_s"] += wall
+        entry["sim_s"] += sim
+        entry["count"] += 1
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        """``{section: {wall_s, sim_s, count}}`` with rounded walls."""
+        return {
+            name: {
+                "wall_s": round(entry["wall_s"], 6),
+                "sim_s": round(entry["sim_s"], 6),
+                "count": int(entry["count"]),
+            }
+            for name, entry in self._sections.items()
+        }
+
+    def reset(self) -> None:
+        """Drop every section."""
+        self._sections.clear()
+
+    def __repr__(self) -> str:
+        return f"Profiler(sections={len(self._sections)})"

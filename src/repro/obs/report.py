@@ -1,0 +1,180 @@
+"""Human-readable observability reports (``repro obs report``).
+
+Renders one :class:`~repro.obs.hub.MetricsHub` -- counters, the four
+stat groups, and the rumor tracer's causal spans -- as the operator-facing
+text the CLI prints.  The numbers answer the paper's questions directly:
+who got the rumor, in how many rounds, at what wire cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.hub import MetricsHub
+from repro.obs.tracing import RumorSpan
+
+#: Stat-group fields worth a line in the operator report (the full set
+#: is in the JSONL/Prometheus exports; the report curates).
+_GROUP_HIGHLIGHTS = {
+    "wire": (
+        "serialize_count",
+        "serialize_reused",
+        "parse_count",
+        "parse_reused",
+        "dedup_preparse_hits",
+    ),
+    "batch": (
+        "batches_built",
+        "batches_sent",
+        "rumors_batched",
+        "batches_received",
+        "rumors_unpacked",
+        "batches_skipped_preparse",
+    ),
+    "health": (
+        "send_failures",
+        "retries",
+        "peers_suspected",
+        "peers_restored",
+        "breaker_opened",
+        "fanout_boosts",
+    ),
+    "recovery": (
+        "restarts",
+        "replayed_messages",
+        "catch_up_rounds",
+        "catch_ups_completed",
+    ),
+}
+
+
+def _format_rows(rows: List[Tuple[str, str]], indent: str = "  ") -> List[str]:
+    if not rows:
+        return []
+    width = max(len(label) for label, _ in rows)
+    return [f"{indent}{label:<{width}}  {value}" for label, value in rows]
+
+
+def _span_section(span: RumorSpan, population: Optional[int]) -> List[str]:
+    lines = [f"rumor {span.message_id} (origin {span.origin})"]
+    rows: List[Tuple[str, str]] = []
+    delivered = span.delivered_count
+    if population is not None and population > 1:
+        others = population - 1
+        rows.append(
+            ("delivered", f"{delivered}/{others} ({delivered / others:.1%})")
+        )
+    else:
+        rows.append(("delivered", str(delivered)))
+    rounds = span.rounds_of_deliveries()
+    if rounds:
+        rows.append(("rounds (max)", str(max(rounds))))
+        if population is not None:
+            r99 = span.rounds_to_fraction(0.99, population)
+            rows.append(
+                ("rounds to 99%", str(r99) if r99 is not None else "not reached")
+            )
+        curve = span.infection_curve()
+        if curve:
+            rows.append(
+                ("infected over time",
+                 " ".join(f"{count}@{time:.2f}s" for time, count in curve[-5:]))
+            )
+    lines.extend(_format_rows(rows))
+    return lines
+
+
+def per_node_deliveries(hub: MetricsHub) -> Dict[str, int]:
+    """Delivery counts per node, from the tracer's spans."""
+    return hub.tracer.deliveries_per_node()
+
+
+def render_report(
+    hub: MetricsHub,
+    population: Optional[int] = None,
+    title: str = "observability report",
+) -> str:
+    """Render ``hub`` as the operator-facing text report.
+
+    Sections: per-rumor causal spans (delivery fraction, rounds-to-99%,
+    infection curve tail), per-node delivery counts, and the highlighted
+    wire / batch / health / recovery stat-group fields.
+    """
+    lines = [title, "=" * len(title)]
+
+    spans = hub.tracer.spans()
+    if spans:
+        lines.append("")
+        for span in spans:
+            lines.extend(_span_section(span, population))
+        per_node = per_node_deliveries(hub)
+        if per_node:
+            lines.append("")
+            lines.append("deliveries per node")
+            lines.extend(
+                _format_rows(
+                    [(node, str(count)) for node, count in sorted(per_node.items())]
+                )
+            )
+    else:
+        lines.append("")
+        lines.append("no rumors traced (rumor_tracing disabled or nothing published)")
+
+    counters = hub.counters()
+    wire_rows = [
+        (name, str(counters[name]))
+        for name in ("net.sent", "net.bytes", "net.delivered", "net.dropped")
+        if name in counters
+    ]
+    if wire_rows:
+        lines.append("")
+        lines.append("network")
+        lines.extend(_format_rows(wire_rows))
+
+    for group_name, fields in _GROUP_HIGHLIGHTS.items():
+        group = getattr(hub, group_name)
+        rows = [(field, str(getattr(group, field))) for field in fields]
+        if any(value != "0" for _, value in rows):
+            lines.append("")
+            lines.append(group_name)
+            lines.extend(_format_rows(rows))
+
+    lines.append("")
+    return "\n".join(lines)
+
+
+def run_seeded_report(
+    nodes: int = 50,
+    consumers: int = 10,
+    seed: int = 7,
+    style: str = "push",
+    fanout: int = 4,
+    rounds: int = 7,
+    duration: float = 10.0,
+    value: Any = None,
+) -> Tuple[Any, str]:
+    """One seeded dissemination plus its rendered report.
+
+    Shared by ``repro obs report`` and ``examples/observability_report.py``:
+    builds a :class:`~repro.core.api.GossipGroup`, publishes one rumor,
+    runs ``duration`` simulated seconds, and returns ``(group, text)``.
+    """
+    from repro.core.api import GossipConfig, GossipGroup
+
+    config = GossipConfig(
+        n_disseminators=nodes - consumers - 1,
+        n_consumers=consumers,
+        seed=seed,
+        params={"style": style, "fanout": fanout, "rounds": rounds},
+        auto_tune=False,
+    )
+    group = GossipGroup(config=config)
+    group.setup()
+    group.publish(value if value is not None else {"report": True})
+    group.run_for(duration)
+    text = render_report(
+        group.hub,
+        population=group.population,
+        title=f"observability report (n={group.population}, seed={seed}, {style})",
+    )
+    return group, text

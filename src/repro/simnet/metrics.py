@@ -1,14 +1,24 @@
-"""Lightweight metrics: counters, histograms and time series.
+"""Lightweight metrics: counters, gauges, histograms and time series.
 
 The benchmark harness reads these to produce the rows in EXPERIMENTS.md.
 They deliberately mirror the shape of common production metric libraries
-(counter / histogram / gauge-over-time) without any of their machinery.
+(counter / gauge / histogram / gauge-over-time) without any of their
+machinery.
+
+The four stat groups (:class:`WireStats`, :class:`BatchStats`,
+:class:`HealthStats`, :class:`RecoveryStats`) used to be module-level
+singletons.  They are now plain value objects owned by a
+:class:`repro.obs.MetricsHub`; each group may chain to a parent group so
+per-simulation hubs still feed the process-wide default hub.  The old
+module-level names (``WIRE_STATS`` et al.) keep working as deprecated
+aliases for the default hub's groups -- see the module ``__getattr__`` at
+the bottom.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+import warnings
 from typing import Dict, List, Optional, Tuple
 
 
@@ -29,6 +39,31 @@ class Counter:
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, open breakers, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
 
 
 class Histogram:
@@ -105,6 +140,10 @@ class Histogram:
         """A copy of the raw observations."""
         return list(self._values)
 
+    def clear(self) -> None:
+        """Discard every observation (the histogram object stays bound)."""
+        self._values.clear()
+
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, count={self.count})"
 
@@ -148,16 +187,64 @@ class TimeSeries:
             for index in range(last_bin + 1)
         ]
 
+    def clear(self) -> None:
+        """Discard every sample (the series object stays bound)."""
+        self._samples.clear()
+
     def __len__(self) -> int:
         return len(self._samples)
 
 
-class WireStats:
-    """Process-wide wire-path cost counters.
+class StatGroup:
+    """Base for the fixed-field stat groups below.
 
-    The SOAP encode/parse hot path is exercised by every simulated node in
-    the process, so these live at module level (:data:`WIRE_STATS`) rather
-    than in a per-node :class:`MetricsRegistry`:
+    Each instance may chain to a ``parent`` group of the same shape.
+    Writing a field (``stats.x += 1``) propagates the delta up the parent
+    chain, so a per-simulation hub's groups also feed the process-wide
+    default hub -- that is what keeps the deprecated module-level aliases
+    meaningful.  :meth:`reset` zeroes fields *without* propagating (a
+    benchmark resetting its own group must not erase history upstream).
+    """
+
+    # Subclasses list their counter fields here; ``_FIELDS`` is the same
+    # thing as a frozenset for the O(1) membership test in __setattr__.
+    _fields: Tuple[str, ...] = ()
+    _FIELDS: frozenset = frozenset()
+
+    __slots__ = ("parent",)
+
+    def __init__(self, parent: Optional["StatGroup"] = None) -> None:
+        object.__setattr__(self, "parent", parent)
+        self.reset()
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in self._FIELDS:
+            old = getattr(self, name, 0)
+            object.__setattr__(self, name, value)
+            delta = value - old
+            if delta:
+                parent = self.parent
+                while parent is not None:
+                    object.__setattr__(parent, name, getattr(parent, name) + delta)
+                    parent = parent.parent
+        else:
+            object.__setattr__(self, name, value)
+
+    def reset(self) -> None:
+        """Zero every counter in place; the parent chain is untouched."""
+        for name in self._fields:
+            object.__setattr__(self, name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Current counter values as a plain dict."""
+        return {name: getattr(self, name) for name in self._fields}
+
+
+class WireStats(StatGroup):
+    """Wire-path cost counters (one group per :class:`~repro.obs.MetricsHub`).
+
+    The SOAP encode/parse hot path is exercised by every simulated node
+    sharing a hub:
 
     * ``serialize_count`` -- actual XML encodes performed by
       :meth:`repro.soap.envelope.Envelope.to_bytes` (cache misses).
@@ -170,33 +257,18 @@ class WireStats:
       this process -- the fan-out twin of ``serialize_reused``).
     * ``dedup_preparse_hits`` -- duplicate gossip messages dropped by the
       byte-scan gate *before* any XML parse.
-
-    Benchmarks snapshot/reset around a scenario; concurrent scenarios in
-    one process would share the counters (the benchmarks run serially).
     """
 
-    __slots__ = (
+    _fields = (
         "serialize_count",
         "serialize_reused",
         "parse_count",
         "parse_reused",
         "dedup_preparse_hits",
     )
+    _FIELDS = frozenset(_fields)
 
-    def __init__(self) -> None:
-        self.reset()
-
-    def reset(self) -> None:
-        """Zero every counter (benchmarks call this between scenarios)."""
-        self.serialize_count = 0
-        self.serialize_reused = 0
-        self.parse_count = 0
-        self.parse_reused = 0
-        self.dedup_preparse_hits = 0
-
-    def snapshot(self) -> Dict[str, int]:
-        """Current counter values as a plain dict."""
-        return {name: getattr(self, name) for name in self.__slots__}
+    __slots__ = _fields
 
     @property
     def serialize_calls(self) -> int:
@@ -211,13 +283,8 @@ class WireStats:
         )
 
 
-#: The process-wide wire-path counters (see :class:`WireStats`).
-WIRE_STATS = WireStats()
-
-
-class BatchStats:
-    """Process-wide batched-envelope counters (the coalescing twin of
-    :class:`WireStats`).
+class BatchStats(StatGroup):
+    """Batched-envelope counters (the coalescing twin of :class:`WireStats`).
 
     Fed by the engine's per-destination outbox and the batch codec
     (:mod:`repro.core.batch`); benchmarks snapshot them to show how much
@@ -239,7 +306,7 @@ class BatchStats:
       single-rumor frames because batching them had no benefit.
     """
 
-    __slots__ = (
+    _fields = (
         "batches_built",
         "batches_sent",
         "rumors_batched",
@@ -250,18 +317,9 @@ class BatchStats:
         "flushes",
         "legacy_singletons",
     )
+    _FIELDS = frozenset(_fields)
 
-    def __init__(self) -> None:
-        self.reset()
-
-    def reset(self) -> None:
-        """Zero every counter (benchmarks call this between scenarios)."""
-        for name in self.__slots__:
-            setattr(self, name, 0)
-
-    def snapshot(self) -> Dict[str, int]:
-        """Current counter values as a plain dict."""
-        return {name: getattr(self, name) for name in self.__slots__}
+    __slots__ = _fields
 
     def __repr__(self) -> str:
         return (
@@ -271,13 +329,8 @@ class BatchStats:
         )
 
 
-#: The process-wide batched-envelope counters (see :class:`BatchStats`).
-BATCH_STATS = BatchStats()
-
-
-class HealthStats:
-    """Process-wide peer-health counters (the resilience twin of
-    :class:`WireStats`).
+class HealthStats(StatGroup):
+    """Peer-health counters (the resilience twin of :class:`WireStats`).
 
     Fed by the resilient transports (:mod:`repro.transport.base`) and the
     suspicion tracker (:mod:`repro.core.health`); benchmark E5 snapshots
@@ -297,12 +350,9 @@ class HealthStats:
       exceeded the configured one because the healthy pool had shrunk.
     * ``dead_letters`` -- messages abandoned by the WS-RM reliability
       layer after ``max_retries`` (see :mod:`repro.soap.reliable`).
-
-    Benchmarks snapshot/reset around a scenario; the counters are shared
-    process-wide exactly like :data:`WIRE_STATS`.
     """
 
-    __slots__ = (
+    _fields = (
         "send_failures",
         "retries",
         "sends_suppressed",
@@ -314,18 +364,9 @@ class HealthStats:
         "fanout_boosts",
         "dead_letters",
     )
+    _FIELDS = frozenset(_fields)
 
-    def __init__(self) -> None:
-        self.reset()
-
-    def reset(self) -> None:
-        """Zero every counter (benchmarks call this between scenarios)."""
-        for name in self.__slots__:
-            setattr(self, name, 0)
-
-    def snapshot(self) -> Dict[str, int]:
-        """Current counter values as a plain dict."""
-        return {name: getattr(self, name) for name in self.__slots__}
+    __slots__ = _fields
 
     def __repr__(self) -> str:
         return (
@@ -335,13 +376,8 @@ class HealthStats:
         )
 
 
-#: The process-wide peer-health counters (see :class:`HealthStats`).
-HEALTH_STATS = HealthStats()
-
-
-class RecoveryStats:
-    """Process-wide crash-recovery counters (the restart twin of
-    :class:`HealthStats`).
+class RecoveryStats(StatGroup):
+    """Crash-recovery counters (the restart twin of :class:`HealthStats`).
 
     Fed by the durability layer (:mod:`repro.core.store`), the engine's
     restart/rejoin path, and :meth:`FaultPlan.restart_at
@@ -361,12 +397,9 @@ class RecoveryStats:
       during recovery instead of re-delivered.
     * ``catch_up_rounds`` / ``catch_ups_completed`` -- bounded anti-entropy
       rounds run after restart, and rejoins that finished them.
-
-    Benchmarks snapshot/reset around a scenario; the counters are shared
-    process-wide exactly like :data:`WIRE_STATS`.
     """
 
-    __slots__ = (
+    _fields = (
         "restarts",
         "amnesia_restarts",
         "replayed_messages",
@@ -380,18 +413,9 @@ class RecoveryStats:
         "catch_up_rounds",
         "catch_ups_completed",
     )
+    _FIELDS = frozenset(_fields)
 
-    def __init__(self) -> None:
-        self.reset()
-
-    def reset(self) -> None:
-        """Zero every counter (benchmarks call this between scenarios)."""
-        for name in self.__slots__:
-            setattr(self, name, 0)
-
-    def snapshot(self) -> Dict[str, int]:
-        """Current counter values as a plain dict."""
-        return {name: getattr(self, name) for name in self.__slots__}
+    __slots__ = _fields
 
     def __repr__(self) -> str:
         return (
@@ -402,19 +426,16 @@ class RecoveryStats:
         )
 
 
-#: The process-wide crash-recovery counters (see :class:`RecoveryStats`).
-RECOVERY_STATS = RecoveryStats()
-
-
 class MetricsRegistry:
     """Named registry so components can share one sink.
 
-    ``counter``/``histogram``/``series`` create on first use and return the
-    cached instance afterwards.
+    ``counter``/``gauge``/``histogram``/``series`` create on first use and
+    return the cached instance afterwards.
     """
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._series: Dict[str, TimeSeries] = {}
 
@@ -423,6 +444,12 @@ class MetricsRegistry:
         if name not in self._counters:
             self._counters[name] = Counter(name)
         return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
 
     def histogram(self, name: str) -> Histogram:
         """The histogram named ``name`` (created on first use)."""
@@ -440,8 +467,40 @@ class MetricsRegistry:
         """Snapshot of all counter values."""
         return {name: counter.value for name, counter in self._counters.items()}
 
+    def gauges(self) -> Dict[str, float]:
+        """Snapshot of all gauge values."""
+        return {name: gauge.value for name, gauge in self._gauges.items()}
+
     def __repr__(self) -> str:
         return (
             f"MetricsRegistry(counters={len(self._counters)}, "
             f"histograms={len(self._histograms)}, series={len(self._series)})"
         )
+
+
+# -- deprecated module-level singletons ---------------------------------------
+
+#: Old singleton name -> attribute of the default MetricsHub it now aliases.
+_DEPRECATED_STATS = {
+    "WIRE_STATS": "wire",
+    "BATCH_STATS": "batch",
+    "HEALTH_STATS": "health",
+    "RECOVERY_STATS": "recovery",
+}
+
+
+def __getattr__(name: str):
+    """PEP 562 hook: the retired ``*_STATS`` singletons resolve to the
+    default hub's stat groups, with a :class:`DeprecationWarning`."""
+    group = _DEPRECATED_STATS.get(name)
+    if group is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"{name} is deprecated; use repro.obs.default_hub().{group} "
+        f"(or the hub owned by your Network/GossipGroup)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.obs.hub import default_hub
+
+    return getattr(default_hub(), group)

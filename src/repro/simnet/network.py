@@ -44,7 +44,10 @@ class Network:
         latency: default latency model for all links.
         loss_rate: probability in ``[0, 1]`` that any message is dropped.
         trace: optional shared trace log.
-        metrics: optional shared metrics registry.
+        metrics: optional shared metrics sink; when omitted the network
+            creates its own :class:`~repro.obs.hub.MetricsHub` chained to
+            the default hub, so two networks in one process never share
+            metric state.
     """
 
     def __init__(
@@ -55,13 +58,27 @@ class Network:
         trace: Optional[TraceLog] = None,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
+        # Imported here, not at module top: obs.hub pulls in
+        # simnet.metrics, whose package init reaches back to this module.
+        from repro.obs.hub import MetricsHub, default_hub
+
         if not 0.0 <= loss_rate <= 1.0:
             raise ValueError(f"loss_rate must be in [0, 1]: {loss_rate!r}")
         self.sim = sim
         self.latency = latency if latency is not None else FixedLatency(0.001)
         self.loss_rate = loss_rate
         self.trace = trace if trace is not None else TraceLog(enabled=False)
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = (
+            metrics if metrics is not None else MetricsHub(parent=default_hub())
+        )
+        # The observability hub scoping this network's simulation.  When a
+        # plain registry was injected (tests asserting on bare counters)
+        # the hub is a fresh sibling so stat groups still resolve somewhere.
+        self.hub = (
+            self.metrics
+            if isinstance(self.metrics, MetricsHub)
+            else MetricsHub(parent=default_hub())
+        )
         self._processes: Dict[str, "Process"] = {}
         self._link_latency: Dict[Tuple[str, str], LatencyModel] = {}
         self._link_loss: Dict[Tuple[str, str], float] = {}

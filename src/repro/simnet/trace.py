@@ -3,7 +3,7 @@
 Traces are the ground truth for experiment E1 (reproducing the paper's
 Figure 1 message flow) and for debugging protocol behaviour.  A trace is an
 append-only list of :class:`TraceEvent` records with cheap filtering
-helpers.
+helpers backed by per-kind and per-node indices.
 """
 
 from __future__ import annotations
@@ -35,11 +35,19 @@ class TraceLog:
 
     Tracing can be disabled (``enabled=False``) for large benchmark runs
     where per-message records would dominate memory.
+
+    Filtered reads (:meth:`events`, :meth:`count`) are served from
+    per-kind and per-node indices maintained at :meth:`record` time, so
+    repeated queries do not rescan the whole log -- analysis code calls
+    ``events(kind=...)`` once per kind per report, which was O(kinds x N)
+    on large runs.
     """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._events: List[TraceEvent] = []
+        self._by_kind: Dict[str, List[TraceEvent]] = {}
+        self._by_node: Dict[str, List[TraceEvent]] = {}
 
     def record(
         self,
@@ -49,8 +57,19 @@ class TraceLog:
         **detail: Any,
     ) -> None:
         """Append one event (no-op when disabled)."""
-        if self.enabled:
-            self._events.append(TraceEvent(time, kind, node, detail))
+        if not self.enabled:
+            return
+        event = TraceEvent(time, kind, node, detail)
+        self._events.append(event)
+        bucket = self._by_kind.get(kind)
+        if bucket is None:
+            bucket = self._by_kind[kind] = []
+        bucket.append(event)
+        if node is not None:
+            bucket = self._by_node.get(node)
+            if bucket is None:
+                bucket = self._by_node[node] = []
+            bucket.append(event)
 
     def events(
         self,
@@ -59,31 +78,35 @@ class TraceLog:
         predicate: Optional[Callable[[TraceEvent], bool]] = None,
     ) -> List[TraceEvent]:
         """Return events matching all the given filters, in time order."""
-        result = self._events
+        # Start from the narrowest index available; append order is time
+        # order within every bucket, so no re-sort is needed.
         if kind is not None:
-            result = [event for event in result if event.kind == kind]
-        if node is not None:
-            result = [event for event in result if event.node == node]
+            result: List[TraceEvent] = self._by_kind.get(kind, [])
+            if node is not None:
+                result = [event for event in result if event.node == node]
+        elif node is not None:
+            result = self._by_node.get(node, [])
+        else:
+            result = self._events
         if predicate is not None:
-            result = [event for event in result if predicate(event)]
+            return [event for event in result if predicate(event)]
         return list(result)
 
     def count(self, kind: Optional[str] = None) -> int:
         """Number of events, optionally restricted to one kind."""
         if kind is None:
             return len(self._events)
-        return sum(1 for event in self._events if event.kind == kind)
+        return len(self._by_kind.get(kind, ()))
 
     def kinds(self) -> List[str]:
         """Distinct event kinds in first-seen order."""
-        seen: Dict[str, None] = {}
-        for event in self._events:
-            seen.setdefault(event.kind, None)
-        return list(seen)
+        return list(self._by_kind)
 
     def clear(self) -> None:
         """Drop every recorded event."""
         self._events.clear()
+        self._by_kind.clear()
+        self._by_node.clear()
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self._events)

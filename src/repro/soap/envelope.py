@@ -20,7 +20,7 @@ from __future__ import annotations
 import xml.etree.ElementTree as ET
 from typing import Dict, List, Optional
 
-from repro.simnet.metrics import WIRE_STATS
+from repro.obs.hub import current_hub
 from repro.soap import namespaces as ns
 from repro.xmlutil import canonical_bytes, local_name, parse_bytes, qname
 from repro.xmlutil.text import XmlParseError
@@ -165,9 +165,9 @@ class Envelope:
         mutated, so fan-out sends and store retention share one buffer.
         """
         if self._wire is not None:
-            WIRE_STATS.serialize_reused += 1
+            current_hub().wire.serialize_reused += 1
             return self._wire
-        WIRE_STATS.serialize_count += 1
+        current_hub().wire.serialize_count += 1
         self._wire = canonical_bytes(self.to_element())
         return self._wire
 
@@ -212,13 +212,13 @@ class Envelope:
         data = data if isinstance(data, bytes) else bytes(data)
         root = _PARSE_CACHE.get(data)
         if root is not None:
-            WIRE_STATS.parse_reused += 1
+            current_hub().wire.parse_reused += 1
         else:
             try:
                 root = parse_bytes(data)
             except XmlParseError as exc:
                 raise EnvelopeError(str(exc)) from exc
-            WIRE_STATS.parse_count += 1
+            current_hub().wire.parse_count += 1
             if len(_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
                 _PARSE_CACHE.clear()
             _PARSE_CACHE[data] = root

@@ -28,7 +28,7 @@ import xml.etree.ElementTree as ET
 from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.core.scheduling import Scheduler
-from repro.simnet.metrics import HEALTH_STATS
+from repro.obs.hub import hub_of
 from repro.soap import namespaces as ns
 from repro.soap.envelope import Envelope
 from repro.soap.handler import Direction, Handler, MessageContext
@@ -98,6 +98,7 @@ class ReliableLayer(Handler):
             raise ValueError(f"max_retries must be >= 0: {max_retries!r}")
         self.runtime = runtime
         self.scheduler = scheduler
+        self._health_stats = hub_of(runtime.metrics).health
         self.retry_interval = retry_interval
         self.max_retries = max_retries
         self.on_dead_letter = on_dead_letter
@@ -148,7 +149,7 @@ class ReliableLayer(Handler):
         if retries_left <= 0:
             del self._unacked[key]
             self.dead_letters += 1
-            HEALTH_STATS.dead_letters += 1
+            self._health_stats.dead_letters += 1
             self.runtime.metrics.counter("rm.gave-up").inc()
             if self.on_dead_letter is not None:
                 destination, number = key

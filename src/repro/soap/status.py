@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+from repro.obs.hub import NodeScope, hub_of
 from repro.soap import namespaces as ns
 from repro.soap.handler import MessageContext
 from repro.soap.runtime import SoapRuntime
@@ -44,14 +45,17 @@ class StatusService(Service):
 
     def snapshot(self) -> Dict[str, Any]:
         """The status document (also returned by the SOAP operation)."""
+        # Deployment-wide counters come from the hub behind the node's
+        # metrics sink (pre-hub behaviour: the shared registry); when the
+        # sink is node-scoped, this node's own counts are reported too.
+        metrics = self._runtime.metrics
         status: Dict[str, Any] = {
             "address": self._runtime.base_address,
             "services": self._runtime.service_paths(),
-            "counters": {
-                name: value
-                for name, value in self._runtime.metrics.counters().items()
-            },
+            "counters": dict(hub_of(metrics).counters()),
         }
+        if isinstance(metrics, NodeScope):
+            status["node_counters"] = dict(metrics.counters())
         if self._gossip_layer is not None:
             activities = {}
             for engine in self._gossip_layer.engines():

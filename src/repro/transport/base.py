@@ -19,7 +19,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.simnet.metrics import HEALTH_STATS
+from repro.simnet.metrics import HealthStats
 
 
 def split_address(address: str) -> tuple:
@@ -154,16 +154,23 @@ class CircuitBreaker:
     CLOSED counts consecutive failures; at ``failure_threshold`` it OPENs
     and refuses sends.  After ``reset_timeout`` one probe is admitted
     (HALF_OPEN); its success closes the breaker, its failure re-opens it
-    and re-arms the timer.  State transitions are recorded in
-    :data:`~repro.simnet.metrics.HEALTH_STATS`.
+    and re-arms the timer.  State transitions are recorded in the owning
+    transport's :class:`~repro.simnet.metrics.HealthStats` group.
     """
 
     CLOSED = "closed"
     OPEN = "open"
     HALF_OPEN = "half-open"
 
-    def __init__(self, policy: BreakerPolicy) -> None:
+    def __init__(
+        self, policy: BreakerPolicy, stats: Optional[HealthStats] = None
+    ) -> None:
         self.policy = policy
+        if stats is None:
+            from repro.obs.hub import default_hub
+
+            stats = default_hub().health
+        self.stats = stats
         self.state = self.CLOSED
         self.consecutive_failures = 0
         self.opened_at: Optional[float] = None
@@ -175,7 +182,7 @@ class CircuitBreaker:
         if self.state == self.OPEN:
             if self.opened_at is not None and now - self.opened_at >= self.policy.reset_timeout:
                 self.state = self.HALF_OPEN
-                HEALTH_STATS.breaker_probes += 1
+                self.stats.breaker_probes += 1
                 return True
             return False
         # HALF_OPEN: exactly one probe in flight; refuse the rest.
@@ -184,7 +191,7 @@ class CircuitBreaker:
     def record_success(self) -> None:
         """A send (or the half-open probe) succeeded."""
         if self.state != self.CLOSED:
-            HEALTH_STATS.breaker_closed += 1
+            self.stats.breaker_closed += 1
         self.state = self.CLOSED
         self.consecutive_failures = 0
         self.opened_at = None
@@ -203,7 +210,7 @@ class CircuitBreaker:
         ):
             self.state = self.OPEN
             self.opened_at = now
-            HEALTH_STATS.breaker_opened += 1
+            self.stats.breaker_opened += 1
 
 
 FaultHook = Callable[[str], Optional[str]]
@@ -231,6 +238,7 @@ class ResilientTransport:
         breaker: Optional[BreakerPolicy] = None,
         clock: Optional[Callable[[], float]] = None,
         rng: Optional[random.Random] = None,
+        stats: Optional[HealthStats] = None,
     ) -> None:
         self._retry = retry if retry is not None else RetryPolicy()
         self._breaker_policy = breaker
@@ -240,6 +248,11 @@ class ResilientTransport:
         self._clock = clock if clock is not None else time.monotonic
         self._resilience_rng = rng if rng is not None else random.Random()
         self._breaker_lock = threading.Lock()
+        if stats is None:
+            from repro.obs.hub import default_hub
+
+            stats = default_hub().health
+        self._health_stats = stats
 
     # -- configuration ------------------------------------------------------
 
@@ -297,7 +310,9 @@ class ResilientTransport:
         with self._breaker_lock:
             breaker = self._breakers.get(key)
             if breaker is None:
-                breaker = CircuitBreaker(self._breaker_policy)
+                breaker = CircuitBreaker(
+                    self._breaker_policy, stats=self._health_stats
+                )
                 self._breakers[key] = breaker
             return breaker
 
@@ -313,7 +328,7 @@ class ResilientTransport:
             with self._breaker_lock:
                 allowed = breaker.allow(self._clock())
             if not allowed:
-                HEALTH_STATS.sends_suppressed += 1
+                self._health_stats.sends_suppressed += 1
                 self._emit(
                     SendOutcome(address, ok=False, error="circuit-open", attempts=0)
                 )
@@ -343,7 +358,7 @@ class ResilientTransport:
     def _attempt_failed(
         self, address: str, data: bytes, attempt: int, exc: BaseException
     ) -> None:
-        HEALTH_STATS.send_failures += 1
+        self._health_stats.send_failures += 1
         breaker = self.breaker_for(address)
         opened = False
         if breaker is not None:
@@ -351,7 +366,7 @@ class ResilientTransport:
                 breaker.record_failure(self._clock())
                 opened = breaker.state != CircuitBreaker.CLOSED
         if attempt <= self._retry.max_retries and not opened:
-            HEALTH_STATS.retries += 1
+            self._health_stats.retries += 1
             delay = self._retry.delay(attempt, self._resilience_rng)
             self._defer(
                 delay, lambda: self._attempt(address, data, attempt + 1)
@@ -397,8 +412,11 @@ class LoopbackTransport(ResilientTransport):
         breaker: Optional[BreakerPolicy] = None,
         clock: Optional[Callable[[], float]] = None,
         rng: Optional[random.Random] = None,
+        stats: Optional[HealthStats] = None,
     ) -> None:
-        super().__init__(retry=retry, breaker=breaker, clock=clock, rng=rng)
+        super().__init__(
+            retry=retry, breaker=breaker, clock=clock, rng=rng, stats=stats
+        )
         self._receivers: Dict[str, object] = {}
         self._pending = None
         self.dropped = 0

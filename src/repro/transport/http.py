@@ -18,6 +18,8 @@ from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional
 
+from repro.obs.export import prometheus_text
+from repro.obs.hub import MetricsHub, default_hub, hub_of
 from repro.soap.runtime import SoapRuntime
 from repro.transport.base import BreakerPolicy, ResilientTransport, RetryPolicy
 
@@ -117,6 +119,24 @@ class HttpNode:
                 if runtime is not None:
                     runtime.receive(body, source=None)
 
+            def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+                """Serve the node's metrics in Prometheus text format."""
+                if self.path.split("?", 1)[0] != "/metrics":
+                    self.send_response(404)
+                    self.send_header("Content-Length", "0")
+                    self.end_headers()
+                    return
+                runtime = runtime_holder.get("runtime")
+                hub = hub_of(runtime.metrics if runtime is not None else None)
+                body = prometheus_text(hub).encode("utf-8")
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
             def log_message(self, *args) -> None:  # silence stderr
                 pass
 
@@ -129,7 +149,9 @@ class HttpNode:
         self._server = Server((host, port), Handler)
         self.host, self.port = self._server.server_address[:2]
         self.base_address = f"http://{self.host}:{self.port}"
-        self.runtime = SoapRuntime(self.base_address, self.transport)
+        # Per-node hub (chained to the default) -- what GET /metrics serves.
+        self.hub = MetricsHub(parent=default_hub(), name=self.base_address)
+        self.runtime = SoapRuntime(self.base_address, self.transport, metrics=self.hub)
         runtime_holder["runtime"] = self.runtime
         self._thread: Optional[threading.Thread] = None
 

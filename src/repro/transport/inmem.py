@@ -59,6 +59,7 @@ class SimTransport(ResilientTransport):
             breaker=breaker,
             clock=lambda: node.sim.now,
             rng=node.sim.rng.get(f"transport:{node.name}"),
+            stats=node.network.hub.health,
         )
         self._node = node
 
@@ -90,10 +91,13 @@ class WsProcess(Process):
 
     def __init__(self, name: str, network: Network) -> None:
         super().__init__(name, network)
+        # Per-node metric attribution: the runtime's counters carry a
+        # ``node`` label and aggregate into the network hub's unlabelled
+        # counters, so whole-simulation reads are unchanged.
         self.runtime = SoapRuntime(
             sim_address(name),
             SimTransport(self),
-            metrics=network.metrics,
+            metrics=network.hub.node(name),
         )
         self.configure()
 

@@ -4,9 +4,23 @@ from __future__ import annotations
 
 import pytest
 
+from repro.obs.hub import default_hub
 from repro.simnet.events import Simulator
 from repro.simnet.network import Network
 from repro.simnet.trace import TraceLog
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_hub():
+    """Zero the process-wide default hub between tests.
+
+    Every per-simulation hub chains its deltas up to the default hub, so
+    without this reset a test asserting on aggregate counts would see
+    traffic from whichever tests ran before it.
+    """
+    default_hub().reset()
+    yield
+    default_hub().reset()
 
 
 @pytest.fixture

@@ -23,7 +23,7 @@ from repro.core.batch import (
     strip_declaration,
 )
 from repro.core.params import GossipParams
-from repro.simnet.metrics import BATCH_STATS
+from repro.obs.hub import default_hub
 
 
 FRAMES = [
@@ -32,12 +32,8 @@ FRAMES = [
     b"<frame n='2'/>",
 ]
 
-
-@pytest.fixture(autouse=True)
-def _fresh_batch_stats():
-    BATCH_STATS.reset()
-    yield
-    BATCH_STATS.reset()
+# Reset around every test by the shared autouse fixture in conftest.py.
+BATCH_STATS = default_hub().batch
 
 
 # -- codec --------------------------------------------------------------------

@@ -7,15 +7,11 @@ import pytest
 from repro.core.health import HealthPolicy, PeerHealth, key_of
 from repro.core.params import ParamError
 from repro.core.peers import HealthAwareSelector, RoundRobinSelector
-from repro.simnet.metrics import HEALTH_STATS
+from repro.obs.hub import default_hub
 from repro.transport.base import SendOutcome
 
-
-@pytest.fixture(autouse=True)
-def reset_health_stats():
-    HEALTH_STATS.reset()
-    yield
-    HEALTH_STATS.reset()
+# Reset around every test by the shared autouse fixture in conftest.py.
+HEALTH_STATS = default_hub().health
 
 
 class FakeClock:

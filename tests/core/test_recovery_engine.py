@@ -9,21 +9,12 @@ what the group already saw.
 
 import pytest
 
-from repro import (
-    DurabilityPolicy,
-    GossipConfig,
-    GossipGroup,
-    ParamError,
-    RECOVERY_STATS,
-)
+from repro import DurabilityPolicy, GossipConfig, GossipGroup, ParamError
+from repro.obs.hub import default_hub
 from repro.core.decentralized import DecentralizedGroup
 
-
-@pytest.fixture(autouse=True)
-def _fresh_recovery_stats():
-    RECOVERY_STATS.reset()
-    yield
-    RECOVERY_STATS.reset()
+# Reset around every test by the shared autouse fixture in conftest.py.
+RECOVERY_STATS = default_hub().recovery
 
 
 def make_group(n=16, seed=7, durability=True, style="push", ordered=False):

@@ -22,11 +22,14 @@ from repro.core.message import (
     scan_gossip_message_id,
 )
 from repro.core.params import GossipParams
-from repro.simnet.metrics import WIRE_STATS
+from repro.obs.hub import default_hub
 from repro.soap.envelope import Envelope
 from repro.soap.runtime import SoapRuntime
 from repro.wsa.addressing import AddressingHeaders, EndpointReference
 from repro.wscoord.context import CoordinationContext
+
+# Reset around every test by the shared autouse fixture in conftest.py.
+WIRE_STATS = default_hub().wire
 
 from tests.core.test_engine import FakeScheduler, make_context, make_gossip_envelope
 

@@ -16,7 +16,7 @@ import pytest
 from repro.core.api import GossipConfig, GossipGroup
 from repro.simnet.events import Simulator
 from repro.simnet.faults import FaultPlan
-from repro.simnet.metrics import HEALTH_STATS
+from repro.obs.hub import default_hub
 from repro.simnet.network import Network
 from repro.transport.base import BreakerPolicy, CircuitBreaker
 from repro.transport.inmem import WsProcess, sim_address
@@ -26,12 +26,9 @@ CRASH_FRACTION = 0.3
 LOSS_RATE = 0.10
 SEED = 1701
 
-
-@pytest.fixture(autouse=True)
-def reset_health_stats():
-    HEALTH_STATS.reset()
-    yield
-    HEALTH_STATS.reset()
+# The shared autouse fixture in tests/conftest.py resets the default hub
+# (including its health stat group) around every test.
+HEALTH_STATS = default_hub().health
 
 
 def chaos_delivery(health: bool, seed: int = SEED) -> float:

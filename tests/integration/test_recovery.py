@@ -14,19 +14,16 @@ anti-entropy -- no restart required.
 
 import pytest
 
-from repro import DurabilityPolicy, GossipConfig, GossipGroup, RECOVERY_STATS
+from repro import DurabilityPolicy, GossipConfig, GossipGroup
+from repro.obs.hub import default_hub
 from repro.simnet.faults import FaultPlan
 
 N = 500
 CRASH_FRACTION = 0.2
 SEED = 1701
 
-
-@pytest.fixture(autouse=True)
-def _fresh_recovery_stats():
-    RECOVERY_STATS.reset()
-    yield
-    RECOVERY_STATS.reset()
+# Reset around every test by the shared autouse fixture in conftest.py.
+RECOVERY_STATS = default_hub().recovery
 
 
 def recovery_delivery(catch_up: bool, seed: int = SEED) -> float:

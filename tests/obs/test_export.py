@@ -1,0 +1,129 @@
+"""Exporters: JSONL round-trip, Prometheus text format, /metrics."""
+
+import io
+import re
+import urllib.request
+
+import pytest
+
+from repro.obs.export import (
+    dump_jsonl,
+    hub_snapshot,
+    load_jsonl,
+    prometheus_text,
+)
+from repro.obs.hub import MetricsHub
+
+
+@pytest.fixture
+def populated_hub():
+    hub = MetricsHub(name="export-test")
+    # Labeled increments aggregate into the unlabeled hub counter, so
+    # soap.sent reads 7 hub-wide.
+    hub.labeled_counter("soap.sent", {"node": "n0"}).inc(4)
+    hub.labeled_counter("soap.sent", {"node": "n1"}).inc(3)
+    hub.gauge("view.size").set(16)
+    hub.histogram("net.latency").observe(0.01)
+    hub.histogram("net.latency").observe(0.03)
+    hub.wire.serialize_count += 5
+    hub.batch.batches_sent += 2
+    return hub
+
+
+def test_snapshot_sections(populated_hub):
+    snapshot = hub_snapshot(populated_hub)
+    assert snapshot["counters"]["soap.sent"] == 7
+    assert snapshot["gauges"]["view.size"] == 16
+    assert snapshot["wire"]["serialize_count"] == 5
+    assert snapshot["batch"]["batches_sent"] == 2
+    assert snapshot["histograms"]["net.latency"]["count"] == 2
+    labeled = {
+        (record["name"], record["labels"]["node"]): record["value"]
+        for record in snapshot["labeled_counters"]
+    }
+    assert labeled[("soap.sent", "n0")] == 4
+    assert labeled[("soap.sent", "n1")] == 3
+
+
+def test_jsonl_round_trip(populated_hub):
+    stream = io.StringIO()
+    count = dump_jsonl(populated_hub, stream)
+    assert count == len(stream.getvalue().splitlines())
+    records = load_jsonl(io.StringIO(stream.getvalue()))
+    by_kind = {}
+    for record in records:
+        by_kind.setdefault(record["kind"], []).append(record)
+    counters = {
+        record["name"]: record["value"]
+        for record in by_kind["counter"]
+        if "labels" not in record
+    }
+    assert counters["soap.sent"] == 7
+    stats = {
+        (record["group"], record["field"]): record["value"]
+        for record in by_kind["stat"]
+    }
+    assert stats[("wire", "serialize_count")] == 5
+    assert stats[("batch", "batches_sent")] == 2
+
+
+def test_jsonl_rejects_garbage():
+    with pytest.raises(ValueError, match="line 2"):
+        load_jsonl(io.StringIO('{"kind": "counter", "name": "x", "value": 1}\nnope\n'))
+
+
+# A line of the Prometheus text exposition format (0.0.4): metric name,
+# optional {labels}, a value.
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\\\|\\\"|\\n)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\\\|\\\"|\\n)*\")*\})?"
+    r" -?[0-9.e+-]+(\.[0-9]+)?$"
+)
+_COMMENT = re.compile(r"^# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* ?.*$")
+
+
+def assert_valid_prometheus(text):
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        if not line:
+            continue
+        assert _COMMENT.match(line) or _SAMPLE.match(line), line
+
+
+def test_prometheus_text_parses(populated_hub):
+    text = prometheus_text(populated_hub)
+    assert_valid_prometheus(text)
+    assert "repro_soap_sent 7" in text
+    assert 'repro_soap_sent{node="n0"} 4' in text
+    assert "repro_view_size 16" in text
+    assert "repro_wire_serialize_count 5" in text
+    # Histograms render as summaries with quantile labels.
+    assert 'repro_net_latency{quantile="0.5"}' in text
+    assert "repro_net_latency_count 2" in text
+
+
+def test_prometheus_name_sanitization_and_label_escaping():
+    hub = MetricsHub(name="escape-test")
+    hub.counter("gossip.dedup-preparse").inc()
+    hub.labeled_counter("odd", {"node": 'quote"back\\slash\nnewline'}).inc()
+    text = prometheus_text(hub)
+    assert_valid_prometheus(text)
+    assert "repro_gossip_dedup_preparse 1" in text
+    assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+
+def test_metrics_endpoint_serves_prometheus():
+    from repro.transport.http import HttpNode
+
+    with HttpNode() as node:
+        node.hub.counter("soap.sent").inc(3)
+        with urllib.request.urlopen(f"{node.base_address}/metrics") as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            body = response.read().decode("utf-8")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(f"{node.base_address}/nope")
+        assert err.value.code == 404
+    assert_valid_prometheus(body)
+    assert "repro_soap_sent 3" in body

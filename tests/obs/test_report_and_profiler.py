@@ -1,0 +1,79 @@
+"""The operator report, the CLI subcommand, and the Profiler."""
+
+from repro.cli import main
+from repro.obs.hub import MetricsHub
+from repro.obs.profiler import Profiler
+from repro.obs.report import render_report, run_seeded_report
+
+
+def test_render_report_sections():
+    group, text = run_seeded_report(nodes=12, consumers=0, seed=9, duration=8.0)
+    assert "observability report" in text
+    assert "delivered" in text
+    assert "rounds to 99%" in text
+    assert "deliveries per node" in text
+    assert "net.sent" in text
+    assert "serialize_count" in text  # wire group highlighted
+
+
+def test_render_report_empty_hub():
+    text = render_report(MetricsHub(name="empty"))
+    assert "no rumors traced" in text
+
+
+def test_cli_obs_report(capsys, tmp_path):
+    jsonl = tmp_path / "metrics.jsonl"
+    prom = tmp_path / "metrics.prom"
+    code = main(
+        [
+            "--seed", "9", "obs", "report", "--nodes", "12",
+            "--duration", "8.0",
+            "--jsonl", str(jsonl), "--prometheus", str(prom),
+        ]
+    )
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "observability report" in output
+    assert "deliveries per node" in output
+    assert jsonl.read_text().count("\n") > 10
+    assert prom.read_text().startswith("# TYPE")
+
+
+def test_profiler_sections_accumulate():
+    ticks = iter(range(100))
+    sim = {"now": 0.0}
+    profiler = Profiler(
+        wall_clock=lambda: float(next(ticks)), sim_clock=lambda: sim["now"]
+    )
+    with profiler.section("phase"):
+        sim["now"] = 2.5
+    with profiler.section("phase"):
+        sim["now"] = 3.0
+    report = profiler.report()
+    assert report["phase"]["count"] == 2
+    assert report["phase"]["wall_s"] == 2.0  # two sections, 1 tick each
+    assert report["phase"]["sim_s"] == 3.0
+    profiler.reset()
+    assert profiler.report() == {}
+
+
+def test_bench_rows_carry_phase_timings():
+    import os
+    import sys
+
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(__file__)), os.pardir,
+                        "benchmarks"),
+    )
+    try:
+        from bench_perf_core import run_size
+
+        row = run_size(30)
+    finally:
+        sys.path.pop(0)
+    phases = row["phases"]
+    assert set(phases) >= {"setup", "publish", "drain"}
+    for timing in phases.values():
+        assert timing["wall_s"] >= 0.0
+        assert timing["count"] == 1
+    assert phases["drain"]["sim_s"] > 0.0

@@ -51,3 +51,40 @@ def test_clear():
     trace.record(1.0, "a")
     trace.clear()
     assert len(trace) == 0
+
+
+def test_indices_match_linear_scan():
+    trace = TraceLog()
+    for index in range(50):
+        trace.record(float(index), f"kind{index % 3}", f"n{index % 5}", i=index)
+    for kind in ("kind0", "kind1", "kind2", "missing"):
+        expected = [event for event in trace if event.kind == kind]
+        assert trace.events(kind=kind) == expected
+        assert trace.count(kind) == len(expected)
+    for node in ("n0", "n3", "missing"):
+        expected = [event for event in trace if event.node == node]
+        assert trace.events(node=node) == expected
+    combined = trace.events(kind="kind1", node="n4")
+    assert combined == [
+        event for event in trace if event.kind == "kind1" and event.node == "n4"
+    ]
+
+
+def test_indices_survive_clear():
+    trace = TraceLog()
+    trace.record(0.0, "a", "n0")
+    trace.clear()
+    assert trace.events(kind="a") == []
+    assert trace.events(node="n0") == []
+    assert trace.kinds() == []
+    trace.record(1.0, "b", "n1")
+    assert trace.count("b") == 1
+    assert [event.kind for event in trace.events(node="n1")] == ["b"]
+
+
+def test_filtered_events_are_copies():
+    trace = TraceLog()
+    trace.record(0.0, "a", "n0")
+    events = trace.events(kind="a")
+    events.append("garbage")
+    assert len(trace.events(kind="a")) == 1

@@ -186,8 +186,10 @@ def test_invalidate_forces_re_encode():
 
 
 def test_memoization_counters():
-    from repro.simnet.metrics import WIRE_STATS
+    from repro.obs.hub import default_hub
     from repro.soap.envelope import clear_parse_cache
+
+    WIRE_STATS = default_hub().wire
 
     WIRE_STATS.reset()
     clear_parse_cache()

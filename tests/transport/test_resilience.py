@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.simnet.metrics import HEALTH_STATS
+from repro.obs.hub import default_hub
 from repro.transport.base import (
     BreakerPolicy,
     CircuitBreaker,
@@ -14,12 +14,8 @@ from repro.transport.base import (
     SendOutcome,
 )
 
-
-@pytest.fixture(autouse=True)
-def reset_health_stats():
-    HEALTH_STATS.reset()
-    yield
-    HEALTH_STATS.reset()
+# Reset around every test by the shared autouse fixture in conftest.py.
+HEALTH_STATS = default_hub().health
 
 
 class FakeClock:
