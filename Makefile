@@ -2,13 +2,24 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-chaos test-recovery test-obs bench bench-smoke bench-core profile examples clean coverage
+.PHONY: install test test-chaos test-recovery test-obs soak-smoke soak bench bench-smoke bench-core profile examples clean coverage
 
 install:
 	pip install -e . || pip install -e . --no-build-isolation
 
-test: test-chaos test-recovery test-obs
+test: test-chaos test-recovery test-obs soak-smoke
 	$(PYTHON) -m pytest tests/
+
+# Live-socket gate: a small real-UDP mesh on one event loop must deliver
+# the stock workload to >= 99% of nodes with a sane p99 while the
+# /v1/metrics edge answers scrapes (see docs/DEPLOY.md).
+soak-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_soak.py --smoke
+
+# Full live soak (300 real-socket nodes, 3 minutes); appends the row to
+# BENCH_core.json under "soak".
+soak:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_soak.py --rate 2.5 --period 2.0 --settle 30
 
 # Seeded chaos gate: 30% crashes + 10% link loss at N=500 must still
 # deliver to >= 99% of survivors with the peer-health layer on, and

@@ -8,6 +8,7 @@ Usage::
     python -m repro analyze 1000    # fanout/rounds the coordinator picks
     python -m repro describe        # WSDL summary of a gossip node
     python -m repro obs report      # observability report of a seeded run
+    python -m repro soak            # short live-socket mesh run
 """
 
 from __future__ import annotations
@@ -21,16 +22,16 @@ from repro.core.analysis import (
     expected_rounds,
     fanout_for_atomicity,
 )
-from repro.core.api import GossipGroup
+from repro.core.api import GossipConfig
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=args.nodes - args.consumers - 1,
         n_consumers=args.consumers,
         seed=args.seed,
         params={"fanout": args.fanout, "rounds": args.rounds},
-    )
+    ).build()
     activity_id = group.setup()
     print(f"activity: {activity_id}")
     message_id = group.publish({"demo": True})
@@ -108,13 +109,13 @@ def _cmd_styles(args: argparse.Namespace) -> int:
     print(f"{'style':<14}{'coverage':<10}{'time (s)':<10}{'messages'}")
     for style in ("push", "lazy-push", "feedback", "push-pull", "pull",
                   "anti-entropy"):
-        group = GossipGroup(
+        group = GossipConfig(
             n_disseminators=args.nodes - 1,
             seed=args.seed,
             params={"style": style, "fanout": args.fanout, "rounds": args.rounds,
                     "period": 0.4},
             auto_tune=False,
-        )
+        ).build()
         group.setup()
         before = group.message_counts().get("net.sent", 0)
         start = group.sim.now
@@ -168,6 +169,60 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
             stream.write(prometheus_text(group.hub))
         print(f"wrote Prometheus text to {args.prometheus}")
     return 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    """A short live-socket run: real UDP/HTTP nodes on one event loop."""
+    import asyncio
+
+    from repro.core.aiodeploy import AsyncGossipMesh, soak_params
+    from repro.workloads import StockFeed
+
+    async def run() -> int:
+        mesh = AsyncGossipMesh(
+            args.nodes,
+            transport=args.transport,
+            params=soak_params(args.transport, period=args.period),
+            seed=args.seed,
+        )
+        loop = mesh.loop
+        await mesh.astart()
+        published = {}
+        try:
+            feed = StockFeed(rate=args.rate, seed=args.seed)
+            import random as _random
+
+            rng = _random.Random(args.seed + 1)
+            start = loop.time()
+            for tick in feed.ticks(args.duration):
+                lag = tick.time - (loop.time() - start)
+                if lag > 0:
+                    await asyncio.sleep(lag)
+                publisher = rng.randrange(args.nodes)
+                gossip_id = await mesh.apublish(tick.to_value(), publisher)
+                published[gossip_id] = (publisher, loop.time())
+            await asyncio.sleep(args.settle)
+        finally:
+            await mesh.astop()
+        fractions = [
+            mesh.delivered_fraction(gossip_id, publisher)
+            for gossip_id, (publisher, _) in published.items()
+        ]
+        latencies = sorted(mesh.delivery_latencies(
+            {gossip_id: when for gossip_id, (_, when) in published.items()}
+        ))
+        delivered = sum(fractions) / len(fractions) if fractions else 0.0
+        print(f"nodes: {args.nodes} over {args.transport}, "
+              f"{len(published)} ticks published")
+        print(f"delivered: {delivered:.1%}")
+        if latencies:
+            p50 = latencies[len(latencies) // 2]
+            p99 = latencies[min(len(latencies) - 1,
+                                round(0.99 * (len(latencies) - 1)))]
+            print(f"latency p50: {p50 * 1000:.0f} ms, p99: {p99 * 1000:.0f} ms")
+        return 0 if delivered >= 0.99 else 1
+
+    return asyncio.run(run())
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
@@ -236,6 +291,17 @@ def build_parser() -> argparse.ArgumentParser:
         "describe", help="WSDL summary of the gossip port type"
     )
     describe.set_defaults(handler=_cmd_describe)
+
+    soak = commands.add_parser(
+        "soak", help="short live-socket mesh run (real UDP/HTTP nodes)"
+    )
+    soak.add_argument("--nodes", type=int, default=40)
+    soak.add_argument("--transport", choices=("udp", "http"), default="udp")
+    soak.add_argument("--duration", type=float, default=6.0)
+    soak.add_argument("--rate", type=float, default=10.0)
+    soak.add_argument("--period", type=float, default=0.5)
+    soak.add_argument("--settle", type=float, default=4.0)
+    soak.set_defaults(handler=_cmd_soak)
 
     obs = commands.add_parser(
         "obs", help="observability: reports and metric exports"

@@ -1,0 +1,270 @@
+"""Live gossip meshes over the asyncio transports (real sockets).
+
+The simulator answers "does the protocol work at N=5000"; this module
+answers "does the *stack* work at N=300+ real sockets in one process" --
+the deployment half the paper claims (WS nodes coordinating over an
+actual network).  Every node here is a full middleware stack -- a
+:class:`~repro.soap.runtime.SoapRuntime`, a
+:class:`~repro.core.handler.GossipLayer` with its engines, a per-node
+:class:`~repro.obs.hub.MetricsHub` -- bound to its own UDP or keep-alive
+HTTP socket, all sharing one event loop.
+
+Membership is static: the mesh samples each node's peer view once at
+build time (the coordinator-less ``register=False`` join from the
+decentralized mode), so a soak run measures the transport and engine hot
+paths, not view convergence.  ``benchmarks/bench_soak.py`` drives this
+with the stock workload; ``repro soak`` is the CLI front end.
+
+All engine state lives on the loop thread: publishes from foreign
+threads hop onto the loop first (:func:`~repro.transport.aio.run_on_loop`),
+so the single-threaded engine invariants hold exactly as they do under
+the simulator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.decentralized import DEFAULT_ACTION, make_static_context
+from repro.core.handler import GossipLayer
+from repro.core.params import GossipParams
+from repro.core.service import GossipService
+from repro.soap.service import Service
+from repro.transport.aio import (
+    MAX_DATAGRAM_BYTES,
+    AioScheduler,
+    AsyncHttpNode,
+    AsyncUdpNode,
+    _on_loop,
+    resolve_loop,
+    run_on_loop,
+)
+from repro.wscoord.context import CoordinationContext
+
+APP_PATH = "/app"
+
+#: Envelope + batch-frame overhead headroom under the IPv4 datagram cap.
+UDP_SAFE_BATCH_BYTES = 49152
+
+
+def soak_params(transport: str = "udp", period: float = 0.5) -> GossipParams:
+    """Default parameters for a live soak mesh.
+
+    Push-pull gossip (eager push for speed, periodic pull digests to
+    repair the gaps push redundancy misses) with multi-rumor batching;
+    over UDP the batch byte cap stays under the datagram ceiling so every
+    frame rides verbatim.
+    """
+    from repro.core.message import GossipStyle
+
+    max_batch_bytes = UDP_SAFE_BATCH_BYTES if transport == "udp" else 262144
+    return GossipParams(
+        fanout=4,
+        rounds=6,
+        style=GossipStyle.PUSH_PULL,
+        period=period,
+        jitter=0.3,
+        max_batch_rumors=8,
+        max_batch_bytes=max_batch_bytes,
+    )
+
+
+class AsyncGossipNode:
+    """One live node: socket edge + gossip layer + app endpoint.
+
+    The app endpoint records first-delivery wall-clock times per gossip
+    id (the loop's monotonic clock), which is what the soak harness turns
+    into end-to-end latency percentiles.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        action: str = DEFAULT_ACTION,
+        transport: str = "udp",
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+        params: Optional[GossipParams] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if transport == "udp":
+            self.edge = AsyncUdpNode(loop=loop)
+        elif transport == "http":
+            self.edge = AsyncHttpNode(loop=loop)
+        else:
+            raise ValueError(f"unknown transport (udp|http): {transport!r}")
+        self.name = name
+        self.action = action
+        self.loop = self.edge.loop
+        self.runtime = self.edge.runtime
+        self.scheduler = AioScheduler(self.loop)
+        self.app_service = Service()
+        self.app_service.add_operation(action, self._on_delivery)
+        self.runtime.add_service(APP_PATH, self.app_service)
+        self.gossip_layer = GossipLayer(
+            runtime=self.runtime,
+            scheduler=self.scheduler,
+            app_address=self.app_address,
+            rng=rng if rng is not None else random.Random(),
+            default_params=params,
+            view_provider=self._view,
+        )
+        self.runtime.chain.add_first(self.gossip_layer)
+        self.runtime.add_service("/gossip", GossipService(self.gossip_layer))
+        self._peers: List[str] = []
+        #: gossip id -> first-delivery time on the loop clock.
+        self.delivered: Dict[str, float] = {}
+        self.delivery_count = 0
+
+    @property
+    def app_address(self) -> str:
+        return self.runtime.address_of(APP_PATH)
+
+    def set_view(self, peers: Sequence[str]) -> None:
+        """Install the node's static peer view (app addresses)."""
+        self._peers = [peer for peer in peers if peer != self.app_address]
+
+    def _view(self) -> List[str]:
+        return self._peers
+
+    def _on_delivery(self, context, value) -> None:
+        from repro.core.message import GossipHeader
+
+        header = GossipHeader.from_envelope(context.envelope)
+        self.delivery_count += 1
+        if header is not None and header.message_id not in self.delivered:
+            self.delivered[header.message_id] = self.loop.time()
+
+    def join(self, context: CoordinationContext):
+        """Join coordinator-less; periodic rounds start immediately."""
+        return self.gossip_layer.join(context, register=False)
+
+    async def astart(self) -> None:
+        await self.edge.astart()
+
+    async def astop(self) -> None:
+        self.scheduler.close()
+        await self.edge.astop()
+
+
+class AsyncGossipMesh:
+    """N live nodes with static random peer views on one event loop.
+
+    Build it anywhere; run it either from async code (``await
+    mesh.astart()`` ... ``await mesh.apublish(...)``) or synchronously
+    (``mesh.start()`` / ``mesh.publish(...)``), in which case everything
+    hops onto the background loop.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        transport: str = "udp",
+        params: Optional[GossipParams] = None,
+        view_size: int = 8,
+        seed: int = 0,
+        action: str = DEFAULT_ACTION,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+    ) -> None:
+        if n_nodes < 2:
+            raise ValueError(f"need at least two nodes: {n_nodes!r}")
+        self.loop = resolve_loop(loop)
+        self.transport = transport
+        self.action = action
+        self.params = params if params is not None else soak_params(transport)
+        rng = random.Random(seed)
+        self.nodes: List[AsyncGossipNode] = [
+            AsyncGossipNode(
+                f"n{index}",
+                action=action,
+                transport=transport,
+                loop=self.loop,
+                params=self.params,
+                rng=random.Random(rng.random()),
+            )
+            for index in range(n_nodes)
+        ]
+        addresses = [node.app_address for node in self.nodes]
+        view_size = min(view_size, n_nodes - 1)
+        for index, node in enumerate(self.nodes):
+            others = addresses[:index] + addresses[index + 1:]
+            node.set_view(rng.sample(others, view_size))
+        self.context = make_static_context()
+        self._started = False
+
+    @property
+    def population(self) -> int:
+        return len(self.nodes)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def astart(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        await asyncio.gather(*(node.astart() for node in self.nodes))
+        for node in self.nodes:
+            node.join(self.context)
+
+    async def astop(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        await asyncio.gather(*(node.astop() for node in self.nodes))
+
+    def start(self) -> None:
+        run_on_loop(self.loop, self.astart(), timeout=60.0)
+
+    def stop(self) -> None:
+        run_on_loop(self.loop, self.astop(), timeout=60.0)
+
+    def __enter__(self) -> "AsyncGossipMesh":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- publishing -----------------------------------------------------------
+
+    async def apublish(self, value: Any, publisher_index: int = 0) -> str:
+        """Publish one item from a node (must run on the mesh's loop)."""
+        node = self.nodes[publisher_index]
+        engine = node.gossip_layer.engine_for(self.context.identifier)
+        return engine.publish(self.action, value)
+
+    def publish(self, value: Any, publisher_index: int = 0) -> str:
+        """Publish from sync code: hops onto the loop and waits."""
+        if _on_loop(self.loop):
+            raise RuntimeError("use apublish() from the event loop")
+        return run_on_loop(
+            self.loop, self.apublish(value, publisher_index), timeout=30.0
+        )
+
+    # -- measurement ----------------------------------------------------------
+
+    def delivered_fraction(self, gossip_id: str, publisher_index: int = 0) -> float:
+        """Fraction of the *other* nodes that delivered the item."""
+        others = [
+            node for index, node in enumerate(self.nodes)
+            if index != publisher_index
+        ]
+        hits = sum(1 for node in others if gossip_id in node.delivered)
+        return hits / len(others)
+
+    def delivery_latencies(self, published: Dict[str, float]) -> List[float]:
+        """Per-(message, node) end-to-end latencies for published items.
+
+        ``published`` maps gossip id -> publish time on the loop clock.
+        """
+        latencies: List[float] = []
+        for node in self.nodes:
+            for gossip_id, when in node.delivered.items():
+                publish_time = published.get(gossip_id)
+                if publish_time is not None:
+                    latencies.append(when - publish_time)
+        return latencies
+
+    def total_deliveries(self) -> int:
+        return sum(node.delivery_count for node in self.nodes)

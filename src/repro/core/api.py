@@ -16,13 +16,14 @@ Example:
     1.0
 
 The pre-config keyword soup (``GossipGroup(n_disseminators=16, seed=42)``)
-still works through a deprecation shim that forwards into the config.
+was removed after a deprecation cycle: passing deployment settings as
+keyword arguments now raises :class:`~repro.core.params.ParamError`
+pointing at the ``GossipConfig`` replacement.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Mapping, Optional
 
@@ -210,8 +211,10 @@ class GossipGroup:
     Args:
         config: the deployment description (see :class:`GossipConfig`).
         **legacy: the pre-config keyword soup (``n_disseminators=...`` and
-            friends) is still accepted, deprecated, and forwarded into the
-            config via :meth:`GossipConfig.with_overrides`.
+            friends) is gone: after a deprecation cycle it now raises
+            :class:`~repro.core.params.ParamError` naming the offending
+            keywords.  Build a :class:`GossipConfig` and pass ``config=``
+            (or call ``GossipConfig(...).build()``).
     """
 
     def __init__(
@@ -245,15 +248,14 @@ class GossipGroup:
             if value is not _UNSET
         }
         if legacy:
-            warnings.warn(
-                "passing GossipGroup settings as keyword arguments is "
-                "deprecated; build a GossipConfig and pass config=... "
+            raise ParamError(
+                sorted(legacy)[0],
+                "passing GossipGroup settings as keyword arguments was "
+                "removed; build a GossipConfig and pass config=... or call "
+                "GossipConfig(...).build() "
                 f"(got: {', '.join(sorted(legacy))})",
-                DeprecationWarning,
-                stacklevel=2,
             )
-        base = config if config is not None else GossipConfig()
-        self.config = base.with_overrides(**legacy) if legacy else base
+        self.config = config if config is not None else GossipConfig()
 
         self.sim = Simulator(seed=self.config.seed)
         self.trace = TraceLog(enabled=self.config.trace)

@@ -257,6 +257,9 @@ class WireStats(StatGroup):
       this process -- the fan-out twin of ``serialize_reused``).
     * ``dedup_preparse_hits`` -- duplicate gossip messages dropped by the
       byte-scan gate *before* any XML parse.
+    * ``idempotent_replays`` -- retried edge POSTs answered from the
+      :class:`~repro.transport.edge.IdempotencyIndex` without re-entering
+      the runtime (``Idempotent-Replay: true`` responses).
     """
 
     _fields = (
@@ -265,6 +268,7 @@ class WireStats(StatGroup):
         "parse_count",
         "parse_reused",
         "dedup_preparse_hits",
+        "idempotent_replays",
     )
     _FIELDS = frozenset(_fields)
 

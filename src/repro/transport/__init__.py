@@ -6,6 +6,13 @@
   ``http://host:port/path``), used by the examples.
 * :class:`LoopbackTransport`   -- delivers straight back to a registry of
   runtimes with no latency; used by unit tests.
+* :mod:`repro.transport.aio`   -- asyncio real-network family: UDP
+  datagrams (``udp://host:port/path``) and keep-alive pipelined HTTP,
+  with :class:`AsyncUdpNode` / :class:`AsyncHttpNode` server edges so
+  hundreds of nodes share one event loop (see docs/DEPLOY.md).
+* :mod:`repro.transport.edge`  -- the versioned ``/v1`` node-edge HTTP
+  contract (paths, idempotent ingest, deprecation headers) shared by the
+  sync and asyncio HTTP edges (see docs/WIRE.md).
 * :mod:`repro.transport.base`  -- the shared resilient send path: bounded
   retry (:class:`RetryPolicy`), per-destination circuit breakers
   (:class:`BreakerPolicy`, :class:`CircuitBreaker`), and structured
@@ -22,18 +29,47 @@ from repro.transport.base import (
     SendOutcome,
 )
 from repro.transport.inmem import SimTransport, WsProcess, sim_address
-from repro.transport.http import HttpNode
+from repro.transport.http import HttpNode, HttpTransport
+from repro.transport.aio import (
+    AioHttpTransport,
+    AioScheduler,
+    AioUdpTransport,
+    AsyncHttpNode,
+    AsyncResilientTransport,
+    AsyncUdpNode,
+    shared_loop,
+)
+from repro.transport.edge import (
+    API_VERSION,
+    GOSSIP_PATH,
+    HEALTH_PATH,
+    METRICS_PATH,
+    IdempotencyIndex,
+)
 
 __all__ = [
+    "API_VERSION",
+    "AioHttpTransport",
+    "AioScheduler",
+    "AioUdpTransport",
+    "AsyncHttpNode",
+    "AsyncResilientTransport",
+    "AsyncUdpNode",
     "BreakerPolicy",
     "CircuitBreaker",
+    "GOSSIP_PATH",
+    "HEALTH_PATH",
     "HttpNode",
+    "HttpTransport",
+    "IdempotencyIndex",
     "LoopbackTransport",
+    "METRICS_PATH",
     "ResilientTransport",
     "RetryPolicy",
     "SendError",
     "SendOutcome",
     "SimTransport",
     "WsProcess",
+    "shared_loop",
     "sim_address",
 ]

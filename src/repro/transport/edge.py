@@ -1,0 +1,148 @@
+"""The versioned node-edge API shared by the HTTP server bindings.
+
+Both real-network edges -- the thread-per-request
+:class:`~repro.transport.http.HttpNode` and the asyncio
+:class:`~repro.transport.aio.AsyncHttpNode` -- expose the same URL space,
+defined here once (see docs/WIRE.md, "The versioned node-edge API"):
+
+* ``POST /v1/gossip``  -- envelope ingest (the WS-Addressing ``To`` header
+  routes to the mounted service; the HTTP path is just the front door).
+* ``GET  /v1/metrics`` -- this node's :class:`~repro.obs.hub.MetricsHub`
+  in the Prometheus text exposition format.
+* ``GET  /v1/health``  -- liveness plus the mounted service paths, JSON.
+
+Legacy unversioned paths (``POST`` to any path, ``GET /metrics``) keep
+working but answer with a ``Deprecation: true`` header and a ``Link`` to
+the successor resource.
+
+Ingest is idempotent: an ``Idempotency-Key`` request header (falling back
+to the wire gossip ``MessageId`` scanned from the body bytes) is checked
+against a bounded per-node :class:`IdempotencyIndex`; a replayed POST is
+answered ``200`` with ``Idempotent-Replay: true`` without re-entering the
+runtime, and counted in the hub's wire stats.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.message import scan_gossip_message_id
+from repro.simnet.metrics import WireStats
+
+API_VERSION = "v1"
+GOSSIP_PATH = "/v1/gossip"
+METRICS_PATH = "/v1/metrics"
+HEALTH_PATH = "/v1/health"
+LEGACY_METRICS_PATH = "/metrics"
+
+IDEMPOTENCY_KEY_HEADER = "Idempotency-Key"
+IDEMPOTENT_REPLAY_HEADER = "Idempotent-Replay"
+DEPRECATION_HEADER = "Deprecation"
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+
+def strip_query(path: str) -> str:
+    """The request path without its query string."""
+    return path.split("?", 1)[0]
+
+
+def deprecation_headers(successor: str) -> Dict[str, str]:
+    """Response headers marking a legacy path as deprecated.
+
+    ``Deprecation: true`` (draft-ietf-httpapi-deprecation-header) plus a
+    ``Link`` naming the versioned successor resource.
+    """
+    return {
+        DEPRECATION_HEADER: "true",
+        "Link": f'<{successor}>; rel="successor-version"',
+    }
+
+
+def health_payload(base_address: str, service_paths, extra: Optional[Dict] = None) -> bytes:
+    """The ``GET /v1/health`` response body."""
+    payload = {
+        "status": "ok",
+        "node": base_address,
+        "api": API_VERSION,
+        "services": list(service_paths),
+    }
+    if extra:
+        payload.update(extra)
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+class IdempotencyIndex:
+    """Bounded, thread-safe memory of recently ingested publish keys.
+
+    The edge remembers the last ``capacity`` keys in LRU order; asking
+    about a key inserts it, so the check and the remembering are one
+    atomic step (two racing replays can at most both execute, never
+    neither -- at-least-once stays intact, the index only removes the
+    common duplicate case).
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity!r}")
+        self.capacity = capacity
+        self._seen: "OrderedDict[str, None]" = OrderedDict()
+        self._lock = threading.Lock()
+        #: Replays answered without re-entering the runtime.
+        self.replays = 0
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    @staticmethod
+    def key_for(headers: Mapping[str, str], body: bytes) -> Optional[str]:
+        """The idempotency key of one ingest request.
+
+        The explicit ``Idempotency-Key`` header wins; otherwise the wire
+        gossip ``MessageId`` is scanned from the body bytes (retried
+        gossip POSTs carry the same envelope, hence the same id).  Returns
+        ``None`` when the request has no usable identity -- such requests
+        are always processed.
+        """
+        for name, value in headers.items():
+            if name.lower() == IDEMPOTENCY_KEY_HEADER.lower() and value:
+                return value.strip() or None
+        return scan_gossip_message_id(body)
+
+    def check_and_remember(self, key: Optional[str]) -> bool:
+        """True when ``key`` was already ingested (a replay); remembers it."""
+        if key is None:
+            return False
+        with self._lock:
+            if key in self._seen:
+                self._seen.move_to_end(key)
+                self.replays += 1
+                return True
+            self._seen[key] = None
+            while len(self._seen) > self.capacity:
+                self._seen.popitem(last=False)
+            return False
+
+
+def ingest_response(
+    index: IdempotencyIndex,
+    headers: Mapping[str, str],
+    body: bytes,
+    wire_stats: Optional[WireStats] = None,
+) -> Tuple[int, Dict[str, str], bool]:
+    """Decide one POST's response: ``(status, headers, process_body)``.
+
+    Fresh requests answer ``202 Accepted`` and must be handed to the
+    runtime; replays answer ``200`` with ``Idempotent-Replay: true`` and
+    must NOT re-enter the handler.  Replays are counted on ``wire_stats``
+    (the hub's wire group) when given.
+    """
+    if index.check_and_remember(index.key_for(headers, body)):
+        if wire_stats is not None:
+            wire_stats.idempotent_replays += 1
+        return 200, {IDEMPOTENT_REPLAY_HEADER: "true"}, False
+    return 202, {}, True

@@ -14,6 +14,7 @@ import threading
 import time
 import urllib.error
 import urllib.request
+import uuid
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional
@@ -22,6 +23,20 @@ from repro.obs.export import prometheus_text
 from repro.obs.hub import MetricsHub, default_hub, hub_of
 from repro.soap.runtime import SoapRuntime
 from repro.transport.base import BreakerPolicy, ResilientTransport, RetryPolicy
+from repro.transport.edge import (
+    GOSSIP_PATH,
+    HEALTH_PATH,
+    IDEMPOTENCY_KEY_HEADER,
+    JSON_CONTENT_TYPE,
+    LEGACY_METRICS_PATH,
+    METRICS_PATH,
+    PROMETHEUS_CONTENT_TYPE,
+    IdempotencyIndex,
+    deprecation_headers,
+    health_payload,
+    ingest_response,
+    strip_query,
+)
 
 
 class HttpTransport(ResilientTransport):
@@ -47,6 +62,7 @@ class HttpTransport(ResilientTransport):
         self._pool = ThreadPoolExecutor(max_workers=max_workers)
         self._timeout = timeout
         self._closed = False
+        self._send_token = threading.local()
         self.send_errors = 0
 
     def send(self, address: str, data: bytes) -> None:
@@ -54,18 +70,27 @@ class HttpTransport(ResilientTransport):
         if self._closed:
             return  # shutting down: drop, exactly like a lost datagram
         try:
-            self._pool.submit(self._start_send, address, data)
+            self._pool.submit(self._run_send, address, data)
         except RuntimeError:
             # The pool was shut down between the flag check and submit.
             pass
 
+    def _run_send(self, address: str, data: bytes) -> None:
+        # One Idempotency-Key per logical send, stable across its retries
+        # (they stay on this worker thread): a retried POST whose first
+        # attempt landed is answered as a replay instead of ingesting
+        # twice.  Distinct sends of the same bytes keep distinct keys.
+        self._send_token.value = uuid.uuid4().hex
+        self._start_send(address, data)
+
     def _send_once(self, address: str, data: bytes) -> None:
         """One POST attempt (runs on a worker thread); raises on failure."""
+        headers = {"Content-Type": "text/xml; charset=utf-8"}
+        token = getattr(self._send_token, "value", None)
+        if token is not None:
+            headers[IDEMPOTENCY_KEY_HEADER] = token
         request = urllib.request.Request(
-            address,
-            data=data,
-            headers={"Content-Type": "text/xml; charset=utf-8"},
-            method="POST",
+            address, data=data, headers=headers, method="POST"
         )
         with urllib.request.urlopen(request, timeout=self._timeout):
             pass
@@ -104,38 +129,62 @@ class HttpNode:
         node.stop()
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        idempotency_capacity: int = 65536,
+    ) -> None:
         self.transport = HttpTransport()
-        runtime_holder = {}
+        self.idempotency = IdempotencyIndex(idempotency_capacity)
+        node = self
 
         class Handler(BaseHTTPRequestHandler):
-            def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-                length = int(self.headers.get("Content-Length", "0"))
-                body = self.rfile.read(length)
-                self.send_response(202)
-                self.send_header("Content-Length", "0")
-                self.end_headers()
-                runtime = runtime_holder.get("runtime")
-                if runtime is not None:
-                    runtime.receive(body, source=None)
-
-            def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-                """Serve the node's metrics in Prometheus text format."""
-                if self.path.split("?", 1)[0] != "/metrics":
-                    self.send_response(404)
-                    self.send_header("Content-Length", "0")
-                    self.end_headers()
-                    return
-                runtime = runtime_holder.get("runtime")
-                hub = hub_of(runtime.metrics if runtime is not None else None)
-                body = prometheus_text(hub).encode("utf-8")
-                self.send_response(200)
-                self.send_header(
-                    "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
-                )
+            def _reply(self, status, headers, body=b"") -> None:
+                self.send_response(status)
+                for name, value in headers.items():
+                    self.send_header(name, value)
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
-                self.wfile.write(body)
+                if body:
+                    self.wfile.write(body)
+
+            def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+                """Idempotent envelope ingest (``POST /v1/gossip``).
+
+                Legacy POSTs to any other path still ingest, answering
+                with a ``Deprecation`` header; a replayed publish answers
+                ``200 Idempotent-Replay: true`` without re-entering the
+                runtime (see docs/WIRE.md).
+                """
+                length = int(self.headers.get("Content-Length", "0"))
+                body = self.rfile.read(length)
+                status, extra, process = ingest_response(
+                    node.idempotency, self.headers, body, node.hub.wire
+                )
+                if strip_query(self.path) != GOSSIP_PATH:
+                    extra.update(deprecation_headers(GOSSIP_PATH))
+                self._reply(status, extra)
+                if process:
+                    node.runtime.receive(body, source=None)
+
+            def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+                """Serve ``/v1/metrics``, ``/v1/health`` and legacy paths."""
+                path = strip_query(self.path)
+                if path == HEALTH_PATH:
+                    payload = health_payload(
+                        node.base_address, node.runtime.service_paths()
+                    )
+                    self._reply(200, {"Content-Type": JSON_CONTENT_TYPE}, payload)
+                    return
+                if path not in (METRICS_PATH, LEGACY_METRICS_PATH):
+                    self._reply(404, {})
+                    return
+                body = prometheus_text(hub_of(node.runtime.metrics)).encode("utf-8")
+                extra = {"Content-Type": PROMETHEUS_CONTENT_TYPE}
+                if path == LEGACY_METRICS_PATH:
+                    extra.update(deprecation_headers(METRICS_PATH))
+                self._reply(200, extra, body)
 
             def log_message(self, *args) -> None:  # silence stderr
                 pass
@@ -149,10 +198,9 @@ class HttpNode:
         self._server = Server((host, port), Handler)
         self.host, self.port = self._server.server_address[:2]
         self.base_address = f"http://{self.host}:{self.port}"
-        # Per-node hub (chained to the default) -- what GET /metrics serves.
+        # Per-node hub (chained to the default) -- what GET /v1/metrics serves.
         self.hub = MetricsHub(parent=default_hub(), name=self.base_address)
         self.runtime = SoapRuntime(self.base_address, self.transport, metrics=self.hub)
-        runtime_holder["runtime"] = self.runtime
         self._thread: Optional[threading.Thread] = None
 
     def start(self) -> None:

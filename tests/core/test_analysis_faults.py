@@ -114,16 +114,16 @@ class TestCoordinatorExpectedLoss:
 def test_end_to_end_expected_loss_keeps_atomicity():
     """Declaring the deployment's loss rate at activation restores atomic
     delivery on a lossy fabric."""
-    from repro.core.api import GossipGroup
+    from repro.core.api import GossipConfig
 
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=31,
         seed=12,
         loss_rate=0.25,
         params={"fanout": 3, "rounds": 6, "expected_loss": 0.25,
                 "peer_sample_size": 20},
         auto_tune=True,
-    )
+    ).build()
     group.setup(settle=1.5, eager_join=True)
     gossip_id = group.publish({"x": 1})
     group.run_for(10.0)

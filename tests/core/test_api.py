@@ -2,38 +2,38 @@
 
 import pytest
 
-from repro.core.api import GossipGroup
+from repro.core.api import GossipConfig, GossipGroup
 from repro.core.message import GossipStyle
 
 
 def test_setup_returns_activity_id():
-    group = GossipGroup(n_disseminators=4, n_consumers=2, seed=1)
+    group = GossipConfig(n_disseminators=4, n_consumers=2, seed=1).build()
     activity_id = group.setup()
     assert activity_id.startswith("urn:wscoord:activity:")
     assert group.setup() == activity_id  # idempotent
 
 
 def test_publish_before_setup_rejected():
-    group = GossipGroup(n_disseminators=2, seed=1)
+    group = GossipConfig(n_disseminators=2, seed=1).build()
     with pytest.raises(RuntimeError):
         group.publish({"x": 1})
 
 
 def test_population_counts():
-    group = GossipGroup(n_disseminators=5, n_consumers=3, seed=1)
+    group = GossipConfig(n_disseminators=5, n_consumers=3, seed=1).build()
     assert group.population == 9  # initiator + 5 + 3
 
 
 def test_negative_counts_rejected():
     with pytest.raises(ValueError):
-        GossipGroup(n_disseminators=-1)
+        GossipConfig(n_disseminators=-1).build()
 
 
 def test_full_delivery_and_accounting():
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=10, n_consumers=5, seed=2,
         params={"fanout": 3, "rounds": 6},
-    )
+    ).build()
     group.setup()
     gossip_id = group.publish({"k": "v"})
     group.run_for(5.0)
@@ -47,10 +47,10 @@ def test_full_delivery_and_accounting():
 
 def test_deterministic_given_seed():
     def run(seed):
-        group = GossipGroup(
+        group = GossipConfig(
             n_disseminators=8, n_consumers=4, seed=seed,
             params={"fanout": 2, "rounds": 5},
-        )
+        ).build()
         group.setup()
         gossip_id = group.publish({"x": 1})
         group.run_for(5.0)
@@ -64,7 +64,7 @@ def test_deterministic_given_seed():
 
 
 def test_multiple_publishes_tracked_separately():
-    group = GossipGroup(n_disseminators=6, seed=3, params={"fanout": 3, "rounds": 5})
+    group = GossipConfig(n_disseminators=6, seed=3, params={"fanout": 3, "rounds": 5}).build()
     group.setup()
     first = group.publish({"n": 1})
     second = group.publish({"n": 2})
@@ -75,11 +75,11 @@ def test_multiple_publishes_tracked_separately():
 
 
 def test_duplicate_deliveries_counted_for_consumers():
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=8, n_consumers=4, seed=4,
         params={"fanout": 4, "rounds": 6},
         auto_tune=False,
-    )
+    ).build()
     group.setup()
     gossip_id = group.publish({"x": 1})
     group.run_for(5.0)
@@ -91,10 +91,10 @@ def test_duplicate_deliveries_counted_for_consumers():
 
 
 def test_loss_degrades_but_gossip_compensates():
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=20, seed=5, loss_rate=0.1,
         params={"fanout": 4, "rounds": 8},
-    )
+    ).build()
     group.setup()
     gossip_id = group.publish({"x": 1})
     group.run_for(5.0)
@@ -102,10 +102,10 @@ def test_loss_degrades_but_gossip_compensates():
 
 
 def test_style_parameter_flows_through():
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=6, seed=6,
         params={"style": "anti-entropy", "period": 0.3, "fanout": 2, "rounds": 3},
-    )
+    ).build()
     group.setup()
     engine = group.initiator.activities[group.activity_id]
     assert engine.params.style is GossipStyle.ANTI_ENTROPY

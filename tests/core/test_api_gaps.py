@@ -2,15 +2,15 @@
 
 import pytest
 
-from repro.core.api import GossipGroup
+from repro.core.api import GossipConfig, GossipGroup
 from repro.simnet.seqdiag import render_sequence
 
 
 def test_trace_mode_supports_sequence_rendering():
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=3, seed=81, params={"fanout": 2, "rounds": 3},
         auto_tune=False, trace=True,
-    )
+    ).build()
     group.setup()
     gossip_id = group.publish({"x": 1})
     group.run_for(3.0)
@@ -21,7 +21,7 @@ def test_trace_mode_supports_sequence_rendering():
 
 
 def test_trace_disabled_by_default_records_nothing():
-    group = GossipGroup(n_disseminators=3, seed=82, auto_tune=False)
+    group = GossipConfig(n_disseminators=3, seed=82, auto_tune=False).build()
     group.setup()
     group.publish({"x": 1})
     group.run_for(3.0)
@@ -29,10 +29,10 @@ def test_trace_disabled_by_default_records_nothing():
 
 
 def test_custom_action_uri():
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=4, seed=83, action="urn:custom/Thing",
         params={"fanout": 2, "rounds": 3}, auto_tune=False,
-    )
+    ).build()
     group.setup()
     gossip_id = group.publish({"x": 1})
     group.run_for(3.0)
@@ -42,7 +42,7 @@ def test_custom_action_uri():
 
 
 def test_delivered_fraction_of_unknown_message_is_zero():
-    group = GossipGroup(n_disseminators=4, seed=84, auto_tune=False)
+    group = GossipConfig(n_disseminators=4, seed=84, auto_tune=False).build()
     group.setup()
     assert group.delivered_fraction("urn:never-published") == 0.0
     assert group.receivers("urn:never-published") == []
@@ -50,8 +50,8 @@ def test_delivered_fraction_of_unknown_message_is_zero():
 
 
 def test_single_node_group_is_trivially_atomic():
-    group = GossipGroup(n_disseminators=0, n_consumers=0, seed=85,
-                        auto_tune=False)
+    group = GossipConfig(n_disseminators=0, n_consumers=0, seed=85,
+                        auto_tune=False).build()
     group.setup()
     gossip_id = group.publish({"x": 1})
     group.run_for(1.0)
@@ -62,10 +62,10 @@ def test_single_node_group_is_trivially_atomic():
 def test_custom_latency_model_applies():
     from repro.simnet.latency import FixedLatency
 
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=3, seed=86, latency=FixedLatency(0.5),
         params={"fanout": 3, "rounds": 3}, auto_tune=False,
-    )
+    ).build()
     group.setup(settle=3.0)
     start = group.sim.now
     gossip_id = group.publish({"x": 1})

@@ -88,12 +88,11 @@ def test_gossip_params_preview():
     assert isinstance(params, GossipParams)
 
 
-def test_legacy_kwargs_warn_and_forward_into_config():
-    with pytest.warns(DeprecationWarning, match="GossipConfig"):
-        group = GossipGroup(n_disseminators=3, seed=11, params={"fanout": 2})
-    assert group.config == GossipConfig(
-        n_disseminators=3, seed=11, params={"fanout": 2}
-    )
+def test_legacy_kwargs_raise_param_error():
+    with pytest.raises(ParamError) as excinfo:
+        GossipGroup(n_disseminators=3, seed=11, params={"fanout": 2})
+    assert excinfo.value.key == "n_disseminators"
+    assert "GossipConfig" in str(excinfo.value)  # points at the replacement
 
 
 def test_config_constructor_does_not_warn(recwarn):
@@ -114,14 +113,10 @@ def _run_once(group):
     return group.delivered_fraction(message_id), group.message_counts()
 
 
-def test_seeded_run_equivalence_old_kwargs_vs_config():
-    """The deprecation shim must not change behaviour: a seeded run through
-    the old kwargs and through an equivalent config is identical."""
-    with pytest.warns(DeprecationWarning):
-        legacy = GossipGroup(
-            n_disseminators=7, seed=13, params=dict(PARAMS), auto_tune=False
-        )
-    modern = GossipConfig(
+def test_seeded_run_equivalence_build_vs_constructor():
+    """``config.build()`` and ``GossipGroup(config=...)`` are the same
+    deployment: a seeded run through either is identical."""
+    config = GossipConfig(
         n_disseminators=7, seed=13, params=PARAMS, auto_tune=False
-    ).build()
-    assert _run_once(legacy) == _run_once(modern)
+    )
+    assert _run_once(config.build()) == _run_once(GossipGroup(config=config))

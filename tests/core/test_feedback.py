@@ -2,21 +2,21 @@
 
 import pytest
 
-from repro.core.api import GossipGroup
+from repro.core.api import GossipConfig
 from repro.core.message import GossipStyle
 from repro.core.params import GossipParams
 
 
 def run_group(n=16, seed=9, loss_rate=0.0, stop_probability=0.5, rounds=6,
               run=15.0):
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=n,
         seed=seed,
         loss_rate=loss_rate,
         params={"style": "feedback", "fanout": 3, "rounds": rounds,
                 "period": 0.4, "stop_probability": stop_probability},
         auto_tune=False,
-    )
+    ).build()
     group.setup()
     gossip_id = group.publish({"rumor": True})
     group.run_for(run)

@@ -2,17 +2,17 @@
 
 import pytest
 
-from repro.core.api import GossipGroup
+from repro.core.api import GossipConfig
 
 
 def run_group(style, seed=6, n=16, payload=None, loss_rate=0.0):
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=n,
         seed=seed,
         loss_rate=loss_rate,
         params={"style": style, "fanout": 4, "rounds": 6, "period": 0.4},
         auto_tune=False,
-    )
+    ).build()
     group.setup()
     gossip_id = group.publish(payload if payload is not None else {"x": 1})
     group.run_for(15.0)
@@ -64,11 +64,11 @@ def test_ad_budget_is_infect_and_die():
     # rounds=1: the initiator advertises once; receivers get budget 0 and
     # stop -- coverage stays at about fanout nodes.  The long period keeps
     # the pull-repair path out of the measurement window.
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=20, seed=8,
         params={"style": "lazy-push", "fanout": 3, "rounds": 1, "period": 120.0},
         auto_tune=False,
-    )
+    ).build()
     group.setup()
     gossip_id = group.publish({"x": 1})
     group.run_for(10.0)

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.api import GossipGroup
+from repro.core.api import GossipConfig
 from repro.core.ordering import FifoBuffer
 
 
@@ -68,14 +68,14 @@ class TestFifoBuffer:
 
 class TestOrderedEndToEnd:
     def _run(self, loss_rate):
-        group = GossipGroup(
+        group = GossipConfig(
             n_disseminators=10,
             seed=8,
             loss_rate=loss_rate,
             params={"style": "push-pull", "fanout": 4, "rounds": 6,
                     "ordered": True, "period": 0.4},
             auto_tune=False,
-        )
+        ).build()
         group.setup()
         message_ids = [group.publish({"seq": index}) for index in range(8)]
         group.run_for(25.0)
@@ -109,11 +109,11 @@ class TestOrderedEndToEnd:
 
 
 def test_unordered_activity_ignores_sequence_machinery():
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=6, seed=9,
         params={"fanout": 3, "rounds": 5},
         auto_tune=False,
-    )
+    ).build()
     group.setup()
     mid = group.publish({"x": 1})
     group.run_for(5.0)

@@ -2,17 +2,17 @@
 
 import pytest
 
-from repro.core.api import GossipGroup
+from repro.core.api import GossipConfig
 
 
 @pytest.mark.parametrize("style", ["push", "push-pull", "pull", "anti-entropy"])
 def test_style_reaches_full_delivery(style):
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=16,
         n_consumers=8 if style in ("push", "push-pull") else 0,
         seed=13,
         params={"style": style, "fanout": 3, "rounds": 6, "period": 0.4},
-    )
+    ).build()
     group.setup()
     gossip_id = group.publish({"style": style})
     group.run_for(20.0)
@@ -21,10 +21,10 @@ def test_style_reaches_full_delivery(style):
 
 def test_push_uses_far_fewer_messages_than_pull():
     def messages_for(style):
-        group = GossipGroup(
+        group = GossipConfig(
             n_disseminators=16, seed=14,
             params={"style": style, "fanout": 3, "rounds": 6, "period": 0.4},
-        )
+        ).build()
         group.setup()
         baseline = group.message_counts().get("net.sent", 0)
         gossip_id = group.publish({"x": 1})
@@ -38,20 +38,20 @@ def test_push_uses_far_fewer_messages_than_pull():
 def test_anti_entropy_repairs_a_lossy_push():
     # Push with heavy loss misses nodes; push-pull (eager + periodic pull
     # repair) recovers them.
-    push = GossipGroup(
+    push = GossipConfig(
         n_disseminators=24, seed=15, loss_rate=0.35,
         params={"style": "push", "fanout": 2, "rounds": 4},
         auto_tune=False,
-    )
+    ).build()
     push.setup()
     push_id = push.publish({"x": 1})
     push.run_for(15.0)
 
-    pushpull = GossipGroup(
+    pushpull = GossipConfig(
         n_disseminators=24, seed=15, loss_rate=0.35,
         params={"style": "push-pull", "fanout": 2, "rounds": 4, "period": 0.5},
         auto_tune=False,
-    )
+    ).build()
     pushpull.setup()
     pushpull_id = pushpull.publish({"x": 1})
     pushpull.run_for(15.0)
@@ -61,10 +61,10 @@ def test_anti_entropy_repairs_a_lossy_push():
 
 
 def test_pull_spreads_exponentially_not_linearly():
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=32, seed=16,
         params={"style": "pull", "fanout": 2, "rounds": 4, "period": 0.5},
-    )
+    ).build()
     group.setup()
     gossip_id = group.publish({"x": 1})
     group.run_for(30.0)

@@ -7,17 +7,17 @@ centralized and tree baselines collapse.
 import pytest
 
 from repro.baselines import CentralNotifyGroup, TreeGroup
-from repro.core.api import GossipGroup
+from repro.core.api import GossipConfig
 from repro.simnet.faults import FaultPlan
 from repro.workloads import churn_plan
 
 
 def gossip_delivery_under_crashes(crash_fraction, seed=42, n=24, fanout=6):
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=n, seed=seed,
         params={"fanout": fanout, "rounds": 8, "peer_sample_size": 16},
         auto_tune=False,
-    )
+    ).build()
     # Eager join: the steady-state deployment where every disseminator is
     # already registered when the fault hits.
     group.setup(eager_join=True)
@@ -70,11 +70,11 @@ def test_broker_crash_total_vs_gossip_partial():
     # Gossip has no such single point of failure: crash the coordinator
     # after everyone registered and dissemination still works (the
     # coordinator is only needed for registration of *new* participants).
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=24, seed=43,
         params={"fanout": 5, "rounds": 8, "peer_sample_size": 16},
         auto_tune=False,
-    )
+    ).build()
     group.setup(eager_join=True)
     group.coordinator.crash()
     gossip_id = group.publish({"x": 1})
@@ -83,11 +83,11 @@ def test_broker_crash_total_vs_gossip_partial():
 
 
 def test_gossip_delivers_under_churn():
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=30, seed=44,
         params={"fanout": 4, "rounds": 8, "style": "push-pull", "period": 0.5},
         auto_tune=False,
-    )
+    ).build()
     group.setup()
     churn_plan(
         group.network,
@@ -109,11 +109,11 @@ def test_gossip_delivers_under_churn():
 
 
 def test_partition_heals_and_antientropy_reconciles():
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=16, seed=45,
         params={"fanout": 3, "rounds": 5, "style": "push-pull", "period": 0.5},
         auto_tune=False,
-    )
+    ).build()
     group.setup()
     left = ["initiator"] + [f"d{index}" for index in range(8)]
     right = [f"d{index}" for index in range(8, 16)] + ["coordinator"]

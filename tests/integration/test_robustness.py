@@ -18,7 +18,7 @@ from repro.core.aggregation import (
     AggregationEngine,
     AggregationService,
 )
-from repro.core.api import GossipGroup
+from repro.core.api import GossipConfig
 from repro.core.engine import (
     ADVERTISE_ACTION,
     DELIVER_ACTION,
@@ -70,11 +70,11 @@ ACTIONS = [
 
 @pytest.fixture(scope="module")
 def running_group():
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=3, n_consumers=1, seed=99,
         params={"fanout": 2, "rounds": 3},
         auto_tune=False,
-    )
+    ).build()
     group.setup()
     return group
 
@@ -170,7 +170,7 @@ def test_broker_survives_junk(payload):
 
 
 def test_malformed_wire_bytes_survive():
-    group = GossipGroup(n_disseminators=2, seed=5, auto_tune=False)
+    group = GossipConfig(n_disseminators=2, seed=5, auto_tune=False).build()
     group.setup()
     node = group.disseminators[0]
     for garbage in (b"", b"<", b"<x/>", b"\xff\xfe binary", b"<Envelope/>"):

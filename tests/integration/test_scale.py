@@ -7,17 +7,17 @@ paths.
 
 import time
 
-from repro.core.api import GossipGroup
+from repro.core.api import GossipConfig
 
 
 def test_500_node_dissemination_completes_quickly():
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=449,
         n_consumers=50,
         seed=77,
         params={"peer_sample_size": 40},
         auto_tune=True,
-    )
+    ).build()
     started = time.monotonic()
     group.setup(settle=1.5, eager_join=True)
     gossip_id = group.publish({"scale": 500})

@@ -73,12 +73,12 @@ def test_top_talkers_limit_and_ties():
 
 
 def test_real_run_exports_cleanly():
-    from repro.core.api import GossipGroup
+    from repro.core.api import GossipConfig
 
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=4, seed=91, params={"fanout": 2, "rounds": 3},
         auto_tune=False, trace=True,
-    )
+    ).build()
     group.setup()
     group.publish({"x": 1})
     group.run_for(3.0)

@@ -2,16 +2,16 @@
 
 import pytest
 
-from repro.core.api import GossipGroup
+from repro.core.api import GossipConfig
 from repro.soap.status import STATUS_ACTION, STATUS_SERVICE_PATH, install_status
 
 
 @pytest.fixture
 def group():
-    group = GossipGroup(
+    group = GossipConfig(
         n_disseminators=4, seed=17, params={"fanout": 2, "rounds": 3},
         auto_tune=False,
-    )
+    ).build()
     # Attach status to one disseminator before setup traffic flows.
     node = group.disseminators[0]
     install_status(node.runtime, gossip_layer=node.gossip_layer,

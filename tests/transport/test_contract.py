@@ -1,0 +1,230 @@
+"""The ResilientTransport contract, exercised across every binding.
+
+One parametrized harness runs the same assertions over the loopback
+transport, the thread-pool HTTP binding, and both asyncio bindings
+(UDP datagrams, pipelined keep-alive HTTP): envelopes are delivered,
+every logical send emits exactly one structured SendOutcome, injected
+faults are retried per policy, repeated failures open the per-destination
+circuit breaker, and a half-open probe closes it again.
+
+Failures are driven through ``inject_fault`` -- not dead ports -- so the
+scenarios are identical for every binding, including UDP (where a real
+send to a dead port succeeds at the socket level).
+"""
+
+import time
+
+import pytest
+
+from repro.soap.runtime import SoapRuntime
+from repro.soap.service import Service, operation
+from repro.transport.aio import AioHttpTransport, AioUdpTransport, shared_loop
+from repro.transport.base import (
+    BreakerPolicy,
+    CircuitBreaker,
+    LoopbackTransport,
+    RetryPolicy,
+)
+from repro.transport.http import HttpNode, HttpTransport
+
+ACTION = "urn:t/Take"
+
+FAST_RETRY = RetryPolicy(max_retries=3, backoff=0.01, backoff_cap=0.02, jitter=0.0)
+TRIP_FAST = BreakerPolicy(failure_threshold=2, reset_timeout=0.15)
+
+
+class Sink(Service):
+    def __init__(self):
+        super().__init__()
+        self.values = []
+
+    @operation(ACTION)
+    def take(self, context, value):
+        self.values.append(value)
+        return None
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class Harness:
+    """One binding under test: a sink node plus a sender transport."""
+
+    #: send() raises ValueError synchronously on a scheme-less address.
+    eager_misuse = True
+
+    def close(self):
+        pass
+
+
+class LoopbackHarness(Harness):
+    def __init__(self):
+        self.transport = LoopbackTransport()
+        self.sink = Sink()
+        receiver = SoapRuntime("test://sink", self.transport)
+        receiver.add_service("/svc", self.sink)
+        self.transport.register(receiver)
+        self.sender = SoapRuntime("test://sender", self.transport)
+        self.address = "test://sink/svc"
+
+
+class SyncHttpHarness(Harness):
+    # The thread-pool binding validates on the worker thread, not eagerly.
+    eager_misuse = False
+
+    def __init__(self):
+        self.node = HttpNode()
+        self.sink = Sink()
+        self.node.runtime.add_service("/svc", self.sink)
+        self.node.start()
+        self.transport = HttpTransport()
+        self.sender = SoapRuntime("http://contract-sender", self.transport)
+        self.address = f"{self.node.base_address}/svc"
+
+    def close(self):
+        self.transport.close()
+        self.node.stop()
+
+
+class AioUdpHarness(Harness):
+    def __init__(self):
+        from repro.transport.aio import AsyncUdpNode
+
+        self.node = AsyncUdpNode(loop=shared_loop())
+        self.sink = Sink()
+        self.node.runtime.add_service("/svc", self.sink)
+        self.node.start()
+        self.transport = AioUdpTransport(loop=shared_loop())
+        self.sender = SoapRuntime("udp://contract-sender", self.transport)
+        self.address = f"{self.node.base_address}/svc"
+
+    def close(self):
+        self.transport.close()
+        self.node.stop()
+
+
+class AioHttpHarness(Harness):
+    def __init__(self):
+        from repro.transport.aio import AsyncHttpNode
+
+        self.node = AsyncHttpNode(loop=shared_loop())
+        self.sink = Sink()
+        self.node.runtime.add_service("/svc", self.sink)
+        self.node.start()
+        self.transport = AioHttpTransport(loop=shared_loop())
+        self.sender = SoapRuntime("http://contract-sender", self.transport)
+        self.address = f"{self.node.base_address}/svc"
+
+    def close(self):
+        self.transport.close()
+        self.node.stop()
+
+
+HARNESSES = {
+    "loopback": LoopbackHarness,
+    "http-sync": SyncHttpHarness,
+    "aio-udp": AioUdpHarness,
+    "aio-http": AioHttpHarness,
+}
+
+
+@pytest.fixture(params=sorted(HARNESSES))
+def harness(request):
+    built = HARNESSES[request.param]()
+    yield built
+    built.close()
+
+
+def test_envelope_is_delivered(harness):
+    harness.sender.send(harness.address, ACTION, value={"n": 7})
+    assert wait_for(lambda: harness.sink.values == [{"n": 7}])
+
+
+def test_success_emits_single_ok_outcome(harness):
+    outcomes = []
+    harness.transport.add_outcome_listener(outcomes.append)
+    harness.sender.send(harness.address, ACTION, value=1)
+    assert wait_for(lambda: len(outcomes) == 1)
+    assert outcomes[0].ok
+    assert outcomes[0].attempts == 1
+    assert outcomes[0].destination == harness.address
+    time.sleep(0.02)
+    assert len(outcomes) == 1  # one logical send, one outcome
+
+
+def test_injected_fault_is_a_structured_failure(harness):
+    outcomes = []
+    harness.transport.add_outcome_listener(outcomes.append)
+    harness.transport.inject_fault(lambda address: "wire-cut")
+    harness.transport.send(harness.address, b"<xml/>")
+    assert wait_for(lambda: len(outcomes) == 1)
+    assert not outcomes[0].ok
+    assert outcomes[0].error == "wire-cut"
+    assert outcomes[0].attempts == 1  # no retry policy: exactly one attempt
+
+
+def test_transient_fault_is_retried_to_success(harness):
+    harness.transport.configure_resilience(retry=FAST_RETRY)
+    attempts = []
+    harness.transport.inject_fault(
+        lambda address: "flaky" if len(attempts) < 2 and attempts.append(0) is None
+        else None
+    )
+    outcomes = []
+    harness.transport.add_outcome_listener(outcomes.append)
+    harness.sender.send(harness.address, ACTION, value="through")
+    assert wait_for(lambda: len(outcomes) == 1)
+    assert outcomes[0].ok
+    assert outcomes[0].attempts == 3  # two injected failures, then success
+    harness.transport.inject_fault(None)
+    assert wait_for(lambda: harness.sink.values == ["through"])
+
+
+def test_persistent_faults_open_the_breaker(harness):
+    harness.transport.configure_resilience(breaker=TRIP_FAST)
+    harness.transport.inject_fault(lambda address: "down")
+    outcomes = []
+    harness.transport.add_outcome_listener(outcomes.append)
+    harness.transport.send(harness.address, b"<xml/>")
+    harness.transport.send(harness.address, b"<xml/>")
+    assert wait_for(lambda: len(outcomes) == 2)
+    breaker = harness.transport.breaker_for(harness.address)
+    assert breaker.state == CircuitBreaker.OPEN
+    harness.transport.send(harness.address, b"<xml/>")
+    assert wait_for(lambda: len(outcomes) == 3)
+    assert outcomes[2].error == "circuit-open"
+    assert outcomes[2].attempts == 0  # refused locally, nothing hit the wire
+
+
+def test_half_open_probe_closes_the_breaker(harness):
+    harness.transport.configure_resilience(breaker=TRIP_FAST)
+    harness.transport.inject_fault(lambda address: "down")
+    outcomes = []
+    harness.transport.add_outcome_listener(outcomes.append)
+    harness.transport.send(harness.address, b"<xml/>")
+    harness.transport.send(harness.address, b"<xml/>")
+    assert wait_for(lambda: len(outcomes) == 2)
+    assert harness.transport.breaker_for(harness.address).state == CircuitBreaker.OPEN
+    time.sleep(TRIP_FAST.reset_timeout + 0.05)
+    harness.transport.inject_fault(None)  # the peer recovered
+    harness.sender.send(harness.address, ACTION, value="probe")
+    assert wait_for(lambda: len(outcomes) == 3)
+    assert outcomes[2].ok
+    assert (
+        harness.transport.breaker_for(harness.address).state
+        == CircuitBreaker.CLOSED
+    )
+    assert wait_for(lambda: harness.sink.values == ["probe"])
+
+
+def test_schemeless_address_is_misuse(harness):
+    if not harness.eager_misuse:
+        pytest.skip("thread-pool binding validates on the worker thread")
+    with pytest.raises(ValueError):
+        harness.transport.send("just/a/path", b"<xml/>")

@@ -63,6 +63,43 @@ def test_send_to_dead_port_is_best_effort(nodes):
     assert wait_for(lambda: client.transport.send_errors == before + 1)
 
 
+def _request(url, data=None, headers=None, method=None):
+    import urllib.request
+
+    request = urllib.request.Request(
+        url, data=data, headers=headers or {}, method=method
+    )
+    with urllib.request.urlopen(request, timeout=5.0) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def test_versioned_edge_paths(nodes):
+    server, _ = nodes
+    status, _, body = _request(f"{server.base_address}/v1/health")
+    assert status == 200
+    assert b'"status": "ok"' in body
+    status, headers, _ = _request(f"{server.base_address}/v1/metrics")
+    assert status == 200
+    assert "Deprecation" not in headers
+    status, headers, _ = _request(f"{server.base_address}/metrics")
+    assert status == 200
+    assert headers["Deprecation"] == "true"
+    assert "/v1/metrics" in headers["Link"]
+
+
+def test_idempotent_replay_over_sync_http(nodes):
+    server, _ = nodes
+    url = f"{server.base_address}/v1/gossip"
+    keyed = {"Idempotency-Key": "pub-7"}
+    before = server.hub.wire.idempotent_replays
+    status, headers, _ = _request(url, data=b"<x/>", headers=keyed)
+    assert status == 202
+    status, headers, _ = _request(url, data=b"<x/>", headers=keyed)
+    assert status == 200
+    assert headers["Idempotent-Replay"] == "true"
+    assert server.hub.wire.idempotent_replays == before + 1
+
+
 def test_context_manager_stops_server():
     node = HttpNode()
     node.start()
