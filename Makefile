@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-chaos test-recovery test-obs soak-smoke soak bench bench-smoke bench-core profile examples clean coverage
+.PHONY: install test test-chaos test-recovery test-obs test-adaptive soak-smoke soak bench bench-smoke bench-core bench-perturbation bench-perturbation-smoke profile examples clean coverage
 
 install:
 	pip install -e . || pip install -e . --no-build-isolation
 
-test: test-chaos test-recovery test-obs soak-smoke
+test: test-chaos test-recovery test-obs test-adaptive soak-smoke
 	$(PYTHON) -m pytest tests/
 
 # Live-socket gate: a small real-UDP mesh on one event loop must deliver
@@ -42,6 +42,14 @@ test-recovery:
 test-obs:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/integration/test_obs_gate.py -q
 
+# Seeded adaptive-control gate: the self-tuning controller through
+# calm -> 30% crash-restart churn -> loss ramp -> 5x publish burst at
+# N=500 must hold >= 0.99 delivery in every phase while sending less
+# traffic than the static reference config that also holds it
+# (see docs/RESILIENCE.md, "Adaptive control").
+test-adaptive:
+	REPRO_ADAPTIVE_N=500 PYTHONPATH=src $(PYTHON) -m pytest tests/integration/test_adaptive.py -q
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -55,6 +63,17 @@ bench-smoke:
 # Regenerate the BENCH_core.json baseline (N=100/1000/5000; minutes).
 bench-core:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_core.py
+
+# Perturbation benchmark: adaptive controller vs a static (fanout,
+# rounds) grid through the four-phase schedule; appends rows to
+# BENCH_core.json under "perturbation".
+bench-perturbation:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_perturbation.py
+
+# CI-sized perturbation run (N=60, shorter phases) with the same claim
+# checks; does not write BENCH_core.json.
+bench-perturbation-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_perturbation.py --smoke
 
 # cProfile one batched N=1000 burst; top 25 functions by cumulative time.
 profile:

@@ -88,6 +88,9 @@ def churn_delivery(rate, seed=5):
             rate=rate,
             recover_delay=1.5,
             until=group.sim.now + 20.0,
+            # Faithful crash-restart semantics (amnesia + rejoin/catch-up),
+            # not the pause-style resume the generator defaulted to before.
+            restart=True,
         )
     gossip_id = group.publish({"exp": "e7"})
     group.run_for(30.0)

@@ -21,6 +21,8 @@ paper-versus-measured record.
 """
 
 from repro.core import (
+    AdaptiveController,
+    AdaptivePolicy,
     DecentralizedGroup,
     DurabilityPolicy,
     GossipConfig,
@@ -37,12 +39,18 @@ from repro.core import (
 )
 from repro.obs import MetricsHub, Profiler, RumorTracer, default_hub
 from repro.simnet.events import Simulator
-from repro.simnet.metrics import HealthStats, RecoveryStats, WireStats
+from repro.simnet.metrics import ControlStats, HealthStats, RecoveryStats, WireStats
 from repro.stats import summarize
 
 #: Deprecated process-global stat aliases, resolved lazily so plain
 #: ``import repro`` never fires a DeprecationWarning.
-_DEPRECATED_STATS = ("BATCH_STATS", "HEALTH_STATS", "RECOVERY_STATS", "WIRE_STATS")
+_DEPRECATED_STATS = (
+    "BATCH_STATS",
+    "CONTROL_STATS",
+    "HEALTH_STATS",
+    "RECOVERY_STATS",
+    "WIRE_STATS",
+)
 
 
 def __getattr__(name: str):
@@ -55,6 +63,8 @@ def __getattr__(name: str):
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdaptiveController",
+    "AdaptivePolicy",
     "DecentralizedGroup",
     "DurabilityPolicy",
     "GossipConfig",
@@ -62,6 +72,8 @@ __all__ = [
     "GossipLog",
     "GossipParams",
     "GossipStyle",
+    "CONTROL_STATS",
+    "ControlStats",
     "HEALTH_STATS",
     "HealthPolicy",
     "MetricsHub",

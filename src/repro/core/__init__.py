@@ -11,6 +11,8 @@ The framework layers epidemic dissemination over the SOAP stack:
 * :mod:`repro.core.peers`        -- peer-selection strategies.
 * :mod:`repro.core.health`       -- per-peer failure suspicion feeding
   degraded-mode selection and fanout compensation (docs/RESILIENCE.md).
+* :mod:`repro.core.control`      -- the adaptive controller: self-tuning
+  fanout/rounds/mode/batching against a delivery SLO (docs/RESILIENCE.md).
 * :mod:`repro.core.engine`       -- node-local protocol engine implementing
   the gossip styles (push, pull, push-pull, anti-entropy).
 * :mod:`repro.core.handler`      -- the gossip layer as a SOAP handler
@@ -41,6 +43,7 @@ from repro.core.analysis import (
     rounds_for_coverage,
 )
 from repro.core.api import GossipConfig, GossipGroup
+from repro.core.control import AdaptiveController, AdaptivePolicy, ControlDecision
 from repro.core.decentralized import DecentralizedGossipNode, DecentralizedGroup
 from repro.core.engine import GossipEngine
 from repro.core.health import HealthPolicy, PeerHealth
@@ -62,6 +65,9 @@ from repro.core.store import (
 )
 
 __all__ = [
+    "AdaptiveController",
+    "AdaptivePolicy",
+    "ControlDecision",
     "ConsumerNode",
     "CoordinatorNode",
     "DecentralizedGossipNode",

@@ -27,6 +27,7 @@ import dataclasses
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Mapping, Optional
 
+from repro.core.control import AdaptiveController, AdaptivePolicy
 from repro.core.engine import PROTOCOL_DISSEMINATOR
 from repro.core.health import HealthPolicy, PeerHealth
 from repro.core.message import GossipStyle
@@ -85,6 +86,15 @@ class GossipConfig:
             group's :class:`~repro.obs.hub.MetricsHub` -- the source of
             the infection curve and rounds-to-delivery percentiles
             (see docs/OBSERVABILITY.md).  Cheap; on by default.
+        adaptive: attach an :class:`~repro.core.control.AdaptiveController`
+            that re-tunes fanout/rounds/mode/batching from observed
+            delivery every epoch (see docs/RESILIENCE.md, "Adaptive
+            control").  Accepts an
+            :class:`~repro.core.control.AdaptivePolicy`, a plain dict
+            (validated via
+            :meth:`~repro.core.control.AdaptivePolicy.from_value`), or
+            ``True`` for the defaults.  Requires ``rumor_tracing`` (the
+            delivery signal comes from the causal spans).
     """
 
     n_disseminators: int = 8
@@ -101,6 +111,7 @@ class GossipConfig:
     health_policy: Optional[HealthPolicy] = None
     durability: Optional[DurabilityPolicy] = None
     rumor_tracing: bool = True
+    adaptive: Optional[AdaptivePolicy] = None
 
     def __post_init__(self) -> None:
         if self.n_disseminators < 0:
@@ -142,6 +153,26 @@ class GossipConfig:
                 "durability",
                 "durability must be a DurabilityPolicy, a dict of its "
                 f"fields, True, or None: {self.durability!r}",
+            )
+        if self.adaptive is True:
+            object.__setattr__(self, "adaptive", AdaptivePolicy())
+        elif isinstance(self.adaptive, dict):
+            object.__setattr__(
+                self, "adaptive", AdaptivePolicy.from_value(self.adaptive)
+            )
+        elif self.adaptive is not None and not isinstance(
+            self.adaptive, AdaptivePolicy
+        ):
+            raise ParamError(
+                "adaptive",
+                "adaptive must be an AdaptivePolicy, a dict of its "
+                f"fields, True, or None: {self.adaptive!r}",
+            )
+        if self.adaptive is not None and not self.rumor_tracing:
+            raise ParamError(
+                "adaptive",
+                "adaptive control needs rumor_tracing=True (the delivery "
+                "signal is read from the causal rumor spans)",
             )
 
     @classmethod
@@ -313,6 +344,29 @@ class GossipGroup:
                 node.runtime.transport.add_outcome_listener(health.record_outcome)
                 node.gossip_layer.health = health
                 node.health = health
+
+        self.controller: Optional[AdaptiveController] = None
+        if self.config.adaptive is not None:
+            gossip_nodes = [self.initiator, *self.disseminators]
+            self.controller = AdaptiveController(
+                self.hub,
+                self.config.adaptive,
+                population=lambda: self.population,
+                engines=lambda: [
+                    engine
+                    for node in gossip_nodes
+                    for engine in node.gossip_layer.engines()
+                ],
+                healths=(
+                    (lambda: [node.health for node in gossip_nodes])
+                    if self.config.health
+                    else None
+                ),
+            )
+            # Tick on the simulator itself, not a node's scheduler: the
+            # control plane models an external operator and must survive
+            # node crashes.
+            self.controller.start(self.sim)
 
         for node in self.app_nodes():
             node.bind(self.action)

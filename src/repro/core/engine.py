@@ -191,7 +191,14 @@ class GossipEngine:
         obs = hub_of(runtime.metrics)
         self._batch_stats = obs.batch
         self._recovery_stats = obs.recovery
+        self._control_stats = obs.control
         self._tracer = obs.tracer
+        # Adaptive control: a hard ceiling on the *effective* fanout after
+        # the health layer's degraded-mode boost.  ``None`` (the default)
+        # preserves the PR 2 behaviour where ``HealthPolicy.boost_cap``
+        # alone bounds the boost; the AdaptiveController sets it so its
+        # own boost and the health boost can never compound past it.
+        self.fanout_ceiling: Optional[int] = None
 
     @property
     def activity_id(self) -> str:
@@ -551,6 +558,10 @@ class GossipEngine:
         fanout = self.params.fanout
         if self.health is not None:
             fanout = self.health.effective_fanout(fanout, view)
+        ceiling = self.fanout_ceiling
+        if ceiling is not None and fanout > ceiling:
+            fanout = ceiling
+            self._control_stats.ceiling_clamps += 1
         return self.selector.select(view, fanout, self.rng, exclude=exclude)
 
     # -- batched outbox (multi-rumor envelopes) -----------------------------------
@@ -862,7 +873,6 @@ class GossipEngine:
     def _start_periodic_rounds(self) -> None:
         if self._periodic_started or self._stopped:
             return
-        self._periodic_started = True
         if self.params.style in (
             GossipStyle.PULL,
             GossipStyle.PUSH_PULL,
@@ -874,6 +884,10 @@ class GossipEngine:
             # Feedback style re-forwards hot rumors every period.
             GossipStyle.FEEDBACK,
         ):
+            # The flag is only raised for periodic styles, so an engine
+            # whose params later escalate push -> push-pull (adaptive
+            # control) can start the loop with a fresh call here.
+            self._periodic_started = True
             self._schedule_next_round()
 
     def _schedule_next_round(self) -> None:
@@ -882,6 +896,12 @@ class GossipEngine:
 
     def _periodic_round(self) -> None:
         if self._stopped:
+            return
+        if self.params.style is GossipStyle.PUSH:
+            # The params de-escalated back to plain push while a periodic
+            # loop was in flight (adaptive control): let the loop die out
+            # so a later escalation can restart it cleanly.
+            self._periodic_started = False
             return
         if self.params.style is GossipStyle.ANTI_ENTROPY:
             self._anti_entropy_round()

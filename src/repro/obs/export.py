@@ -18,7 +18,7 @@ from typing import Dict, IO, List, Optional
 
 from repro.obs.hub import MetricsHub
 
-_STAT_GROUPS = ("wire", "batch", "health", "recovery")
+_STAT_GROUPS = ("wire", "batch", "health", "recovery", "control")
 
 
 def hub_snapshot(hub: MetricsHub) -> Dict:
@@ -42,6 +42,7 @@ def hub_snapshot(hub: MetricsHub) -> Dict:
         "series": {
             name: series.samples() for name, series in hub._series.items()
         },
+        "decisions": [decision.to_value() for decision in hub.decisions],
     }
     for group in _STAT_GROUPS:
         snapshot[group] = getattr(hub, group).snapshot()
@@ -69,8 +70,9 @@ def dump_jsonl(hub: MetricsHub, stream: IO[str]) -> int:
     """Write one JSON object per metric; returns the number written.
 
     Record kinds: ``counter`` / ``gauge`` (optionally labelled),
-    ``histogram`` (summary statistics), ``series`` (raw samples) and
-    ``stat`` (one record per stat-group field).
+    ``histogram`` (summary statistics), ``series`` (raw samples),
+    ``stat`` (one record per stat-group field) and ``decision`` (one per
+    adaptive-controller epoch, in time order).
     """
     count = 0
 
@@ -105,6 +107,10 @@ def dump_jsonl(hub: MetricsHub, stream: IO[str]) -> int:
     for group in _STAT_GROUPS:
         for field, value in getattr(hub, group).snapshot().items():
             emit({"kind": "stat", "group": group, "field": field, "value": value})
+    for decision in hub.decisions:
+        record = {"kind": "decision"}
+        record.update(decision.to_value())
+        emit(record)
     return count
 
 

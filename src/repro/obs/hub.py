@@ -1,7 +1,7 @@
 """The metrics hub: per-simulation, label-aware metric scoping.
 
 A :class:`MetricsHub` is a :class:`~repro.simnet.metrics.MetricsRegistry`
-that additionally owns the four wire/batch/health/recovery stat groups, a
+that additionally owns the wire/batch/health/recovery/control stat groups, a
 :class:`~repro.obs.tracing.RumorTracer`, labelled per-node counter views
 (:class:`NodeScope`), and gauges.  Every :class:`~repro.simnet.network.Network`
 (and therefore every :class:`~repro.core.api.GossipGroup` /
@@ -29,6 +29,7 @@ from typing import Dict, Iterator, Optional, Tuple
 
 from repro.simnet.metrics import (
     BatchStats,
+    ControlStats,
     Counter,
     Gauge,
     HealthStats,
@@ -104,7 +105,11 @@ class MetricsHub(MetricsRegistry):
         self.batch = BatchStats(parent=parent.batch if parent else None)
         self.health = HealthStats(parent=parent.health if parent else None)
         self.recovery = RecoveryStats(parent=parent.recovery if parent else None)
+        self.control = ControlStats(parent=parent.control if parent else None)
         self.tracer = RumorTracer()
+        #: Adaptive-controller decision timeline: ControlDecision records
+        #: appended by :class:`repro.core.control.AdaptiveController`.
+        self.decisions = []
         self._labeled_counters: Dict[Tuple[str, LabelKey], LabeledCounter] = {}
         self._labeled_gauges: Dict[Tuple[str, LabelKey], LabeledGauge] = {}
         self._nodes: Dict[str, "NodeScope"] = {}
@@ -171,7 +176,9 @@ class MetricsHub(MetricsRegistry):
         self.batch.reset()
         self.health.reset()
         self.recovery.reset()
+        self.control.reset()
         self.tracer.reset()
+        self.decisions.clear()
         for counter in self._counters.values():
             counter.value = 0
         for gauge in self._gauges.values():

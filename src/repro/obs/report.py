@@ -1,8 +1,8 @@
 """Human-readable observability reports (``repro obs report``).
 
-Renders one :class:`~repro.obs.hub.MetricsHub` -- counters, the four
-stat groups, and the rumor tracer's causal spans -- as the operator-facing
-text the CLI prints.  The numbers answer the paper's questions directly:
+Renders one :class:`~repro.obs.hub.MetricsHub` -- counters, the stat
+groups, the rumor tracer's causal spans, and the adaptive controller's
+decision timeline -- as the operator-facing text the CLI prints.  The numbers answer the paper's questions directly:
 who got the rumor, in how many rounds, at what wire cost.
 """
 
@@ -45,7 +45,62 @@ _GROUP_HIGHLIGHTS = {
         "catch_up_rounds",
         "catch_ups_completed",
     ),
+    "control": (
+        "epochs",
+        "boosts",
+        "shrinks",
+        "escalations",
+        "deescalations",
+        "slo_breaches",
+        "cooldown_holds",
+        "ceiling_clamps",
+    ),
 }
+
+
+def _decision_timeline(hub: MetricsHub, limit: int = 40) -> List[str]:
+    """The adaptive controller's decisions, one line per epoch.
+
+    Holds are compressed into ``... N holds ...`` runs so a long calm
+    stretch does not drown the boosts/shrinks an operator diagnoses from.
+    """
+    decisions = hub.decisions
+    if not decisions:
+        return []
+    lines = ["controller decisions"]
+    rows: List[Tuple[str, str]] = []
+    held = 0
+
+    def flush_holds() -> None:
+        nonlocal held
+        if held:
+            rows.append(("", f"... {held} hold epoch(s) ..."))
+            held = 0
+
+    interesting = [d for d in decisions if d.action != "hold"]
+    budget = max(0, limit - len(interesting))
+    for decision in decisions:
+        if decision.action == "hold" and budget <= 0:
+            held += 1
+            continue
+        if decision.action == "hold":
+            budget -= 1
+        flush_holds()
+        signals = decision.signals
+        delivery = (
+            f"{signals.delivery:.3f}" if signals.delivery is not None else "-"
+        )
+        rows.append(
+            (
+                f"t={decision.time:.1f}s",
+                f"{decision.action:<6} f={decision.fanout} r={decision.rounds} "
+                f"{decision.style} batch={decision.max_batch_rumors} "
+                f"delivery={delivery} ({'; '.join(decision.reasons)})",
+            )
+        )
+    flush_holds()
+    lines.extend(_format_rows(rows))
+    return lines
 
 
 def _format_rows(rows: List[Tuple[str, str]], indent: str = "  ") -> List[str]:
@@ -97,8 +152,9 @@ def render_report(
     """Render ``hub`` as the operator-facing text report.
 
     Sections: per-rumor causal spans (delivery fraction, rounds-to-99%,
-    infection curve tail), per-node delivery counts, and the highlighted
-    wire / batch / health / recovery stat-group fields.
+    infection curve tail), per-node delivery counts, the highlighted
+    wire / batch / health / recovery / control stat-group fields, and --
+    when an adaptive controller ran -- its decision timeline.
     """
     lines = [title, "=" * len(title)]
 
@@ -138,6 +194,11 @@ def render_report(
             lines.append("")
             lines.append(group_name)
             lines.extend(_format_rows(rows))
+
+    timeline = _decision_timeline(hub)
+    if timeline:
+        lines.append("")
+        lines.extend(timeline)
 
     lines.append("")
     return "\n".join(lines)

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.simnet.events import Simulator
-from repro.simnet.latency import FixedLatency
+from repro.simnet.latency import FixedLatency, GaussianJitterLatency
 from repro.simnet.network import Network
 
 
@@ -132,6 +132,58 @@ class FaultPlan:
         self._schedule.append((time, "loss", (rate,)))
         return self
 
+    def loss_ramp_at(
+        self,
+        time: float,
+        start_rate: float,
+        end_rate: float,
+        duration: float,
+        steps: int = 8,
+    ) -> "FaultPlan":
+        """Ramp the network-wide loss rate from ``start_rate`` to
+        ``end_rate`` over ``duration`` seconds, in ``steps`` even steps.
+
+        The final step lands exactly on ``end_rate`` at
+        ``time + duration``; the rate then *stays* there (compose with
+        :meth:`loss_at` to restore).  Deterministic: the schedule is fixed
+        at call time, no randomness involved.
+        """
+        for rate in (start_rate, end_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"loss rate must be in [0, 1]: {rate!r}")
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative: {duration!r}")
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1: {steps!r}")
+        self._schedule.append((time, "loss", (start_rate,)))
+        for step in range(1, steps + 1):
+            fraction = step / steps
+            rate = start_rate + (end_rate - start_rate) * fraction
+            self._schedule.append((time + duration * fraction, "loss", (rate,)))
+        return self
+
+    def jitter_at(
+        self,
+        time: float,
+        mean: float,
+        sigma: float,
+        until: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Perturb the fabric's default latency to Gaussian jitter
+        (``gauss(mean, sigma)``, clamped positive) at ``time``.
+
+        With ``until`` the model in place *when the jitter began* is
+        restored at that time.  Per-link overrides installed via
+        :meth:`slow_link_at` are untouched -- this wobbles the default
+        model only.  Deterministic: draws ride the network's own seeded
+        RNG stream like every other latency model.
+        """
+        model = GaussianJitterLatency(mean, sigma)
+        self._schedule.append((time, "jitter", (model,)))
+        if until is not None:
+            self._schedule.append((until, "unjitter", (model,)))
+        return self
+
     def lossy_link_at(
         self, time: float, source: str, destination: str, rate: float
     ) -> "FaultPlan":
@@ -227,6 +279,12 @@ class FaultPlan:
                         self.network.set_link_latency(s, d, m)
                     ),
                 )
+            elif action == "jitter":
+                (model,) = args
+                self.sim.call_at(time, lambda m=model: self._set_jitter(m))
+            elif action == "unjitter":
+                (model,) = args
+                self.sim.call_at(time, lambda m=model: self._clear_jitter(m))
             elif action == "corrupt":
                 (rate,) = args
                 self.sim.call_at(
@@ -240,6 +298,17 @@ class FaultPlan:
             elif action == "unflaky":
                 (names,) = args
                 self.sim.call_at(time, lambda n=names: self._set_flaky(n, 0.0))
+
+    def _set_jitter(self, model: GaussianJitterLatency) -> None:
+        # Remember what the jitter displaced so ``until`` can restore it.
+        self._displaced_latency = getattr(self, "_displaced_latency", {})
+        self._displaced_latency[id(model)] = self.network.latency
+        self.network.latency = model
+
+    def _clear_jitter(self, model: GaussianJitterLatency) -> None:
+        displaced = getattr(self, "_displaced_latency", {}).pop(id(model), None)
+        if displaced is not None and self.network.latency is model:
+            self.network.latency = displaced
 
     def _set_flaky(self, names: Sequence[str], rate: float) -> None:
         rng = self.sim.rng.get("faults")
@@ -284,8 +353,8 @@ class FaultPlan:
 
 @dataclass
 class ChurnGenerator:
-    """Continuous churn: crash a random running node, recover a random
-    crashed one, at exponentially distributed intervals.
+    """Continuous churn: crash a random running node, revive it after an
+    exponentially distributed downtime.
 
     Args:
         network: the fabric to churn.
@@ -294,12 +363,25 @@ class ChurnGenerator:
         rate: expected churn events per second (crash + recover each count
             as one event).
         recover_delay: mean time a crashed node stays down.
+        restart: revive victims through :meth:`~repro.simnet.process.
+            Process.restart` -- faithful crash semantics where the process
+            image is lost and the node rejoins via the recovery path.
+            ``False`` (the historical default) revives with
+            ``Process.start()``, a *pause-style* resume that keeps the
+            entire pre-crash in-memory state; keep it only when that is
+            the failure model you mean to measure.
+        amnesia: with ``restart=True``, whether durable state is lost too
+            (``True``, a lost disk) or replayed from the node's
+            :class:`~repro.core.store.GossipLog` (``False``).  Ignored
+            when ``restart`` is false.
     """
 
     network: Network
     candidates: Sequence[str]
     rate: float
     recover_delay: float = 1.0
+    restart: bool = False
+    amnesia: bool = True
 
     def start(self, until: Optional[float] = None) -> None:
         """Begin injecting churn until simulated time ``until`` (forever if
@@ -328,7 +410,11 @@ class ChurnGenerator:
             process = self.network.process(victim)
             process.crash()
             down_for = self._rng.expovariate(1.0 / self.recover_delay)
-            self.network.sim.call_after(
-                down_for, lambda process=process: process.start()
-            )
+            if self.restart:
+                revive = lambda process=process: process.restart(
+                    amnesia=self.amnesia
+                )
+            else:
+                revive = lambda process=process: process.start()
+            self.network.sim.call_after(down_for, revive)
         self._schedule_next()

@@ -88,6 +88,38 @@ class ExponentialLatency(LatencyModel):
         return f"ExponentialLatency(mean={self._mean!r}, floor={self.floor!r})"
 
 
+class GaussianJitterLatency(LatencyModel):
+    """Gaussian delay around a mean -- the jitter-perturbation model.
+
+    Used by :meth:`~repro.simnet.faults.FaultPlan.jitter_at` to wobble a
+    previously steady fabric: each delivery draws ``gauss(mean, sigma)``
+    from the supplied RNG stream (deterministic per seed), clamped at a
+    small positive floor so causality is preserved.
+    """
+
+    def __init__(self, mean: float, sigma: float, floor: float = 1e-6) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean must be positive: {mean!r}")
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative: {sigma!r}")
+        if floor < 0:
+            raise ValueError(f"floor must be non-negative: {floor!r}")
+        self._mean = float(mean)
+        self.sigma = float(sigma)
+        self.floor = float(floor)
+
+    def sample(self, rng: random.Random) -> float:
+        """Gaussian draw around the mean, clamped at the floor."""
+        return max(self.floor, rng.gauss(self._mean, self.sigma))
+
+    def mean(self) -> float:
+        # The clamp's bias is negligible for any sane (mean, sigma).
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"GaussianJitterLatency(mean={self._mean!r}, sigma={self.sigma!r})"
+
+
 class LogNormalLatency(LatencyModel):
     """Log-normal delay, the standard fit for WAN round-trip distributions.
 

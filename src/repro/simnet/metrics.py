@@ -5,9 +5,9 @@ They deliberately mirror the shape of common production metric libraries
 (counter / gauge / histogram / gauge-over-time) without any of their
 machinery.
 
-The four stat groups (:class:`WireStats`, :class:`BatchStats`,
-:class:`HealthStats`, :class:`RecoveryStats`) used to be module-level
-singletons.  They are now plain value objects owned by a
+The stat groups (:class:`WireStats`, :class:`BatchStats`,
+:class:`HealthStats`, :class:`RecoveryStats`, :class:`ControlStats`) used
+to be module-level singletons.  They are now plain value objects owned by a
 :class:`repro.obs.MetricsHub`; each group may chain to a parent group so
 per-simulation hubs still feed the process-wide default hub.  The old
 module-level names (``WIRE_STATS`` et al.) keep working as deprecated
@@ -430,6 +430,53 @@ class RecoveryStats(StatGroup):
         )
 
 
+class ControlStats(StatGroup):
+    """Adaptive-controller counters (the feedback twin of :class:`HealthStats`).
+
+    Fed by :class:`repro.core.control.AdaptiveController`; the
+    ``make test-adaptive`` gate and ``bench_perturbation`` snapshot them to
+    prove the control loop actually engaged:
+
+    * ``epochs`` -- controller epochs evaluated (one decision each).
+    * ``boosts`` -- epochs that raised fanout/rounds (stress detected).
+    * ``shrinks`` -- epochs that lowered fanout/rounds (calm, SLO met
+      with margin, cooldown elapsed).
+    * ``holds`` -- epochs that left the knobs alone.
+    * ``escalations`` / ``deescalations`` -- push -> push-pull mode
+      switches and the reverse.
+    * ``slo_breaches`` -- epochs whose observed delivery fraction fell
+      below the configured SLO.
+    * ``cooldown_holds`` -- shrinks refused because the cooldown since
+      the last boost had not elapsed (the anti-oscillation brake).
+    * ``ceiling_clamps`` -- gossip rounds where the health-layer fanout
+      boost was clamped at the controller's hard ceiling.
+    * ``param_updates`` -- engine parameter objects actually replaced.
+    """
+
+    _fields = (
+        "epochs",
+        "boosts",
+        "shrinks",
+        "holds",
+        "escalations",
+        "deescalations",
+        "slo_breaches",
+        "cooldown_holds",
+        "ceiling_clamps",
+        "param_updates",
+    )
+    _FIELDS = frozenset(_fields)
+
+    __slots__ = _fields
+
+    def __repr__(self) -> str:
+        return (
+            f"ControlStats(epochs={self.epochs}, boosts={self.boosts}, "
+            f"shrinks={self.shrinks}, escalations={self.escalations}, "
+            f"breaches={self.slo_breaches})"
+        )
+
+
 class MetricsRegistry:
     """Named registry so components can share one sink.
 
@@ -490,6 +537,7 @@ _DEPRECATED_STATS = {
     "BATCH_STATS": "batch",
     "HEALTH_STATS": "health",
     "RECOVERY_STATS": "recovery",
+    "CONTROL_STATS": "control",
 }
 
 

@@ -4,12 +4,22 @@ The paper's motivating scenario is stock-market dissemination (Section 1,
 citing the Swiss Exchange); proprietary feeds are unavailable, so
 :mod:`repro.workloads.stock` synthesizes ticks with the relevant
 properties (skewed symbol popularity, price random walks, bursts).
-:mod:`repro.workloads.sensors` feeds the aggregation scenario and
-:mod:`repro.workloads.churn` builds fault schedules.
+:mod:`repro.workloads.sensors` feeds the aggregation scenario,
+:mod:`repro.workloads.churn` builds fault schedules, and
+:mod:`repro.workloads.driver` drives steady publish load with declarative
+burst windows (the perturbation benchmark's generator).
 """
 
 from repro.workloads.churn import churn_plan, crash_fraction_plan
+from repro.workloads.driver import PublishDriver
 from repro.workloads.sensors import SensorField
 from repro.workloads.stock import StockFeed, Tick
 
-__all__ = ["SensorField", "StockFeed", "Tick", "churn_plan", "crash_fraction_plan"]
+__all__ = [
+    "PublishDriver",
+    "SensorField",
+    "StockFeed",
+    "Tick",
+    "churn_plan",
+    "crash_fraction_plan",
+]

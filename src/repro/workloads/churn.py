@@ -27,13 +27,23 @@ def churn_plan(
     rate: float,
     recover_delay: float = 2.0,
     until: Optional[float] = None,
+    restart: bool = False,
+    amnesia: bool = True,
 ) -> ChurnGenerator:
-    """Start continuous churn over ``candidates`` (started)."""
+    """Start continuous churn over ``candidates`` (started).
+
+    ``restart=True`` revives victims with faithful crash semantics
+    (``Process.restart``; ``amnesia`` says whether durable state survives)
+    instead of the pause-style ``start()`` resume -- see
+    :class:`~repro.simnet.faults.ChurnGenerator`.
+    """
     generator = ChurnGenerator(
         network=network,
         candidates=list(candidates),
         rate=rate,
         recover_delay=recover_delay,
+        restart=restart,
+        amnesia=amnesia,
     )
     generator.start(until=until)
     return generator

@@ -1,0 +1,102 @@
+"""A publish-load driver for simulated groups.
+
+The perturbation experiments need a *steady* publish load whose intensity
+can spike in declared windows -- the "5x publish burst" phase of
+``benchmarks/bench_perturbation.py``.  :class:`PublishDriver` schedules
+Poisson publish arrivals on the simulator, multiplying the base rate by
+every burst window active at the draw time.  All randomness comes from the
+simulator's named ``"workload"`` RNG stream, so a run is deterministic per
+seed like the fault helpers in :mod:`repro.simnet.faults`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.simnet.events import Simulator
+
+
+class PublishDriver:
+    """Steady Poisson publishes with declarative burst windows.
+
+    Args:
+        sim: the simulator to schedule on.
+        publish: called once per arrival with the running sequence number;
+            whatever it returns (e.g. a gossip id) is recorded in
+            :attr:`published` together with the publish time.
+        rate: base publish arrivals per simulated second.
+
+    Declare bursts with :meth:`burst_publish_at` *before* :meth:`start`;
+    windows may overlap (multipliers compound).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        publish: Callable[[int], Any],
+        rate: float,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive: {rate!r}")
+        self.sim = sim
+        self.publish = publish
+        self.rate = float(rate)
+        #: ``(time, result)`` per arrival, in publish order.
+        self.published: List[Tuple[float, Any]] = []
+        self._bursts: List[Tuple[float, float, float]] = []
+        self._rng = None
+        self._until: Optional[float] = None
+        self._sequence = 0
+        self._started = False
+
+    def burst_publish_at(
+        self, time: float, multiplier: float, duration: float
+    ) -> "PublishDriver":
+        """Multiply the publish rate by ``multiplier`` for ``duration``
+        seconds starting at ``time`` (chainable, declare before start)."""
+        if multiplier <= 0:
+            raise ValueError(f"multiplier must be positive: {multiplier!r}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive: {duration!r}")
+        if self._started:
+            raise RuntimeError("declare bursts before start()")
+        self._bursts.append((time, time + duration, multiplier))
+        return self
+
+    def rate_at(self, time: float) -> float:
+        """The effective publish rate at ``time`` (bursts compound)."""
+        rate = self.rate
+        for start, end, multiplier in self._bursts:
+            if start <= time < end:
+                rate *= multiplier
+        return rate
+
+    def start(self, until: Optional[float] = None) -> "PublishDriver":
+        """Begin publishing until simulated time ``until`` (forever when
+        ``None``, bounded by the run's own horizon)."""
+        if self._started:
+            raise RuntimeError("PublishDriver.start() called twice")
+        self._started = True
+        self._until = until
+        self._rng = self.sim.rng.get("workload")
+        self._schedule_next()
+        return self
+
+    def _schedule_next(self) -> None:
+        delay = self._rng.expovariate(self.rate_at(self.sim.now))
+        when = self.sim.now + delay
+        if self._until is not None and when > self._until:
+            return
+        self.sim.call_at(when, self._publish_once)
+
+    def _publish_once(self) -> None:
+        self._sequence += 1
+        result = self.publish(self._sequence)
+        self.published.append((self.sim.now, result))
+        self._schedule_next()
+
+    def __repr__(self) -> str:
+        return (
+            f"PublishDriver(rate={self.rate}, bursts={len(self._bursts)}, "
+            f"published={len(self.published)})"
+        )

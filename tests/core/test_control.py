@@ -1,0 +1,365 @@
+"""Tests for the adaptive gossip controller (repro.core.control)."""
+
+import pytest
+
+from repro.core.control import (
+    AdaptiveController,
+    AdaptivePolicy,
+    ControlDecision,
+    EpochSignals,
+)
+from repro.core.message import GossipStyle
+from repro.core.params import GossipParams, ParamError
+from repro.obs.hub import MetricsHub
+
+
+class FakeEngine:
+    """The slice of GossipEngine the controller steers."""
+
+    def __init__(self, params):
+        self.params = params
+        self.fanout_ceiling = None
+        self.assignments = 0
+        self.kicks = 0
+
+    def __setattr__(self, name, value):
+        if name == "params" and "params" in self.__dict__:
+            self.__dict__["assignments"] += 1
+        self.__dict__[name] = value
+
+    def start_periodic_rounds(self):
+        self.kicks += 1
+
+
+class FakeScheduler:
+    def __init__(self):
+        self.now = 0.0
+        self.scheduled = []
+
+    def call_after(self, delay, callback):
+        self.scheduled.append((self.now + delay, callback))
+
+
+def make_controller(policy=None, params=None, engines=None):
+    hub = MetricsHub(parent=None, name="test")
+    params = params if params is not None else GossipParams(fanout=3, rounds=5)
+    engines = engines if engines is not None else [FakeEngine(params)]
+    controller = AdaptiveController(
+        hub,
+        policy,
+        population=20,
+        engines=lambda: engines,
+    )
+    controller._scheduler = FakeScheduler()
+    controller._seed_targets(params)
+    return controller, hub, engines
+
+
+def calm_signals(**overrides):
+    base = dict(time=10.0, delivery=1.0, duplicate_ratio=0.0, suspicion=0.0,
+                failure_rate=0.0, publish_rate=1.0, burst=1.0,
+                rounds_bound=6, spans_assessed=3)
+    base.update(overrides)
+    return EpochSignals(**base)
+
+
+class TestAdaptivePolicy:
+    def test_defaults_validate(self):
+        policy = AdaptivePolicy()
+        assert policy.slo_delivery == 0.99
+        assert policy.fanout_ceiling >= policy.max_fanout
+
+    def test_to_from_value_roundtrip(self):
+        policy = AdaptivePolicy(max_fanout=8, epoch=1.5, escalate=False)
+        assert AdaptivePolicy.from_value(policy.to_value()) == policy
+
+    def test_from_value_partial_overrides_defaults(self):
+        policy = AdaptivePolicy.from_value({"max_fanout": "9"})
+        assert policy.max_fanout == 9
+        assert policy.slo_delivery == AdaptivePolicy().slo_delivery
+
+    def test_from_value_rejects_unknown_key(self):
+        with pytest.raises(ParamError, match="unknown adaptive policy"):
+            AdaptivePolicy.from_value({"fanaut": 4})
+
+    def test_from_value_rejects_non_mapping(self):
+        with pytest.raises(ParamError):
+            AdaptivePolicy.from_value("fast")
+
+    @pytest.mark.parametrize("overrides", [
+        {"slo_delivery": 0.0},
+        {"slo_delivery": 1.5},
+        {"epoch": 0.0},
+        {"min_fanout": 0},
+        {"min_fanout": 8, "max_fanout": 4},
+        {"min_rounds": 0},
+        {"min_rounds": 9, "max_rounds": 4},
+        {"fanout_ceiling": 5},  # below max_fanout default 10
+        {"min_batch_rumors": 0},
+        {"min_batch_rumors": 8, "max_batch_rumors": 4},
+        {"shrink_margin": -0.1},
+        {"suspicion_high": 0.0},
+        {"failure_high": 2.0},
+        {"duplicate_high": 0.0},
+        {"burst_high": 1.0},
+        {"burst_min_publishes": 0},
+        {"cooldown_epochs": -1},
+    ])
+    def test_validation_rejects(self, overrides):
+        with pytest.raises(ParamError):
+            AdaptivePolicy(**overrides)
+
+    def test_with_overrides(self):
+        assert AdaptivePolicy().with_overrides(max_rounds=9).max_rounds == 9
+
+
+class TestDecide:
+    def test_slo_breach_boosts_fast(self):
+        controller, hub, engines = make_controller()
+        decision = controller._decide(calm_signals(delivery=0.90))
+        assert decision.action == "boost"
+        assert decision.fanout == 5 and decision.rounds == 7
+        assert decision.style == "push-pull"  # escalated for repair
+        assert hub.control.boosts == 1
+        assert hub.control.slo_breaches == 1
+        assert hub.control.escalations == 1
+        assert controller._cooldown == controller.policy.cooldown_epochs
+
+    def test_repeated_breaches_cap_at_maxima(self):
+        controller, hub, _ = make_controller()
+        for _ in range(10):
+            controller._decide(calm_signals(delivery=0.5))
+        assert controller._fanout == controller.policy.max_fanout
+        assert controller._rounds == controller.policy.max_rounds
+
+    def test_guard_stress_escalates_but_keeps_capacity(self):
+        controller, hub, _ = make_controller()
+        decision = controller._decide(calm_signals(suspicion=0.5))
+        assert decision.action == "boost"
+        assert decision.style == "push-pull"
+        # Delivery holds the SLO: fanout and rounds stay where they were.
+        assert decision.fanout == 3 and decision.rounds == 5
+        assert hub.control.escalations == 1
+
+    def test_sustained_guard_stress_holds_capacity(self):
+        controller, hub, _ = make_controller()
+        controller._decide(calm_signals(suspicion=0.5))
+        decision = controller._decide(calm_signals(suspicion=0.5))
+        assert decision.action == "hold"
+        assert "holding capacity" in decision.reasons
+        assert decision.fanout == 3
+        # ... and the shrink horizon was pushed out again.
+        assert controller._cooldown == controller.policy.cooldown_epochs
+
+    def test_burst_widens_batching_only(self):
+        controller, hub, _ = make_controller()
+        decision = controller._decide(
+            calm_signals(burst=5.0, publish_rate=4.0)
+        )
+        assert decision.action == "boost"
+        assert decision.max_batch_rumors == controller.policy.max_batch_rumors
+        assert decision.fanout == 3 and decision.rounds == 5
+        assert decision.style == "push"
+
+    def test_tiny_burst_ratio_without_volume_is_ignored(self):
+        controller, _, _ = make_controller()
+        # Ratio over threshold but only ~1 publish per epoch: noise.
+        decision = controller._decide(
+            calm_signals(burst=5.0, publish_rate=0.5)
+        )
+        assert decision.action in ("shrink", "hold")
+        assert controller._batch == 1
+
+    def test_slow_rounds_is_guard_not_full_boost(self):
+        controller, _, _ = make_controller()
+        decision = controller._decide(
+            calm_signals(rounds_to_slo=9, rounds_bound=4)
+        )
+        assert decision.action == "boost"
+        assert decision.fanout == 3  # mode insurance only
+        assert decision.style == "push-pull"
+
+    def test_cooldown_blocks_shrink_then_releases(self):
+        policy = AdaptivePolicy(cooldown_epochs=2)
+        controller, hub, _ = make_controller(policy)
+        controller._decide(calm_signals(delivery=0.9))  # boost
+        first = controller._decide(calm_signals())
+        second = controller._decide(calm_signals())
+        third = controller._decide(calm_signals())
+        assert [d.action for d in (first, second, third)] == [
+            "hold", "hold", "shrink"
+        ]
+        assert hub.control.cooldown_holds == 2
+
+    def test_shrink_order_deescalate_fanout_rounds_batch(self):
+        policy = AdaptivePolicy(cooldown_epochs=0, min_fanout=4,
+                                min_rounds=6, max_batch_rumors=4)
+        controller, hub, _ = make_controller(
+            policy, params=GossipParams(fanout=5, rounds=7)
+        )
+        controller._decide(calm_signals(delivery=0.9, burst=4.0,
+                                        publish_rate=5.0))
+        assert (controller._level, controller._fanout, controller._rounds,
+                controller._batch) == (1, 7, 9, 4)
+        steps = []
+        for _ in range(8):
+            controller._decide(calm_signals())
+            steps.append((controller._level, controller._fanout,
+                          controller._rounds, controller._batch))
+        assert steps[0] == (0, 7, 9, 4)   # de-escalate first
+        assert steps[1] == (0, 6, 9, 4)   # then fanout...
+        assert steps[2] == (0, 5, 9, 4)
+        assert steps[3] == (0, 4, 9, 4)
+        assert steps[4] == (0, 4, 8, 4)   # then rounds...
+        assert steps[5] == (0, 4, 7, 4)
+        assert steps[6] == (0, 4, 6, 4)
+        assert steps[7] == (0, 4, 6, 2)   # batching last
+        assert hub.control.deescalations == 1
+
+    def test_hold_at_floor(self):
+        policy = AdaptivePolicy(cooldown_epochs=0)
+        controller, hub, _ = make_controller(
+            policy,
+            params=GossipParams(
+                fanout=policy.min_fanout, rounds=policy.min_rounds
+            ),
+        )
+        decision = controller._decide(calm_signals())
+        assert decision.action == "hold"
+        assert decision.reasons == ["at floor"]
+
+    def test_no_verdict_holds(self):
+        controller, _, _ = make_controller()
+        decision = controller._decide(calm_signals(delivery=None))
+        assert decision.action == "hold"
+        assert decision.reasons == ["no verdict yet"]
+
+    def test_escalation_disabled_keeps_style(self):
+        policy = AdaptivePolicy(escalate=False)
+        controller, hub, _ = make_controller(policy)
+        decision = controller._decide(calm_signals(delivery=0.9))
+        assert decision.style == "push"
+        assert hub.control.escalations == 0
+
+    def test_off_ladder_style_is_not_steered(self):
+        controller, hub, _ = make_controller(
+            params=GossipParams(style=GossipStyle.ANTI_ENTROPY)
+        )
+        decision = controller._decide(calm_signals(delivery=0.9))
+        assert decision.style == "anti-entropy"
+        assert decision.fanout == 5  # capacity still boosted
+        assert hub.control.escalations == 0
+
+    def test_periodic_base_style_never_deescalates_below_base(self):
+        policy = AdaptivePolicy(cooldown_epochs=0)
+        controller, hub, _ = make_controller(
+            policy, params=GossipParams(style=GossipStyle.PUSH_PULL,
+                                        fanout=5, rounds=7)
+        )
+        for _ in range(6):
+            controller._decide(calm_signals())
+        assert controller._level == 1  # the configured style is the floor
+        assert hub.control.deescalations == 0
+
+
+class TestApply:
+    def test_apply_sets_ceiling_and_params(self):
+        engine = FakeEngine(GossipParams(fanout=3, rounds=5))
+        controller, hub, engines = make_controller(engines=[engine])
+        controller._decide(calm_signals(delivery=0.9))
+        decision = ControlDecision(
+            time=1.0, epoch=1, action="boost", reasons=[],
+            signals=calm_signals(), fanout=controller._fanout,
+            rounds=controller._rounds, style="push-pull",
+            max_batch_rumors=controller._batch,
+        )
+        controller._apply([engine], decision)
+        assert engine.fanout_ceiling == controller.policy.fanout_ceiling
+        assert engine.params.fanout == 5
+        assert engine.params.rounds == 7
+        assert engine.params.style is GossipStyle.PUSH_PULL
+        assert engine.kicks == 1  # periodic loop kicked on escalation
+        assert hub.control.param_updates == 1
+
+    def test_apply_is_a_noop_when_nothing_changed(self):
+        engine = FakeEngine(GossipParams(fanout=3, rounds=5))
+        controller, hub, _ = make_controller(engines=[engine])
+        decision = controller._decide(calm_signals(delivery=None))
+        controller._apply([engine], decision)
+        assert engine.assignments == 0
+        assert engine.kicks == 0
+        assert hub.control.param_updates == 0
+
+    def test_apply_raises_peer_sample_size_to_fanout(self):
+        engine = FakeEngine(
+            GossipParams(fanout=3, rounds=5, peer_sample_size=4)
+        )
+        policy = AdaptivePolicy(max_fanout=10)
+        controller, _, _ = make_controller(
+            policy, params=engine.params, engines=[engine]
+        )
+        for _ in range(4):
+            controller._decide(calm_signals(delivery=0.9))
+        controller._apply([engine], None)
+        assert engine.params.fanout == controller.policy.max_fanout
+        assert engine.params.peer_sample_size >= engine.params.fanout
+
+
+class TestEpochTick:
+    def test_no_engines_no_decision(self):
+        hub = MetricsHub(parent=None, name="test")
+        controller = AdaptiveController(
+            hub, population=10, engines=lambda: []
+        )
+        controller._scheduler = FakeScheduler()
+        assert controller.epoch_tick() is None
+        assert hub.decisions == []
+        assert hub.control.epochs == 0
+
+    def test_tick_records_decision_series_and_stats(self):
+        engine = FakeEngine(GossipParams(fanout=3, rounds=5))
+        hub = MetricsHub(parent=None, name="test")
+        controller = AdaptiveController(
+            hub, population=10, engines=lambda: [engine]
+        )
+        scheduler = FakeScheduler()
+        scheduler.now = 2.0
+        controller._scheduler = scheduler
+        decision = controller.epoch_tick()
+        assert decision is not None
+        assert hub.decisions == [decision]
+        assert hub.control.epochs == 1
+        assert hub.series("control.fanout").samples()
+
+    def test_start_schedules_on_scheduler(self):
+        engine = FakeEngine(GossipParams())
+        hub = MetricsHub(parent=None, name="test")
+        controller = AdaptiveController(
+            hub, AdaptivePolicy(epoch=1.5),
+            population=10, engines=lambda: [engine],
+        )
+        scheduler = FakeScheduler()
+        controller.start(scheduler)
+        assert scheduler.scheduled and scheduler.scheduled[0][0] == 1.5
+
+    def test_stop_halts_ticking(self):
+        engine = FakeEngine(GossipParams())
+        hub = MetricsHub(parent=None, name="test")
+        controller = AdaptiveController(
+            hub, population=10, engines=lambda: [engine]
+        )
+        scheduler = FakeScheduler()
+        controller.start(scheduler)
+        controller.stop()
+        _, callback = scheduler.scheduled.pop()
+        callback()
+        assert hub.decisions == []
+        assert scheduler.scheduled == []  # nothing rescheduled
+
+    def test_decision_to_value_is_json_shaped(self):
+        controller, hub, _ = make_controller()
+        decision = controller._decide(calm_signals(delivery=0.9))
+        value = decision.to_value()
+        assert value["action"] == "boost"
+        assert value["signals"]["delivery"] == 0.9
+        assert isinstance(value["reasons"], list)

@@ -1,0 +1,214 @@
+"""Adaptive-control integration gates.
+
+Three claims are locked in here:
+
+* the seeded perturbation gate (``make test-adaptive``): through
+  calm -> crash-restart churn -> loss ramp -> publish burst, the
+  controller holds >= 0.99 delivery in every phase while sending less
+  traffic than the cheapest static configuration that also holds it
+  (group size via ``REPRO_ADAPTIVE_N``, default 120; the make target
+  runs the full N=500);
+* the controller's ``fanout_ceiling`` really is the outer bound: the
+  health layer's degraded-mode boost and the controller's own boost can
+  never compound past it;
+* attaching a controller whose policy pins every knob at the configured
+  static values reproduces the ``adaptive=None`` run *byte for byte* on
+  the serialized network trace -- observation is free, and disabling
+  ``adaptive`` is exactly the static-knob behavior.
+"""
+
+import io
+import os
+
+from repro import GossipConfig
+from repro.core.engine import GossipEngine
+from repro.simnet.faults import FaultPlan
+from repro.simnet.traceio import dump_jsonl
+from repro.workloads import PublishDriver, churn_plan
+
+SEED = 11
+PHASES = ("calm", "churn", "loss", "burst")
+
+
+def run_perturbed(n_nodes, adaptive, static_fanout=4, static_rounds=6,
+                  phase_len=12.0, rate=0.5, seed=SEED):
+    """One arm through the four-phase perturbation schedule.
+
+    Returns (per-phase delivery dict, total messages sent).
+    """
+    if adaptive:
+        params = {"style": "push", "fanout": 3, "rounds": 5, "period": 0.5,
+                  "peer_sample_size": 12}
+    else:
+        params = {"style": "push-pull", "fanout": static_fanout,
+                  "rounds": static_rounds, "period": 0.5,
+                  "peer_sample_size": max(12, static_fanout)}
+    config = GossipConfig(
+        n_disseminators=n_nodes - 1,
+        seed=seed,
+        params=params,
+        auto_tune=False,
+        health=True,
+        adaptive={"epoch": 2.0} if adaptive else None,
+    )
+    group = config.build()
+    group.setup(settle=1.5, eager_join=True)
+    bounds = [group.sim.now + index * phase_len for index in range(5)]
+
+    names = [node.name for node in group.disseminators]
+    group.sim.call_at(
+        bounds[1],
+        lambda: churn_plan(
+            group.network, names, rate=0.30 * n_nodes / phase_len,
+            recover_delay=1.0, until=bounds[2], restart=True,
+        ),
+    )
+    plan = FaultPlan(group.network)
+    plan.loss_ramp_at(bounds[2], 0.10, 0.20, phase_len)
+    plan.loss_at(bounds[3], 0.0)
+    plan.apply()
+
+    driver = PublishDriver(
+        group.sim, lambda sequence: group.publish({"seq": sequence}), rate
+    )
+    driver.burst_publish_at(bounds[3], 5.0, phase_len)
+    driver.start(until=bounds[4])
+
+    sent_before = group.message_counts().get("net.sent", 0)
+    for bound in bounds[1:]:
+        group.run_for(bound - group.sim.now)
+    group.run_for(10.0)
+    sent = group.message_counts().get("net.sent", 0) - sent_before
+
+    up_nodes = [
+        node for node in group.disseminators
+        if group.network.process(node.name).is_running
+    ]
+    delivery = {}
+    for index, phase in enumerate(PHASES):
+        fractions = [
+            sum(1 for node in up_nodes if node.has_delivered(gossip_id))
+            / len(up_nodes)
+            for when, gossip_id in driver.published
+            if bounds[index] <= when < bounds[index + 1]
+        ]
+        delivery[phase] = sum(fractions) / len(fractions) if fractions else None
+    return delivery, sent, group
+
+
+def test_adaptive_holds_slo_under_perturbation_cheaper_than_static():
+    """The headline gate: >= 0.99 delivery in every phase, with less
+    traffic than the cheapest SLO-meeting static configuration."""
+    n_nodes = int(os.environ.get("REPRO_ADAPTIVE_N", "120"))
+    adaptive_delivery, adaptive_sent, group = run_perturbed(n_nodes, adaptive=True)
+    for phase in PHASES:
+        assert adaptive_delivery[phase] is not None, f"no publishes in {phase}"
+        assert adaptive_delivery[phase] >= 0.99, (
+            f"adaptive delivery {adaptive_delivery[phase]:.4f} < 0.99 "
+            f"in phase {phase}"
+        )
+    # The controller actually worked for its keep.
+    control = group.hub.control
+    assert control.epochs > 0
+    assert control.boosts > 0
+    assert group.hub.decisions, "no decision timeline recorded"
+
+    static_delivery, static_sent, _ = run_perturbed(n_nodes, adaptive=False)
+    assert all(
+        value is not None and value >= 0.99
+        for value in static_delivery.values()
+    ), f"reference static config failed the SLO: {static_delivery}"
+    assert adaptive_sent < static_sent, (
+        f"adaptive sent {adaptive_sent} >= static {static_sent}"
+    )
+
+
+def test_controller_and_health_boost_never_pass_ceiling(monkeypatch):
+    """The adaptive boost and the health layer's degraded-mode fanout
+    boost compound, but never past ``AdaptivePolicy.fanout_ceiling``."""
+    ceiling = 6
+    fanouts = []
+    original = GossipEngine._select_targets
+
+    def spying_select(self, exclude):
+        targets = original(self, exclude)
+        if self.fanout_ceiling is not None:
+            fanouts.append(len(targets))
+        return targets
+
+    monkeypatch.setattr(GossipEngine, "_select_targets", spying_select)
+
+    config = GossipConfig(
+        n_disseminators=29,
+        seed=3,
+        params={"style": "push", "fanout": 4, "rounds": 5, "period": 0.5},
+        auto_tune=False,
+        health=True,
+        # Generous health boost, tight controller ceiling: only the
+        # ceiling can be the reason nothing exceeds it.
+        health_policy={"boost_cap": 3.0},
+        adaptive={"max_fanout": ceiling, "fanout_ceiling": ceiling,
+                  "epoch": 1.0, "cooldown_epochs": 1},
+    )
+    group = config.build()
+    group.setup(settle=1.5, eager_join=True)
+    names = [node.name for node in group.disseminators]
+    churn_plan(group.network, names, rate=3.0, recover_delay=2.0,
+               until=group.sim.now + 12.0, restart=True)
+    for _ in range(10):
+        group.publish({"stress": True})
+        group.run_for(2.0)
+    group.run_for(8.0)
+
+    assert fanouts, "no instrumented sends observed"
+    assert max(fanouts) <= ceiling
+    # The scenario actually pushed against the bound, so the clamp (not
+    # mild conditions) is what kept the fanout at or below the ceiling.
+    stressed = group.hub.control.boosts + group.hub.health.fanout_boosts
+    assert stressed > 0
+
+
+def reference_run(adaptive):
+    """A fixed-seed run with either no controller or a knob-pinning one."""
+    params = {"style": "push", "fanout": 3, "rounds": 5, "period": 0.5}
+    neutral = {
+        "min_fanout": 3, "max_fanout": 3,
+        "min_rounds": 5, "max_rounds": 5,
+        "fanout_ceiling": 3,
+        "min_batch_rumors": 1, "max_batch_rumors": 1,
+        "escalate": False,
+        "epoch": 2.0,
+    }
+    config = GossipConfig(
+        n_disseminators=11,
+        seed=42,
+        params=params,
+        auto_tune=False,
+        trace=True,
+        adaptive=neutral if adaptive else None,
+    )
+    group = config.build()
+    group.setup(settle=1.5)
+    for index in range(5):
+        group.publish({"seq": index})
+        group.run_for(3.0)
+    group.run_for(5.0)
+    stream = io.StringIO()
+    dump_jsonl(group.trace, stream)
+    return group, stream.getvalue()
+
+
+def test_neutral_controller_reproduces_static_run_byte_for_byte():
+    """With every knob pinned at the static values, the controller only
+    *observes* -- and observation must not perturb the simulation.  This
+    is also the proof that ``adaptive=None`` is exactly the old
+    static-knob behavior: both runs serialize to the identical trace."""
+    plain_group, plain_trace = reference_run(adaptive=False)
+    steered_group, steered_trace = reference_run(adaptive=True)
+    assert plain_trace == steered_trace
+    assert plain_trace  # not trivially empty
+    # The controller genuinely ran (decisions recorded), it just never
+    # had anything to change.
+    assert steered_group.hub.decisions
+    assert steered_group.hub.control.param_updates == 0
+    assert plain_group.hub.decisions == []

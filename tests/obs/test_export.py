@@ -127,3 +127,34 @@ def test_metrics_endpoint_serves_prometheus():
         assert err.value.code == 404
     assert_valid_prometheus(body)
     assert "repro_soap_sent 3" in body
+
+
+def test_jsonl_and_snapshot_carry_controller_decisions():
+    from repro.obs.export import dump_jsonl, hub_snapshot, load_jsonl
+
+    from repro.core.control import ControlDecision, EpochSignals
+
+    hub = MetricsHub(name="decisions")
+    hub.control.epochs += 2
+    hub.control.boosts += 1
+    hub.decisions.append(
+        ControlDecision(
+            time=4.0, epoch=2, action="boost",
+            reasons=["delivery 0.900 < SLO 0.99"],
+            signals=EpochSignals(delivery=0.9, suspicion=0.2),
+            fanout=5, rounds=7, style="push-pull", max_batch_rumors=32,
+        )
+    )
+    snapshot = hub_snapshot(hub)
+    assert snapshot["control"]["boosts"] == 1
+    assert snapshot["decisions"][0]["action"] == "boost"
+
+    stream = io.StringIO()
+    dump_jsonl(hub, stream)
+    records = load_jsonl(io.StringIO(stream.getvalue()))
+    decisions = [r for r in records if r["kind"] == "decision"]
+    assert len(decisions) == 1
+    assert decisions[0]["action"] == "boost"
+    assert decisions[0]["fanout"] == 5
+    assert decisions[0]["signals"]["delivery"] == 0.9
+    assert decisions[0]["reasons"] == ["delivery 0.900 < SLO 0.99"]

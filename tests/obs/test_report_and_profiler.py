@@ -77,3 +77,38 @@ def test_bench_rows_carry_phase_timings():
         assert timing["wall_s"] >= 0.0
         assert timing["count"] == 1
     assert phases["drain"]["sim_s"] > 0.0
+
+
+def test_render_report_decision_timeline_compresses_holds():
+    from repro.core.control import ControlDecision, EpochSignals
+
+    hub = MetricsHub(name="timeline")
+    hub.decisions.append(
+        ControlDecision(
+            time=2.0, epoch=1, action="boost",
+            reasons=["delivery 0.950 < SLO 0.99"],
+            signals=EpochSignals(delivery=0.95),
+            fanout=5, rounds=7, style="push-pull", max_batch_rumors=64,
+        )
+    )
+    for epoch in range(2, 60):
+        hub.decisions.append(
+            ControlDecision(
+                time=2.0 * epoch, epoch=epoch, action="hold",
+                reasons=["cooling down"], signals=EpochSignals(delivery=1.0),
+                fanout=5, rounds=7, style="push-pull", max_batch_rumors=64,
+            )
+        )
+    text = render_report(hub)
+    assert "controller decisions" in text
+    assert "boost" in text
+    assert "f=5 r=7 push-pull batch=64" in text
+    assert "delivery=0.950" in text
+    # A long calm stretch is compressed, not dumped line by line.
+    assert "hold epoch(s)" in text
+    assert text.count("hold ") < 55
+
+
+def test_render_report_without_decisions_omits_timeline():
+    text = render_report(MetricsHub(name="quiet"))
+    assert "controller decisions" not in text

@@ -311,6 +311,129 @@ def test_churn_rejects_nonpositive_rate():
         churn.start()
 
 
+def test_loss_ramp_steps_through_and_holds_end_rate():
+    sim, network, nodes = make_cluster(2)
+    plan = FaultPlan(network)
+    plan.loss_ramp_at(1.0, 0.1, 0.5, duration=4.0, steps=4)
+    plan.apply()
+    sim.run_until(1.1)
+    assert network.loss_rate == pytest.approx(0.1)
+    sim.run_until(3.1)  # halfway: 2 of 4 steps done
+    assert network.loss_rate == pytest.approx(0.3)
+    sim.run_until(5.1)
+    assert network.loss_rate == pytest.approx(0.5)  # exactly end_rate
+    sim.run_until(9.0)
+    assert network.loss_rate == pytest.approx(0.5)  # and it stays there
+
+
+def test_loss_ramp_composes_with_loss_at_restore():
+    sim, network, nodes = make_cluster(2)
+    plan = FaultPlan(network)
+    plan.loss_ramp_at(1.0, 0.0, 0.2, duration=2.0)
+    plan.loss_at(4.0, 0.0)
+    plan.apply()
+    sim.run_until(3.5)
+    assert network.loss_rate == pytest.approx(0.2)
+    sim.run_until(4.5)
+    assert network.loss_rate == 0.0
+
+
+def test_loss_ramp_validation():
+    sim, network, nodes = make_cluster(1)
+    plan = FaultPlan(network)
+    with pytest.raises(ValueError):
+        plan.loss_ramp_at(1.0, -0.1, 0.5, 2.0)
+    with pytest.raises(ValueError):
+        plan.loss_ramp_at(1.0, 0.1, 1.5, 2.0)
+    with pytest.raises(ValueError):
+        plan.loss_ramp_at(1.0, 0.1, 0.5, -2.0)
+    with pytest.raises(ValueError):
+        plan.loss_ramp_at(1.0, 0.1, 0.5, 2.0, steps=0)
+
+
+def test_jitter_swaps_default_latency_and_restores_at_until():
+    from repro.simnet.latency import GaussianJitterLatency
+
+    sim, network, nodes = make_cluster(2)
+    original = network.latency
+    plan = FaultPlan(network)
+    plan.jitter_at(1.0, mean=0.05, sigma=0.02, until=3.0)
+    plan.apply()
+    sim.run_until(1.5)
+    assert isinstance(network.latency, GaussianJitterLatency)
+    assert network.latency.mean() == pytest.approx(0.05)
+    sim.run_until(3.5)
+    assert network.latency is original
+
+
+def test_jitter_restore_skips_if_model_was_replaced_meanwhile():
+    from repro.simnet.latency import FixedLatency, GaussianJitterLatency
+
+    sim, network, nodes = make_cluster(2)
+    replacement = FixedLatency(0.2)
+    plan = FaultPlan(network)
+    plan.jitter_at(1.0, mean=0.05, sigma=0.02, until=3.0)
+    plan.apply()
+    sim.run_until(2.0)
+    network.latency = replacement  # operator override mid-jitter
+    sim.run_until(3.5)
+    # The un-jitter must not clobber a model it did not install over.
+    assert network.latency is replacement
+
+
+def test_churn_restart_discards_memory_pause_keeps_it():
+    def run(restart):
+        sim = Simulator(seed=9)
+        network = Network(sim)
+        nodes = [StatefulNode(f"n{index}", network) for index in range(6)]
+        for node in nodes:
+            node.start()
+            node.memory.append("precious")
+        churn = ChurnGenerator(
+            network=network,
+            candidates=[node.name for node in nodes],
+            rate=6.0,
+            recover_delay=0.2,
+            restart=restart,
+        )
+        churn.start(until=5.0)
+        sim.run_until(8.0)
+        return nodes
+
+    paused = run(restart=False)
+    assert all(node.memory == ["precious"] for node in paused)
+    assert all(node.restarts == [] for node in paused)
+
+    restarted = run(restart=True)
+    victims = [node for node in restarted if node.restarts]
+    assert victims, "seeded churn produced no restarts"
+    assert all(node.memory == [] for node in victims)
+    assert all(amnesia for node in victims for _, amnesia in node.restarts)
+
+
+def test_churn_restart_durable_replays_state():
+    sim = Simulator(seed=9)
+    network = Network(sim)
+    nodes = [StatefulNode(f"n{index}", network) for index in range(6)]
+    for node in nodes:
+        node.start()
+        node.memory.append("precious")
+    churn = ChurnGenerator(
+        network=network,
+        candidates=[node.name for node in nodes],
+        rate=6.0,
+        recover_delay=0.2,
+        restart=True,
+        amnesia=False,
+    )
+    churn.start(until=5.0)
+    sim.run_until(8.0)
+    victims = [node for node in nodes if node.restarts]
+    assert victims
+    assert all(node.memory == ["precious"] for node in victims)
+    assert all(not amnesia for node in victims for _, amnesia in node.restarts)
+
+
 def test_churn_stops_at_until():
     sim, network, nodes = make_cluster(5, seed=4)
     churn = ChurnGenerator(

@@ -7,6 +7,7 @@ import pytest
 from repro.simnet.latency import (
     ExponentialLatency,
     FixedLatency,
+    GaussianJitterLatency,
     LogNormalLatency,
     UniformLatency,
 )
@@ -62,6 +63,30 @@ class TestExponentialLatency:
     def test_rejects_nonpositive_mean(self):
         with pytest.raises(ValueError):
             ExponentialLatency(mean=0.0)
+
+
+class TestGaussianJitterLatency:
+    def test_samples_stay_above_floor(self, rng):
+        model = GaussianJitterLatency(mean=0.01, sigma=0.05)
+        assert all(model.sample(rng) >= 1e-6 for _ in range(500))
+
+    def test_sigma_zero_is_constant(self, rng):
+        model = GaussianJitterLatency(mean=0.02, sigma=0.0)
+        assert all(model.sample(rng) == 0.02 for _ in range(10))
+
+    def test_sample_mean_close(self, rng):
+        model = GaussianJitterLatency(mean=0.05, sigma=0.01)
+        samples = [model.sample(rng) for _ in range(5000)]
+        assert abs(sum(samples) / len(samples) - 0.05) < 0.002
+
+    def test_mean(self):
+        assert GaussianJitterLatency(mean=0.05, sigma=0.02).mean() == 0.05
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            GaussianJitterLatency(mean=0.0, sigma=0.01)
+        with pytest.raises(ValueError):
+            GaussianJitterLatency(mean=0.05, sigma=-0.01)
 
 
 class TestLogNormalLatency:

@@ -103,3 +103,77 @@ class TestFaultHelpers:
         churn_plan(network, [node.name for node in nodes], rate=10.0, until=5.0)
         sim.run_until(5.0)
         assert sim.events_executed > 0
+
+
+class TestPublishDriver:
+    def run_driver(self, seed=1, rate=2.0, until=30.0, bursts=()):
+        from repro.workloads import PublishDriver
+
+        sim = Simulator(seed=seed)
+        driver = PublishDriver(sim, lambda sequence: f"g{sequence}", rate)
+        for time, multiplier, duration in bursts:
+            driver.burst_publish_at(time, multiplier, duration)
+        driver.start(until=until)
+        sim.run_until(until + 1.0)
+        return driver
+
+    def test_deterministic_by_seed(self):
+        first = self.run_driver(seed=5).published
+        second = self.run_driver(seed=5).published
+        assert first == second
+        assert first != self.run_driver(seed=6).published
+
+    def test_rate_roughly_holds(self):
+        driver = self.run_driver(seed=1, rate=10.0, until=50.0)
+        assert 400 <= len(driver.published) <= 600
+
+    def test_results_recorded_in_order(self):
+        driver = self.run_driver(seed=2)
+        times = [time for time, _ in driver.published]
+        assert times == sorted(times)
+        assert [gid for _, gid in driver.published] == [
+            f"g{index + 1}" for index in range(len(driver.published))
+        ]
+
+    def test_burst_multiplies_arrivals(self):
+        driver = self.run_driver(
+            seed=3, rate=5.0, until=40.0, bursts=[(20.0, 5.0, 20.0)]
+        )
+        calm = sum(1 for time, _ in driver.published if time < 20.0)
+        burst = sum(1 for time, _ in driver.published if time >= 20.0)
+        assert burst > 3 * calm
+
+    def test_rate_at_compounds_overlapping_bursts(self):
+        from repro.workloads import PublishDriver
+
+        sim = Simulator(seed=1)
+        driver = PublishDriver(sim, lambda sequence: sequence, 2.0)
+        driver.burst_publish_at(10.0, 3.0, 10.0)
+        driver.burst_publish_at(15.0, 2.0, 10.0)
+        assert driver.rate_at(5.0) == 2.0
+        assert driver.rate_at(12.0) == 6.0
+        assert driver.rate_at(17.0) == 12.0
+        assert driver.rate_at(22.0) == 4.0
+        assert driver.rate_at(30.0) == 2.0
+
+    def test_stops_at_until(self):
+        driver = self.run_driver(seed=4, rate=20.0, until=5.0)
+        assert driver.published
+        assert all(time <= 5.0 for time, _ in driver.published)
+
+    def test_validation(self):
+        from repro.workloads import PublishDriver
+
+        sim = Simulator(seed=1)
+        with pytest.raises(ValueError):
+            PublishDriver(sim, lambda s: s, 0.0)
+        driver = PublishDriver(sim, lambda s: s, 1.0)
+        with pytest.raises(ValueError):
+            driver.burst_publish_at(1.0, 0.0, 5.0)
+        with pytest.raises(ValueError):
+            driver.burst_publish_at(1.0, 2.0, 0.0)
+        driver.start(until=1.0)
+        with pytest.raises(RuntimeError):
+            driver.start()
+        with pytest.raises(RuntimeError):
+            driver.burst_publish_at(2.0, 2.0, 1.0)
