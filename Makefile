@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-chaos test-recovery test-obs test-adaptive soak-smoke soak bench bench-smoke bench-core bench-perturbation bench-perturbation-smoke profile examples clean coverage
+.PHONY: install test test-chaos test-recovery test-obs test-adaptive test-overload soak-smoke soak bench bench-smoke bench-core bench-perturbation bench-perturbation-smoke bench-overload bench-overload-smoke profile examples clean coverage
 
 install:
 	pip install -e . || pip install -e . --no-build-isolation
 
-test: test-chaos test-recovery test-obs test-adaptive soak-smoke
+test: test-chaos test-recovery test-obs test-adaptive test-overload soak-smoke
 	$(PYTHON) -m pytest tests/
 
 # Live-socket gate: a small real-UDP mesh on one event loop must deliver
@@ -50,6 +50,16 @@ test-obs:
 test-adaptive:
 	REPRO_ADAPTIVE_N=500 PYTHONPATH=src $(PYTHON) -m pytest tests/integration/test_adaptive.py -q
 
+# Seeded overload gate: every disseminator throttled to a slow consumer
+# while the initiator publishes at ~3x the remaining capacity, at N=500.
+# With overload=... on, admitted-rumor delivery must stay >= 0.99 and
+# peak ingest-queue depth within the configured bound; the shed-off
+# ablation on the same seed must exhibit the collapse (unbounded queue
+# growth, degraded delivery).  See docs/RESILIENCE.md, "Overload and
+# backpressure".
+test-overload:
+	REPRO_OVERLOAD_N=500 PYTHONPATH=src $(PYTHON) -m pytest tests/integration/test_overload.py -q
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -74,6 +84,16 @@ bench-perturbation:
 # checks; does not write BENCH_core.json.
 bench-perturbation-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_perturbation.py --smoke
+
+# Overload sweep: goodput and queue memory at 0.5x-4x offered load,
+# shed ladder on vs off; writes BENCH_core.json under "overload".
+bench-overload:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_overload.py
+
+# CI-sized overload sweep (N=40, multipliers 1x/3x) asserting the
+# headline claims; does not write BENCH_core.json.
+bench-overload-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_overload.py --smoke
 
 # cProfile one batched N=1000 burst; top 25 functions by cumulative time.
 profile:

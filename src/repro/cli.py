@@ -175,8 +175,29 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     """A short live-socket run: real UDP/HTTP nodes on one event loop."""
     import asyncio
 
-    from repro.core.aiodeploy import AsyncGossipMesh, soak_params
+    from repro.core.aiodeploy import (
+        SOAK_DELIVERY_BUDGET,
+        AsyncGossipMesh,
+        derive_soak_rate,
+        soak_params,
+    )
     from repro.workloads import StockFeed
+
+    # The capacity rule from docs/DEPLOY.md: ~1000 deliveries/s on one
+    # core, each publish costing ~N deliveries.  No --rate derives a
+    # sustainable default from --nodes; an explicit over-budget rate is
+    # honored but flagged.
+    capacity_rate = derive_soak_rate(args.nodes)
+    if args.rate is None:
+        args.rate = capacity_rate
+        print(f"rate: {args.rate:.2f} ticks/s "
+              f"(~{SOAK_DELIVERY_BUDGET:.0f} deliveries/s / "
+              f"{args.nodes} nodes; override with --rate)")
+    elif args.rate > capacity_rate:
+        print(f"warning: --rate {args.rate:g} exceeds the ~{capacity_rate:.2f} "
+              f"ticks/s single-core budget for {args.nodes} nodes "
+              "(docs/DEPLOY.md); expect backlog growth and degraded "
+              "delivery")
 
     async def run() -> int:
         mesh = AsyncGossipMesh(
@@ -298,7 +319,11 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--nodes", type=int, default=40)
     soak.add_argument("--transport", choices=("udp", "http"), default="udp")
     soak.add_argument("--duration", type=float, default=6.0)
-    soak.add_argument("--rate", type=float, default=10.0)
+    soak.add_argument(
+        "--rate", type=float, default=None,
+        help="publish rate (ticks/s); default derives from --nodes via "
+             "the ~1000 deliveries/s capacity rule (docs/DEPLOY.md)",
+    )
     soak.add_argument("--period", type=float, default=0.5)
     soak.add_argument("--settle", type=float, default=4.0)
     soak.set_defaults(handler=_cmd_soak)

@@ -48,6 +48,24 @@ APP_PATH = "/app"
 #: Envelope + batch-frame overhead headroom under the IPv4 datagram cap.
 UDP_SAFE_BATCH_BYTES = 49152
 
+#: The single-core capacity rule from docs/DEPLOY.md ("Capacity on one
+#: core"): one event loop sustains roughly this many application
+#: deliveries per second, and each publish costs ~N deliveries plus
+#: gossip redundancy.
+SOAK_DELIVERY_BUDGET = 1000.0
+
+
+def derive_soak_rate(n_nodes: int, ceiling: float = 10.0) -> float:
+    """The default soak publish rate (ticks/s) for an ``n_nodes`` mesh.
+
+    Scales ``--rate`` inversely with ``--nodes`` per the capacity rule:
+    ``SOAK_DELIVERY_BUDGET / N`` publishes per second, capped at
+    ``ceiling`` so tiny meshes are not flooded pointlessly.
+    """
+    if n_nodes < 2:
+        raise ValueError(f"need at least two nodes: {n_nodes!r}")
+    return min(ceiling, SOAK_DELIVERY_BUDGET / n_nodes)
+
 
 def soak_params(transport: str = "udp", period: float = 0.5) -> GossipParams:
     """Default parameters for a live soak mesh.
@@ -87,11 +105,21 @@ class AsyncGossipNode:
         loop: Optional[asyncio.AbstractEventLoop] = None,
         params: Optional[GossipParams] = None,
         rng: Optional[random.Random] = None,
+        overload=None,
     ) -> None:
         if transport == "udp":
             self.edge = AsyncUdpNode(loop=loop)
         elif transport == "http":
-            self.edge = AsyncHttpNode(loop=loop)
+            # With overload protection on, the HTTP edge also gates
+            # ingest: over-rate POSTs answer 429 + Retry-After, which
+            # the resilient sender honors as breaker-independent backoff.
+            from repro.transport.edge import EdgeAdmission
+
+            admission = (
+                EdgeAdmission.from_policy(overload)
+                if overload is not None else None
+            )
+            self.edge = AsyncHttpNode(loop=loop, admission=admission)
         else:
             raise ValueError(f"unknown transport (udp|http): {transport!r}")
         self.name = name
@@ -109,6 +137,7 @@ class AsyncGossipNode:
             rng=rng if rng is not None else random.Random(),
             default_params=params,
             view_provider=self._view,
+            overload=overload,
         )
         self.runtime.chain.add_first(self.gossip_layer)
         self.runtime.add_service("/gossip", GossipService(self.gossip_layer))

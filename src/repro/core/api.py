@@ -31,6 +31,7 @@ from repro.core.control import AdaptiveController, AdaptivePolicy
 from repro.core.engine import PROTOCOL_DISSEMINATOR
 from repro.core.health import HealthPolicy, PeerHealth
 from repro.core.message import GossipStyle
+from repro.core.overload import OverloadPolicy
 from repro.core.params import GossipParams, ParamError
 from repro.core.roles import (
     AppNode,
@@ -95,6 +96,17 @@ class GossipConfig:
             :meth:`~repro.core.control.AdaptivePolicy.from_value`), or
             ``True`` for the defaults.  Requires ``rumor_tracing`` (the
             delivery signal comes from the causal spans).
+        overload: enable overload protection on every gossip-capable
+            node -- bounded outboxes and ingest queues with priority
+            load shedding, publish backpressure at the hard limit, and
+            a pressure signal the adaptive controller reads (see
+            docs/RESILIENCE.md, "Overload and backpressure").  Accepts
+            an :class:`~repro.core.overload.OverloadPolicy`, a plain
+            dict (validated via
+            :meth:`~repro.core.overload.OverloadPolicy.from_value`), or
+            ``True`` for the defaults.  ``None`` (the default) keeps
+            every overload code path dormant: the wire trace is
+            byte-for-byte identical to the pre-overload behaviour.
     """
 
     n_disseminators: int = 8
@@ -112,6 +124,7 @@ class GossipConfig:
     durability: Optional[DurabilityPolicy] = None
     rumor_tracing: bool = True
     adaptive: Optional[AdaptivePolicy] = None
+    overload: Optional[OverloadPolicy] = None
 
     def __post_init__(self) -> None:
         if self.n_disseminators < 0:
@@ -173,6 +186,20 @@ class GossipConfig:
                 "adaptive",
                 "adaptive control needs rumor_tracing=True (the delivery "
                 "signal is read from the causal rumor spans)",
+            )
+        if self.overload is True:
+            object.__setattr__(self, "overload", OverloadPolicy())
+        elif isinstance(self.overload, dict):
+            object.__setattr__(
+                self, "overload", OverloadPolicy.from_value(self.overload)
+            )
+        elif self.overload is not None and not isinstance(
+            self.overload, OverloadPolicy
+        ):
+            raise ParamError(
+                "overload",
+                "overload must be an OverloadPolicy, a dict of its "
+                f"fields, True, or None: {self.overload!r}",
             )
 
     @classmethod
@@ -313,11 +340,17 @@ class GossipGroup:
             target_reliability=self.config.target_reliability,
         )
         self.initiator = InitiatorNode(
-            "initiator", self.network, durability=self.config.durability
+            "initiator",
+            self.network,
+            durability=self.config.durability,
+            overload=self.config.overload,
         )
         self.disseminators: List[DisseminatorNode] = [
             DisseminatorNode(
-                f"d{index}", self.network, durability=self.config.durability
+                f"d{index}",
+                self.network,
+                durability=self.config.durability,
+                overload=self.config.overload,
             )
             for index in range(self.config.n_disseminators)
         ]

@@ -33,6 +33,12 @@ and then *decides*, matching the response to what the signal threatens:
   is exactly the over-provisioning this controller exists to avoid;
 * a **publish burst** widens batching to the max (bursts threaten
   traffic, not delivery);
+* **overload pressure** (the PR 8 backpressure subsystem reporting
+  outbox/ingest saturation at or above ``pressure_high``) overrides
+  everything, including a delivery breach: boosting into a network that
+  is already shedding only feeds the shedder.  The controller narrows
+  batching and fanout one step instead and lets the priority shed
+  ladder protect payloads (see docs/RESILIENCE.md);
 * **calm** (delivery at SLO + margin, every signal quiet, cooldown
   elapsed) gives capacity back one gentle step per epoch.
 
@@ -111,6 +117,13 @@ class AdaptivePolicy:
             Poisson noise of two or three arrivals is not a burst.
         cooldown_epochs: calm epochs required after a boost before the
             first shrink (the anti-oscillation brake).
+        pressure_high: overload pressure (from the engines' bounded
+            outboxes and ingest queues, 0..1) at or above which the
+            controller *narrows* batching and fanout instead of boosting
+            -- even on a delivery breach.  Amplifying into a network
+            that is already shedding would only raise the shed rate; the
+            overload subsystem's priority ladder protects payloads while
+            the controller reduces offered load.
     """
 
     slo_delivery: float = 0.99
@@ -130,6 +143,7 @@ class AdaptivePolicy:
     burst_high: float = 3.0
     burst_min_publishes: int = 4
     cooldown_epochs: int = 3
+    pressure_high: float = 0.8
 
     def __post_init__(self) -> None:
         if not 0.0 < self.slo_delivery <= 1.0:
@@ -205,6 +219,11 @@ class AdaptivePolicy:
                 "cooldown_epochs",
                 f"cooldown_epochs must be non-negative: {self.cooldown_epochs!r}",
             )
+        if not 0.0 < self.pressure_high <= 1.0:
+            raise ParamError(
+                "pressure_high",
+                f"pressure_high must be in (0, 1]: {self.pressure_high!r}",
+            )
 
     # -- wire/config form ----------------------------------------------------
 
@@ -228,6 +247,7 @@ class AdaptivePolicy:
             "burst_high": self.burst_high,
             "burst_min_publishes": self.burst_min_publishes,
             "cooldown_epochs": self.cooldown_epochs,
+            "pressure_high": self.pressure_high,
         }
 
     @classmethod
@@ -283,6 +303,7 @@ class EpochSignals:
     publish_rate: float = 0.0
     burst: float = 1.0
     spans_assessed: int = 0
+    pressure: float = 0.0
 
     def to_value(self) -> Dict[str, Any]:
         """Serialize for the JSONL export."""
@@ -297,6 +318,7 @@ class EpochSignals:
             "publish_rate": self.publish_rate,
             "burst": self.burst,
             "spans_assessed": self.spans_assessed,
+            "pressure": self.pressure,
         }
 
 
@@ -539,6 +561,15 @@ class AdaptiveController:
             burst = publish_rate / baseline if baseline > 1e-9 else 1.0
             self._publish_ewma = 0.7 * baseline + 0.3 * publish_rate
 
+        # Overload pressure: the worst engine's view of its bounded
+        # outbox/ingest saturation (0.0 everywhere when overload
+        # protection is off, so the signal is inert by construction).
+        pressure = 0.0
+        for engine in self._engines():
+            pressure = max(
+                pressure, getattr(engine, "overload_pressure", 0.0)
+            )
+
         return EpochSignals(
             time=now,
             delivery=delivery,
@@ -550,6 +581,7 @@ class AdaptiveController:
             publish_rate=publish_rate,
             burst=burst,
             spans_assessed=len(fractions),
+            pressure=min(1.0, pressure),
         )
 
     # -- decide --------------------------------------------------------------
@@ -619,7 +651,21 @@ class AdaptiveController:
         if breach:
             self.stats.slo_breaches += 1
 
-        if breach:
+        if signals.pressure >= policy.pressure_high:
+            # The overload subsystem is shedding: every other response is
+            # suppressed -- boosting fanout or widening batches into a
+            # saturated network only raises the shed rate.  Narrow one
+            # step and let the priority ladder protect payloads; delivery
+            # recovers once pressure drains.
+            action = "shrink"
+            reasons = [
+                f"overload pressure {signals.pressure:.2f} >= "
+                f"{policy.pressure_high:.2f}: narrowing, not boosting"
+            ] + breach
+            self._pressure_relief()
+            self.stats.pressure_reliefs += 1
+            self._cooldown = policy.cooldown_epochs
+        elif breach:
             action = "boost"
             reasons = breach + guard + burst
             self._boost(signals, burst=bool(burst))
@@ -705,6 +751,21 @@ class AdaptiveController:
             style=style,
             max_batch_rumors=self._batch,
         )
+
+    def _pressure_relief(self) -> None:
+        """Back off under overload: one step narrower, never wider.
+
+        The inverse of :meth:`_boost` in spirit but deliberately gentler
+        -- the overload shed ladder is already protecting payloads, the
+        controller only has to stop feeding the queues.  Batching halves
+        (smaller wire frames drain faster through a throttled consumer)
+        and fanout steps down; the mode is left alone so the periodic
+        digests keep repairing whatever was shed.
+        """
+        policy = self.policy
+        self._batch = max(policy.min_batch_rumors, self._batch // 2)
+        if self._fanout > policy.min_fanout:
+            self._fanout -= 1
 
     def _boost(self, signals: EpochSignals, burst: bool = False) -> None:
         """Respond to an SLO breach within one epoch: fast, decisive."""

@@ -82,6 +82,7 @@ class DecentralizedGossipNode(AppNode):
         view_capacity: int = 16,
         health_policy: Optional[HealthPolicy] = None,
         durability=None,
+        overload=None,
     ) -> None:
         super().__init__(name, network, app_path=APP_PATH)
         scheduler = ProcessScheduler(self)
@@ -131,6 +132,7 @@ class DecentralizedGossipNode(AppNode):
             view_provider=self._gossip_view,
             health=self.health,
             durability=durability,
+            overload=overload,
         )
         self.runtime.chain.add_first(self.gossip_layer)
         self.runtime.add_service("/gossip", GossipService(self.gossip_layer))

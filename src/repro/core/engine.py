@@ -40,6 +40,7 @@ from repro.core.message import (
     splice_hops,
 )
 from repro.core.ordering import FifoBuffer
+from repro.core.overload import OverloadError, OverloadPolicy, threshold_for
 from repro.core.params import GossipParams
 from repro.core.peers import HealthAwareSelector, PeerSelector, UniformSelector
 from repro.core.scheduling import Scheduler
@@ -126,6 +127,8 @@ class GossipEngine:
         health=None,
         log: Optional[GossipLog] = None,
         durability: Optional[DurabilityPolicy] = None,
+        overload: Optional[OverloadPolicy] = None,
+        pressure_provider: Optional[Callable[[], float]] = None,
     ) -> None:
         self.runtime = runtime
         self.scheduler = scheduler
@@ -192,7 +195,17 @@ class GossipEngine:
         self._batch_stats = obs.batch
         self._recovery_stats = obs.recovery
         self._control_stats = obs.control
+        self._overload_stats = obs.overload
         self._tracer = obs.tracer
+        # Overload protection (docs/RESILIENCE.md, "Overload and
+        # backpressure").  ``None`` (the default) keeps every overload
+        # code path dormant -- the wire trace is guaranteed identical to
+        # the pre-overload behaviour (tests/integration/test_trace_identity).
+        # ``pressure_provider`` folds in external pressure (the layer's
+        # bounded ingest queue) so one signal covers both directions.
+        self.overload = overload
+        self._pressure_provider = pressure_provider
+        self._overloaded = False
         # Adaptive control: a hard ceiling on the *effective* fanout after
         # the health layer's degraded-mode boost.  ``None`` (the default)
         # preserves the PR 2 behaviour where ``HealthPolicy.boost_cap``
@@ -298,7 +311,22 @@ class GossipEngine:
         This is the Initiator's single notification: the engine builds the
         gossip headers and pushes to ``fanout`` peers; the epidemic does the
         rest.
+
+        Raises:
+            OverloadError: when an :class:`OverloadPolicy` is active and
+                the node is at its hard limit -- backpressure on the
+                publisher instead of unbounded queueing.
         """
+        if self.overload is not None:
+            pressure = self.overload_pressure
+            if pressure >= 1.0:
+                self._overload_stats.publish_rejected += 1
+                self.metrics.counter("gossip.publish-rejected").inc()
+                raise OverloadError(
+                    "publish rejected: node overloaded",
+                    pressure=pressure,
+                    retry_after=self.overload.retry_after,
+                )
         message_id = new_gossip_message_id()
         sequence = None
         if self.params.ordered:
@@ -514,6 +542,10 @@ class GossipEngine:
         if header.hops <= 0:
             self.metrics.counter("gossip.hops-exhausted").inc()
             return
+        if self._shed("payload"):
+            # Eager rumor payloads are the last rung of the shed ladder:
+            # this only fires at the hard limit (pressure 1.0).
+            return
         if self.batching:
             # Hop decrement by byte splice -- no parse, no re-encode; the
             # flush resolves targets and folds the frame into its batches.
@@ -563,6 +595,61 @@ class GossipEngine:
             fanout = ceiling
             self._control_stats.ceiling_clamps += 1
         return self.selector.select(view, fanout, self.rng, exclude=exclude)
+
+    # -- overload protection (backpressure + the shed ladder) ---------------------
+
+    @property
+    def outbox_depth(self) -> int:
+        """Frames (and pending control sections) parked in the outbox."""
+        return (
+            sum(len(frames) for frames in self._outbox_fanout.values())
+            + sum(len(frames) for frames in self._outbox_direct.values())
+            + len(self._outbox_control)
+        )
+
+    @property
+    def overload_pressure(self) -> float:
+        """This node's load pressure in ``[0, 1]``; always 0.0 without an
+        :class:`~repro.core.overload.OverloadPolicy`.
+
+        The max of outbox fill (send-side backpressure) and whatever the
+        ``pressure_provider`` reports (the layer's bounded ingest queue),
+        so the adaptive controller reads one number per engine.
+        """
+        policy = self.overload
+        if policy is None:
+            return 0.0
+        pressure = min(1.0, self.outbox_depth / policy.outbox_bound)
+        if self._pressure_provider is not None:
+            pressure = max(pressure, self._pressure_provider())
+        return pressure
+
+    def _shed(self, shed_class: str) -> bool:
+        """True when the shed ladder says to drop ``shed_class`` traffic.
+
+        Hysteresis: crossing ``high_watermark`` latches the node
+        overloaded (counted once in ``pressure_highs``) and holds the
+        effective pressure at the watermark until raw pressure falls back
+        below ``low_watermark`` -- so shedding does not flap at the
+        boundary.  Payloads only shed at raw pressure 1.0.
+        """
+        policy = self.overload
+        if policy is None:
+            return False
+        pressure = self.overload_pressure
+        if not self._overloaded and pressure >= policy.high_watermark:
+            self._overloaded = True
+            self._overload_stats.pressure_highs += 1
+        elif self._overloaded and pressure < policy.low_watermark:
+            self._overloaded = False
+        effective = pressure
+        if self._overloaded and effective < policy.high_watermark:
+            effective = policy.high_watermark
+        if effective >= threshold_for(policy, shed_class):
+            self._overload_stats.count_shed(shed_class)
+            self.metrics.counter(f"gossip.shed.{shed_class}").inc()
+            return True
+        return False
 
     # -- batched outbox (multi-rumor envelopes) -----------------------------------
 
@@ -719,6 +806,8 @@ class GossipEngine:
         batched rumors (no request/response correlation needed) and a
         ``req`` earns a counter-digest, so one exchange repairs both
         directions; the ``rsp`` digest terminates it."""
+        if self._shed("pull"):
+            return
         served = 0
         for message_id in self.store.not_in(remote_digest):
             stored = self.store.get(message_id)
@@ -736,6 +825,8 @@ class GossipEngine:
         """Send identifier-only advertisements to ``fanout`` peers."""
         if hops <= 0 or not message_ids:
             self.metrics.counter("gossip.ad-exhausted").inc()
+            return
+        if self._shed("digest"):
             return
         targets = self._select_targets(exclude=[self.app_address])
         holder = gossip_address_of(self.app_address)
@@ -807,6 +898,8 @@ class GossipEngine:
         if stored is None or not stored.data:
             self._hot.pop(message_id, None)
             return
+        if self._shed("payload"):
+            return
         # The store remembers the origin, so re-forwarding needs neither a
         # parse nor a re-encode: the retained wire bytes go out as-is.
         if self.batching:
@@ -834,6 +927,8 @@ class GossipEngine:
 
     def _send_feedback(self, message_id: str, source: str) -> None:
         """Tell the sender we already had this rumor."""
+        if self._shed("feedback"):
+            return
         self.metrics.counter("gossip.feedback-sent").inc()
         if self.batching:
             self._outbox_control_for(gossip_address_of(source)).feedback.append(
@@ -913,6 +1008,8 @@ class GossipEngine:
 
     def _pull_round(self) -> None:
         """Send our digest to ``fanout`` peers; they reply with what we lack."""
+        if self._shed("digest"):
+            return
         targets = self._select_targets(exclude=[self.app_address])
         digest = self.store.digest()
         if self.batching:
@@ -936,6 +1033,8 @@ class GossipEngine:
 
     def _anti_entropy_round(self) -> None:
         """Reconcile with one random peer, both directions."""
+        if self._shed("digest"):
+            return
         targets = self.selector.select(
             self.current_view(), 1, self.rng, exclude=[self.app_address]
         )
@@ -978,6 +1077,8 @@ class GossipEngine:
 
     def push_messages(self, gossip_address: str, message_ids: List[str]) -> None:
         """Send retained messages to a peer's gossip port (Deliver op)."""
+        if self._shed("pull"):
+            return
         payload = []
         for message_id in message_ids:
             stored = self.store.get(message_id)
@@ -1002,6 +1103,15 @@ class GossipEngine:
 
     def serve_pull(self, remote_digest: List[str], requester_gossip: Optional[str]) -> dict:
         """Build the PullResponse payload for a remote digest."""
+        if self._shed("pull"):
+            # Shed the expensive part (the payload frames); the requester
+            # re-pulls next period.  The empty reply still flows so the
+            # correlation machinery is not left dangling.
+            return {
+                "messages": [],
+                "wants": [],
+                "peer": gossip_address_of(self.app_address),
+            }
         missing_at_requester = self.store.not_in(remote_digest)
         messages = []
         for message_id in missing_at_requester:
@@ -1117,6 +1227,7 @@ class GossipEngine:
         self._outbox_direct = {}
         self._outbox_control = {}
         self._flush_scheduled = False
+        self._overloaded = False
         self._recovery_stats.restarts += 1
         self.metrics.counter("gossip.restart").inc()
         if amnesia:

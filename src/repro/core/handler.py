@@ -17,7 +17,8 @@ continue up the stack so the application sees a plain invocation.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.batch import (
     BatchError,
@@ -28,12 +29,20 @@ from repro.core.batch import (
     scan_batch_holder,
     split_batch,
 )
-from repro.core.engine import PROTOCOL_DISSEMINATOR, GossipEngine
+from repro.core.engine import (
+    ADVERTISE_ACTION,
+    FEEDBACK_ACTION,
+    PROTOCOL_DISSEMINATOR,
+    PULL_ACTION,
+    PULL_RESPONSE_ACTION,
+    GossipEngine,
+)
 from repro.core.message import (
     GossipHeader,
     scan_gossip_message_id,
     scan_gossip_message_ids,
 )
+from repro.core.overload import OverloadPolicy, TokenBucket, threshold_for
 from repro.core.params import GossipParams
 from repro.core.peers import PeerSelector
 from repro.core.scheduling import Scheduler
@@ -73,6 +82,7 @@ class GossipLayer(Handler):
         view_provider=None,
         health=None,
         durability=None,
+        overload: Optional[OverloadPolicy] = None,
     ) -> None:
         self.runtime = runtime
         self.scheduler = scheduler
@@ -98,6 +108,20 @@ class GossipLayer(Handler):
         obs = hub_of(runtime.metrics)
         self._wire_stats = obs.wire
         self._batch_stats = obs.batch
+        self._overload_stats = obs.overload
+        self._hub = obs
+        # Overload protection: the bounded ingest queue + its shed ladder
+        # (docs/RESILIENCE.md, "Overload and backpressure").  With
+        # ``overload=None`` the queue machinery only engages when a
+        # throttle (slow-consumer fault) is active -- and then the queue
+        # is *unbounded*, which is exactly the collapse the shed-off
+        # ablation in bench_overload demonstrates.
+        self.overload = overload
+        self._ingest_queue: Deque[Tuple[bytes, Optional[str]]] = deque()
+        self._ingest_bucket: Optional[TokenBucket] = None
+        self._ingest_overloaded = False
+        self._draining = False
+        self._drain_scheduled = False
         # Receive-side fast path: drop already-seen gossip messages with a
         # byte scan, before the runtime pays for the full XML parse.
         runtime.add_preparse_gate(self.preparse_gate)
@@ -139,6 +163,8 @@ class GossipLayer(Handler):
             health=self.health,
             log=log,
             durability=self.durability,
+            overload=self.overload,
+            pressure_provider=self.ingest_pressure if self.overload else None,
         )
         self._engines[context.identifier] = engine
         return engine
@@ -174,6 +200,11 @@ class GossipLayer(Handler):
         """Reset every engine to post-crash state (see
         :meth:`GossipEngine.prepare_restart`); returns total messages
         replayed from durable logs."""
+        # Whatever was queued for ingest died with the process.
+        self._ingest_queue.clear()
+        self._ingest_overloaded = False
+        self._drain_scheduled = False
+        self._draining = False
         replayed = 0
         for engine in self._engines.values():
             replayed += engine.prepare_restart(
@@ -188,6 +219,123 @@ class GossipLayer(Handler):
         for engine in self._engines.values():
             engine.rejoin(protocol)
 
+    # -- the bounded ingest queue (overload protection) -------------------------
+
+    def throttle(self, rate: float) -> None:
+        """Cap this node's inbound processing to ``rate`` frames/second.
+
+        The slow-consumer model behind :meth:`FaultPlan.throttle_at
+        <repro.simnet.faults.FaultPlan.throttle_at>`: arrivals past the
+        rate are queued (bounded and shed-laddered with an
+        :class:`~repro.core.overload.OverloadPolicy`; unbounded without
+        one) and drained on a paced timer.  One token covers one wire
+        frame -- a batch and a singleton cost the same slot.
+        """
+        self._ingest_bucket = TokenBucket(rate, 1.0)
+
+    def unthrottle(self) -> None:
+        """Remove the processing-rate cap and drain any backlog."""
+        self._ingest_bucket = None
+        self._schedule_drain()
+
+    def ingest_pressure(self) -> float:
+        """Ingest-queue fill fraction in ``[0, 1]``; 0.0 without a policy."""
+        if self.overload is None:
+            return 0.0
+        return min(1.0, len(self._ingest_queue) / self.overload.ingest_capacity)
+
+    def _ingest_class(self, data: bytes) -> str:
+        """Classify a wire frame onto the shed ladder with byte scans only.
+
+        Duplicate rumor payloads count as ``digest`` (re-advertisements of
+        something we already have -- the cheapest rung, exactly what the
+        ladder sheds first).
+        """
+        if is_batch_frame(data):
+            # A control-only batch carries digests/ads/feedback; any
+            # carried rumor makes the whole frame a payload.
+            return "digest" if scan_gossip_message_id(data) is None else "payload"
+        if PULL_RESPONSE_ACTION.encode() in data:
+            return "pull"
+        if ADVERTISE_ACTION.encode() in data or (
+            PULL_ACTION.encode() + b"<"
+        ) in data:
+            return "digest"
+        if FEEDBACK_ACTION.encode() in data:
+            return "feedback"
+        message_id = scan_gossip_message_id(data)
+        if message_id is not None and self._engine_knowing(message_id) is not None:
+            return "digest"
+        return "payload"
+
+    def _ingest_gate(self, data: bytes, source: Optional[str]) -> bool:
+        """Admit, queue, or shed one arriving frame (the gate is engaged
+        only while a throttle is active or a backlog remains)."""
+        now = self.scheduler.now
+        if not self._ingest_queue and (
+            self._ingest_bucket is None or self._ingest_bucket.admit(now)
+        ):
+            if self.overload is not None:
+                self._overload_stats.admitted += 1
+            return self._preparse_classify(data, source)
+        policy = self.overload
+        if policy is not None:
+            pressure = self.ingest_pressure()
+            if not self._ingest_overloaded and pressure >= policy.high_watermark:
+                self._ingest_overloaded = True
+                self._overload_stats.pressure_highs += 1
+            elif self._ingest_overloaded and pressure < policy.low_watermark:
+                self._ingest_overloaded = False
+            effective = pressure
+            if self._ingest_overloaded and effective < policy.high_watermark:
+                effective = policy.high_watermark
+            shed_class = self._ingest_class(data)
+            if effective >= threshold_for(policy, shed_class):
+                self._overload_stats.count_shed(shed_class)
+                self.runtime.metrics.counter(f"gossip.shed.{shed_class}").inc()
+                return False
+            if len(self._ingest_queue) >= policy.ingest_capacity:
+                # The bound is absolute: whatever the class, nothing
+                # queues past it (this is the memory guarantee).
+                self._overload_stats.count_shed("payload")
+                self.runtime.metrics.counter("gossip.shed.payload").inc()
+                return False
+        self._ingest_queue.append((data, source))
+        self._overload_stats.throttled += 1
+        depth = len(self._ingest_queue)
+        peak = self._hub.gauge("overload.ingest-queue-peak")
+        if depth > peak.value:
+            peak.set(depth)
+        self._schedule_drain()
+        return False
+
+    def _schedule_drain(self) -> None:
+        if self._drain_scheduled or not self._ingest_queue:
+            return
+        self._drain_scheduled = True
+        delay = 0.0
+        if self._ingest_bucket is not None:
+            delay = self._ingest_bucket.retry_after(self.scheduler.now)
+        self.scheduler.call_after(delay, self._drain_ingest)
+
+    def _drain_ingest(self) -> None:
+        """Process queued frames as the pacing bucket allows."""
+        self._drain_scheduled = False
+        while self._ingest_queue:
+            if self._ingest_bucket is not None and not self._ingest_bucket.admit(
+                self.scheduler.now
+            ):
+                break
+            data, source = self._ingest_queue.popleft()
+            if self.overload is not None:
+                self._overload_stats.admitted += 1
+            self._draining = True
+            try:
+                self.runtime.receive(data, source=source)
+            finally:
+                self._draining = False
+        self._schedule_drain()
+
     # -- the pre-parse dedup gate ---------------------------------------------------
 
     def preparse_gate(self, data: bytes, source: Optional[str]) -> bool:
@@ -199,7 +347,17 @@ class GossipLayer(Handler):
         behaviour as the post-parse duplicate branch.  A failed scan (no
         gossip header, unusual id) always passes the message through.
         Batch frames are unpacked here too -- see :meth:`_ingest_batch`.
+        When a throttle or backlog is in force, arrivals detour through
+        the bounded ingest queue first (:meth:`_ingest_gate`).
         """
+        if not self._draining and (
+            self._ingest_bucket is not None or self._ingest_queue
+        ):
+            return self._ingest_gate(data, source)
+        return self._preparse_classify(data, source)
+
+    def _preparse_classify(self, data: bytes, source: Optional[str]) -> bool:
+        """The original gate body: dedup scan + batch unpack."""
         if is_batch_frame(data):
             return self._ingest_batch(data, source)
         message_id = scan_gossip_message_id(data)

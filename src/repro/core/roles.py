@@ -201,6 +201,7 @@ class DisseminatorNode(AppNode):
         params: Optional[GossipParams] = None,
         auto_join: bool = True,
         durability=None,
+        overload=None,
     ) -> None:
         super().__init__(name, network, app_path=app_path)
         self.gossip_layer = GossipLayer(
@@ -211,6 +212,7 @@ class DisseminatorNode(AppNode):
             auto_join=auto_join,
             default_params=params,
             durability=durability,
+            overload=overload,
         )
         self.runtime.chain.add_first(self.gossip_layer)
         self.runtime.add_service("/gossip", GossipService(self.gossip_layer))
@@ -250,9 +252,15 @@ class InitiatorNode(DisseminatorNode):
         app_path: str = APP_PATH,
         params: Optional[GossipParams] = None,
         durability=None,
+        overload=None,
     ) -> None:
         super().__init__(
-            name, network, app_path=app_path, params=params, durability=durability
+            name,
+            network,
+            app_path=app_path,
+            params=params,
+            durability=durability,
+            overload=overload,
         )
         self.activities: Dict[str, GossipEngine] = {}
 

@@ -18,7 +18,7 @@ from typing import Dict, IO, List, Optional
 
 from repro.obs.hub import MetricsHub
 
-_STAT_GROUPS = ("wire", "batch", "health", "recovery", "control")
+_STAT_GROUPS = ("wire", "batch", "health", "recovery", "control", "overload")
 
 
 def hub_snapshot(hub: MetricsHub) -> Dict:

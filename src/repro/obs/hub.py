@@ -34,6 +34,7 @@ from repro.simnet.metrics import (
     Gauge,
     HealthStats,
     MetricsRegistry,
+    OverloadStats,
     RecoveryStats,
     WireStats,
 )
@@ -106,6 +107,7 @@ class MetricsHub(MetricsRegistry):
         self.health = HealthStats(parent=parent.health if parent else None)
         self.recovery = RecoveryStats(parent=parent.recovery if parent else None)
         self.control = ControlStats(parent=parent.control if parent else None)
+        self.overload = OverloadStats(parent=parent.overload if parent else None)
         self.tracer = RumorTracer()
         #: Adaptive-controller decision timeline: ControlDecision records
         #: appended by :class:`repro.core.control.AdaptiveController`.
@@ -177,6 +179,7 @@ class MetricsHub(MetricsRegistry):
         self.health.reset()
         self.recovery.reset()
         self.control.reset()
+        self.overload.reset()
         self.tracer.reset()
         self.decisions.clear()
         for counter in self._counters.values():

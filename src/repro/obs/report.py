@@ -54,6 +54,19 @@ _GROUP_HIGHLIGHTS = {
         "slo_breaches",
         "cooldown_holds",
         "ceiling_clamps",
+        "pressure_reliefs",
+    ),
+    "overload": (
+        "admitted",
+        "shed_digests",
+        "shed_feedback",
+        "shed_pull",
+        "shed_payloads",
+        "publish_rejected",
+        "edge_rejected",
+        "retry_after_honored",
+        "throttled",
+        "pressure_highs",
     ),
 }
 

@@ -236,6 +236,33 @@ class FaultPlan:
             self._schedule.append((until, "unflaky", (list(names),)))
         return self
 
+    def throttle_at(
+        self,
+        time: float,
+        names: Sequence[str],
+        rate: float,
+        until: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Make the named nodes *slow consumers* from ``time`` on: their
+        gossip layers process at most ``rate`` inbound wire frames per
+        second (restored to full speed at ``until`` when given).
+
+        Frames arriving faster queue in the layer's bounded ingest queue
+        and drain at the capped rate; with overload protection configured
+        (``GossipConfig(overload=...)``) the queue sheds in priority
+        order once its watermarks are crossed, without it the queue grows
+        without bound -- exactly the collapse ``bench_overload`` measures.
+        Nodes must expose a ``gossip_layer`` (every
+        :class:`~repro.core.roles.DisseminatorNode` and
+        :class:`~repro.core.decentralized.DecentralizedNode` does).
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be positive: {rate!r}")
+        self._schedule.append((time, "throttle", (list(names), rate)))
+        if until is not None:
+            self._schedule.append((until, "unthrottle", (list(names),)))
+        return self
+
     def apply(self) -> None:
         """Schedule every fault on the simulator.  May only be called once."""
         if self._applied:
@@ -298,6 +325,14 @@ class FaultPlan:
             elif action == "unflaky":
                 (names,) = args
                 self.sim.call_at(time, lambda n=names: self._set_flaky(n, 0.0))
+            elif action == "throttle":
+                names, rate = args
+                self.sim.call_at(
+                    time, lambda n=names, r=rate: self._set_throttle(n, r)
+                )
+            elif action == "unthrottle":
+                (names,) = args
+                self.sim.call_at(time, lambda n=names: self._set_throttle(n, None))
 
     def _set_jitter(self, model: GaussianJitterLatency) -> None:
         # Remember what the jitter displaced so ``until`` can restore it.
@@ -328,6 +363,18 @@ class FaultPlan:
                 transport.inject_fault(
                     lambda address, r=rate: "flaky" if rng.random() < r else None
                 )
+
+    def _set_throttle(self, names: Sequence[str], rate: Optional[float]) -> None:
+        for name in names:
+            if name not in self.network:
+                continue
+            layer = getattr(self.network.process(name), "gossip_layer", None)
+            if layer is None:
+                continue
+            if rate is None:
+                layer.unthrottle()
+            else:
+                layer.throttle(rate)
 
     def _crash_callback(self, name: str):
         def crash() -> None:

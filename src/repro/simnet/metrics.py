@@ -6,7 +6,8 @@ They deliberately mirror the shape of common production metric libraries
 machinery.
 
 The stat groups (:class:`WireStats`, :class:`BatchStats`,
-:class:`HealthStats`, :class:`RecoveryStats`, :class:`ControlStats`) used
+:class:`HealthStats`, :class:`RecoveryStats`, :class:`ControlStats`,
+:class:`OverloadStats`) used
 to be module-level singletons.  They are now plain value objects owned by a
 :class:`repro.obs.MetricsHub`; each group may chain to a parent group so
 per-simulation hubs still feed the process-wide default hub.  The old
@@ -451,6 +452,10 @@ class ControlStats(StatGroup):
     * ``ceiling_clamps`` -- gossip rounds where the health-layer fanout
       boost was clamped at the controller's hard ceiling.
     * ``param_updates`` -- engine parameter objects actually replaced.
+    * ``pressure_reliefs`` -- epochs where overload pressure above the
+      policy's ``pressure_high`` made the controller narrow batching and
+      fanout (and suppress any boost) instead of amplifying into an
+      already-collapsing network.
     """
 
     _fields = (
@@ -464,6 +469,7 @@ class ControlStats(StatGroup):
         "cooldown_holds",
         "ceiling_clamps",
         "param_updates",
+        "pressure_reliefs",
     )
     _FIELDS = frozenset(_fields)
 
@@ -474,6 +480,81 @@ class ControlStats(StatGroup):
             f"ControlStats(epochs={self.epochs}, boosts={self.boosts}, "
             f"shrinks={self.shrinks}, escalations={self.escalations}, "
             f"breaches={self.slo_breaches})"
+        )
+
+
+class OverloadStats(StatGroup):
+    """Overload-protection counters (the backpressure twin of :class:`ControlStats`).
+
+    Fed by the engine's shed ladder, the ingest gate, the edge admission
+    bucket and the resilient transports (see docs/RESILIENCE.md,
+    "Overload and backpressure"); the ``make test-overload`` gate and
+    ``bench_overload`` snapshot them to prove shedding engaged:
+
+    * ``admitted`` -- frames accepted into the bounded ingest queue (the
+      denominator for shed ratios).
+    * ``shed_digests`` -- duplicate advertisements and periodic digests
+      dropped under pressure (cheapest rung, shed first).
+    * ``shed_feedback`` -- feedback frames dropped under pressure.
+    * ``shed_pull`` -- pull responses dropped under pressure.
+    * ``shed_payloads`` -- eager rumor payloads dropped at the hard
+      limit only (the last rung of the ladder).
+    * ``publish_rejected`` -- local publishes refused with
+      :class:`~repro.core.overload.OverloadError` at the outbox hard
+      limit.
+    * ``edge_rejected`` -- ``POST /v1/gossip`` requests 429'd by the
+      edge token bucket.
+    * ``retry_after_honored`` -- resilient-transport backoffs scheduled
+      from a ``Retry-After`` hint instead of the breaker's own clock.
+    * ``throttled`` -- deliveries deferred because the node's processing
+      rate was capped (slow-consumer fault or drain pacing).
+    * ``pressure_highs`` -- times a node's pressure crossed the high
+      watermark (one per hysteresis cycle, not per shed frame).
+    """
+
+    _fields = (
+        "admitted",
+        "shed_digests",
+        "shed_feedback",
+        "shed_pull",
+        "shed_payloads",
+        "publish_rejected",
+        "edge_rejected",
+        "retry_after_honored",
+        "throttled",
+        "pressure_highs",
+    )
+    _FIELDS = frozenset(_fields)
+
+    __slots__ = _fields
+
+    @property
+    def shed_total(self) -> int:
+        """Every frame shed, across all rungs of the ladder."""
+        return (
+            self.shed_digests
+            + self.shed_feedback
+            + self.shed_pull
+            + self.shed_payloads
+        )
+
+    _SHED_FIELDS = {
+        "digest": "shed_digests",
+        "feedback": "shed_feedback",
+        "pull": "shed_pull",
+    }
+
+    def count_shed(self, shed_class: str) -> None:
+        """Bump the counter for one shed frame of ``shed_class``
+        (anything unrecognised counts as a payload)."""
+        field = self._SHED_FIELDS.get(shed_class, "shed_payloads")
+        setattr(self, field, getattr(self, field) + 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"OverloadStats(admitted={self.admitted}, "
+            f"shed={self.shed_total}, rejected={self.edge_rejected}, "
+            f"throttled={self.throttled}, highs={self.pressure_highs})"
         )
 
 
@@ -538,6 +619,7 @@ _DEPRECATED_STATS = {
     "HEALTH_STATS": "health",
     "RECOVERY_STATS": "recovery",
     "CONTROL_STATS": "control",
+    "OVERLOAD_STATS": "overload",
 }
 
 

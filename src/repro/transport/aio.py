@@ -58,6 +58,7 @@ from repro.transport.base import (
     RetryPolicy,
     SendError,
     SendOutcome,
+    parse_retry_after,
     split_address,
 )
 from repro.transport.edge import (
@@ -68,6 +69,7 @@ from repro.transport.edge import (
     LEGACY_METRICS_PATH,
     METRICS_PATH,
     PROMETHEUS_CONTENT_TYPE,
+    EdgeAdmission,
     IdempotencyIndex,
     deprecation_headers,
     health_payload,
@@ -78,7 +80,13 @@ from repro.transport.edge import (
 #: Largest datagram the loopback/UDP path will attempt (IPv4 ceiling).
 MAX_DATAGRAM_BYTES = 65507
 
-_STATUS_REASONS = {200: "OK", 202: "Accepted", 204: "No Content", 404: "Not Found"}
+_STATUS_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    404: "Not Found",
+    429: "Too Many Requests",
+}
 
 
 # -- the shared background loop (sync facade) ---------------------------------
@@ -355,6 +363,29 @@ class AsyncResilientTransport(ResilientTransport):
             except asyncio.CancelledError:
                 raise
             except Exception as exc:  # noqa: BLE001 - every failure is an outcome
+                retry_after = getattr(exc, "retry_after", None)
+                if retry_after is not None:
+                    # Receiver-requested backoff (HTTP 429): breaker and
+                    # failure counters are left alone -- the peer is
+                    # alive, just saturated (see ResilientTransport.
+                    # _attempt_failed, the sync twin of this branch).
+                    if attempt <= self._retry.max_retries:
+                        self._overload_stats.retry_after_honored += 1
+                        self._health_stats.retries += 1
+                        await asyncio.sleep(max(0.0, retry_after))
+                        attempt += 1
+                        continue
+                    error = (
+                        exc.reason if isinstance(exc, SendError)
+                        else type(exc).__name__
+                    )
+                    self._emit(
+                        SendOutcome(
+                            address, ok=False, error=error,
+                            attempts=attempt, exception=exc,
+                        )
+                    )
+                    return
                 self._health_stats.send_failures += 1
                 opened = False
                 if breaker is not None:
@@ -702,7 +733,17 @@ class AioHttpTransport(AsyncResilientTransport):
             "POST", authority, request_path or "/", data,
             headers={IDEMPOTENCY_KEY_HEADER: token},
         )
-        status, _, _ = await self._connection_for(authority).request(raw)
+        status, response_headers, _ = await self._connection_for(
+            authority
+        ).request(raw)
+        if status == 429:
+            raise SendError(
+                "http-429",
+                address,
+                retry_after=parse_retry_after(
+                    response_headers.get("retry-after")
+                ),
+            )
         if status >= 300:
             raise SendError(f"http-{status}", address)
 
@@ -873,6 +914,7 @@ class AsyncHttpNode(_AsyncNodeBase):
         idempotency_capacity: int = 65536,
         backlog: int = 512,
         hub: Optional[MetricsHub] = None,
+        admission: Optional[EdgeAdmission] = None,
     ) -> None:
         transport = AioHttpTransport(loop=loop)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -883,6 +925,8 @@ class AsyncHttpNode(_AsyncNodeBase):
         bound_host, bound_port = self._listener.getsockname()[:2]
         super().__init__(bound_host, bound_port, loop, transport, hub=hub)
         self.idempotency = IdempotencyIndex(idempotency_capacity)
+        #: Optional token-bucket gate on POST ingest (None = admit all).
+        self.admission = admission
         self._server: Optional[asyncio.base_events.Server] = None
         self.requests_served = 0
 
@@ -960,7 +1004,9 @@ class AsyncHttpNode(_AsyncNodeBase):
         path = strip_query(path)
         if method == "POST":
             status, extra, process = ingest_response(
-                self.idempotency, headers, body, self.hub.wire
+                self.idempotency, headers, body, self.hub.wire,
+                admission=self.admission,
+                overload_stats=self.hub.overload,
             )
             if path != GOSSIP_PATH:
                 extra.update(deprecation_headers(GOSSIP_PATH))

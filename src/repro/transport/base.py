@@ -40,13 +40,39 @@ class SendError(OSError):
 
     Subclasses :class:`OSError` so transport code that already catches
     socket-level errors treats injected/simulated failures uniformly.
+
+    ``retry_after`` (seconds) is set when the *receiver* explicitly asked
+    the sender to back off -- an HTTP ``429`` with a ``Retry-After``
+    header, or an :class:`~repro.core.overload.OverloadError` surfaced
+    through a binding.  The resilient send path treats such failures as
+    backpressure, not peer failure: the breaker is left alone and the
+    server-specified delay replaces exponential backoff.
     """
 
-    def __init__(self, reason: str, destination: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        reason: str,
+        destination: Optional[str] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(f"send failed ({reason})"
                          + (f" to {destination}" if destination else ""))
         self.reason = reason
         self.destination = destination
+        self.retry_after = retry_after
+
+
+def parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Parse a ``Retry-After`` header value to seconds (``None`` if absent
+    or unusable).  Only the delta-seconds form is supported -- both edges
+    in this repo emit decimal seconds, never HTTP-dates."""
+    if not value:
+        return None
+    try:
+        seconds = float(value)
+    except (TypeError, ValueError):
+        return None
+    return max(0.0, seconds)
 
 
 @dataclass(frozen=True)
@@ -248,11 +274,14 @@ class ResilientTransport:
         self._clock = clock if clock is not None else time.monotonic
         self._resilience_rng = rng if rng is not None else random.Random()
         self._breaker_lock = threading.Lock()
-        if stats is None:
-            from repro.obs.hub import default_hub
+        from repro.obs.hub import default_hub
 
+        if stats is None:
             stats = default_hub().health
         self._health_stats = stats
+        # Retry-After honors are backpressure accounting, not peer
+        # health; they land on the process-wide overload group.
+        self._overload_stats = default_hub().overload
 
     # -- configuration ------------------------------------------------------
 
@@ -358,6 +387,31 @@ class ResilientTransport:
     def _attempt_failed(
         self, address: str, data: bytes, attempt: int, exc: BaseException
     ) -> None:
+        retry_after = getattr(exc, "retry_after", None)
+        if retry_after is not None:
+            # Explicit backpressure from the receiver (HTTP 429 / an
+            # overload rejection).  The peer is alive and answering --
+            # feeding this into the breaker would amputate a healthy
+            # destination exactly when it asked for patience, and it is
+            # not a send failure for the health/controller signals
+            # either.  Honor the server-specified delay instead of the
+            # exponential schedule.
+            if attempt <= self._retry.max_retries:
+                self._overload_stats.retry_after_honored += 1
+                self._health_stats.retries += 1
+                self._defer(
+                    max(0.0, retry_after),
+                    lambda: self._attempt(address, data, attempt + 1),
+                )
+                return
+            error = exc.reason if isinstance(exc, SendError) else type(exc).__name__
+            self._emit(
+                SendOutcome(
+                    address, ok=False, error=error,
+                    attempts=attempt, exception=exc,
+                )
+            )
+            return
         self._health_stats.send_failures += 1
         breaker = self.breaker_for(address)
         opened = False

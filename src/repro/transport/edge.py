@@ -20,17 +20,27 @@ to the wire gossip ``MessageId`` scanned from the body bytes) is checked
 against a bounded per-node :class:`IdempotencyIndex`; a replayed POST is
 answered ``200`` with ``Idempotent-Replay: true`` without re-entering the
 runtime, and counted in the hub's wire stats.
+
+Ingest is also admission-controlled when the node opts in: an
+:class:`EdgeAdmission` token bucket gates ``POST /v1/gossip``; a request
+arriving faster than the configured rate is answered ``429 Too Many
+Requests`` with a ``Retry-After`` header (decimal seconds) *before* the
+idempotency index sees it, so the eventual retry is ingested as fresh,
+not misread as a replay (see docs/RESILIENCE.md, "Overload and
+backpressure").
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from collections import OrderedDict
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.core.message import scan_gossip_message_id
-from repro.simnet.metrics import WireStats
+from repro.core.overload import TokenBucket
+from repro.simnet.metrics import OverloadStats, WireStats
 
 API_VERSION = "v1"
 GOSSIP_PATH = "/v1/gossip"
@@ -41,6 +51,7 @@ LEGACY_METRICS_PATH = "/metrics"
 IDEMPOTENCY_KEY_HEADER = "Idempotency-Key"
 IDEMPOTENT_REPLAY_HEADER = "Idempotent-Replay"
 DEPRECATION_HEADER = "Deprecation"
+RETRY_AFTER_HEADER = "Retry-After"
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 JSON_CONTENT_TYPE = "application/json; charset=utf-8"
@@ -74,6 +85,61 @@ def health_payload(base_address: str, service_paths, extra: Optional[Dict] = Non
     if extra:
         payload.update(extra)
     return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+class EdgeAdmission:
+    """Token-bucket admission control for the ingest edge.
+
+    One bucket per node edge (not per client): the bucket models the
+    node's processing capacity, which every sender shares.  Thread-safe,
+    because the thread-per-request binding admits from handler threads
+    while the asyncio binding admits from the loop.
+
+    Args:
+        rate: sustained requests per second the edge admits.
+        burst: bucket depth -- requests absorbed back-to-back after idle.
+        retry_after: floor (seconds) for the advertised ``Retry-After``;
+            the actual value is the bucket's predicted refill time when
+            that is longer.
+        clock: injectable monotonic clock (tests pin it).
+    """
+
+    def __init__(
+        self,
+        rate: float = 500.0,
+        burst: float = 64.0,
+        retry_after: float = 1.0,
+        clock=time.monotonic,
+    ) -> None:
+        self._bucket = TokenBucket(float(rate), float(burst))
+        self._clock = clock
+        self.retry_after_floor = float(retry_after)
+        self._lock = threading.Lock()
+        #: Requests admitted / answered 429 (lifetime, for tests and /v1/health).
+        self.admitted = 0
+        self.rejected = 0
+
+    @classmethod
+    def from_policy(cls, policy, clock=time.monotonic) -> "EdgeAdmission":
+        """Build from an :class:`~repro.core.overload.OverloadPolicy`."""
+        return cls(
+            rate=policy.admission_rate,
+            burst=float(policy.admission_burst),
+            retry_after=policy.retry_after,
+            clock=clock,
+        )
+
+    def admit(self) -> Tuple[bool, float]:
+        """Gate one request: ``(admitted, retry_after_seconds)``."""
+        now = self._clock()
+        with self._lock:
+            if self._bucket.admit(now):
+                self.admitted += 1
+                return True, 0.0
+            self.rejected += 1
+            return False, max(
+                self.retry_after_floor, self._bucket.retry_after(now)
+            )
 
 
 class IdempotencyIndex:
@@ -133,6 +199,8 @@ def ingest_response(
     headers: Mapping[str, str],
     body: bytes,
     wire_stats: Optional[WireStats] = None,
+    admission: Optional[EdgeAdmission] = None,
+    overload_stats: Optional[OverloadStats] = None,
 ) -> Tuple[int, Dict[str, str], bool]:
     """Decide one POST's response: ``(status, headers, process_body)``.
 
@@ -140,7 +208,20 @@ def ingest_response(
     runtime; replays answer ``200`` with ``Idempotent-Replay: true`` and
     must NOT re-enter the handler.  Replays are counted on ``wire_stats``
     (the hub's wire group) when given.
+
+    With an ``admission`` bucket, over-rate requests answer ``429`` with
+    a decimal-seconds ``Retry-After`` header.  The admission gate runs
+    *before* the idempotency check: a rejected request must not be
+    remembered, or its honored retry would be answered as a replay and
+    the payload silently lost.  Rejections are counted on
+    ``overload_stats`` (the hub's overload group) when given.
     """
+    if admission is not None:
+        ok, retry_after = admission.admit()
+        if not ok:
+            if overload_stats is not None:
+                overload_stats.edge_rejected += 1
+            return 429, {RETRY_AFTER_HEADER: f"{retry_after:.3f}"}, False
     if index.check_and_remember(index.key_for(headers, body)):
         if wire_stats is not None:
             wire_stats.idempotent_replays += 1

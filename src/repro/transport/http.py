@@ -22,7 +22,13 @@ from typing import Callable, Optional
 from repro.obs.export import prometheus_text
 from repro.obs.hub import MetricsHub, default_hub, hub_of
 from repro.soap.runtime import SoapRuntime
-from repro.transport.base import BreakerPolicy, ResilientTransport, RetryPolicy
+from repro.transport.base import (
+    BreakerPolicy,
+    ResilientTransport,
+    RetryPolicy,
+    SendError,
+    parse_retry_after,
+)
 from repro.transport.edge import (
     GOSSIP_PATH,
     HEALTH_PATH,
@@ -31,6 +37,7 @@ from repro.transport.edge import (
     LEGACY_METRICS_PATH,
     METRICS_PATH,
     PROMETHEUS_CONTENT_TYPE,
+    EdgeAdmission,
     IdempotencyIndex,
     deprecation_headers,
     health_payload,
@@ -92,8 +99,22 @@ class HttpTransport(ResilientTransport):
         request = urllib.request.Request(
             address, data=data, headers=headers, method="POST"
         )
-        with urllib.request.urlopen(request, timeout=self._timeout):
-            pass
+        try:
+            with urllib.request.urlopen(request, timeout=self._timeout):
+                pass
+        except urllib.error.HTTPError as exc:
+            if exc.code == 429:
+                # The edge asked for patience: carry its Retry-After so
+                # the resilient path backs off without opening the
+                # breaker (the peer is alive, just saturated).
+                raise SendError(
+                    "http-429",
+                    address,
+                    retry_after=parse_retry_after(
+                        exc.headers.get("Retry-After")
+                    ),
+                ) from exc
+            raise
 
     def _defer(self, delay: float, callback: Callable[[], None]) -> None:
         """Backoff on the worker thread we already occupy, then retry."""
@@ -134,9 +155,12 @@ class HttpNode:
         host: str = "127.0.0.1",
         port: int = 0,
         idempotency_capacity: int = 65536,
+        admission: Optional[EdgeAdmission] = None,
     ) -> None:
         self.transport = HttpTransport()
         self.idempotency = IdempotencyIndex(idempotency_capacity)
+        #: Optional token-bucket gate on POST ingest (None = admit all).
+        self.admission = admission
         node = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -160,7 +184,9 @@ class HttpNode:
                 length = int(self.headers.get("Content-Length", "0"))
                 body = self.rfile.read(length)
                 status, extra, process = ingest_response(
-                    node.idempotency, self.headers, body, node.hub.wire
+                    node.idempotency, self.headers, body, node.hub.wire,
+                    admission=node.admission,
+                    overload_stats=node.hub.overload,
                 )
                 if strip_query(self.path) != GOSSIP_PATH:
                     extra.update(deprecation_headers(GOSSIP_PATH))

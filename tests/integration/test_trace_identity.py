@@ -1,0 +1,164 @@
+"""The overload=None no-op guarantee: a wire-trace identity check.
+
+The overload-protection subsystem (docs/RESILIENCE.md, "Overload and
+backpressure") is strictly opt-in: with ``GossipConfig(overload=None)``
+(the default) every new code path must be dormant, leaving the simulated
+wire trace *identical* to the pre-overload behavior -- same sends, same
+order, same bytes.
+
+The baseline digests in ``tests/baselines/trace_identity.json`` were
+captured from the tree immediately before the overload subsystem landed.
+This test replays the same seeded scenarios and asserts the byte-exact
+trace digest still matches.  Regenerate (only when an *intentional*
+wire-visible change lands) with::
+
+    PYTHONPATH=src python tests/integration/test_trace_identity.py --regen
+
+The only nondeterminism on the wire is ``uuid.uuid4()`` (message ids,
+activity ids); each scenario patches it with a seeded counter, after
+which the whole trace -- order included -- is reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import uuid
+from pathlib import Path
+
+from repro.core.api import GossipConfig, GossipGroup
+from repro.simnet.network import Network
+
+BASELINE_PATH = (
+    Path(__file__).resolve().parent.parent / "baselines" / "trace_identity.json"
+)
+
+#: Seeded scenarios covering the send-path variety: eager push, the
+#: periodic push-pull digests (with the health layer on), and lazy-push
+#: advertisements / fetches.
+SCENARIOS = (
+    {
+        "name": "push",
+        "config": dict(
+            n_disseminators=16,
+            seed=11,
+            params={"style": "push", "fanout": 3, "rounds": 5},
+        ),
+    },
+    {
+        "name": "push_pull_health",
+        "config": dict(
+            n_disseminators=12,
+            seed=23,
+            health=True,
+            params={
+                "style": "push-pull",
+                "fanout": 3,
+                "rounds": 4,
+                "period": 0.5,
+            },
+        ),
+    },
+    {
+        "name": "lazy_push",
+        "config": dict(
+            n_disseminators=12,
+            seed=37,
+            params={
+                "style": "lazy-push",
+                "fanout": 3,
+                "rounds": 4,
+                "period": 0.5,
+            },
+        ),
+    },
+)
+
+
+def scenario_digest(overrides: dict) -> str:
+    """Run one seeded scenario, hashing every network send in order."""
+    records = []
+    counter = itertools.count(1)
+    original_uuid4 = uuid.uuid4
+    uuid.uuid4 = lambda: uuid.UUID(int=next(counter))
+    try:
+        group = GossipGroup(config=GossipConfig(**overrides))
+        original_send = Network.send
+
+        def recording_send(self, source, destination, payload, size=0):
+            if self is group.network:
+                body = (
+                    bytes(payload)
+                    if isinstance(payload, (bytes, bytearray))
+                    else repr(payload).encode("utf-8")
+                )
+                records.append(
+                    b"%.9f|%s|%s|%s"
+                    % (
+                        self.sim.now,
+                        source.encode("utf-8"),
+                        destination.encode("utf-8"),
+                        body,
+                    )
+                )
+            return original_send(self, source, destination, payload, size=size)
+
+        Network.send = recording_send
+        try:
+            group.setup()
+            for index in range(4):
+                group.publish({"symbol": "QIM", "seq": index})
+                group.run_for(1.5)
+            group.run_for(4.0)
+        finally:
+            Network.send = original_send
+    finally:
+        uuid.uuid4 = original_uuid4
+
+    digest = hashlib.sha256()
+    for record in records:
+        digest.update(record)
+        digest.update(b"\n")
+    return f"{len(records)}:{digest.hexdigest()}"
+
+
+def compute_digests() -> dict:
+    return {
+        scenario["name"]: scenario_digest(dict(scenario["config"]))
+        for scenario in SCENARIOS
+    }
+
+
+def test_default_config_trace_matches_pre_overload_baseline():
+    baseline = json.loads(BASELINE_PATH.read_text())
+    assert compute_digests() == baseline["digests"], (
+        "the wire trace with overload=None diverged from the pre-overload "
+        "baseline; the overload subsystem must be a strict no-op when "
+        "disabled (regenerate the baseline only for intentional wire "
+        "changes: python tests/integration/test_trace_identity.py --regen)"
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    digests = compute_digests()
+    if "--regen" in sys.argv:
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "comment": (
+                        "Byte-exact wire-trace digests per seeded scenario, "
+                        "captured before the overload subsystem landed. "
+                        "See tests/integration/test_trace_identity.py."
+                    ),
+                    "digests": digests,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"wrote {BASELINE_PATH}")
+    for name, value in digests.items():
+        print(f"{name}: {value}")

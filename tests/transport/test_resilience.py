@@ -1,6 +1,7 @@
 """The shared resilient send path: retries, breakers, outcomes."""
 
 import random
+import threading
 
 import pytest
 
@@ -260,3 +261,164 @@ class TestResilientTransport:
         # The second attempt trips the breaker; retries stop there instead
         # of hammering a destination already judged dead.
         assert len(transport.attempts) == 2
+
+
+# -- half-open concurrency --------------------------------------------------
+
+
+class BlockingProbeTransport(ResilientTransport):
+    """Attempts block on an event, so a probe can be held in flight while
+    other threads race into ``send()``."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.release = threading.Event()
+        self.fail = True
+        self.attempts = []
+        self._attempt_lock = threading.Lock()
+
+    def _send_once(self, address, data):
+        with self._attempt_lock:
+            self.attempts.append(address)
+        if not self.release.wait(timeout=5.0):
+            raise AssertionError("probe was never released")
+        if self.fail:
+            raise SendError("refused", address)
+
+    def _defer(self, delay, callback):
+        callback()
+
+
+class TestHalfOpenConcurrency:
+    def test_half_open_admits_exactly_one_probe_under_concurrent_callers(self):
+        """Many threads racing into ``send()`` at the reset timeout must
+        produce exactly one wire probe; the rest are refused until the
+        probe's verdict is in.  Several simultaneous probes would hammer
+        a recovering destination with the burst it just failed under."""
+        clock = FakeClock()
+        transport = BlockingProbeTransport(
+            retry=RetryPolicy(max_retries=0),
+            breaker=BreakerPolicy(failure_threshold=1, reset_timeout=1.0),
+            clock=clock,
+        )
+        outcomes = []
+        outcomes_lock = threading.Lock()
+
+        def listener(outcome):
+            with outcomes_lock:
+                outcomes.append(outcome)
+
+        transport.add_outcome_listener(listener)
+        address = "mem://peer/app"
+
+        # Trip the breaker: one immediate failure at threshold 1.
+        transport.release.set()
+        transport.send(address, b"x")
+        breaker = transport.breaker_for(address)
+        assert breaker.state == CircuitBreaker.OPEN
+
+        # Timeout elapses; 8 threads race in while the probe is held in
+        # flight.
+        clock.advance(1.5)
+        transport.release.clear()
+        transport.fail = False
+        with outcomes_lock:
+            outcomes.clear()
+        barrier = threading.Barrier(8)
+
+        def racer():
+            barrier.wait(timeout=5.0)
+            transport.send(address, b"probe")
+
+        threads = [threading.Thread(target=racer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        # The 7 losers are refused synchronously while the winner still
+        # blocks inside _send_once.
+        deadline = threading.Event()
+        for _ in range(500):
+            with outcomes_lock:
+                if len(outcomes) == 7:
+                    break
+            deadline.wait(0.01)
+        with outcomes_lock:
+            assert len(outcomes) == 7
+            assert all(o.error == "circuit-open" for o in outcomes)
+        assert len(transport.attempts) == 2  # the trip + exactly one probe
+
+        transport.release.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+        # The probe succeeded: breaker closed, sends flow again.
+        assert breaker.state == CircuitBreaker.CLOSED
+        with outcomes_lock:
+            assert sum(1 for o in outcomes if o.ok) == 1
+        transport.send(address, b"after")
+        assert len(transport.attempts) == 3
+
+
+# -- Retry-After backpressure ------------------------------------------------
+
+
+class RetryAfterTransport(ResilientTransport):
+    """First ``rejections`` attempts answer a 429-style SendError."""
+
+    def __init__(self, rejections, **kwargs):
+        super().__init__(**kwargs)
+        self.rejections = rejections
+        self.attempts = 0
+        self.delays = []
+
+    def _send_once(self, address, data):
+        self.attempts += 1
+        if self.attempts <= self.rejections:
+            raise SendError("http-429", address, retry_after=0.25)
+
+    def _defer(self, delay, callback):
+        self.delays.append(delay)
+        callback()
+
+
+class TestRetryAfterBackpressure:
+    def test_retry_after_is_backpressure_not_failure(self):
+        """A 429 must not advance the breaker nor count as a send
+        failure, and the server-specified delay replaces the exponential
+        schedule (docs/RESILIENCE.md, "Overload and backpressure")."""
+        transport = RetryAfterTransport(
+            rejections=2,
+            retry=RetryPolicy(max_retries=3, backoff=17.0, backoff_cap=17.0,
+                              jitter=0.0),
+            breaker=BreakerPolicy(failure_threshold=1, reset_timeout=1.0),
+        )
+        failures_before = HEALTH_STATS.send_failures
+        honored_before = default_hub().overload.retry_after_honored
+        outcomes = []
+        transport.add_outcome_listener(outcomes.append)
+        address = "mem://busy/app"
+        transport.send(address, b"x")
+
+        assert transport.attempts == 3  # 2 rejections + the success
+        assert transport.delays == [0.25, 0.25]  # server delay, not backoff
+        assert outcomes[-1].ok
+        assert HEALTH_STATS.send_failures == failures_before
+        assert default_hub().overload.retry_after_honored == honored_before + 2
+        breaker = transport.breaker_for(address)
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_retry_after_exhaustion_fails_without_breaker_damage(self):
+        transport = RetryAfterTransport(
+            rejections=99,
+            retry=RetryPolicy(max_retries=1, jitter=0.0),
+            breaker=BreakerPolicy(failure_threshold=1, reset_timeout=1.0),
+        )
+        outcomes = []
+        transport.add_outcome_listener(outcomes.append)
+        address = "mem://busy/app"
+        transport.send(address, b"x")
+        assert [o.ok for o in outcomes] == [False]
+        assert outcomes[0].error == "http-429"
+        # Even terminal 429 exhaustion never opens the breaker: the peer
+        # answered every request.
+        assert transport.breaker_for(address).state == CircuitBreaker.CLOSED
