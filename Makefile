@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-chaos test-recovery test-obs test-adaptive test-overload soak-smoke soak bench bench-smoke bench-core bench-perturbation bench-perturbation-smoke bench-overload bench-overload-smoke profile examples clean coverage
+.PHONY: install test test-chaos test-recovery test-obs test-adaptive test-overload soak-smoke soak bench bench-smoke bench-core bench-shard bench-shard-smoke bench-perturbation bench-perturbation-smoke bench-overload bench-overload-smoke profile examples clean coverage
 
 install:
 	pip install -e . || pip install -e . --no-build-isolation
 
-test: test-chaos test-recovery test-obs test-adaptive test-overload soak-smoke
+test: test-chaos test-recovery test-obs test-adaptive test-overload soak-smoke bench-shard-smoke
 	$(PYTHON) -m pytest tests/
 
 # Live-socket gate: a small real-UDP mesh on one event loop must deliver
@@ -73,6 +73,20 @@ bench-smoke:
 # Regenerate the BENCH_core.json baseline (N=100/1000/5000; minutes).
 bench-core:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_core.py
+
+# Sharded-simulator gate: determinism contract (K=1 vs K=2 delivered
+# sets identical on a converging push-pull run; repeat runs with the
+# same seed produce byte-identical per-shard trace digests) plus a
+# >= 1.3x speedup floor at N=1000/K=2 -- measured on the wall when the
+# host has the cores, on the critical path (parent drain CPU + max
+# worker busy CPU) when it doesn't.  See docs/ARCHITECTURE.md.
+bench-shard-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_shard.py --smoke
+
+# Full strong-scaling sweep (N=1000/5000/20000 x K=1/2/4/8; minutes);
+# merges the "shard" section into BENCH_core.json.
+bench-shard:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_shard.py
 
 # Perturbation benchmark: adaptive controller vs a static (fanout,
 # rounds) grid through the four-phase schedule; appends rows to

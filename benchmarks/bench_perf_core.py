@@ -378,6 +378,14 @@ def main() -> int:
         help="population sizes to measure",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="run the burst through the K-process sharded simulator "
+             "instead (each size measured at K=1 and K for the speedup; "
+             "see bench_shard.py)",
+    )
+    parser.add_argument(
         "--output",
         default=BASELINE_PATH,
         help="where to write the JSON results",
@@ -387,6 +395,16 @@ def main() -> int:
         return profile()
     if arguments.smoke:
         return smoke()
+    if arguments.shards > 1:
+        from bench_shard import _emit_table, add_speedups, run_row
+
+        rows = []
+        for n in arguments.sizes:
+            for shards in (1, arguments.shards):
+                rows.append(run_row(n, shards))
+        add_speedups(rows)
+        _emit_table(rows)
+        return 0
     results = run_all(arguments.sizes)
     with open(arguments.output, "w") as handle:
         json.dump(results, handle, indent=2)

@@ -82,6 +82,14 @@ class GossipConfig:
             dict (validated via
             :meth:`~repro.core.store.DurabilityPolicy.from_value`), or
             ``True`` for the defaults.
+        shards: run the simulation across this many worker processes
+            (conservative-PDES sharding, see docs/ARCHITECTURE.md,
+            "Parallel simulation").  ``1`` (the default) is the plain
+            single-process simulator, byte-for-byte unchanged; ``K > 1``
+            makes :meth:`build` return a
+            :class:`~repro.core.shard.ShardedGossipGroup`.
+        shard_map: optional explicit ``{node_name: shard_index}``
+            partition; must cover every node.  Default: stable hash.
         rumor_tracing: record a causal span per published rumor
             (publish/forward/deliver hops with round attribution) on the
             group's :class:`~repro.obs.hub.MetricsHub` -- the source of
@@ -112,6 +120,8 @@ class GossipConfig:
     n_disseminators: int = 8
     n_consumers: int = 0
     seed: int = 0
+    shards: int = 1
+    shard_map: Optional[Mapping[str, int]] = None
     latency: Optional[LatencyModel] = None
     loss_rate: float = 0.0
     params: Mapping[str, Any] = field(default_factory=dict)
@@ -137,6 +147,22 @@ class GossipConfig:
                 "n_consumers",
                 f"n_consumers must be non-negative: {self.n_consumers!r}",
             )
+        if (
+            not isinstance(self.shards, int)
+            or isinstance(self.shards, bool)
+            or self.shards < 1
+        ):
+            raise ParamError(
+                "shards", f"shards must be an integer >= 1: {self.shards!r}"
+            )
+        if self.shard_map is not None:
+            if not isinstance(self.shard_map, Mapping):
+                raise ParamError(
+                    "shard_map",
+                    f"shard_map must be a mapping of node name to shard "
+                    f"index: {self.shard_map!r}",
+                )
+            object.__setattr__(self, "shard_map", dict(self.shard_map))
         if not 0.0 <= self.loss_rate < 1.0:
             raise ParamError(
                 "loss_rate", f"loss_rate must be in [0, 1): {self.loss_rate!r}"
@@ -237,9 +263,11 @@ class GossipConfig:
         return dataclasses.replace(self, **overrides)
 
     def to_dict(self) -> Dict[str, Any]:
-        """The config as a plain dict (``params`` copied)."""
+        """The config as a plain dict (``params``/``shard_map`` copied)."""
         result = {name: getattr(self, name) for name in self.field_names()}
         result["params"] = dict(self.params)
+        if self.shard_map is not None:
+            result["shard_map"] = dict(self.shard_map)
         return result
 
     def gossip_params(self, base: Optional[GossipParams] = None) -> GossipParams:
@@ -254,8 +282,18 @@ class GossipConfig:
             base=base,
         )
 
-    def build(self) -> "GossipGroup":
-        """Construct a :class:`GossipGroup` from this config."""
+    def build(self) -> Any:
+        """Construct the deployment this config describes.
+
+        ``shards == 1`` builds the plain in-process :class:`GossipGroup`
+        (wire behaviour untouched); ``shards > 1`` builds a
+        :class:`~repro.core.shard.ShardedGossipGroup` running the same
+        topology across worker processes.
+        """
+        if self.shards > 1:
+            from repro.core.shard import ShardedGossipGroup
+
+            return ShardedGossipGroup(config=self)
         return GossipGroup(config=self)
 
 

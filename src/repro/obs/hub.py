@@ -166,6 +166,124 @@ class MetricsHub(MetricsRegistry):
         """Names of every node scope handed out so far."""
         return tuple(self._nodes)
 
+    # -- snapshot / merge (sharded simulation) -------------------------------
+
+    def snapshot_state(self) -> Dict:
+        """This hub's metric state as one plain, picklable dict.
+
+        The inverse is :meth:`merge_snapshot`; together they let a sharded
+        run ship each worker's hub over a pipe and aggregate K of them in
+        the parent (``repro obs report --shards``).
+        """
+        return {
+            "name": self.name,
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {n: h.values() for n, h in self._histograms.items()},
+            "series": {n: s.samples() for n, s in self._series.items()},
+            "groups": {
+                group: getattr(self, group).snapshot()
+                for group in ("wire", "batch", "health", "recovery", "control", "overload")
+            },
+            "labeled_counters": [
+                (name, labels, counter.value)
+                for (name, labels), counter in self._labeled_counters.items()
+            ],
+            "labeled_gauges": [
+                (name, labels, gauge.value)
+                for (name, labels), gauge in self._labeled_gauges.items()
+            ],
+            "spans": [
+                {
+                    "message_id": span.message_id,
+                    "origin": span.origin,
+                    "publish_time": span.publish_time,
+                    "budget": span.budget,
+                    "deliveries": list(span.deliveries),
+                    "forwards": list(span.forwards),
+                }
+                for span in self.tracer.spans()
+            ],
+        }
+
+    def merge_snapshot(self, state: Dict) -> None:
+        """Fold one :meth:`snapshot_state` into this hub.
+
+        Merge rules (asserted by ``tests/obs/test_merge.py``):
+
+        * **counters** (plain and labelled) sum -- merging K shard hubs
+          yields the totals a single-hub run of the same traffic would
+          have counted.  Labelled counters are merged by direct value
+          add, *not* ``inc()``, which would double-count through the
+          unlabelled aggregate (itself merged as a plain counter).
+        * **gauges** (plain and labelled) take the max: gauges are
+          point-in-time levels, sums of them lie, and max is
+          merge-order independent.
+        * **histograms** keep raw samples, so the merge concatenates
+          them -- the exact-percentile analogue of bucket-wise addition.
+        * **time series** are merge-sorted by timestamp.
+        * **stat groups** add field-wise (they are all monotone counters);
+          deltas propagate up the parent chain as normal writes do.
+        * **tracer spans** are replayed hop-by-hop: publish hops claim the
+          origin, deliveries keep first-arrival-per-node semantics.
+        """
+        for name, value in state["counters"].items():
+            self.counter(name).value += value
+        for name, value in state["gauges"].items():
+            gauge = self.gauge(name)
+            gauge.value = max(gauge.value, value)
+        for name, values in state["histograms"].items():
+            histogram = self.histogram(name)
+            for value in values:
+                histogram.observe(value)
+        for name, samples in state["series"].items():
+            series = self.series(name)
+            merged = sorted(series.samples() + [tuple(s) for s in samples])
+            series.clear()
+            for time, value in merged:
+                series.record(time, value)
+        for group_name, snapshot in state["groups"].items():
+            group = getattr(self, group_name)
+            for field, value in snapshot.items():
+                setattr(group, field, getattr(group, field) + value)
+        for name, labels, value in state["labeled_counters"]:
+            key = (name, tuple(tuple(pair) for pair in labels))
+            existing = self._labeled_counters.get(key)
+            if existing is None:
+                existing = LabeledCounter(name, key[1], self.counter(name))
+                self._labeled_counters[key] = existing
+            existing.value += value
+        for name, labels, value in state["labeled_gauges"]:
+            key = (name, tuple(tuple(pair) for pair in labels))
+            existing = self._labeled_gauges.get(key)
+            if existing is None:
+                existing = LabeledGauge(name, key[1])
+                self._labeled_gauges[key] = existing
+            existing.value = max(existing.value, value)
+        for span_state in state.get("spans", ()):
+            message_id = span_state["message_id"]
+            if span_state["origin"] is not None:
+                self.tracer.on_publish(
+                    message_id,
+                    span_state["origin"],
+                    span_state["publish_time"] or 0.0,
+                    span_state["budget"] or 0,
+                )
+            for time, node, hops_left in sorted(span_state["deliveries"]):
+                self.tracer.on_deliver(message_id, node, time, hops_left)
+            for time, node, targets in span_state["forwards"]:
+                self.tracer.on_forward(message_id, node, time, targets)
+
+    @classmethod
+    def merged(
+        cls, states, parent: Optional["MetricsHub"] = None, name: str = "merged"
+    ) -> "MetricsHub":
+        """A fresh hub with every snapshot in ``states`` folded in."""
+        hub = cls(parent=parent, name=name)
+        for state in states:
+            hub.merge_snapshot(state)
+        return hub
+
     # -- lifecycle ----------------------------------------------------------
 
     def reset(self) -> None:

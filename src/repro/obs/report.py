@@ -226,14 +226,19 @@ def run_seeded_report(
     rounds: int = 7,
     duration: float = 10.0,
     value: Any = None,
+    shards: int = 1,
 ) -> Tuple[Any, str]:
     """One seeded dissemination plus its rendered report.
 
     Shared by ``repro obs report`` and ``examples/observability_report.py``:
-    builds a :class:`~repro.core.api.GossipGroup`, publishes one rumor,
+    builds a :class:`~repro.core.api.GossipGroup` (or, with ``shards > 1``,
+    a :class:`~repro.core.shard.ShardedGossipGroup` whose K worker hubs are
+    merged for the report -- see
+    :meth:`~repro.obs.hub.MetricsHub.merge_snapshot`), publishes one rumor,
     runs ``duration`` simulated seconds, and returns ``(group, text)``.
+    Sharded groups should be ``close()``d by the caller.
     """
-    from repro.core.api import GossipConfig, GossipGroup
+    from repro.core.api import GossipConfig
 
     config = GossipConfig(
         n_disseminators=nodes - consumers - 1,
@@ -241,14 +246,19 @@ def run_seeded_report(
         seed=seed,
         params={"style": style, "fanout": fanout, "rounds": rounds},
         auto_tune=False,
+        shards=shards,
     )
-    group = GossipGroup(config=config)
+    group = config.build()
     group.setup()
     group.publish(value if value is not None else {"report": True})
     group.run_for(duration)
+    shard_note = f", {shards} shards merged" if shards > 1 else ""
     text = render_report(
         group.hub,
         population=group.population,
-        title=f"observability report (n={group.population}, seed={seed}, {style})",
+        title=(
+            f"observability report (n={group.population}, seed={seed}, "
+            f"{style}{shard_note})"
+        ),
     )
     return group, text

@@ -40,7 +40,7 @@ class Event:
         if not self.cancelled:
             self.cancelled = True
             if self._queue is not None:
-                self._queue._live -= 1
+                self._queue._note_cancel()
 
     def __repr__(self) -> str:
         return (
@@ -54,13 +54,36 @@ class EventQueue:
 
     Cancelled events stay in the heap (lazy deletion) but a live counter is
     maintained on push/pop/cancel, so :meth:`__len__` is O(1) instead of a
-    full heap scan per call.
+    full heap scan per call.  When dead entries outnumber live ones the heap
+    is compacted in place, so a long run that cancels many timers (churn,
+    overload shedding) does not drag an ever-growing tail of tombstones
+    through every subsequent push and pop.
     """
+
+    #: Never compact below this many dead entries -- rebuilding a tiny heap
+    #: costs more than carrying the tombstones.
+    COMPACT_MIN_DEAD = 64
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._counter = itertools.count()
         self._live = 0
+
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        dead = len(self._heap) - self._live
+        if dead > self._live and dead >= self.COMPACT_MIN_DEAD:
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Safe at any point: ``(time, seq)`` is a unique total order, so the
+        rebuilt heap pops live events in exactly the order the lazy-deletion
+        heap would have.
+        """
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
 
     def push(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at ``time``; returns the cancellable event."""
@@ -83,6 +106,31 @@ class EventQueue:
                 self._live -= 1
                 return event
         raise IndexError("pop from empty EventQueue")
+
+    def pop_if_before(self, deadline: float) -> Optional[Event]:
+        """Pop the earliest live event iff its time is ``<= deadline``.
+
+        One heap traversal serves both the peek and the pop, unlike the
+        ``peek_time()`` + ``pop()`` pair which walks past the same cancelled
+        prefix twice.  This is the hot path of barrier stepping in the
+        sharded simulator, where ``run_until`` is called once per window.
+
+        Returns ``None`` (and leaves the event queued) when the queue is
+        empty or the earliest event lies beyond ``deadline``.
+        """
+        heap = self._heap
+        while heap:
+            event = heap[0]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if event.time > deadline:
+                return None
+            heapq.heappop(heap)
+            event._queue = None
+            self._live -= 1
+            return event
+        return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest pending event, or ``None`` if empty."""
@@ -182,11 +230,15 @@ class Simulator:
         """Run events with timestamps ``<= deadline``, then set the clock to
         ``deadline`` so callers can keep scheduling relative to it."""
         self._stopped = False
+        queue = self._queue
+        clock = self.clock
         while not self._stopped:
-            next_time = self._queue.peek_time()
-            if next_time is None or next_time > deadline:
+            event = queue.pop_if_before(deadline)
+            if event is None:
                 break
-            self.step()
+            clock.advance_to(event.time)
+            self._events_executed += 1
+            event.callback()
         if deadline > self.now:
             self.clock.advance_to(deadline)
 

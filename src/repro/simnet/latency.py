@@ -22,6 +22,16 @@ class LatencyModel:
         """Expected delay, used by analytical helpers and trace summaries."""
         raise NotImplementedError
 
+    def min_delay(self) -> float:
+        """Conservative lower bound on any :meth:`sample` draw.
+
+        The sharded simulator derives its cross-shard lookahead from this:
+        no message sent at time ``t`` can arrive before ``t + min_delay()``,
+        so shards may safely run ``min_delay()`` ahead of each other.
+        Models with an unbounded-below tail must return ``0.0``.
+        """
+        return 0.0
+
 
 class FixedLatency(LatencyModel):
     """Constant delay -- the simplest, fully deterministic model."""
@@ -36,6 +46,9 @@ class FixedLatency(LatencyModel):
         return self.delay
 
     def mean(self) -> float:
+        return self.delay
+
+    def min_delay(self) -> float:
         return self.delay
 
     def __repr__(self) -> str:
@@ -57,6 +70,9 @@ class UniformLatency(LatencyModel):
 
     def mean(self) -> float:
         return (self.low + self.high) / 2.0
+
+    def min_delay(self) -> float:
+        return self.low
 
     def __repr__(self) -> str:
         return f"UniformLatency({self.low!r}, {self.high!r})"
@@ -83,6 +99,9 @@ class ExponentialLatency(LatencyModel):
 
     def mean(self) -> float:
         return self.floor + self._mean
+
+    def min_delay(self) -> float:
+        return self.floor
 
     def __repr__(self) -> str:
         return f"ExponentialLatency(mean={self._mean!r}, floor={self.floor!r})"
@@ -115,6 +134,9 @@ class GaussianJitterLatency(LatencyModel):
     def mean(self) -> float:
         # The clamp's bias is negligible for any sane (mean, sigma).
         return self._mean
+
+    def min_delay(self) -> float:
+        return self.floor
 
     def __repr__(self) -> str:
         return f"GaussianJitterLatency(mean={self._mean!r}, sigma={self.sigma!r})"

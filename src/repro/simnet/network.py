@@ -57,6 +57,7 @@ class Network:
         loss_rate: float = 0.0,
         trace: Optional[TraceLog] = None,
         metrics: Optional[MetricsRegistry] = None,
+        rng: Optional[Any] = None,
     ) -> None:
         # Imported here, not at module top: obs.hub pulls in
         # simnet.metrics, whose package init reaches back to this module.
@@ -90,7 +91,14 @@ class Network:
         # serialize onto the wire, so a busy sender delays later sends.
         self._egress_bandwidth: Dict[str, float] = {}
         self._egress_busy_until: Dict[str, float] = {}
-        self._rng = sim.rng.get("network")
+        # Loss/latency draws come from one stream.  A sharded worker
+        # injects its per-shard stream here so shards stay independent; the
+        # default is the simulator's "network" stream, unchanged.
+        self._rng = rng if rng is not None else sim.rng.get("network")
+        # Cross-shard egress hook (see repro.simnet.shard.ShardEgress):
+        # when set, sends to a name the hook owns are buffered as envelopes
+        # for the parent to route instead of being dropped as dead.
+        self._egress: Optional[Any] = None
         # The per-message metric objects, bound once: send/_deliver run for
         # every simulated message, and the registry's name lookup is
         # measurable overhead at that call rate.
@@ -244,6 +252,17 @@ class Network:
         # observable failure evidence the health layer feeds on.  (A crash
         # while the message is in flight is still caught at delivery.)
         process = self._processes.get(destination)
+        if process is None and self._egress is not None and self._egress.owns(destination):
+            # The destination lives on another shard: draw the full delay
+            # here (the sender's stream decides the arrival instant) and
+            # hand the envelope to the egress buffer.  Liveness is checked
+            # at the receiving shard on delivery, so a cross-shard send to
+            # a dead node fails late (in-flight drop) rather than
+            # synchronously -- the one sender-visible semantic difference.
+            model = self._link_latency.get((source, destination), self.latency)
+            delay = self._transmission_delay(source, size) + model.sample(self._rng)
+            self._egress.emit(message, self.sim.now + delay)
+            return message
         if process is None or not process.is_running:
             self._drop(message, "dead-destination")
             return message
@@ -251,6 +270,42 @@ class Network:
         model = self._link_latency.get((source, destination), self.latency)
         delay = self._transmission_delay(source, size) + model.sample(self._rng)
         self.sim.call_after(delay, lambda: self._deliver(message))
+        return message
+
+    def set_egress(self, egress: Optional[Any]) -> None:
+        """Install the cross-shard egress hook.
+
+        ``egress`` must expose ``owns(name) -> bool`` (is this a node on a
+        *remote* shard?) and ``emit(message, deliver_time)``.  ``None``
+        uninstalls the hook, restoring single-process semantics.
+        """
+        self._egress = egress
+
+    def inject_ingress(
+        self,
+        source: str,
+        destination: str,
+        payload: Any,
+        size: int,
+        send_time: float,
+        deliver_time: float,
+    ) -> NetworkMessage:
+        """Schedule delivery of a message that originated on another shard.
+
+        The sender's shard already charged loss and drew the latency; here
+        the envelope only needs a delivery event.  ``deliver_time`` is
+        clamped to ``sim.now`` so a float-rounding hair below the current
+        barrier cannot schedule into the past.
+        """
+        message = NetworkMessage(
+            source=source,
+            destination=destination,
+            payload=payload,
+            send_time=send_time,
+            size=size,
+        )
+        when = deliver_time if deliver_time > self.sim.now else self.sim.now
+        self.sim.call_at(when, lambda: self._deliver(message))
         return message
 
     def _drop(self, message: NetworkMessage, reason: str) -> None:

@@ -63,5 +63,16 @@ class RngStreams:
         """
         return RngStreams(derive_seed(self._seed, name))
 
+    def for_shard(self, shard_index: int) -> "RngStreams":
+        """The stream namespace for one shard of a sharded simulation.
+
+        Per-*node* streams stay identical across shard counts because they
+        are derived purely from the master seed and the node name; only
+        streams that are inherently per-shard (the network's loss/latency
+        draws) come from this namespace, which is why cross-shard runs agree
+        on protocol behaviour but not on individual latency samples.
+        """
+        return self.fork(f"shard:{int(shard_index)}")
+
     def __repr__(self) -> str:
         return f"RngStreams(seed={self._seed}, streams={sorted(self._streams)})"

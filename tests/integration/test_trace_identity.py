@@ -27,7 +27,7 @@ import json
 import uuid
 from pathlib import Path
 
-from repro.core.api import GossipConfig, GossipGroup
+from repro.core.api import GossipConfig
 from repro.simnet.network import Network
 
 BASELINE_PATH = (
@@ -83,7 +83,9 @@ def scenario_digest(overrides: dict) -> str:
     original_uuid4 = uuid.uuid4
     uuid.uuid4 = lambda: uuid.UUID(int=next(counter))
     try:
-        group = GossipGroup(config=GossipConfig(**overrides))
+        # Built through the config (not GossipGroup directly) so overrides
+        # can exercise build-path knobs like ``shards=1``.
+        group = GossipConfig(**overrides).build()
         original_send = Network.send
 
         def recording_send(self, source, destination, payload, size=0):
@@ -128,6 +130,18 @@ def compute_digests() -> dict:
         scenario["name"]: scenario_digest(dict(scenario["config"]))
         for scenario in SCENARIOS
     }
+
+
+def test_shards_1_trace_is_byte_identical():
+    # The sharded-simulator dispatch must be a strict no-op at shards=1:
+    # GossipConfig(shards=1).build() takes the plain single-process path
+    # and its wire trace stays byte-for-byte the checked-in baseline.
+    baseline = json.loads(BASELINE_PATH.read_text())
+    for scenario in SCENARIOS:
+        overrides = dict(scenario["config"], shards=1)
+        assert scenario_digest(overrides) == baseline["digests"][scenario["name"]], (
+            f"shards=1 changed the wire trace of {scenario['name']!r}"
+        )
 
 
 def test_default_config_trace_matches_pre_overload_baseline():

@@ -173,3 +173,99 @@ class TestSimulator:
 
         assert run(42) == run(42)
         assert run(42) != run(43)
+
+
+class TestHeapCompaction:
+    def test_mass_cancel_keeps_heap_bounded(self):
+        # Cancelling most of a large queue must not leave the heap full of
+        # dead entries: once dead > live (and past the compaction floor)
+        # the queue rebuilds itself with only live events.
+        queue = EventQueue()
+        keeper = queue.push(1000.0, lambda: None)
+        doomed = [queue.push(float(i + 1), lambda: None) for i in range(200)]
+        assert len(queue._heap) == 201
+        for event in doomed:
+            event.cancel()
+        assert len(queue) == 1
+        dead = len(queue._heap) - len(queue)
+        assert dead < EventQueue.COMPACT_MIN_DEAD
+        assert queue.pop() is keeper
+
+    def test_small_queues_skip_compaction(self):
+        # Below the floor the dead entries just sit there (compaction
+        # would cost more than lazily skipping them on pop).
+        queue = EventQueue()
+        events = [queue.push(float(i + 1), lambda: None) for i in range(10)]
+        for event in events[:9]:
+            event.cancel()
+        assert len(queue._heap) == 10
+        assert len(queue) == 1
+
+    def test_explicit_compact_preserves_order(self):
+        queue = EventQueue()
+        order = []
+        events = [
+            queue.push(float(i + 1), lambda i=i: order.append(i))
+            for i in range(20)
+        ]
+        for event in events[::2]:
+            event.cancel()
+        queue.compact()
+        assert len(queue._heap) == 10
+        while queue:
+            queue.pop().callback()
+        assert order == list(range(1, 20, 2))
+
+    def test_compaction_keeps_same_time_fifo(self):
+        queue = EventQueue()
+        order = []
+        keep = [queue.push(1.0, lambda i=i: order.append(i)) for i in range(5)]
+        doomed = [queue.push(0.5, lambda: None) for _ in range(70)]
+        for event in doomed:
+            event.cancel()
+        assert keep  # all live
+        queue.compact()
+        while queue:
+            queue.pop().callback()
+        assert order == list(range(5))
+
+
+class TestPopIfBefore:
+    def test_pops_only_up_to_deadline(self):
+        queue = EventQueue()
+        for time in (1.0, 2.0, 3.0):
+            queue.push(time, lambda: None)
+        assert queue.pop_if_before(2.0).time == 1.0
+        assert queue.pop_if_before(2.0).time == 2.0  # deadline inclusive
+        assert queue.pop_if_before(2.0) is None
+        assert len(queue) == 1  # the 3.0 event is untouched
+
+    def test_skips_cancelled_events(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(1.5, lambda: None)
+        first.cancel()
+        event = queue.pop_if_before(2.0)
+        assert event.time == 1.5
+
+    def test_empty_queue_returns_none(self):
+        assert EventQueue().pop_if_before(10.0) is None
+
+    def test_cancelled_beyond_deadline_left_alone(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda: None)
+        assert queue.pop_if_before(1.0) is None
+        assert len(queue) == 1
+
+    def test_run_until_matches_run_semantics(self):
+        # The fast path must execute exactly what the plain loop would.
+        sim = Simulator()
+        fired = []
+        for time in (0.5, 1.0, 1.5, 2.0, 2.5):
+            sim.call_after(time, lambda time=time: fired.append(time))
+        sim.run_until(1.5)
+        assert fired == [0.5, 1.0, 1.5]
+        assert sim.now == 1.5
+        sim.run_until(10.0)
+        assert fired == [0.5, 1.0, 1.5, 2.0, 2.5]
+        assert sim.now == 10.0

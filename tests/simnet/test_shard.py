@@ -1,0 +1,121 @@
+"""Unit tests for the conservative-PDES sharding primitives."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.simnet.latency import (
+    ExponentialLatency,
+    FixedLatency,
+    UniformLatency,
+)
+from repro.simnet.shard import ShardEgress, ShardPlan, compute_lookahead
+
+NAMES = [f"node{i}" for i in range(20)]
+
+
+class TestShardPlan:
+    def test_hash_partition_covers_every_node(self):
+        plan = ShardPlan(NAMES, 4)
+        assert sorted(
+            name for k in range(4) for name in plan.members(k)
+        ) == sorted(NAMES)
+        for name in NAMES:
+            assert plan.shard_of(name) == plan.shard_of(name)
+            assert name in plan
+
+    def test_hash_partition_is_stable_across_instances(self):
+        # crc32, not hash(): the assignment must agree between the parent
+        # and every worker process regardless of PYTHONHASHSEED.
+        first = ShardPlan(NAMES, 3)
+        second = ShardPlan(list(NAMES), 3)
+        assert all(
+            first.shard_of(name) == second.shard_of(name) for name in NAMES
+        )
+
+    def test_single_shard_owns_everything(self):
+        plan = ShardPlan(NAMES, 1)
+        assert plan.members(0) == NAMES
+
+    def test_explicit_partition_map(self):
+        mapping = {name: index % 2 for index, name in enumerate(NAMES)}
+        plan = ShardPlan(NAMES, 2, mapping)
+        assert plan.shard_of("node1") == 1
+        assert plan.members(0) == NAMES[::2]
+
+    def test_unknown_node_is_none(self):
+        plan = ShardPlan(NAMES, 2)
+        assert plan.shard_of("stranger") is None
+        assert "stranger" not in plan
+
+    @pytest.mark.parametrize("shards", [0, -1, 1.5, True])
+    def test_bad_shard_count_rejected(self, shards):
+        with pytest.raises(ValueError, match="shards"):
+            ShardPlan(NAMES, shards)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ShardPlan(["a", "b", "a"], 2)
+
+    def test_partition_map_must_cover_every_node(self):
+        mapping = {name: 0 for name in NAMES[:-3]}
+        with pytest.raises(ValueError, match="omits 3 node"):
+            ShardPlan(NAMES, 2, mapping)
+
+    def test_partition_map_index_out_of_range(self):
+        mapping = {name: 0 for name in NAMES}
+        mapping["node7"] = 2
+        with pytest.raises(ValueError, match="node7"):
+            ShardPlan(NAMES, 2, mapping)
+
+
+class TestComputeLookahead:
+    def test_fixed_latency(self):
+        assert compute_lookahead(FixedLatency(0.002)) == 0.002
+
+    def test_minimum_over_link_models(self):
+        assert (
+            compute_lookahead(
+                FixedLatency(0.01),
+                [UniformLatency(0.004, 0.02), FixedLatency(0.006)],
+            )
+            == 0.004
+        )
+
+    def test_floor_models_contribute_their_floor(self):
+        assert (
+            compute_lookahead(ExponentialLatency(0.01, floor=0.003)) == 0.003
+        )
+
+    def test_zero_lookahead_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            compute_lookahead(FixedLatency(0.0))
+
+    def test_zero_link_floor_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            compute_lookahead(
+                FixedLatency(0.01), [UniformLatency(0.0, 0.02)]
+            )
+
+
+class TestShardEgress:
+    def _egress(self):
+        plan = ShardPlan(["a", "b", "c", "d"], 2, {"a": 0, "b": 0, "c": 1, "d": 1})
+        return ShardEgress(plan, shard_index=0), plan
+
+    def test_owns_only_remote_plan_members(self):
+        egress, _ = self._egress()
+        assert egress.owns("c") and egress.owns("d")
+        assert not egress.owns("a")  # local
+        assert not egress.owns("stranger")  # not in the plan at all
+
+    def test_emit_and_drain(self):
+        egress, _ = self._egress()
+        message = SimpleNamespace(
+            source="a", destination="c", payload=b"<soap/>", size=7,
+            send_time=1.0,
+        )
+        egress.emit(message, deliver_time=1.002)
+        envelopes = egress.drain()
+        assert envelopes == [(1.002, "a", "c", b"<soap/>", 7, 1.0)]
+        assert egress.drain() == []  # drained
