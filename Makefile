@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-chaos test-recovery test-obs test-adaptive test-overload soak-smoke soak bench bench-smoke bench-core bench-shard bench-shard-smoke bench-perturbation bench-perturbation-smoke bench-overload bench-overload-smoke profile examples clean coverage
+.PHONY: install test test-chaos test-recovery test-obs test-adaptive test-overload test-telemetry soak-smoke soak bench bench-smoke bench-core bench-shard bench-shard-smoke bench-perturbation bench-perturbation-smoke bench-overload bench-overload-smoke bench-telemetry-smoke bench-telemetry profile examples clean coverage
 
 install:
 	pip install -e . || pip install -e . --no-build-isolation
 
-test: test-chaos test-recovery test-obs test-adaptive test-overload soak-smoke bench-shard-smoke
+test: test-chaos test-recovery test-obs test-adaptive test-overload test-telemetry soak-smoke bench-shard-smoke
 	$(PYTHON) -m pytest tests/
 
 # Live-socket gate: a small real-UDP mesh on one event loop must deliver
@@ -59,6 +59,26 @@ test-adaptive:
 # backpressure".
 test-overload:
 	REPRO_OVERLOAD_N=500 PYTHONPATH=src $(PYTHON) -m pytest tests/integration/test_overload.py -q
+
+# Seeded telemetry gate: a 120-node loopback UDP mesh with full path
+# sampling must reconstruct per-hop latency, infection curves, and
+# rounds-to-99% purely from the sampled wire trace context, and a
+# simulated loss ramp must fire the windowed SLO burn-rate alert and
+# clear it after the network heals (see docs/OBSERVABILITY.md,
+# "Live telemetry").
+test-telemetry:
+	REPRO_TELEMETRY_N=120 PYTHONPATH=src $(PYTHON) -m pytest tests/integration/test_telemetry_gate.py -q
+
+# Telemetry overhead gate: the N=1000 drain with the default telemetry
+# policy must cost <= 5% CPU over telemetry=None (min-of-repeats,
+# interleaved; see benchmarks/bench_telemetry.py).
+bench-telemetry-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_telemetry.py --smoke
+
+# Full telemetry overhead measurement; merges the "telemetry" section
+# into BENCH_core.json.
+bench-telemetry:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_telemetry.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -8,6 +8,7 @@ Usage::
     python -m repro analyze 1000    # fanout/rounds the coordinator picks
     python -m repro describe        # WSDL summary of a gossip node
     python -m repro obs report      # observability report of a seeded run
+    python -m repro obs top --once  # poll a live node's /v1/obs/* models
     python -m repro soak            # short live-socket mesh run
     python -m repro bench --shards 4  # timed burst run, sharded simulator
 """
@@ -149,8 +150,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
+    import json
+
     from repro.obs.export import prometheus_text, write_jsonl
-    from repro.obs.report import run_seeded_report
+    from repro.obs.report import report_model, run_seeded_report
 
     group, text = run_seeded_report(
         nodes=args.nodes,
@@ -161,11 +164,16 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
         rounds=args.rounds,
         duration=args.duration,
         shards=args.shards,
+        telemetry=True if args.telemetry else None,
     )
     try:
-        print(text)
         # Bind the (possibly merged-on-access) hub once for the exports.
         hub = group.hub
+        if args.json:
+            model = report_model(hub, population=group.population)
+            print(json.dumps(model, sort_keys=True, indent=2))
+        else:
+            print(text)
         if args.jsonl:
             count = write_jsonl(hub, args.jsonl)
             print(f"wrote {count} metric records to {args.jsonl}")
@@ -176,6 +184,91 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     finally:
         if hasattr(group, "close"):
             group.close()
+    return 0
+
+
+def _fetch_json(url: str, timeout: float = 5.0):
+    import json
+    import urllib.request
+
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _render_top(base: str, summary, rumors, alerts) -> str:
+    lines = [f"obs top -- {base} (node {summary.get('node', '?')})"]
+    population = summary.get("population")
+    if population:
+        lines.append(f"population: {population}")
+    rates = summary.get("rates") or {}
+    if rates:
+        lines.append("rates: " + "  ".join(
+            f"{name}={value:.2f}/s" for name, value in sorted(rates.items())
+        ))
+    counters = summary.get("counters") or {}
+    highlights = [
+        f"{name}={counters[name]}"
+        for name in ("net.sent", "net.delivered", "gossip.fresh",
+                     "gossip.duplicate", "telemetry.samples")
+        if name in counters
+    ]
+    if highlights:
+        lines.append("counters: " + "  ".join(highlights))
+    alert_summary = summary.get("alerts") or {}
+    state = "FIRING" if alert_summary.get("firing") else "ok"
+    lines.append(f"alerts: {state} ({alert_summary.get('total', 0)} edges)")
+    for alert in (alerts.get("items") or [])[-3:]:
+        lines.append(
+            f"  t={alert.get('time', 0.0):.1f}s {alert.get('name')} "
+            f"{alert.get('state')} burn={alert.get('burn', 0.0):.2f}"
+        )
+    items = rumors.get("items") or []
+    if items:
+        lines.append(f"rumors ({rumors.get('total', len(items))} total, "
+                     f"showing {len(items)}):")
+        for rumor in items:
+            r99 = rumor.get("rounds_to_99")
+            lines.append(
+                f"  {rumor.get('message_id')}: "
+                f"delivered {rumor.get('delivered', 0)}, "
+                f"rounds_max {rumor.get('rounds_max', 0)}, "
+                f"rounds_to_99 {r99 if r99 is not None else '-'}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    """Live-refresh view over a node's ``/v1/obs/*`` read models."""
+    import itertools
+    import time as _time
+    import urllib.error
+
+    base = args.url.rstrip("/")
+    iterations = (
+        range(1) if args.once
+        else (itertools.count() if args.iterations == 0
+              else range(args.iterations))
+    )
+    last = args.iterations - 1 if args.iterations else None
+    try:
+        for iteration in iterations:
+            try:
+                summary = _fetch_json(f"{base}/v1/obs/summary")
+                rumors = _fetch_json(
+                    f"{base}/v1/obs/rumors?limit={args.rumors}"
+                )
+                alerts = _fetch_json(f"{base}/v1/obs/alerts?limit=50")
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                print(f"obs top: cannot read {base}/v1/obs/*: {exc}")
+                return 1
+            if sys.stdout.isatty() and iteration:
+                print("\x1b[2J\x1b[H", end="")
+            print(_render_top(base, summary, rumors, alerts))
+            if args.once or iteration == last:
+                break
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -237,6 +330,36 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_soak_telemetry(summary: dict) -> None:
+    """Print the wire-trace reconstruction the mesh's merged hubs carry."""
+    print("telemetry (from sampled wire trace context):")
+    print(f"  trace samples: {summary.get('samples', 0)} "
+          f"(skew-guarded {summary.get('skew_guarded', 0)})")
+    for name in ("hop_latency_ms", "e2e_latency_ms"):
+        stats = summary.get(name) or {}
+        if stats:
+            print(f"  {name}: p50={stats['p50']:.2f} p95={stats['p95']:.2f} "
+                  f"p99={stats['p99']:.2f} max={stats['max']:.2f} "
+                  f"(n={stats['count']})")
+    rumors = summary.get("rumors") or []
+    r99 = [r["rounds_to_99"] for r in rumors if r.get("rounds_to_99") is not None]
+    if r99:
+        print(f"  rounds to 99%: min={min(r99)} max={max(r99)} "
+              f"({len(r99)}/{len(rumors)} rumors reached 99%)")
+    for rumor in rumors[:3]:
+        curve = rumor.get("infection_curve") or []
+        if not curve:
+            continue
+        # Loop-monotonic timestamps; print relative to the first infection.
+        start = curve[0][0]
+        tail = " ".join(
+            f"{count}@{time - start:.2f}s" for time, count in curve[-5:]
+        )
+        print(f"  rumor {rumor['message_id']}: infected over time {tail}")
+    if len(rumors) > 3:
+        print(f"  ... {len(rumors) - 3} more rumor(s) traced")
+
+
 def _cmd_soak(args: argparse.Namespace) -> int:
     """A short live-socket run: real UDP/HTTP nodes on one event loop."""
     import asyncio
@@ -265,12 +388,19 @@ def _cmd_soak(args: argparse.Namespace) -> int:
               "(docs/DEPLOY.md); expect backlog growth and degraded "
               "delivery")
 
+    from repro.core.telemetry import TelemetryPolicy
+
+    telemetry = None if args.no_telemetry else TelemetryPolicy(
+        sample_rate=args.sample_rate
+    )
+
     async def run() -> int:
         mesh = AsyncGossipMesh(
             args.nodes,
             transport=args.transport,
             params=soak_params(args.transport, period=args.period),
             seed=args.seed,
+            telemetry=telemetry,
         )
         loop = mesh.loop
         await mesh.astart()
@@ -307,6 +437,8 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             p99 = latencies[min(len(latencies) - 1,
                                 round(0.99 * (len(latencies) - 1)))]
             print(f"latency p50: {p50 * 1000:.0f} ms, p99: {p99 * 1000:.0f} ms")
+        if telemetry is not None:
+            _print_soak_telemetry(mesh.telemetry_summary())
         return 0 if delivered >= 0.99 else 1
 
     return asyncio.run(run())
@@ -392,6 +524,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     soak.add_argument("--period", type=float, default=0.5)
     soak.add_argument("--settle", type=float, default=4.0)
+    soak.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable wire-level trace context (drops the telemetry report)",
+    )
+    soak.add_argument(
+        "--sample-rate", type=float, default=1.0,
+        help="trace-context path-sampling probability (0..1)",
+    )
     soak.set_defaults(handler=_cmd_soak)
 
     obs = commands.add_parser(
@@ -415,7 +555,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=1,
         help="simulate across K worker processes (merged report)",
     )
+    report.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable report model (stable key order)",
+    )
+    report.add_argument(
+        "--telemetry", action="store_true",
+        help="run with wire-level trace context and SLO burn-rate windows",
+    )
     report.set_defaults(handler=_cmd_obs_report)
+
+    top = obs_commands.add_parser(
+        "top", help="live-refresh view polling a node's /v1/obs/* endpoints"
+    )
+    top.add_argument(
+        "--url", default="http://127.0.0.1:8801",
+        help="base URL of a running HTTP gossip node",
+    )
+    top.add_argument("--interval", type=float, default=2.0)
+    top.add_argument(
+        "--iterations", type=int, default=0,
+        help="refresh count (0 = until interrupted)",
+    )
+    top.add_argument(
+        "--once", action="store_true", help="poll once and exit"
+    )
+    top.add_argument(
+        "--rumors", type=int, default=10,
+        help="rumor rows to show per refresh",
+    )
+    top.set_defaults(handler=_cmd_obs_top)
 
     bench = commands.add_parser(
         "bench", help="timed burst dissemination, optionally sharded"

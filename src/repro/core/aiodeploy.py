@@ -106,6 +106,7 @@ class AsyncGossipNode:
         params: Optional[GossipParams] = None,
         rng: Optional[random.Random] = None,
         overload=None,
+        telemetry=None,
     ) -> None:
         if transport == "udp":
             self.edge = AsyncUdpNode(loop=loop)
@@ -138,6 +139,7 @@ class AsyncGossipNode:
             default_params=params,
             view_provider=self._view,
             overload=overload,
+            telemetry=telemetry,
         )
         self.runtime.chain.add_first(self.gossip_layer)
         self.runtime.add_service("/gossip", GossipService(self.gossip_layer))
@@ -195,6 +197,7 @@ class AsyncGossipMesh:
         seed: int = 0,
         action: str = DEFAULT_ACTION,
         loop: Optional[asyncio.AbstractEventLoop] = None,
+        telemetry=None,
     ) -> None:
         if n_nodes < 2:
             raise ValueError(f"need at least two nodes: {n_nodes!r}")
@@ -211,6 +214,7 @@ class AsyncGossipMesh:
                 loop=self.loop,
                 params=self.params,
                 rng=random.Random(rng.random()),
+                telemetry=telemetry,
             )
             for index in range(n_nodes)
         ]
@@ -220,6 +224,7 @@ class AsyncGossipMesh:
             others = addresses[:index] + addresses[index + 1:]
             node.set_view(rng.sample(others, view_size))
         self.context = make_static_context()
+        self.telemetry = telemetry
         self._started = False
 
     @property
@@ -297,3 +302,80 @@ class AsyncGossipMesh:
 
     def total_deliveries(self) -> int:
         return sum(node.delivery_count for node in self.nodes)
+
+    def merged_hub(self):
+        """One hub with every node's metric state folded in.
+
+        Each live node keeps its own :class:`~repro.obs.hub.MetricsHub`
+        (tracer spans, telemetry histograms, counters); merging them is
+        what reconstructs group-level infection curves and per-hop latency
+        from a real-socket run, exactly like the sharded simulator's
+        ``repro obs report --shards`` merge.
+        """
+        from repro.obs.hub import MetricsHub
+
+        return MetricsHub.merged(
+            (node.edge.hub.snapshot_state() for node in self.nodes),
+            parent=None,
+            name="mesh",
+        )
+
+    def telemetry_summary(self) -> Dict[str, Any]:
+        """Reconstruct the soak's dissemination picture from trace context.
+
+        Returns per-hop / end-to-end latency percentiles (from the sampled
+        wire trace sections), the merged infection curve per rumor, and
+        rounds-to-99% -- the live-network analogue of the simulator's
+        ``repro obs report`` span section.
+        """
+
+        def percentiles(values: List[float]) -> Dict[str, float]:
+            if not values:
+                return {}
+            ordered = sorted(values)
+            rank = lambda q: ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+            return {
+                "p50": rank(0.50),
+                "p95": rank(0.95),
+                "p99": rank(0.99),
+                "max": ordered[-1],
+                "count": len(ordered),
+            }
+
+        hub = self.merged_hub()
+        population = self.population
+        rumors = []
+        for span in hub.tracer.spans():
+            rumors.append(
+                {
+                    "message_id": span.message_id,
+                    "origin": span.origin,
+                    "delivered": span.delivered_count,
+                    "rounds_max": max(span.rounds_of_deliveries(), default=0),
+                    "rounds_to_99": span.rounds_to_fraction(0.99, population),
+                    "infection_curve": span.infection_curve(),
+                }
+            )
+        spans = hub.tracer.spans()
+        delivered_fraction = (
+            sum(
+                min(1.0, span.delivered_count / max(1, population - 1))
+                for span in spans
+            )
+            / len(spans)
+            if spans
+            else 0.0
+        )
+        return {
+            "population": population,
+            "rumors": rumors,
+            "delivered_fraction": delivered_fraction,
+            "hop_latency_ms": percentiles(
+                hub.histogram("telemetry.hop_latency_ms").values()
+            ),
+            "e2e_latency_ms": percentiles(
+                hub.histogram("telemetry.e2e_latency_ms").values()
+            ),
+            "samples": hub.counter("telemetry.samples").value,
+            "skew_guarded": hub.counter("telemetry.skew_guarded").value,
+        }

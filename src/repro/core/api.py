@@ -41,7 +41,9 @@ from repro.core.roles import (
     InitiatorNode,
 )
 from repro.core.store import DurabilityPolicy
+from repro.core.telemetry import TelemetryPolicy
 from repro.obs.hub import MetricsHub, default_hub, use_hub
+from repro.obs.windows import SloBurnMonitor, WindowRollup, recent_delivery_fraction
 from repro.simnet.events import Simulator
 from repro.simnet.latency import LatencyModel
 from repro.simnet.network import Network
@@ -115,6 +117,17 @@ class GossipConfig:
             ``True`` for the defaults.  ``None`` (the default) keeps
             every overload code path dormant: the wire trace is
             byte-for-byte identical to the pre-overload behaviour.
+        telemetry: enable the live telemetry plane -- wire-level trace
+            context on gossip frames (per-hop latency from sampled
+            publications), rolling-window counter rates, and the SLO
+            burn-rate alert timeline (see docs/OBSERVABILITY.md, "Live
+            telemetry").  Accepts a
+            :class:`~repro.core.telemetry.TelemetryPolicy`, a plain dict
+            (validated via
+            :meth:`~repro.core.telemetry.TelemetryPolicy.from_value`), or
+            ``True`` for the defaults.  ``None`` (the default) emits no
+            trace section: the wire trace stays byte-for-byte identical
+            to the pre-telemetry behaviour.
     """
 
     n_disseminators: int = 8
@@ -135,6 +148,7 @@ class GossipConfig:
     rumor_tracing: bool = True
     adaptive: Optional[AdaptivePolicy] = None
     overload: Optional[OverloadPolicy] = None
+    telemetry: Optional[TelemetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.n_disseminators < 0:
@@ -226,6 +240,20 @@ class GossipConfig:
                 "overload",
                 "overload must be an OverloadPolicy, a dict of its "
                 f"fields, True, or None: {self.overload!r}",
+            )
+        if self.telemetry is True:
+            object.__setattr__(self, "telemetry", TelemetryPolicy())
+        elif isinstance(self.telemetry, dict):
+            object.__setattr__(
+                self, "telemetry", TelemetryPolicy.from_value(self.telemetry)
+            )
+        elif self.telemetry is not None and not isinstance(
+            self.telemetry, TelemetryPolicy
+        ):
+            raise ParamError(
+                "telemetry",
+                "telemetry must be a TelemetryPolicy, a dict of its "
+                f"fields, True, or None: {self.telemetry!r}",
             )
 
     @classmethod
@@ -382,6 +410,7 @@ class GossipGroup:
             self.network,
             durability=self.config.durability,
             overload=self.config.overload,
+            telemetry=self.config.telemetry,
         )
         self.disseminators: List[DisseminatorNode] = [
             DisseminatorNode(
@@ -389,6 +418,7 @@ class GossipGroup:
                 self.network,
                 durability=self.config.durability,
                 overload=self.config.overload,
+                telemetry=self.config.telemetry,
             )
             for index in range(self.config.n_disseminators)
         ]
@@ -439,6 +469,15 @@ class GossipGroup:
             # node crashes.
             self.controller.start(self.sim)
 
+        # Live telemetry rollups: a periodic tick on the simulator (same
+        # crash-survival rationale as the controller) that bins counter
+        # deltas into rolling windows and feeds the SLO burn-rate monitor
+        # from recently-published rumor spans.
+        self.burn_monitor: Optional[SloBurnMonitor] = None
+        self._window_rollup: Optional[WindowRollup] = None
+        if self.config.telemetry is not None:
+            self._start_telemetry(self.config.telemetry)
+
         for node in self.app_nodes():
             node.bind(self.action)
         for node in self.all_nodes():
@@ -446,6 +485,33 @@ class GossipGroup:
 
         self.activity_id: Optional[str] = None
         self._setup_done = False
+
+    def _start_telemetry(self, policy: TelemetryPolicy) -> None:
+        """Begin the telemetry rollup ticks (windowed rates + SLO burn)."""
+        self._window_rollup = WindowRollup(
+            self.hub, width=policy.epoch, buckets=max(2, int(60.0 / policy.epoch))
+        )
+        self.burn_monitor = SloBurnMonitor(
+            self.hub, slo=policy.slo_delivery, window=policy.window
+        )
+        # Delivery is judged over rumors old enough to have finished their
+        # rounds: the grace mirrors the AdaptiveController's observation
+        # window so both planes read the same signal.
+        gossip_params = GossipParams.from_activation(self.activation_parameters)
+        grace = 0.5 * policy.epoch + gossip_params.rounds * gossip_params.period
+        lookback = 2.5 * policy.epoch
+
+        def tick() -> None:
+            now = self.sim.now
+            self._window_rollup.tick(now)
+            delivery = recent_delivery_fraction(
+                self.hub, now, self.population, lookback=lookback, grace=grace
+            )
+            if delivery is not None:
+                self.burn_monitor.record(now, delivery)
+            self.sim.call_after(policy.epoch, tick)
+
+        self.sim.call_after(policy.epoch, tick)
 
     # -- topology ------------------------------------------------------------
 

@@ -858,6 +858,22 @@ class AdaptiveController:
 
     # -- diagnostics ---------------------------------------------------------
 
+    def alert_timeline(self) -> List[Any]:
+        """The SLO alert edges on the hub, in time order.
+
+        The :class:`~repro.obs.windows.SloBurnMonitor` (wired by
+        ``GossipConfig(telemetry=...)``) appends
+        :class:`~repro.obs.windows.Alert` fire/clear edges to
+        ``hub.alerts``; the controller and ``repro obs report`` read the
+        same timeline.  Empty when telemetry is off.
+        """
+        return list(self.hub.alerts)
+
+    def slo_alert_firing(self) -> bool:
+        """Whether the burn-rate monitor's latest edge is still firing."""
+        alerts = self.hub.alerts
+        return bool(alerts) and alerts[-1].state == "firing"
+
     @property
     def targets(self) -> Dict[str, Any]:
         """The knob values the controller is currently steering toward."""

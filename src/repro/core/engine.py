@@ -36,7 +36,9 @@ from repro.core.buffer import MessageStore
 from repro.core.message import (
     GossipHeader,
     GossipStyle,
+    TraceContext,
     new_gossip_message_id,
+    splice_forward,
     splice_hops,
 )
 from repro.core.ordering import FifoBuffer
@@ -45,6 +47,7 @@ from repro.core.params import GossipParams
 from repro.core.peers import HealthAwareSelector, PeerSelector, UniformSelector
 from repro.core.scheduling import Scheduler
 from repro.core.store import DurabilityPolicy, GossipLog
+from repro.core.telemetry import TelemetryPolicy
 from repro.obs.hub import hub_of
 from repro.soap import namespaces as ns
 from repro.soap.envelope import Envelope
@@ -129,6 +132,7 @@ class GossipEngine:
         durability: Optional[DurabilityPolicy] = None,
         overload: Optional[OverloadPolicy] = None,
         pressure_provider: Optional[Callable[[], float]] = None,
+        telemetry: Optional[TelemetryPolicy] = None,
     ) -> None:
         self.runtime = runtime
         self.scheduler = scheduler
@@ -197,6 +201,19 @@ class GossipEngine:
         self._control_stats = obs.control
         self._overload_stats = obs.overload
         self._tracer = obs.tracer
+        # Live telemetry plane (docs/OBSERVABILITY.md, "Live telemetry").
+        # ``None`` (the default) keeps every trace-context code path
+        # dormant -- no Trace section is serialized and the wire bytes are
+        # byte-for-byte what they were before this subsystem existed
+        # (tests/integration/test_trace_identity).  The histograms are
+        # bound eagerly so the receive path does a dict-free record.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._hop_latency = obs.histogram("telemetry.hop_latency_ms")
+            self._e2e_latency = obs.histogram("telemetry.e2e_latency_ms")
+            self._telemetry_samples = obs.counter("telemetry.samples")
+            self._telemetry_skew = obs.counter("telemetry.skew_guarded")
+            self._telemetry_clamped = obs.counter("telemetry.path_clamped")
         # Overload protection (docs/RESILIENCE.md, "Overload and
         # backpressure").  ``None`` (the default) keeps every overload
         # code path dormant -- the wire trace is guaranteed identical to
@@ -332,6 +349,20 @@ class GossipEngine:
         if self.params.ordered:
             sequence = self._publish_sequence
             self._publish_sequence += 1
+        trace = None
+        if self.telemetry is not None:
+            # Head sampling: the publish-time draw decides whether this
+            # publication carries a trace section at all, so telemetry's
+            # wire and parse cost scales with the sample rate instead of
+            # taxing every frame.
+            sample_rate = self.telemetry.sample_rate
+            if sample_rate >= 1.0 or self.rng.random() < sample_rate:
+                trace = TraceContext(
+                    origin=self.app_address,
+                    publish_ts=self.scheduler.now,
+                    path=0,
+                    sampled=True,
+                )
         header = GossipHeader(
             activity=self.activity_id,
             message_id=message_id,
@@ -339,6 +370,7 @@ class GossipEngine:
             hops=self.params.rounds,
             style=self.params.style,
             sequence=sequence,
+            trace=trace,
         )
         self.metrics.counter("gossip.publish").inc()
         if self._tracer.enabled:
@@ -432,6 +464,8 @@ class GossipEngine:
                 header.message_id, self.app_address, self.scheduler.now,
                 hops_left=header.hops,
             )
+        if self.telemetry is not None and header.trace is not None:
+            self._record_trace_sample(header.trace)
         self._log_message(header.message_id, envelope.to_bytes(), header.origin)
         if self._recovering:
             self._recovery_stats.fetched += 1
@@ -538,6 +572,32 @@ class GossipEngine:
             return list(self.view_provider())
         return list(self.view)
 
+    def _record_trace_sample(self, trace: TraceContext) -> None:
+        """Account a first delivery against the frame's trace section.
+
+        End-to-end latency is the gap between the origin's publish
+        timestamp and our clock; the per-hop figure divides it over the
+        hops actually taken (``path + 1``: a freshly published frame has
+        path 0 and traveled one hop to reach us).  Only sampled frames are
+        measured; the skew guard discards readings more negative than the
+        policy tolerates and clamps the rest to zero.
+        """
+        if not trace.sampled:
+            return
+        policy = self.telemetry
+        hops_taken = trace.path + 1
+        if hops_taken > policy.max_path_length:
+            self._telemetry_clamped.inc()
+            return
+        latency = self.scheduler.now - trace.publish_ts
+        if latency < -policy.clock_skew_guard:
+            self._telemetry_skew.inc()
+            return
+        latency_ms = max(0.0, latency) * 1000.0
+        self._e2e_latency.observe(latency_ms)
+        self._hop_latency.observe(latency_ms / hops_taken)
+        self._telemetry_samples.inc()
+
     def _forward(self, envelope: Envelope, header: GossipHeader, source: Optional[str]) -> None:
         if header.hops <= 0:
             self.metrics.counter("gossip.hops-exhausted").inc()
@@ -549,7 +609,13 @@ class GossipEngine:
         if self.batching:
             # Hop decrement by byte splice -- no parse, no re-encode; the
             # flush resolves targets and folds the frame into its batches.
-            data = splice_hops(envelope.to_bytes(), header.hops - 1)
+            # A carried trace section gets its path counter spliced in the
+            # same single pass, keeping telemetry off the re-encode path.
+            raw = envelope.to_bytes()
+            if header.trace is not None:
+                data = splice_forward(raw, header.hops - 1, header.trace.path + 1)
+            else:
+                data = splice_hops(raw, header.hops - 1)
             if data is None:
                 header.decremented().replace_in(envelope)
                 data = envelope.to_bytes()

@@ -83,6 +83,7 @@ class GossipLayer(Handler):
         health=None,
         durability=None,
         overload: Optional[OverloadPolicy] = None,
+        telemetry=None,
     ) -> None:
         self.runtime = runtime
         self.scheduler = scheduler
@@ -102,6 +103,10 @@ class GossipLayer(Handler):
         # keep a GossipLog, and prepare_restart/rejoin drive the
         # crash-recovery protocol (docs/RESILIENCE.md).
         self.durability = durability
+        # Optional live telemetry plane: engines created by this layer
+        # stamp wire-level trace context on publications and account
+        # sampled frames on delivery (docs/OBSERVABILITY.md).
+        self.telemetry = telemetry
         self._engines: Dict[str, GossipEngine] = {}
         # Observability: wire/batch stat groups of the hub behind this
         # node's metrics sink.
@@ -165,6 +170,7 @@ class GossipLayer(Handler):
             durability=self.durability,
             overload=self.overload,
             pressure_provider=self.ingest_pressure if self.overload else None,
+            telemetry=self.telemetry,
         )
         self._engines[context.identifier] = engine
         return engine

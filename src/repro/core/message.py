@@ -14,7 +14,7 @@ import enum
 import uuid
 import xml.etree.ElementTree as ET
 from dataclasses import dataclass, replace
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.soap import namespaces as ns
 from repro.soap.envelope import Envelope
@@ -27,6 +27,7 @@ _ORIGIN = qname(ns.WSGOSSIP, "Origin")
 _HOPS = qname(ns.WSGOSSIP, "Hops")
 _STYLE = qname(ns.WSGOSSIP, "Style")
 _SEQUENCE = qname(ns.WSGOSSIP, "Sequence")
+_TRACE = qname(ns.WSGOSSIP, "Trace")
 
 
 class GossipStyle(enum.Enum):
@@ -131,6 +132,137 @@ def splice_hops(data: bytes, hops: int) -> Optional[bytes]:
     return b"%s%d%s" % (data[:start], hops, data[end:])
 
 
+_TRACE_TAG_SUFFIX = b":Trace "
+
+
+def _trace_path_bounds(data: bytes) -> Optional[Tuple[int, int]]:
+    """``(start, end)`` of the trace path digits, or ``None`` if absent.
+
+    ElementTree escapes ``>`` inside attribute values, so the first ``>``
+    after the tag name reliably closes the start tag.
+    """
+    position = data.find(_TRACE_TAG_SUFFIX)
+    if position == -1:
+        return None
+    start = data.find(b">", position + len(_TRACE_TAG_SUFFIX))
+    if start == -1:
+        return None
+    start += 1
+    end = data.find(b"<", start)
+    if end == -1 or not data[start:end].isdigit():
+        return None
+    return start, end
+
+
+def splice_trace_path(data: bytes, path: int) -> Optional[bytes]:
+    """Rewrite the ``Trace`` section's path counter directly in wire bytes.
+
+    The trace element's only text is the hop-path counter, so the
+    per-forward update is the same digit splice :func:`splice_hops` does
+    for the rounds budget.  Returns ``None`` when the bytes do not contain
+    exactly the expected shape (caller falls back to the re-encode path).
+    """
+    bounds = _trace_path_bounds(data)
+    if bounds is None:
+        return None
+    start, end = bounds
+    return b"%s%d%s" % (data[:start], path, data[end:])
+
+
+def splice_forward(data: bytes, hops: int, path: int) -> Optional[bytes]:
+    """Rewrite hops budget *and* trace path in one pass over the wire bytes.
+
+    The per-forward update of a traced frame touches two digit runs;
+    splicing both into a single output buffer halves the copies
+    :func:`splice_hops` + :func:`splice_trace_path` would make.  Returns
+    ``None`` when either site is missing or malformed (caller falls back
+    to the re-encode path).
+    """
+    position = data.find(_HOPS_TAG_SUFFIX)
+    if position == -1:
+        return None
+    hops_start = position + len(_HOPS_TAG_SUFFIX)
+    hops_end = data.find(b"<", hops_start)
+    if hops_end == -1 or not data[hops_start:hops_end].isdigit():
+        return None
+    bounds = _trace_path_bounds(data)
+    if bounds is None:
+        return None
+    path_start, path_end = bounds
+    first, second = sorted(
+        ((hops_start, hops_end, b"%d" % hops),
+         (path_start, path_end, b"%d" % path))
+    )
+    return b"".join(
+        (
+            data[: first[0]],
+            first[2],
+            data[first[1]: second[0]],
+            second[2],
+            data[second[1]:],
+        )
+    )
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Compact wire-level trace section carried inside the ``Gossip`` header.
+
+    Serialized as ``<g:Trace o="origin" s="1" t="1723111042.183001">N</g:Trace>``
+    where the text ``N`` is the hop-path counter (0 on the published frame,
+    incremented per forward).  Receivers of a *sampled* frame derive
+    end-to-end latency from ``t`` and per-hop latency by dividing over the
+    hops taken (``path + 1``); unsampled frames carry provenance only.
+
+    Attributes:
+        origin: application endpoint that published the rumor.
+        publish_ts: publication timestamp on the origin's clock (the node's
+            scheduler clock: simulated time in the simulator, the event
+            loop's monotonic clock on real transports).
+        path: hops this frame's copy has traversed when it was sent.
+        sampled: whether receivers should record latency for this frame.
+    """
+
+    origin: str
+    publish_ts: float
+    path: int = 0
+    sampled: bool = True
+
+    def to_element(self) -> ET.Element:
+        element = ET.Element(_TRACE)
+        element.set("o", self.origin)
+        element.set("s", "1" if self.sampled else "0")
+        element.set("t", "%.6f" % self.publish_ts)
+        element.text = str(self.path)
+        return element
+
+    @classmethod
+    def from_element(cls, element: ET.Element) -> Optional["TraceContext"]:
+        """Parse a trace section; malformed sections yield ``None`` --
+        telemetry is advisory and must never break delivery."""
+        origin = element.get("o")
+        ts_text = element.get("t")
+        if origin is None or ts_text is None:
+            return None
+        try:
+            publish_ts = float(ts_text)
+            path = int(element.text) if element.text else 0
+        except (TypeError, ValueError):
+            return None
+        if path < 0:
+            return None
+        return cls(
+            origin=origin,
+            publish_ts=publish_ts,
+            path=path,
+            sampled=element.get("s") == "1",
+        )
+
+    def advanced(self) -> "TraceContext":
+        """A copy with one more traversed hop."""
+        return replace(self, path=self.path + 1)
+
+
 @dataclass(frozen=True)
 class GossipHeader:
     """Parsed ``Gossip`` header block.
@@ -144,6 +276,9 @@ class GossipHeader:
         style: gossip style the activity runs.
         sequence: per-origin publication counter (``None`` for unordered
             activities; used by the FIFO ordered-delivery extension).
+        trace: optional telemetry trace section (``None`` unless the
+            publisher runs with ``GossipConfig(telemetry=...)``; absent
+            traces leave the wire bytes untouched).
     """
 
     activity: str
@@ -152,6 +287,7 @@ class GossipHeader:
     hops: int
     style: GossipStyle = GossipStyle.PUSH
     sequence: Optional[int] = None
+    trace: Optional[TraceContext] = None
 
     def to_element(self) -> ET.Element:
         """Serialize as the ``Gossip`` header block."""
@@ -168,6 +304,8 @@ class GossipHeader:
         for tag, text in children:
             child = ET.SubElement(root, tag)
             child.text = text
+        if self.trace is not None:
+            root.append(self.trace.to_element())
         return root
 
     @classmethod
@@ -196,6 +334,12 @@ class GossipHeader:
             raise ValueError(
                 f"malformed Gossip sequence: {sequence_text!r}"
             ) from None
+        trace_element = element.find(_TRACE)
+        trace = (
+            TraceContext.from_element(trace_element)
+            if trace_element is not None
+            else None
+        )
         return cls(
             activity=activity,
             message_id=message_id,
@@ -203,6 +347,7 @@ class GossipHeader:
             hops=hops,
             style=style,
             sequence=sequence,
+            trace=trace,
         )
 
     @classmethod
@@ -214,8 +359,10 @@ class GossipHeader:
         return cls.from_element(element)
 
     def decremented(self) -> "GossipHeader":
-        """A copy with one less hop (floor at zero)."""
-        return replace(self, hops=max(0, self.hops - 1))
+        """A copy with one less hop (floor at zero); a carried trace
+        section advances its path counter in step."""
+        trace = self.trace.advanced() if self.trace is not None else None
+        return replace(self, hops=max(0, self.hops - 1), trace=trace)
 
     def replace_in(self, envelope: Envelope) -> None:
         """Swap this header into the envelope (removing any previous one)."""

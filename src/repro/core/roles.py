@@ -202,6 +202,7 @@ class DisseminatorNode(AppNode):
         auto_join: bool = True,
         durability=None,
         overload=None,
+        telemetry=None,
     ) -> None:
         super().__init__(name, network, app_path=app_path)
         self.gossip_layer = GossipLayer(
@@ -213,6 +214,7 @@ class DisseminatorNode(AppNode):
             default_params=params,
             durability=durability,
             overload=overload,
+            telemetry=telemetry,
         )
         self.runtime.chain.add_first(self.gossip_layer)
         self.runtime.add_service("/gossip", GossipService(self.gossip_layer))
@@ -253,6 +255,7 @@ class InitiatorNode(DisseminatorNode):
         params: Optional[GossipParams] = None,
         durability=None,
         overload=None,
+        telemetry=None,
     ) -> None:
         super().__init__(
             name,
@@ -261,6 +264,7 @@ class InitiatorNode(DisseminatorNode):
             params=params,
             durability=durability,
             overload=overload,
+            telemetry=telemetry,
         )
         self.activities: Dict[str, GossipEngine] = {}
 

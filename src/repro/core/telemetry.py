@@ -1,0 +1,123 @@
+"""Telemetry policy: the live trace-context plane's knobs.
+
+``GossipConfig(telemetry=...)`` turns on wire-level trace context: every
+published rumor may carry a compact ``Trace`` section (origin id, publish
+timestamp, hop counter, sampling flag) that receivers use to reconstruct
+per-hop latency and infection curves on *real* transports, the same way
+the causal tracer does inside the simulator.
+
+Everything here is strictly opt-in: with ``telemetry=None`` (the default)
+no trace section is emitted and the wire trace stays byte-for-byte
+identical (gated by ``tests/integration/test_trace_identity.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.core.params import ParamError, _convert
+
+#: Delivery SLO the burn-rate monitor defends when the policy leaves
+#: ``slo_delivery`` at its default -- matches ``AdaptivePolicy.slo_delivery``.
+DEFAULT_SLO_DELIVERY = 0.99
+
+
+@dataclass(frozen=True)
+class TelemetryPolicy:
+    """Validated knobs for the live telemetry plane.
+
+    Attributes:
+        sample_rate: probability that a publication is path-sampled (head
+            sampling, decided once at publish).  Sampled publications carry
+            the ``Trace`` section on every frame and are measured hop by
+            hop; unsampled publications carry *no* trace section at all, so
+            the wire and parse cost of telemetry scales with the sample
+            rate.  The default 0.1 keeps the N=1000 drain overhead under
+            the 5% budget ``make bench-telemetry-smoke`` gates; raise it to
+            1.0 for full-fidelity runs (small meshes, tests).
+        max_path_length: upper bound on the hop counter a receiver trusts;
+            a sampled frame whose path exceeds it is counted
+            (``telemetry.path_clamped``) and skipped rather than polluting
+            the per-hop histogram with a runaway denominator.
+        clock_skew_guard: seconds of *negative* end-to-end latency tolerated
+            before a sample is discarded as clock skew
+            (``telemetry.skew_guarded``).  Small negative readings inside
+            the guard clamp to zero.
+        epoch: seconds between telemetry rollup ticks (windowed counter
+            rates + SLO burn-rate sampling) when the group runs its own
+            ticker.
+        slo_delivery: delivery-fraction SLO the burn-rate monitor burns
+            against.
+        window: seconds of history the SLO burn-rate window spans.
+    """
+
+    sample_rate: float = 0.1
+    max_path_length: int = 32
+    clock_skew_guard: float = 2.0
+    epoch: float = 2.0
+    slo_delivery: float = DEFAULT_SLO_DELIVERY
+    window: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ParamError(
+                "sample_rate",
+                f"sample_rate must be in [0, 1]: {self.sample_rate!r}",
+            )
+        if self.max_path_length < 1:
+            raise ParamError(
+                "max_path_length",
+                f"max_path_length must be >= 1: {self.max_path_length!r}",
+            )
+        if self.clock_skew_guard < 0:
+            raise ParamError(
+                "clock_skew_guard",
+                f"clock_skew_guard must be non-negative: {self.clock_skew_guard!r}",
+            )
+        if self.epoch <= 0:
+            raise ParamError("epoch", f"epoch must be positive: {self.epoch!r}")
+        if not 0.0 < self.slo_delivery < 1.0:
+            raise ParamError(
+                "slo_delivery",
+                f"slo_delivery must be in (0, 1): {self.slo_delivery!r}",
+            )
+        if self.window <= 0:
+            raise ParamError("window", f"window must be positive: {self.window!r}")
+
+    def to_value(self) -> Dict[str, Any]:
+        """Serialize to a plain map (config dumps, wire activation)."""
+        return {
+            "sample_rate": self.sample_rate,
+            "max_path_length": self.max_path_length,
+            "clock_skew_guard": self.clock_skew_guard,
+            "epoch": self.epoch,
+            "slo_delivery": self.slo_delivery,
+            "window": self.window,
+        }
+
+    @classmethod
+    def from_value(cls, value: Dict[str, Any]) -> "TelemetryPolicy":
+        """Parse from a plain map, raising :class:`ParamError` with the
+        offending key on any malformed entry."""
+        if not isinstance(value, dict):
+            raise ParamError(
+                "telemetry", f"telemetry policy map expected, got {value!r}"
+            )
+        base = cls()
+        return cls(
+            sample_rate=_convert(
+                value, "sample_rate", float, default=base.sample_rate
+            ),
+            max_path_length=_convert(
+                value, "max_path_length", int, default=base.max_path_length
+            ),
+            clock_skew_guard=_convert(
+                value, "clock_skew_guard", float, default=base.clock_skew_guard
+            ),
+            epoch=_convert(value, "epoch", float, default=base.epoch),
+            slo_delivery=_convert(
+                value, "slo_delivery", float, default=base.slo_delivery
+            ),
+            window=_convert(value, "window", float, default=base.window),
+        )

@@ -7,7 +7,8 @@ Two formats, both dependency-free:
   offending line on load).
 * The Prometheus text exposition format (version 0.0.4) -- what
   :mod:`repro.transport.http` serves at ``/metrics`` -- with proper metric
-  name sanitisation and label value escaping.
+  name sanitisation, label value escaping, and ``# HELP`` / ``# TYPE``
+  family headers.
 """
 
 from __future__ import annotations
@@ -43,6 +44,12 @@ def hub_snapshot(hub: MetricsHub) -> Dict:
             name: series.samples() for name, series in hub._series.items()
         },
         "decisions": [decision.to_value() for decision in hub.decisions],
+        "windows": {
+            name: {"rate": window.rate(), "total": window.total(),
+                   "count": window.count(), "span": window.span}
+            for name, window in hub.windows().items()
+        },
+        "alerts": [alert.to_value() for alert in hub.alerts],
     }
     for group in _STAT_GROUPS:
         snapshot[group] = getattr(hub, group).snapshot()
@@ -71,8 +78,10 @@ def dump_jsonl(hub: MetricsHub, stream: IO[str]) -> int:
 
     Record kinds: ``counter`` / ``gauge`` (optionally labelled),
     ``histogram`` (summary statistics), ``series`` (raw samples),
-    ``stat`` (one record per stat-group field) and ``decision`` (one per
-    adaptive-controller epoch, in time order).
+    ``stat`` (one record per stat-group field), ``decision`` (one per
+    adaptive-controller epoch, in time order), ``window`` (one per rolling
+    window: rate/total over its span) and ``alert`` (one per SLO alert
+    edge, in time order).
     """
     count = 0
 
@@ -110,6 +119,21 @@ def dump_jsonl(hub: MetricsHub, stream: IO[str]) -> int:
     for decision in hub.decisions:
         record = {"kind": "decision"}
         record.update(decision.to_value())
+        emit(record)
+    for name, window in sorted(hub.windows().items()):
+        emit(
+            {
+                "kind": "window",
+                "name": name,
+                "rate": window.rate(),
+                "total": window.total(),
+                "count": window.count(),
+                "span": window.span,
+            }
+        )
+    for alert in hub.alerts:
+        record = {"kind": "alert"}
+        record.update(alert.to_value())
         emit(record)
     return count
 
@@ -177,13 +201,49 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+#: Curated ``# HELP`` texts for the well-known metric names; anything else
+#: gets a generic line derived from its source name.
+_HELP_TEXTS = {
+    "gossip.publish": "Rumors published by this hub's nodes.",
+    "gossip.fresh": "First-time rumor deliveries.",
+    "gossip.duplicate": "Duplicate rumor arrivals consumed by dedup.",
+    "gossip.forward": "Eager rumor forwards sent.",
+    "gossip.fanout-send": "Publication fan-out sends.",
+    "gossip.hops-exhausted": "Rumors dropped with no forwarding budget left.",
+    "net.sent": "Messages handed to the network fabric.",
+    "net.delivered": "Messages delivered by the network fabric.",
+    "net.dropped": "Messages lost by the network fabric.",
+    "soap.sent": "SOAP envelopes sent by runtimes.",
+    "soap.delivered": "SOAP envelopes dispatched to services.",
+    "telemetry.samples": "Sampled trace-context deliveries accounted.",
+    "telemetry.skew_guarded": "Trace samples discarded by the clock-skew guard.",
+    "telemetry.path_clamped": "Trace samples discarded for exceeding max path length.",
+    "telemetry.hop_latency_ms": "Per-hop dissemination latency from sampled wire trace context (ms).",
+    "telemetry.e2e_latency_ms": "Publish-to-delivery latency from sampled wire trace context (ms).",
+}
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _family_header(
+    lines: List[str], family: str, kind: str, source_name: str
+) -> None:
+    """Append the ``# HELP`` / ``# TYPE`` header pair for one family."""
+    help_text = _HELP_TEXTS.get(source_name, f"Value of {source_name}.")
+    lines.append(f"# HELP {family} {_escape_help(help_text)}")
+    lines.append(f"# TYPE {family} {kind}")
+
+
 def prometheus_text(hub: MetricsHub, prefix: str = "repro_") -> str:
     """Render every metric in the Prometheus text exposition format.
 
     Counters and stat-group fields export as ``counter`` families (node
     labelled series ride under the same family as the unlabelled
     aggregate); gauges as ``gauge``; histograms as ``summary`` families
-    with ``quantile`` series plus ``_sum``/``_count``.
+    with ``quantile`` series plus ``_sum``/``_count``.  Every family is
+    introduced by its ``# HELP`` and ``# TYPE`` header pair.
     """
     lines: List[str] = []
 
@@ -194,7 +254,7 @@ def prometheus_text(hub: MetricsHub, prefix: str = "repro_") -> str:
     counter_names = sorted(set(hub.counters()) | set(labeled_by_name))
     for name in counter_names:
         family = _metric_name(name, prefix)
-        lines.append(f"# TYPE {family} counter")
+        _family_header(lines, family, "counter", name)
         if name in hub.counters():
             lines.append(f"{family} {_format_value(hub.counters()[name])}")
         for labels, value in sorted(labeled_by_name.get(name, [])):
@@ -206,7 +266,7 @@ def prometheus_text(hub: MetricsHub, prefix: str = "repro_") -> str:
     gauge_names = sorted(set(hub.gauges()) | set(gauge_labeled))
     for name in gauge_names:
         family = _metric_name(name, prefix)
-        lines.append(f"# TYPE {family} gauge")
+        _family_header(lines, family, "gauge", name)
         if name in hub.gauges():
             lines.append(f"{family} {_format_value(hub.gauges()[name])}")
         for labels, value in sorted(gauge_labeled.get(name, [])):
@@ -214,7 +274,7 @@ def prometheus_text(hub: MetricsHub, prefix: str = "repro_") -> str:
 
     for name, histogram in sorted(hub._histograms.items()):
         family = _metric_name(name, prefix)
-        lines.append(f"# TYPE {family} summary")
+        _family_header(lines, family, "summary", name)
         if histogram.count:
             for quantile in (0.5, 0.95, 0.99):
                 value = histogram.percentile(quantile * 100.0)
@@ -227,7 +287,7 @@ def prometheus_text(hub: MetricsHub, prefix: str = "repro_") -> str:
     for group in _STAT_GROUPS:
         for field, value in getattr(hub, group).snapshot().items():
             family = _metric_name(f"{group}_{field}", prefix)
-            lines.append(f"# TYPE {family} counter")
+            _family_header(lines, family, "counter", f"{group}.{field}")
             lines.append(f"{family} {_format_value(value)}")
 
     return "\n".join(lines) + "\n"

@@ -39,6 +39,7 @@ from repro.simnet.metrics import (
     WireStats,
 )
 from repro.obs.tracing import RumorTracer
+from repro.obs.windows import Alert, RollingWindow
 
 #: A label set in canonical form: sorted ``(key, value)`` pairs.
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -112,6 +113,11 @@ class MetricsHub(MetricsRegistry):
         #: Adaptive-controller decision timeline: ControlDecision records
         #: appended by :class:`repro.core.control.AdaptiveController`.
         self.decisions = []
+        #: SLO alert timeline: :class:`repro.obs.windows.Alert` edges
+        #: appended by :class:`repro.obs.windows.SloBurnMonitor`.
+        self.alerts = []
+        #: Rolling time windows by name (see :meth:`window`).
+        self._windows: Dict[str, "RollingWindow"] = {}
         self._labeled_counters: Dict[Tuple[str, LabelKey], LabeledCounter] = {}
         self._labeled_gauges: Dict[Tuple[str, LabelKey], LabeledGauge] = {}
         self._nodes: Dict[str, "NodeScope"] = {}
@@ -147,6 +153,26 @@ class MetricsHub(MetricsRegistry):
     def labeled_gauges(self) -> Dict[Tuple[str, LabelKey], float]:
         """Snapshot of every labelled gauge value."""
         return {key: g.value for key, g in self._labeled_gauges.items()}
+
+    # -- rolling windows ----------------------------------------------------
+
+    def window(
+        self, name: str, width: float = 1.0, buckets: int = 60
+    ) -> RollingWindow:
+        """The rolling window ``name`` (created on first use).
+
+        ``width``/``buckets`` only shape a window at creation; later calls
+        return the existing window unchanged, mirroring how counters bind.
+        """
+        existing = self._windows.get(name)
+        if existing is None:
+            existing = RollingWindow(width=width, buckets=buckets)
+            self._windows[name] = existing
+        return existing
+
+    def windows(self) -> Dict[str, RollingWindow]:
+        """Every rolling window registered so far, by name."""
+        return dict(self._windows)
 
     # -- node scoping -------------------------------------------------------
 
@@ -204,6 +230,11 @@ class MetricsHub(MetricsRegistry):
                 }
                 for span in self.tracer.spans()
             ],
+            "windows": {
+                name: window.snapshot_state()
+                for name, window in self._windows.items()
+            },
+            "alerts": [alert.to_value() for alert in self.alerts],
         }
 
     def merge_snapshot(self, state: Dict) -> None:
@@ -226,6 +257,9 @@ class MetricsHub(MetricsRegistry):
           deltas propagate up the parent chain as normal writes do.
         * **tracer spans** are replayed hop-by-hop: publish hops claim the
           origin, deliveries keep first-arrival-per-node semantics.
+        * **rolling windows** merge bucket-wise (slot sums add), so a
+          merged window reads like one window that saw all the traffic.
+        * **alerts** are merge-sorted by edge time.
         """
         for name, value in state["counters"].items():
             self.counter(name).value += value
@@ -273,6 +307,19 @@ class MetricsHub(MetricsRegistry):
                 self.tracer.on_deliver(message_id, node, time, hops_left)
             for time, node, targets in span_state["forwards"]:
                 self.tracer.on_forward(message_id, node, time, targets)
+        for name, window_state in state.get("windows", {}).items():
+            window = self.window(
+                name,
+                width=window_state.get("width", 1.0),
+                buckets=window_state.get("buckets", 60),
+            )
+            window.merge_state(window_state)
+        if state.get("alerts"):
+            merged_alerts = sorted(
+                self.alerts + [Alert.from_value(a) for a in state["alerts"]],
+                key=lambda alert: (alert.time, alert.name, alert.state),
+            )
+            self.alerts[:] = merged_alerts
 
     @classmethod
     def merged(
@@ -300,6 +347,9 @@ class MetricsHub(MetricsRegistry):
         self.overload.reset()
         self.tracer.reset()
         self.decisions.clear()
+        self.alerts.clear()
+        for window in self._windows.values():
+            window.reset()
         for counter in self._counters.values():
             counter.value = 0
         for gauge in self._gauges.values():

@@ -1,9 +1,14 @@
-"""Section timers for benchmarks: wall-clock and simulated time together.
+"""Section timers for benchmarks: wall-clock, CPU and simulated time.
 
 The benchmark harness wraps its phases (setup / publish / drain) in
 :meth:`Profiler.section` so ``BENCH_core.json`` carries per-phase timings
 instead of a single opaque wall number.  Each section accumulates, so a
 phase entered in a loop reports its total.
+
+Every section also measures process CPU time (:func:`time.process_time`)
+alongside wall time, so overhead claims can separate compute from I/O
+wait: a phase whose wall greatly exceeds its CPU was waiting on sockets
+or sleeps, not burning cycles.
 """
 
 from __future__ import annotations
@@ -14,54 +19,62 @@ from typing import Callable, Dict, Iterator, Optional
 
 
 class Profiler:
-    """Named section timers over a wall clock and an optional sim clock.
+    """Named section timers over wall, CPU and an optional sim clock.
 
     Args:
         wall_clock: returns wall seconds (defaults to
             :func:`time.perf_counter`).
         sim_clock: returns simulated seconds (e.g. ``lambda: sim.now``);
             when omitted every section reports ``sim == 0.0``.
+        cpu_clock: returns process CPU seconds (defaults to
+            :func:`time.process_time`).
     """
 
     def __init__(
         self,
         wall_clock: Callable[[], float] = time.perf_counter,
         sim_clock: Optional[Callable[[], float]] = None,
+        cpu_clock: Callable[[], float] = time.process_time,
     ) -> None:
         self._wall_clock = wall_clock
         self._sim_clock = sim_clock
+        self._cpu_clock = cpu_clock
         self._sections: Dict[str, Dict[str, float]] = {}
 
     @contextmanager
     def section(self, name: str) -> Iterator[None]:
         """Time the enclosed block under ``name`` (accumulates on re-entry)."""
         wall_start = self._wall_clock()
+        cpu_start = self._cpu_clock()
         sim_start = self._sim_clock() if self._sim_clock is not None else 0.0
         try:
             yield
         finally:
             wall = self._wall_clock() - wall_start
+            cpu = self._cpu_clock() - cpu_start
             sim = (
                 self._sim_clock() - sim_start
                 if self._sim_clock is not None
                 else 0.0
             )
-            self.record(name, wall, sim)
+            self.record(name, wall, sim, cpu=cpu)
 
-    def record(self, name: str, wall: float, sim: float = 0.0) -> None:
+    def record(self, name: str, wall: float, sim: float = 0.0, cpu: float = 0.0) -> None:
         """Add one measurement to section ``name``."""
         entry = self._sections.setdefault(
-            name, {"wall_s": 0.0, "sim_s": 0.0, "count": 0}
+            name, {"wall_s": 0.0, "sim_s": 0.0, "cpu_s": 0.0, "count": 0}
         )
         entry["wall_s"] += wall
         entry["sim_s"] += sim
+        entry["cpu_s"] += cpu
         entry["count"] += 1
 
     def report(self) -> Dict[str, Dict[str, float]]:
-        """``{section: {wall_s, sim_s, count}}`` with rounded walls."""
+        """``{section: {wall_s, cpu_s, sim_s, count}}`` with rounded walls."""
         return {
             name: {
                 "wall_s": round(entry["wall_s"], 6),
+                "cpu_s": round(entry["cpu_s"], 6),
                 "sim_s": round(entry["sim_s"], 6),
                 "count": int(entry["count"]),
             }

@@ -1,9 +1,15 @@
 """Human-readable observability reports (``repro obs report``).
 
 Renders one :class:`~repro.obs.hub.MetricsHub` -- counters, the stat
-groups, the rumor tracer's causal spans, and the adaptive controller's
-decision timeline -- as the operator-facing text the CLI prints.  The numbers answer the paper's questions directly:
+groups, the rumor tracer's causal spans, rolling-window rates, the SLO
+alert timeline, telemetry latency histograms, and the adaptive
+controller's decision timeline -- as the operator-facing text the CLI
+prints.  The numbers answer the paper's questions directly:
 who got the rumor, in how many rounds, at what wire cost.
+
+:func:`report_model` is the machine-readable twin (``repro obs report
+--json``): the same facts as one JSON-serialisable dict with stable key
+order, for scripts and dashboards.
 """
 
 from __future__ import annotations
@@ -157,17 +163,95 @@ def per_node_deliveries(hub: MetricsHub) -> Dict[str, int]:
     return hub.tracer.deliveries_per_node()
 
 
+def _window_section(hub: MetricsHub) -> List[str]:
+    windows = hub.windows()
+    if not windows:
+        return []
+    lines = ["rolling windows"]
+    rows = [
+        (
+            name,
+            f"{window.rate():.2f}/s "
+            f"(total {window.total():g} over {window.span:g}s)",
+        )
+        for name, window in sorted(windows.items())
+    ]
+    lines.extend(_format_rows(rows))
+    return lines
+
+
+def _alert_section(hub: MetricsHub) -> List[str]:
+    if not hub.alerts:
+        return []
+    lines = ["slo alerts"]
+    rows = [
+        (
+            f"t={alert.time:.1f}s",
+            f"{alert.name} {alert.state} burn={alert.burn:.2f} "
+            f"(slo {alert.slo:g}, window {alert.window:g}s)",
+        )
+        for alert in hub.alerts
+    ]
+    lines.extend(_format_rows(rows))
+    return lines
+
+
+def _histogram_section(hub: MetricsHub) -> List[str]:
+    histograms = {
+        name: histogram
+        for name, histogram in sorted(hub._histograms.items())
+        if histogram.count
+    }
+    if not histograms:
+        return []
+    lines = ["latency histograms"]
+    rows = [
+        (
+            name,
+            f"p50={histogram.percentile(50):.2f} "
+            f"p95={histogram.percentile(95):.2f} "
+            f"p99={histogram.percentile(99):.2f} "
+            f"max={histogram.max():.2f} (n={histogram.count})",
+        )
+        for name, histogram in histograms.items()
+    ]
+    lines.extend(_format_rows(rows))
+    return lines
+
+
+def _profiler_section(profile: Dict[str, Dict[str, float]]) -> List[str]:
+    if not profile:
+        return []
+    lines = ["profiler phases"]
+    rows = [
+        (
+            name,
+            f"wall={timing.get('wall_s', 0.0):.3f}s "
+            f"cpu={timing.get('cpu_s', 0.0):.3f}s "
+            f"sim={timing.get('sim_s', 0.0):.3f}s "
+            f"(x{int(timing.get('count', 0))})",
+        )
+        for name, timing in sorted(profile.items())
+    ]
+    lines.extend(_format_rows(rows))
+    return lines
+
+
 def render_report(
     hub: MetricsHub,
     population: Optional[int] = None,
     title: str = "observability report",
+    profile: Optional[Dict[str, Dict[str, float]]] = None,
 ) -> str:
     """Render ``hub`` as the operator-facing text report.
 
     Sections: per-rumor causal spans (delivery fraction, rounds-to-99%,
     infection curve tail), per-node delivery counts, the highlighted
-    wire / batch / health / recovery / control stat-group fields, and --
-    when an adaptive controller ran -- its decision timeline.
+    wire / batch / health / recovery / control stat-group fields,
+    rolling-window rates and the SLO alert timeline (when telemetry
+    ran), latency histograms, the adaptive controller's decision
+    timeline, and -- when a :class:`~repro.obs.profiler.Profiler` report
+    is passed via ``profile`` -- per-phase wall/CPU/sim timings.
     """
     lines = [title, "=" * len(title)]
 
@@ -208,13 +292,94 @@ def render_report(
             lines.append(group_name)
             lines.extend(_format_rows(rows))
 
+    for section in (
+        _window_section(hub),
+        _alert_section(hub),
+        _histogram_section(hub),
+    ):
+        if section:
+            lines.append("")
+            lines.extend(section)
+
     timeline = _decision_timeline(hub)
     if timeline:
         lines.append("")
         lines.extend(timeline)
 
+    profiler_lines = _profiler_section(profile or {})
+    if profiler_lines:
+        lines.append("")
+        lines.extend(profiler_lines)
+
     lines.append("")
     return "\n".join(lines)
+
+
+def _span_model(span: RumorSpan, population: Optional[int]) -> Dict[str, Any]:
+    rounds = span.rounds_of_deliveries()
+    model: Dict[str, Any] = {
+        "message_id": span.message_id,
+        "origin": span.origin,
+        "published_at": span.publish_time,
+        "delivered": span.delivered_count,
+        "rounds_max": max(rounds) if rounds else 0,
+        "infection_curve": [
+            [time, count] for time, count in span.infection_curve()
+        ],
+    }
+    if population is not None and population > 1:
+        model["delivered_fraction"] = min(
+            1.0, span.delivered_count / (population - 1)
+        )
+        model["rounds_to_99"] = span.rounds_to_fraction(0.99, population)
+    return model
+
+
+def report_model(
+    hub: MetricsHub,
+    population: Optional[int] = None,
+    profile: Optional[Dict[str, Dict[str, float]]] = None,
+) -> Dict[str, Any]:
+    """The report as one JSON-serialisable dict (``repro obs report --json``).
+
+    Same facts as :func:`render_report`, uncurated: every counter and
+    stat-group field, per-rumor span analysis, rolling-window rates, the
+    SLO alert timeline, histogram summaries, controller decisions, and
+    the optional profiler phases.  Serialise with ``sort_keys=True`` for
+    stable output.
+    """
+    from repro.obs.export import _histogram_summary
+
+    model: Dict[str, Any] = {
+        "population": population,
+        "rumors": [
+            _span_model(span, population) for span in hub.tracer.spans()
+        ],
+        "deliveries_per_node": per_node_deliveries(hub),
+        "counters": hub.counters(),
+        "gauges": hub.gauges(),
+        "groups": {
+            group: getattr(hub, group).snapshot()
+            for group in _GROUP_HIGHLIGHTS
+        },
+        "histograms": {
+            name: _histogram_summary(histogram)
+            for name, histogram in hub._histograms.items()
+        },
+        "windows": {
+            name: {
+                "rate": window.rate(),
+                "total": window.total(),
+                "count": window.count(),
+                "span": window.span,
+            }
+            for name, window in hub.windows().items()
+        },
+        "alerts": [alert.to_value() for alert in hub.alerts],
+        "decisions": [decision.to_value() for decision in hub.decisions],
+        "profile": profile or {},
+    }
+    return model
 
 
 def run_seeded_report(
@@ -227,6 +392,7 @@ def run_seeded_report(
     duration: float = 10.0,
     value: Any = None,
     shards: int = 1,
+    telemetry: Any = None,
 ) -> Tuple[Any, str]:
     """One seeded dissemination plus its rendered report.
 
@@ -247,6 +413,7 @@ def run_seeded_report(
         params={"style": style, "fanout": fanout, "rounds": rounds},
         auto_tune=False,
         shards=shards,
+        telemetry=telemetry,
     )
     group = config.build()
     group.setup()

@@ -1,0 +1,302 @@
+"""Rolling time-window rollups and SLO burn-rate alerting.
+
+The hub's counters and histograms are cumulative -- perfect for totals,
+useless for "what is happening *now*".  This module adds the live layer:
+
+* :class:`RollingWindow` -- a bucketed rolling window over a numeric
+  stream.  Buckets are keyed by absolute bucket index (``int(t // width)``)
+  so two windows merge bucket-wise like counters do: commutative,
+  associative, order-independent -- exactly the property the sharded
+  simulator's hub merge needs.
+* :class:`WindowRollup` -- per-tick deltas of named hub counters recorded
+  into rolling windows, yielding per-second rates.
+* :func:`burn_rate` / :class:`SloBurnMonitor` -- error-budget burn against
+  the delivery SLO the AdaptiveController defends, with a
+  fire/clear-hysteresis :class:`Alert` timeline kept on the hub.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Alert",
+    "RollingWindow",
+    "SloBurnMonitor",
+    "WindowRollup",
+    "burn_rate",
+    "recent_delivery_fraction",
+]
+
+
+class RollingWindow:
+    """A rolling time window of value observations, bucketed by wall slots.
+
+    Only the most recent ``buckets`` slots are retained; older ones are
+    pruned as new observations arrive.  All reads are relative to the
+    newest populated slot, so a merged window (union of two nodes' slots)
+    reads the same regardless of merge order.
+    """
+
+    __slots__ = ("width", "buckets", "_slots")
+
+    def __init__(self, width: float = 1.0, buckets: int = 60) -> None:
+        if width <= 0:
+            raise ValueError(f"window bucket width must be positive: {width!r}")
+        if buckets < 1:
+            raise ValueError(f"window bucket count must be >= 1: {buckets!r}")
+        self.width = width
+        self.buckets = buckets
+        # slot index -> [value_sum, observation_count]
+        self._slots: Dict[int, List[float]] = {}
+
+    @property
+    def span(self) -> float:
+        """Seconds of history the window covers."""
+        return self.width * self.buckets
+
+    def observe(self, now: float, value: float) -> None:
+        """Record ``value`` into the slot covering time ``now``."""
+        index = int(now // self.width)
+        slot = self._slots.get(index)
+        if slot is None:
+            self._slots[index] = [float(value), 1]
+            self._prune(index)
+        else:
+            slot[0] += value
+            slot[1] += 1
+
+    def _prune(self, latest: int) -> None:
+        floor = latest - self.buckets + 1
+        if len(self._slots) > self.buckets:
+            for index in [i for i in self._slots if i < floor]:
+                del self._slots[index]
+
+    def _live_slots(self) -> Iterable[List[float]]:
+        if not self._slots:
+            return ()
+        floor = max(self._slots) - self.buckets + 1
+        return (slot for index, slot in self._slots.items() if index >= floor)
+
+    def total(self) -> float:
+        """Sum of values across the retained window."""
+        return sum(slot[0] for slot in self._live_slots())
+
+    def count(self) -> int:
+        """Number of observations across the retained window."""
+        return sum(int(slot[1]) for slot in self._live_slots())
+
+    def mean(self) -> Optional[float]:
+        """Mean observed value, or ``None`` for an empty window."""
+        total = 0.0
+        count = 0
+        for slot in self._live_slots():
+            total += slot[0]
+            count += int(slot[1])
+        return total / count if count else None
+
+    def rate(self) -> float:
+        """Value-sum per second over the window's full span."""
+        return self.total() / self.span
+
+    # -- snapshot / merge (the sharded hub-merge contract) ------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {
+            "width": self.width,
+            "buckets": self.buckets,
+            "slots": {index: list(slot) for index, slot in self._slots.items()},
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold another window's slots in, bucket-wise (sum + sum)."""
+        for index, (value_sum, count) in state.get("slots", {}).items():
+            index = int(index)
+            slot = self._slots.get(index)
+            if slot is None:
+                self._slots[index] = [float(value_sum), int(count)]
+            else:
+                slot[0] += value_sum
+                slot[1] += int(count)
+        if self._slots:
+            self._prune(max(self._slots))
+
+    def reset(self) -> None:
+        self._slots.clear()
+
+
+class WindowRollup:
+    """Per-tick rollup of cumulative hub counters into rolling windows.
+
+    Each :meth:`tick` records the delta of every tracked counter since the
+    previous tick into a ``rate.<name>`` window on the hub, so readers get
+    per-second rates over the recent past instead of lifetime totals.
+    """
+
+    def __init__(
+        self,
+        hub,
+        names: Tuple[str, ...] = (
+            "net.sent",
+            "net.delivered",
+            "gossip.publish",
+            "gossip.fresh",
+            "gossip.duplicate",
+        ),
+        width: float = 1.0,
+        buckets: int = 60,
+    ) -> None:
+        self.hub = hub
+        self.names = tuple(names)
+        self._windows = {
+            name: hub.window(f"rate.{name}", width=width, buckets=buckets)
+            for name in self.names
+        }
+        self._last: Dict[str, float] = {}
+
+    def tick(self, now: float) -> None:
+        for name in self.names:
+            value = self.hub.counter(name).value
+            delta = value - self._last.get(name, 0.0)
+            self._last[name] = value
+            self._windows[name].observe(now, delta)
+
+    def rates(self) -> Dict[str, float]:
+        """Per-second rate of each tracked counter over its window."""
+        return {name: window.rate() for name, window in self._windows.items()}
+
+
+def burn_rate(failure_fraction: float, slo: float) -> float:
+    """Error-budget burn: observed failure over the budget the SLO allows.
+
+    1.0 means failures exactly consume the budget (e.g. 1% non-delivery
+    against a 0.99 SLO); above 1.0 the budget is burning down.
+    """
+    budget = 1.0 - slo
+    if budget <= 0:
+        return 0.0 if failure_fraction <= 0 else float("inf")
+    return max(0.0, failure_fraction) / budget
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One edge of the SLO alert timeline (fired or cleared)."""
+
+    name: str
+    state: str  # "firing" | "cleared"
+    time: float
+    burn: float
+    slo: float
+    window: float
+
+    def to_value(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "time": self.time,
+            "burn": self.burn,
+            "slo": self.slo,
+            "window": self.window,
+        }
+
+    @classmethod
+    def from_value(cls, value: Dict[str, Any]) -> "Alert":
+        return cls(
+            name=str(value["name"]),
+            state=str(value["state"]),
+            time=float(value["time"]),
+            burn=float(value["burn"]),
+            slo=float(value["slo"]),
+            window=float(value["window"]),
+        )
+
+
+class SloBurnMonitor:
+    """Windowed burn-rate watchdog over a delivery-fraction signal.
+
+    Feed it one delivery-fraction sample per epoch (:meth:`record`); it
+    keeps the failure fractions in a ``slo.<name>`` rolling window on the
+    hub, computes the windowed burn rate, and appends fire/clear edges to
+    ``hub.alerts``.  Hysteresis (fire at ``fire_threshold``, clear at the
+    lower ``clear_threshold``) keeps a wobbling signal from flapping.
+    """
+
+    def __init__(
+        self,
+        hub,
+        slo: float = 0.99,
+        window: float = 30.0,
+        buckets: int = 15,
+        fire_threshold: float = 1.0,
+        clear_threshold: float = 0.5,
+        name: str = "delivery",
+    ) -> None:
+        self.hub = hub
+        self.slo = slo
+        self.name = name
+        self.fire_threshold = fire_threshold
+        self.clear_threshold = clear_threshold
+        self.window = hub.window(
+            f"slo.{name}", width=window / buckets, buckets=buckets
+        )
+        self.firing = False
+
+    def record(self, now: float, delivered_fraction: float) -> float:
+        """Record one epoch's delivery fraction; returns the current burn."""
+        self.window.observe(now, max(0.0, 1.0 - delivered_fraction))
+        burn = self.current_burn()
+        if not self.firing and burn >= self.fire_threshold:
+            self.firing = True
+            self._edge("firing", now, burn)
+        elif self.firing and burn <= self.clear_threshold:
+            self.firing = False
+            self._edge("cleared", now, burn)
+        return burn
+
+    def current_burn(self) -> float:
+        mean_failure = self.window.mean()
+        if mean_failure is None:
+            return 0.0
+        return burn_rate(mean_failure, self.slo)
+
+    def _edge(self, state: str, now: float, burn: float) -> None:
+        self.hub.alerts.append(
+            Alert(
+                name=f"slo.{self.name}",
+                state=state,
+                time=now,
+                burn=burn,
+                slo=self.slo,
+                window=self.window.span,
+            )
+        )
+
+
+def recent_delivery_fraction(
+    hub,
+    now: float,
+    population: int,
+    *,
+    lookback: float,
+    grace: float,
+) -> Optional[float]:
+    """Mean delivery fraction of rumors published in a recent window.
+
+    Looks at tracer spans whose publish time falls in
+    ``[now - grace - lookback, now - grace]`` -- the grace keeps rumors
+    still mid-flight from reading as SLO misses.  Returns ``None`` when no
+    rumor is old enough to judge (an idle group is not a failing group).
+    """
+    if population <= 1:
+        return None
+    others = population - 1
+    newest = now - grace
+    oldest = newest - lookback
+    fractions = []
+    for span in hub.tracer.spans():
+        if oldest <= span.publish_time <= newest:
+            fractions.append(min(1.0, span.delivered_count / others))
+    if not fractions:
+        return None
+    return sum(fractions) / len(fractions)

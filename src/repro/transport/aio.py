@@ -74,6 +74,7 @@ from repro.transport.edge import (
     deprecation_headers,
     health_payload,
     ingest_response,
+    obs_response,
     strip_query,
 )
 
@@ -1001,6 +1002,7 @@ class AsyncHttpNode(_AsyncNodeBase):
     def _route(
         self, method: str, path: str, headers: Dict[str, str], body: bytes
     ) -> Tuple[int, Dict[str, str], bytes]:
+        raw_path = path
         path = strip_query(path)
         if method == "POST":
             status, extra, process = ingest_response(
@@ -1024,6 +1026,11 @@ class AsyncHttpNode(_AsyncNodeBase):
                     extra={"requests_served": self.requests_served},
                 )
                 return 200, {"Content-Type": JSON_CONTENT_TYPE}, payload
+            # Observability read models get the raw path: pagination rides
+            # in the query string (shared with the sync binding).
+            obs = obs_response(hub_of(self.runtime.metrics), raw_path)
+            if obs is not None:
+                return obs
             if path in (METRICS_PATH, LEGACY_METRICS_PATH):
                 text = prometheus_text(hub_of(self.runtime.metrics))
                 extra = {"Content-Type": PROMETHEUS_CONTENT_TYPE}

@@ -10,6 +10,12 @@ defined here once (see docs/WIRE.md, "The versioned node-edge API"):
 * ``GET  /v1/metrics`` -- this node's :class:`~repro.obs.hub.MetricsHub`
   in the Prometheus text exposition format.
 * ``GET  /v1/health``  -- liveness plus the mounted service paths, JSON.
+* ``GET  /v1/obs/{summary,rumors,nodes,alerts}`` -- paginated JSON read
+  models materialized from the node's hub (CQRS over the MetricsHub):
+  counters/rates at a glance, per-rumor dissemination spans, per-node
+  delivery counts, and the SLO alert timeline.  List resources accept
+  ``?offset=&limit=`` and answer a stable envelope
+  ``{"items", "offset", "limit", "total", "next_offset"}``.
 
 Legacy unversioned paths (``POST`` to any path, ``GET /metrics``) keep
 working but answer with a ``Deprecation: true`` header and a ``Link`` to
@@ -47,6 +53,15 @@ GOSSIP_PATH = "/v1/gossip"
 METRICS_PATH = "/v1/metrics"
 HEALTH_PATH = "/v1/health"
 LEGACY_METRICS_PATH = "/metrics"
+OBS_PREFIX = "/v1/obs/"
+OBS_SUMMARY_PATH = "/v1/obs/summary"
+OBS_RUMORS_PATH = "/v1/obs/rumors"
+OBS_NODES_PATH = "/v1/obs/nodes"
+OBS_ALERTS_PATH = "/v1/obs/alerts"
+
+#: Pagination bounds for the ``/v1/obs/*`` list resources.
+OBS_DEFAULT_LIMIT = 50
+OBS_MAX_LIMIT = 500
 
 IDEMPOTENCY_KEY_HEADER = "Idempotency-Key"
 IDEMPOTENT_REPLAY_HEADER = "Idempotent-Replay"
@@ -227,3 +242,120 @@ def ingest_response(
             wire_stats.idempotent_replays += 1
         return 200, {IDEMPOTENT_REPLAY_HEADER: "true"}, False
     return 202, {}, True
+
+
+# -- observability read models (GET /v1/obs/*) --------------------------------
+
+
+def parse_pagination(
+    query: str,
+    default_limit: int = OBS_DEFAULT_LIMIT,
+    max_limit: int = OBS_MAX_LIMIT,
+) -> Tuple[int, int]:
+    """``(offset, limit)`` from a query string, clamped to sane bounds.
+
+    Malformed values fall back to the defaults -- a read model answers
+    what it can rather than turning a dashboard poll into a 400.
+    """
+    offset, limit = 0, default_limit
+    for part in query.split("&"):
+        name, _, raw = part.partition("=")
+        try:
+            value = int(raw)
+        except ValueError:
+            continue
+        if name == "offset":
+            offset = max(0, value)
+        elif name == "limit":
+            limit = max(1, min(max_limit, value))
+    return offset, limit
+
+
+def _page(items, offset: int, limit: int) -> Dict:
+    """The stable pagination envelope for a list read model."""
+    total = len(items)
+    window = items[offset:offset + limit]
+    next_offset = offset + limit if offset + limit < total else None
+    return {
+        "items": window,
+        "offset": offset,
+        "limit": limit,
+        "total": total,
+        "next_offset": next_offset,
+    }
+
+
+def _obs_summary(hub, population: Optional[int]) -> Dict:
+    spans = hub.tracer.spans()
+    firing = any(
+        alert.state == "firing" for alert in hub.alerts[-1:]
+    )
+    return {
+        "node": hub.name,
+        "population": population,
+        "counters": {name: value for name, value in sorted(hub.counters().items())},
+        "rates": {
+            name: window.rate() for name, window in sorted(hub.windows().items())
+        },
+        "rumors": len(spans),
+        "alerts": {"total": len(hub.alerts), "firing": firing},
+    }
+
+
+def _obs_rumors(hub, population: Optional[int]) -> list:
+    rows = []
+    for span in hub.tracer.spans():
+        row = {
+            "message_id": span.message_id,
+            "origin": span.origin,
+            "published_at": span.publish_time,
+            "budget": span.budget,
+            "delivered": span.delivered_count,
+            "forwards": len(span.forwards),
+            "rounds_max": max(span.rounds_of_deliveries(), default=0),
+        }
+        if population:
+            row["rounds_to_99"] = span.rounds_to_fraction(0.99, population)
+        rows.append(row)
+    rows.sort(key=lambda row: (row["published_at"] or 0.0, row["message_id"]))
+    return rows
+
+
+def _obs_nodes(hub) -> list:
+    return [
+        {"node": node, "deliveries": count}
+        for node, count in sorted(hub.tracer.deliveries_per_node().items())
+    ]
+
+
+def _obs_alerts(hub) -> list:
+    return [alert.to_value() for alert in hub.alerts]
+
+
+def obs_response(
+    hub, raw_path: str, population: Optional[int] = None
+) -> Optional[Tuple[int, Dict[str, str], bytes]]:
+    """Serve one ``GET /v1/obs/*`` request from ``hub``, or ``None``.
+
+    ``raw_path`` keeps its query string (pagination).  Shared verbatim by
+    the thread-per-request and asyncio HTTP bindings so both speak the
+    same read-model dialect.  Unknown ``/v1/obs/`` subpaths answer 404.
+    """
+    path, _, query = raw_path.partition("?")
+    if not path.startswith(OBS_PREFIX):
+        return None
+    if path == OBS_SUMMARY_PATH:
+        payload = _obs_summary(hub, population)
+    else:
+        if path == OBS_RUMORS_PATH:
+            items = _obs_rumors(hub, population)
+        elif path == OBS_NODES_PATH:
+            items = _obs_nodes(hub)
+        elif path == OBS_ALERTS_PATH:
+            items = _obs_alerts(hub)
+        else:
+            return 404, {}, b'{"error": "unknown observability resource"}'
+        offset, limit = parse_pagination(query)
+        payload = _page(items, offset, limit)
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return 200, {"Content-Type": JSON_CONTENT_TYPE}, body

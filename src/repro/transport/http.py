@@ -42,6 +42,7 @@ from repro.transport.edge import (
     deprecation_headers,
     health_payload,
     ingest_response,
+    obs_response,
     strip_query,
 )
 
@@ -195,13 +196,20 @@ class HttpNode:
                     node.runtime.receive(body, source=None)
 
             def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-                """Serve ``/v1/metrics``, ``/v1/health`` and legacy paths."""
+                """Serve ``/v1/metrics``, ``/v1/health``, ``/v1/obs/*`` and
+                legacy paths."""
                 path = strip_query(self.path)
                 if path == HEALTH_PATH:
                     payload = health_payload(
                         node.base_address, node.runtime.service_paths()
                     )
                     self._reply(200, {"Content-Type": JSON_CONTENT_TYPE}, payload)
+                    return
+                # Observability read models take the raw path: pagination
+                # rides in the query string.
+                obs = obs_response(hub_of(node.runtime.metrics), self.path)
+                if obs is not None:
+                    self._reply(*obs)
                     return
                 if path not in (METRICS_PATH, LEGACY_METRICS_PATH):
                     self._reply(404, {})

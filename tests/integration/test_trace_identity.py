@@ -144,6 +144,19 @@ def test_shards_1_trace_is_byte_identical():
         )
 
 
+def test_telemetry_none_trace_is_byte_identical():
+    # The live telemetry plane (GossipConfig(telemetry=...)) must be a
+    # strict no-op when disabled: with telemetry=None no Trace section is
+    # serialized, no sampling rng is drawn, and the wire trace stays
+    # byte-for-byte the checked-in baseline.
+    baseline = json.loads(BASELINE_PATH.read_text())
+    for scenario in SCENARIOS:
+        overrides = dict(scenario["config"], telemetry=None)
+        assert scenario_digest(overrides) == baseline["digests"][scenario["name"]], (
+            f"telemetry=None changed the wire trace of {scenario['name']!r}"
+        )
+
+
 def test_default_config_trace_matches_pre_overload_baseline():
     baseline = json.loads(BASELINE_PATH.read_text())
     assert compute_digests() == baseline["digests"], (

@@ -103,6 +103,22 @@ def test_prometheus_text_parses(populated_hub):
     assert "repro_net_latency_count 2" in text
 
 
+def test_prometheus_families_lead_with_help_and_type(populated_hub):
+    text = prometheus_text(populated_hub)
+    lines = text.splitlines()
+    # Every family is introduced by its HELP/TYPE pair, typed correctly.
+    for family, kind in (
+        ("repro_soap_sent", "counter"),
+        ("repro_view_size", "gauge"),
+        ("repro_net_latency", "summary"),
+        ("repro_wire_serialize_count", "counter"),
+    ):
+        help_index = lines.index(
+            next(l for l in lines if l.startswith(f"# HELP {family} "))
+        )
+        assert lines[help_index + 1] == f"# TYPE {family} {kind}"
+
+
 def test_prometheus_name_sanitization_and_label_escaping():
     hub = MetricsHub(name="escape-test")
     hub.counter("gossip.dedup-preparse").inc()

@@ -197,3 +197,34 @@ class TestSpanMerge:
         candidate = merged.tracer.spans()[0]
         assert candidate.deliveries == reference.deliveries
         assert candidate.publish_time == reference.publish_time
+
+    def test_replaying_the_same_snapshot_is_idempotent_for_deliveries(self):
+        # Sharded runs can ship overlapping span state (a rumor seen by
+        # two shards); first-arrival-per-node semantics make the replay
+        # idempotent rather than double-counting deliveries.
+        shard = MetricsHub()
+        shard.tracer.on_publish("m1", "initiator", 0.0, budget=3)
+        shard.tracer.on_deliver("m1", "a", 0.3, hops_left=2)
+        shard.tracer.on_deliver("m1", "b", 0.7, hops_left=1)
+        state = shard.snapshot_state()
+
+        merged = MetricsHub.merged([state, state])
+        span = merged.tracer.spans()[0]
+        assert span.delivered_count == 2
+        assert len(span.deliveries) == 2
+        assert merged.tracer.deliveries_per_node() == {"a": 1, "b": 1}
+
+    def test_merging_a_spanless_hub_leaves_the_tracer_untouched(self):
+        # A hub that counted traffic but never traced a rumor (e.g. a
+        # consumer-only shard) must merge cleanly without minting spans.
+        traced, spanless = MetricsHub(), MetricsHub()
+        traced.tracer.on_publish("m1", "initiator", 0.0, budget=2)
+        traced.tracer.on_deliver("m1", "a", 0.4, hops_left=1)
+        spanless.counter("net.delivered").inc(5)
+
+        merged = MetricsHub.merged(
+            [traced.snapshot_state(), spanless.snapshot_state()]
+        )
+        assert len(merged.tracer.spans()) == 1
+        assert merged.tracer.spans()[0].delivered_count == 1
+        assert merged.counter("net.delivered").value == 5

@@ -36,7 +36,43 @@ def test_cli_obs_report(capsys, tmp_path):
     assert "observability report" in output
     assert "deliveries per node" in output
     assert jsonl.read_text().count("\n") > 10
-    assert prom.read_text().startswith("# TYPE")
+    assert prom.read_text().startswith("# HELP")
+
+
+def test_cli_obs_report_json_is_stable_and_machine_readable(capsys):
+    import json
+
+    code = main(
+        [
+            "--seed", "9", "obs", "report", "--nodes", "12",
+            "--duration", "8.0", "--telemetry", "--json",
+        ]
+    )
+    first = capsys.readouterr().out
+    assert code == 0
+    model = json.loads(first)
+    assert model["population"] == 12
+    assert model["rumors"], "json model lost the rumor spans"
+    for rumor in model["rumors"]:
+        assert rumor["delivered_fraction"] >= 0.0
+        assert rumor["infection_curve"]
+    assert "net.sent" in model["counters"]
+    assert any(name.startswith("rate.") for name in model["windows"])
+    # Stable key order: the CLI serializes with sorted keys at every
+    # level, so diffs between runs only show value changes (message ids
+    # are fresh UUIDs each run; the *shape* must not wobble).
+    assert first == json.dumps(model, sort_keys=True, indent=2) + "\n"
+    assert list(model["counters"]) == sorted(model["counters"])
+
+
+def test_report_model_mirrors_rendered_report():
+    from repro.obs.report import report_model
+
+    group, text = run_seeded_report(nodes=12, consumers=0, seed=9, duration=8.0)
+    model = report_model(group.hub, population=group.population)
+    assert model["population"] == 12
+    assert len(model["rumors"]) == text.count("rumor ")
+    assert model["counters"]["net.sent"] > 0
 
 
 def test_profiler_sections_accumulate():

@@ -1,0 +1,223 @@
+"""Rolling windows, burn-rate math, and the SLO alert timeline.
+
+Pins the live-layer semantics docs/OBSERVABILITY.md ("Live telemetry")
+describes: bucketed rolling windows that merge bucket-wise like counters
+(order independent), per-tick counter rollups into per-second rates,
+error-budget burn, and the fire/clear hysteresis on ``hub.alerts``.
+"""
+
+import pytest
+
+from repro.obs.hub import MetricsHub
+from repro.obs.windows import (
+    Alert,
+    RollingWindow,
+    SloBurnMonitor,
+    WindowRollup,
+    burn_rate,
+    recent_delivery_fraction,
+)
+
+
+class TestRollingWindow:
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError):
+            RollingWindow(width=0.0)
+        with pytest.raises(ValueError):
+            RollingWindow(buckets=0)
+
+    def test_observe_total_count_mean_rate(self):
+        window = RollingWindow(width=1.0, buckets=10)
+        window.observe(0.2, 3.0)
+        window.observe(0.8, 1.0)  # same slot
+        window.observe(4.5, 2.0)
+        assert window.total() == 6.0
+        assert window.count() == 3
+        assert window.mean() == pytest.approx(2.0)
+        assert window.rate() == pytest.approx(6.0 / window.span)
+
+    def test_empty_window_reads_zeroes(self):
+        window = RollingWindow(width=1.0, buckets=5)
+        assert window.total() == 0.0
+        assert window.count() == 0
+        assert window.mean() is None
+        assert window.rate() == 0.0
+
+    def test_old_slots_fall_out_of_the_window(self):
+        window = RollingWindow(width=1.0, buckets=3)
+        window.observe(0.0, 100.0)
+        for t in (10.0, 11.0, 12.0):
+            window.observe(t, 1.0)
+        # The t=0 slot is far outside [10, 12]; reads must exclude it.
+        assert window.total() == 3.0
+        assert window.count() == 3
+
+    def test_merge_is_order_independent(self):
+        def build(observations):
+            window = RollingWindow(width=1.0, buckets=8)
+            for t, v in observations:
+                window.observe(t, v)
+            return window
+
+        a = build([(1.0, 2.0), (3.0, 4.0)])
+        b = build([(2.0, 1.0), (3.0, 1.0)])
+
+        forward = build([])
+        forward.merge_state(a.snapshot_state())
+        forward.merge_state(b.snapshot_state())
+        backward = build([])
+        backward.merge_state(b.snapshot_state())
+        backward.merge_state(a.snapshot_state())
+
+        assert forward.snapshot_state() == backward.snapshot_state()
+        assert forward.total() == 8.0
+        assert forward.count() == 4
+
+    def test_reset_clears_slots(self):
+        window = RollingWindow()
+        window.observe(1.0, 1.0)
+        window.reset()
+        assert window.count() == 0
+
+
+class TestWindowRollup:
+    def test_tick_records_counter_deltas_as_rates(self):
+        hub = MetricsHub(name="rollup")
+        rollup = WindowRollup(hub, names=("net.sent",), width=1.0, buckets=10)
+        hub.counter("net.sent").inc(30)
+        rollup.tick(1.0)
+        hub.counter("net.sent").inc(20)
+        rollup.tick(2.0)
+        window = hub.window("rate.net.sent")
+        assert window.total() == 50.0  # 30 + 20, not the cumulative 80
+        assert rollup.rates()["net.sent"] == pytest.approx(50.0 / window.span)
+
+
+class TestBurnRate:
+    def test_burn_of_exact_budget_is_one(self):
+        assert burn_rate(0.01, slo=0.99) == pytest.approx(1.0)
+
+    def test_no_failures_is_zero(self):
+        assert burn_rate(0.0, slo=0.99) == 0.0
+        assert burn_rate(-0.5, slo=0.99) == 0.0  # clamped
+
+    def test_impossible_slo_burns_infinitely_on_any_failure(self):
+        assert burn_rate(0.0, slo=1.0) == 0.0
+        assert burn_rate(0.001, slo=1.0) == float("inf")
+
+
+class TestSloBurnMonitor:
+    def _monitor(self, hub=None):
+        hub = hub or MetricsHub(name="slo")
+        return hub, SloBurnMonitor(hub, slo=0.99, window=10.0, buckets=10)
+
+    def test_fires_once_then_clears_once(self):
+        hub, monitor = self._monitor()
+        # Healthy epochs: no edge.
+        for t in range(3):
+            monitor.record(float(t), 1.0)
+        assert hub.alerts == []
+        # Burn over 1.0: exactly one firing edge, even if it stays bad.
+        monitor.record(3.0, 0.80)
+        monitor.record(4.0, 0.80)
+        firing = [a for a in hub.alerts if a.state == "firing"]
+        assert len(firing) == 1
+        assert firing[0].burn >= monitor.fire_threshold
+        assert monitor.firing is True
+        # Recovery: the window must drain below the clear threshold.
+        t = 5.0
+        while monitor.firing:
+            monitor.record(t, 1.0)
+            t += 1.0
+        assert hub.alerts[-1].state == "cleared"
+        assert hub.alerts[-1].burn <= monitor.clear_threshold
+
+    def test_hysteresis_blocks_flapping_between_thresholds(self):
+        hub, monitor = self._monitor()
+        monitor.record(0.0, 0.80)  # fire
+        assert monitor.firing
+        # Burn decays into (clear, fire) no-man's land: still firing,
+        # and critically no second "firing" edge is appended.
+        monitor.record(1.0, 0.995)
+        monitor.record(2.0, 0.995)
+        assert monitor.firing
+        assert [a.state for a in hub.alerts] == ["firing"]
+
+    def test_alert_edges_carry_the_slo_and_window(self):
+        hub, monitor = self._monitor()
+        monitor.record(0.0, 0.5)
+        alert = hub.alerts[0]
+        assert alert.name == "slo.delivery"
+        assert alert.slo == 0.99
+        assert alert.window == pytest.approx(10.0)
+        assert Alert.from_value(alert.to_value()) == alert
+
+
+class TestRecentDeliveryFraction:
+    def test_none_for_tiny_population_or_idle_hub(self):
+        hub = MetricsHub()
+        assert (
+            recent_delivery_fraction(hub, 10.0, 1, lookback=5.0, grace=2.0)
+            is None
+        )
+        assert (
+            recent_delivery_fraction(hub, 10.0, 4, lookback=5.0, grace=2.0)
+            is None
+        )
+
+    def test_grace_excludes_rumors_still_in_flight(self):
+        hub = MetricsHub()
+        hub.tracer.on_publish("old", "n0", 5.0, budget=3)
+        hub.tracer.on_deliver("old", "n1", 5.5, hops_left=2)
+        hub.tracer.on_deliver("old", "n2", 5.6, hops_left=2)
+        hub.tracer.on_deliver("old", "n3", 5.7, hops_left=1)
+        # Published inside the grace period: not judged yet.
+        hub.tracer.on_publish("young", "n0", 9.9, budget=3)
+
+        fraction = recent_delivery_fraction(
+            hub, 10.0, 4, lookback=5.0, grace=2.0
+        )
+        assert fraction == pytest.approx(1.0)  # old reached all 3 others
+
+    def test_partial_delivery_averages_across_judged_spans(self):
+        hub = MetricsHub()
+        hub.tracer.on_publish("full", "n0", 1.0, budget=3)
+        for node in ("n1", "n2", "n3"):
+            hub.tracer.on_deliver("full", node, 1.5, hops_left=2)
+        hub.tracer.on_publish("half", "n0", 2.0, budget=3)
+        hub.tracer.on_deliver("half", "n1", 2.5, hops_left=2)
+        fraction = recent_delivery_fraction(
+            hub, 10.0, 4, lookback=9.0, grace=1.0
+        )
+        assert fraction == pytest.approx((1.0 + 1.0 / 3.0) / 2.0)
+
+
+class TestHubWindowAndAlertMerge:
+    def test_hub_windows_merge_bucket_wise(self):
+        shard_a, shard_b = MetricsHub(), MetricsHub()
+        shard_a.window("rate.net.sent", width=1.0, buckets=8).observe(1.0, 5.0)
+        shard_b.window("rate.net.sent", width=1.0, buckets=8).observe(1.2, 3.0)
+        shard_b.window("rate.net.sent").observe(4.0, 2.0)
+        merged = MetricsHub.merged(
+            [shard_a.snapshot_state(), shard_b.snapshot_state()]
+        )
+        window = merged.window("rate.net.sent")
+        assert window.total() == 10.0
+        assert window.count() == 3
+
+    def test_alert_timelines_merge_sorted_by_time(self):
+        shard_a, shard_b = MetricsHub(), MetricsHub()
+        shard_a.alerts.append(
+            Alert("slo.delivery", "firing", 3.0, 2.0, 0.99, 10.0)
+        )
+        shard_b.alerts.append(
+            Alert("slo.delivery", "cleared", 9.0, 0.1, 0.99, 10.0)
+        )
+        shard_b.alerts.append(
+            Alert("slo.delivery", "firing", 1.0, 1.5, 0.99, 10.0)
+        )
+        merged = MetricsHub.merged(
+            [shard_a.snapshot_state(), shard_b.snapshot_state()]
+        )
+        assert [a.time for a in merged.alerts] == [1.0, 3.0, 9.0]
+        assert merged.alerts[-1].state == "cleared"
